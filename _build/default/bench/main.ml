@@ -1,0 +1,158 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. bechamel micro-benchmarks — one Test.make per table/figure driver plus
+      the ablations (indexed search vs grep-style scan, preprocessing cost,
+      whole-app analyses vs the targeted pipeline);
+   2. the experiment harness that regenerates every table and figure of the
+      paper's evaluation (Table I, Figs. 1, 7, 8, 9, the Sec. VI-C detection
+      tables and the Sec. IV-F enhancement statistics).
+
+   Usage: dune exec bench/main.exe [-- --quick | --micro-only | --experiments-only]
+*)
+
+open Bechamel
+open Toolkit
+module G = Appgen.Generator
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+
+let fixture_app ~seed ~mb ~sinks =
+  let rng = Appgen.Rng.create (seed * 97) in
+  let plants =
+    List.init sinks (fun _ -> Appgen.Corpus.random_plant rng ~insecure_p:0.1)
+  in
+  G.generate
+    { G.default_config with
+      G.seed;
+      name = Printf.sprintf "com.bench.app%d" seed;
+      filler_classes =
+        Appgen.Corpus.filler_classes_for_mb ~mb ~methods_per_class:6
+          ~stmts_per_method:8;
+      plants }
+
+let medium = lazy (fixture_app ~seed:5 ~mb:20.0 ~sinks:10)
+let small = lazy (fixture_app ~seed:6 ~mb:5.0 ~sinks:5)
+
+let micro_tests () =
+  let medium = Lazy.force medium and small = Lazy.force small in
+  let indexed_engine = Bytesearch.Engine.create medium.G.dex in
+  let scan_engine = Bytesearch.Engine.create ~indexed:false medium.G.dex in
+  let sink_query =
+    Bytesearch.Query.Invocation
+      (Dex.Descriptor.meth_desc Framework.Api.cipher_get_instance)
+  in
+  [ (* Table I: corpus/app generation *)
+    Test.make ~name:"table1/generate-5mb-app"
+      (Staged.stage (fun () -> fixture_app ~seed:7 ~mb:5.0 ~sinks:5));
+    (* Fig. 7: the full targeted pipeline *)
+    Test.make ~name:"fig7/backdroid-analyze-20mb"
+      (Staged.stage (fun () ->
+           Backdroid.Driver.analyze ~dex:medium.G.dex
+             ~manifest:medium.G.manifest ()));
+    (* Fig. 1: whole-app CG generation only *)
+    Test.make ~name:"fig1/flowdroid-cg-20mb"
+      (Staged.stage (fun () ->
+           Baseline.Flowdroid_cg.build medium.G.program medium.G.manifest));
+    (* Fig. 8: whole-app dataflow (small fixture — the big one is the slow
+       case by design) *)
+    Test.make ~name:"fig8/amandroid-5mb"
+      (Staged.stage (fun () ->
+           Baseline.Amandroid.analyze ~program:small.G.program
+             ~manifest:small.G.manifest ()));
+    (* Fig. 9: per-sink cost *)
+    Test.make ~name:"fig9/backdroid-5mb-5sinks"
+      (Staged.stage (fun () ->
+           Backdroid.Driver.analyze ~dex:small.G.dex ~manifest:small.G.manifest
+             ()));
+    (* ablation: indexed search vs grep-style full scan *)
+    Test.make ~name:"search/indexed-lookup"
+      (Staged.stage (fun () ->
+           Bytesearch.Engine.run_uncached indexed_engine sink_query));
+    Test.make ~name:"search/grep-scan"
+      (Staged.stage (fun () ->
+           Bytesearch.Engine.run_uncached scan_engine sink_query));
+    (* ablation: preprocessing (disassembly + index build) *)
+    Test.make ~name:"preprocess/disassemble-20mb"
+      (Staged.stage (fun () -> Dex.Dexfile.of_program medium.G.program));
+    Test.make ~name:"preprocess/index-20mb"
+      (Staged.stage (fun () -> Bytesearch.Engine.create medium.G.dex));
+    (* ablation: the Sec. VI-C FN fix (hierarchy-aware initial search) *)
+    Test.make ~name:"ablation/subclass-aware-search"
+      (Staged.stage (fun () ->
+           Backdroid.Driver.analyze
+             ~cfg:
+               { Backdroid.Driver.default_config with
+                 Backdroid.Driver.subclass_aware_initial_search = true }
+             ~dex:small.G.dex ~manifest:small.G.manifest ()));
+    (* ablation: the Sec. VII reflection resolution pre-pass *)
+    Test.make ~name:"ablation/resolve-reflection"
+      (Staged.stage (fun () ->
+           Backdroid.Driver.analyze
+             ~cfg:
+               { Backdroid.Driver.default_config with
+                 Backdroid.Driver.resolve_reflection = true }
+             ~dex:small.G.dex ~manifest:small.G.manifest ()));
+    (* ablation: the baseline with its documented gaps closed *)
+    Test.make ~name:"ablation/amandroid-robust-5mb"
+      (Staged.stage (fun () ->
+           Baseline.Amandroid.analyze
+             ~cfg:
+               { Baseline.Amandroid.default_config with
+                 Baseline.Amandroid.cg = Baseline.Callgraph.robust_config }
+             ~program:small.G.program ~manifest:small.G.manifest ())) ]
+
+let run_micro () =
+  let tests = micro_tests () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false
+      ~kde:(Some 100) ()
+  in
+  print_endline "\n== micro-benchmarks (bechamel, monotonic clock) ==";
+  Printf.printf "  %-34s %14s\n" "benchmark" "time/run";
+  List.iter
+    (fun test ->
+       let results = Benchmark.all cfg instances test in
+       let results = Analyze.all ols Instance.monotonic_clock results in
+       Hashtbl.iter
+         (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] ->
+              let pretty =
+                if est > 1e9 then Printf.sprintf "%8.2f s " (est /. 1e9)
+                else if est > 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
+                else if est > 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
+                else Printf.sprintf "%8.2f ns" est
+              in
+              Printf.printf "  %-34s %14s\n%!" name pretty
+            | Some _ | None -> Printf.printf "  %-34s %14s\n%!" name "n/a")
+         results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has f = List.mem f args in
+  let quick = has "--quick" in
+  let opts =
+    if quick then
+      { Evalharness.Experiments.default_opts with
+        Evalharness.Experiments.scale = 0.3;
+        count = 24;
+        timeout_s = 0.5;
+        flowdroid_timeout_s = 0.5 }
+    else Evalharness.Experiments.default_opts
+  in
+  if not (has "--experiments-only") then run_micro ();
+  if not (has "--micro-only") then begin
+    print_endline
+      "\n== experiment harness: regenerating the paper's tables and figures ==";
+    Evalharness.Experiments.run_all ~opts
+      ~csv_path:(Some "bench_measurements.csv") ()
+  end

@@ -1,0 +1,225 @@
+(* BackDroid command-line interface.
+
+   Subcommands:
+     generate    - generate a synthetic app and print its stats / dex text
+     analyze     - run BackDroid on a generated app and print the reports
+     compare     - run BackDroid and the whole-app baseline side by side
+     experiments - regenerate the paper's tables and figures *)
+
+open Cmdliner
+module G = Appgen.Generator
+module Shape = Appgen.Shape
+module Sinks = Framework.Sinks
+
+let shape_conv =
+  let parse s =
+    match List.find_opt (fun sh -> Shape.to_string sh = s) Shape.all with
+    | Some sh -> Ok sh
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown shape %S (one of: %s)" s
+              (String.concat ", " (List.map Shape.to_string Shape.all))))
+  in
+  Arg.conv (parse, fun ppf sh -> Fmt.string ppf (Shape.to_string sh))
+
+let sink_conv =
+  let parse = function
+    | "cipher" -> Ok Sinks.cipher
+    | "ssl" -> Ok Sinks.ssl_factory
+    | "https" -> Ok Sinks.https_conn
+    | s -> Error (`Msg (Printf.sprintf "unknown sink %S (cipher|ssl|https)" s))
+  in
+  Arg.conv
+    (parse, fun ppf (s : Sinks.t) -> Fmt.string ppf (Sinks.kind_to_string s.kind))
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let verbose_t =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Trace the bytecode searches guiding the analysis.")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  if verbose then Logs.Src.set_level Backdroid.Log.src (Some Logs.Debug)
+  else Logs.Src.set_level Backdroid.Log.src (Some Logs.Warning)
+
+let size_t =
+  Arg.(
+    value & opt float 10.0
+    & info [ "size-mb" ] ~docv:"MB" ~doc:"Approximate app size in MB-equivalents.")
+
+let shapes_t =
+  Arg.(
+    value
+    & opt_all (pair ~sep:':' shape_conv sink_conv) []
+    & info [ "plant" ] ~docv:"SHAPE:SINK"
+        ~doc:"Plant a sink flow, e.g. --plant callback:cipher (repeatable).")
+
+let insecure_t =
+  Arg.(
+    value & flag
+    & info [ "insecure" ] ~doc:"Plant insecure parameter values (default secure).")
+
+let make_app ~seed ~size_mb ~plants ~insecure =
+  let plants =
+    List.map
+      (fun (shape, sink) -> { G.shape; sink; insecure })
+      (if plants = [] then [ Shape.Direct, Sinks.cipher ] else plants)
+  in
+  G.generate
+    { G.default_config with
+      G.seed;
+      name = Printf.sprintf "com.cli.app%d" seed;
+      filler_classes =
+        Appgen.Corpus.filler_classes_for_mb ~mb:size_mb ~methods_per_class:6
+          ~stmts_per_method:8;
+      plants }
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let dump_dex =
+    Arg.(value & flag & info [ "dump-dex" ] ~doc:"Print the dexdump plaintext.")
+  in
+  let run seed size_mb plants insecure dump_dex =
+    let app = make_app ~seed ~size_mb ~plants ~insecure in
+    Printf.printf "app %s: %d classes, %d methods, %d stmts, %d dex lines\n"
+      app.G.name
+      (Ir.Program.class_count app.G.program)
+      (Ir.Program.method_count app.G.program)
+      app.G.size_stmts
+      (Dex.Dexfile.line_count app.G.dex);
+    List.iter
+      (fun (p : Appgen.Templates.planted) ->
+         Printf.printf "  planted %s sink (%s) insecure=%b reachable=%b in %s\n"
+           (Sinks.kind_to_string p.sink.Sinks.kind)
+           (Shape.to_string p.shape) p.insecure p.reachable p.sink_class)
+      app.G.planted;
+    if dump_dex then print_string (Dex.Dexfile.to_string app.G.dex)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic app")
+    Term.(const run $ seed_t $ size_t $ shapes_t $ insecure_t $ dump_dex)
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let dump_ssg =
+    Arg.(value & flag & info [ "dump-ssg" ] ~doc:"Print each sink's SSG.")
+  in
+  let subclass_aware =
+    Arg.(
+      value & flag
+      & info [ "subclass-aware" ]
+          ~doc:"Hierarchy-aware initial sink search (fixes the Sec. VI-C FNs).")
+  in
+  let run seed size_mb plants insecure dump_ssg subclass_aware verbose =
+    setup_logs verbose;
+    let app = make_app ~seed ~size_mb ~plants ~insecure in
+    let cfg =
+      { Backdroid.Driver.default_config with
+        Backdroid.Driver.subclass_aware_initial_search = subclass_aware }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Backdroid.Driver.analyze ~cfg ~dex:app.G.dex ~manifest:app.G.manifest () in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "analyzed %s in %.3fs: %d sink calls\n" app.G.name dt
+      r.Backdroid.Driver.stats.Backdroid.Driver.sink_calls;
+    List.iter
+      (fun (rep : Backdroid.Driver.sink_report) ->
+         Printf.printf "  [%s] %s at %s:%d reachable=%b fact=%s\n"
+           (Backdroid.Detectors.verdict_to_string rep.verdict)
+           (Sinks.kind_to_string rep.sink.Sinks.kind)
+           (Ir.Jsig.meth_to_string rep.meth)
+           rep.site rep.reachable
+           (Backdroid.Facts.to_string rep.fact);
+         if dump_ssg then
+           match rep.ssg with
+           | Some ssg -> Fmt.pr "%a" Backdroid.Ssg.pp ssg
+           | None -> ())
+      r.Backdroid.Driver.reports;
+    let s = r.Backdroid.Driver.stats in
+    Printf.printf
+      "stats: %d searches (%.1f%% cached), %d SSG nodes, %d SSG edges, %d loops\n"
+      s.Backdroid.Driver.searches_total
+      (100.0 *. s.Backdroid.Driver.search_cache_rate)
+      s.Backdroid.Driver.ssg_nodes s.Backdroid.Driver.ssg_edges
+      (Backdroid.Loopdetect.total s.Backdroid.Driver.loops)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Run BackDroid on a generated app")
+    Term.(
+      const run $ seed_t $ size_t $ shapes_t $ insecure_t $ dump_ssg
+      $ subclass_aware $ verbose_t)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let timeout_t =
+    Arg.(
+      value & opt float 2.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Baseline timeout (stands in for the paper's 300 minutes).")
+  in
+  let run seed size_mb plants insecure timeout_s =
+    let app = make_app ~seed ~size_mb ~plants ~insecure in
+    let bd, _ = Evalharness.Runner.run_backdroid app in
+    let am, _ = Evalharness.Runner.run_amandroid ~timeout_s app in
+    Printf.printf "%-14s %-10s %-10s %-8s\n" "tool" "time(s)" "insecure" "status";
+    let status (m : Evalharness.Runner.measurement) =
+      if m.timed_out then "TIMEOUT" else if m.errored then "ERROR" else "ok"
+    in
+    List.iter
+      (fun (m : Evalharness.Runner.measurement) ->
+         Printf.printf "%-14s %-10.3f %-10d %-8s\n"
+           (Evalharness.Runner.tool_name m.tool)
+           m.seconds m.insecure (status m))
+      [ bd; am ]
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Run BackDroid and the baseline side by side")
+    Term.(const run $ seed_t $ size_t $ shapes_t $ insecure_t $ timeout_t)
+
+(* --- experiments --- *)
+
+let experiments_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Small corpus and scaled-down app sizes.")
+  in
+  let count_t =
+    Arg.(
+      value & opt (some int) None
+      & info [ "count" ] ~docv:"N" ~doc:"Corpus size (default 144).")
+  in
+  let run quick count =
+    let opts =
+      if quick then
+        { Evalharness.Experiments.default_opts with
+          Evalharness.Experiments.scale = 0.3; count = 30; timeout_s = 0.6;
+          flowdroid_timeout_s = 0.6 }
+      else Evalharness.Experiments.default_opts
+    in
+    let opts =
+      match count with
+      | Some c -> { opts with Evalharness.Experiments.count = c }
+      | None -> opts
+    in
+    Evalharness.Experiments.run_all ~opts ()
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run $ quick $ count_t)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "backdroid" ~version:"1.0.0"
+             ~doc:
+               "Targeted inter-procedural analysis of (synthetic) Android apps \
+                via on-the-fly bytecode search")
+          [ generate_cmd; analyze_cmd; compare_cmd; experiments_cmd ]))

@@ -1,0 +1,1 @@
+examples/async_callbacks.ml: Appgen Backdroid Baseline Framework Ir List Printf

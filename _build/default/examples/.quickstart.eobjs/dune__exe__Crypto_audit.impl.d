@@ -1,0 +1,1 @@
+examples/crypto_audit.ml: Appgen Evalharness Framework List Printf

@@ -1,0 +1,1 @@
+examples/icc_flows.ml: Appgen Backdroid Framework Ir List Printf

@@ -1,0 +1,1 @@
+examples/icc_flows.mli:

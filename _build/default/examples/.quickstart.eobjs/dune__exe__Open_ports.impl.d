@@ -1,0 +1,1 @@
+examples/open_ports.ml: Appgen Backdroid Framework Ir List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Backdroid Builder Dex Expr Fmt Framework Ir Jclass Jsig List Manifest Printf Program Types Value

@@ -1,0 +1,1 @@
+examples/ssl_audit.ml: Appgen Backdroid Fmt Framework List Printf

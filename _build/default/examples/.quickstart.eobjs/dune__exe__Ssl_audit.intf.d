@@ -1,0 +1,1 @@
+examples/ssl_audit.mli:

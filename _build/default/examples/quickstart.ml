@@ -1,0 +1,167 @@
+(* Quickstart: hand-build the paper's running example (the LG TV Plus app of
+   Figs. 3 and 4) with the IR builder, disassemble it, and watch BackDroid's
+   on-the-fly bytecode search walk from the sink back to the entry point.
+
+   The app structure mirrors the paper:
+     NetcastTVService.connect()                       <- entry-reachable
+       j = new NetcastTVService$1(verifier)           <- Runnable
+       Util.runInBackground(j)
+         Util.runInBackground(j, true)
+           executor.execute(j)                        <- ending method
+     NetcastTVService$1.run()
+       server = new NetcastHttpServer(verifier)
+       server.start(verifier)                         <- private method
+     NetcastHttpServer.start(v)
+       factory.setHostnameVerifier(v)                 <- the sink API call
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Ir
+module B = Builder
+module Api = Framework.Api
+module Sinks = Framework.Sinks
+
+let ns = "com.connectsdk.service"
+let server_cls = ns ^ ".netcast.NetcastHttpServer"
+let runnable_cls = ns ^ ".NetcastTVService$1"
+let service_cls = ns ^ ".NetcastTVService"
+let util_cls = "com.connectsdk.core.Util"
+
+let verifier_ty = Api.x509_verifier_t
+
+let plain_ctor ~cls ~super =
+  B.constructor ~cls (fun mb ->
+      B.invoke mb ~base:(B.this mb) ~kind:Expr.Special
+        ~callee:(Jsig.meth ~cls:super ~name:"<init>" ~params:[] ~ret:Types.Void)
+        ~args:[] ())
+
+(* NetcastHttpServer: the private start() method invokes the sink API *)
+let http_server =
+  let fld = Jsig.field ~cls:server_cls ~name:"verifier" ~ty:verifier_ty in
+  Jclass.make server_cls ~fields:[ fld ]
+    ~methods:
+      [ B.constructor ~params:[ verifier_ty ] ~cls:server_cls (fun mb ->
+            B.invoke mb ~base:(B.this mb) ~kind:Expr.Special
+              ~callee:Api.object_init ~args:[] ();
+            B.iput mb (B.this mb) fld (Value.Local (B.param mb 0)));
+        B.method_ ~access:B.private_access ~cls:server_cls ~name:"start"
+          ~params:[] ~ret:Types.Void (fun mb ->
+            let v = B.iget mb (B.this mb) fld in
+            let factory =
+              B.invoke_ret mb ~kind:Expr.Static
+                ~callee:
+                  (Jsig.meth ~cls:"org.apache.http.conn.ssl.SSLSocketFactory"
+                     ~name:"getSocketFactory" ~params:[]
+                     ~ret:Api.ssl_socket_factory_t)
+                ~args:[] ()
+            in
+            B.call_virtual mb ~base:factory ~callee:Api.ssl_set_hostname_verifier
+              ~args:[ Value.Local v ]) ]
+
+(* NetcastTVService$1: the anonymous Runnable of Fig. 4 *)
+let runnable =
+  let fld = Jsig.field ~cls:runnable_cls ~name:"verifier" ~ty:verifier_ty in
+  Jclass.make ~interfaces:[ "java.lang.Runnable" ] runnable_cls ~fields:[ fld ]
+    ~methods:
+      [ B.constructor ~params:[ verifier_ty ] ~cls:runnable_cls (fun mb ->
+            B.invoke mb ~base:(B.this mb) ~kind:Expr.Special
+              ~callee:Api.object_init ~args:[] ();
+            B.iput mb (B.this mb) fld (Value.Local (B.param mb 0)));
+        B.method_ ~cls:runnable_cls ~name:"run" ~params:[] ~ret:Types.Void
+          (fun mb ->
+            let v = B.iget mb (B.this mb) fld in
+            let server =
+              B.new_obj mb server_cls ~ctor_params:[ verifier_ty ]
+                ~args:[ Value.Local v ]
+            in
+            B.invoke mb ~base:server ~kind:Expr.Special
+              ~callee:
+                (Jsig.meth ~cls:server_cls ~name:"start" ~params:[]
+                   ~ret:Types.Void)
+              ~args:[] ()) ]
+
+(* Util: the runInBackground chain that ends in Executor.execute *)
+let run_bg1 =
+  Jsig.meth ~cls:util_cls ~name:"runInBackground" ~params:[ Api.runnable_t ]
+    ~ret:Types.Void
+
+let run_bg2 =
+  Jsig.meth ~cls:util_cls ~name:"runInBackground"
+    ~params:[ Api.runnable_t; Types.Boolean ] ~ret:Types.Void
+
+let util =
+  Jclass.make util_cls
+    ~methods:
+      [ B.method_ ~access:B.static_access ~cls:util_cls ~name:"runInBackground"
+          ~params:[ Api.runnable_t ] ~ret:Types.Void (fun mb ->
+            B.call_static mb ~callee:run_bg2
+              ~args:[ Value.Local (B.param mb 0); Value.Const (Value.Int_c 1) ]);
+        B.method_ ~access:B.static_access ~cls:util_cls ~name:"runInBackground"
+          ~params:[ Api.runnable_t; Types.Boolean ] ~ret:Types.Void (fun mb ->
+            let ex =
+              B.invoke_ret mb ~kind:Expr.Static ~callee:Api.executors_new_single
+                ~args:[] ()
+            in
+            B.call_interface mb ~base:ex ~callee:Api.executor_execute
+              ~args:[ Value.Local (B.param mb 0) ]) ]
+
+(* NetcastTVService: an Activity whose onCreate calls connect() *)
+let service =
+  Jclass.make ~super:(Some "android.app.Activity") service_cls
+    ~methods:
+      [ plain_ctor ~cls:service_cls ~super:"android.app.Activity";
+        B.method_ ~cls:service_cls ~name:"onCreate" ~params:[ Api.bundle_t ]
+          ~ret:Types.Void (fun mb ->
+            B.invoke mb ~base:(B.this mb) ~kind:Expr.Virtual
+              ~callee:
+                (Jsig.meth ~cls:service_cls ~name:"connect" ~params:[]
+                   ~ret:Types.Void)
+              ~args:[] ());
+        B.method_ ~cls:service_cls ~name:"connect" ~params:[] ~ret:Types.Void
+          (fun mb ->
+            let v = B.sget mb Api.allow_all_hostname_verifier in
+            let j =
+              B.new_obj mb runnable_cls ~ctor_params:[ verifier_ty ]
+                ~args:[ Value.Local v ]
+            in
+            B.call_static mb ~callee:run_bg1 ~args:[ Value.Local j ]) ]
+
+let () =
+  let program =
+    Program.of_classes
+      (Framework.Stubs.classes () @ [ http_server; runnable; util; service ])
+  in
+  let manifest =
+    Manifest.App_manifest.make ~package:"com.lge.app1"
+      ~components:
+        [ Manifest.Component.make ~kind:Manifest.Component.Activity service_cls ]
+  in
+  let dex = Dex.Dexfile.of_program program in
+  Printf.printf "== disassembled app: %d dexdump lines ==\n\n"
+    (Dex.Dexfile.line_count dex);
+
+  (* show the two signature translations of Fig. 3 *)
+  let start_sig =
+    Jsig.meth ~cls:server_cls ~name:"start" ~params:[] ~ret:Types.Void
+  in
+  Printf.printf "Soot format   : %s\n" (Jsig.meth_to_string start_sig);
+  Printf.printf "dexdump format: %s\n\n" (Backdroid.Sigformat.to_dex_meth start_sig);
+
+  (* run the full pipeline *)
+  let r = Backdroid.Driver.analyze ~dex ~manifest () in
+  List.iter
+    (fun (rep : Backdroid.Driver.sink_report) ->
+       Printf.printf "sink %s at %s:%d\n"
+         (Sinks.kind_to_string rep.sink.Sinks.kind)
+         (Jsig.meth_to_string rep.meth) rep.site;
+       Printf.printf "  reachable : %b\n" rep.reachable;
+       Printf.printf "  dataflow  : %s\n" (Backdroid.Facts.to_string rep.fact);
+       Printf.printf "  verdict   : %s\n\n"
+         (Backdroid.Detectors.verdict_to_string rep.verdict);
+       match rep.ssg with
+       | Some ssg -> Fmt.pr "%a@." Backdroid.Ssg.pp ssg
+       | None -> ())
+    r.Backdroid.Driver.reports;
+  let s = r.Backdroid.Driver.stats in
+  Printf.printf "searches: %d (%.0f%% cached)\n" s.Backdroid.Driver.searches_total
+    (100.0 *. s.Backdroid.Driver.search_cache_rate)

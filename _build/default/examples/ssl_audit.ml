@@ -1,0 +1,79 @@
+(* SSL audit: detect insecure hostname verification, including the Fig. 6
+   style SSG with an off-path static initializer track, and demonstrate the
+   hierarchy-aware initial search fixing the paper's two false negatives.
+
+   Run with: dune exec examples/ssl_audit.exe *)
+
+module G = Appgen.Generator
+module Shape = Appgen.Shape
+module Sinks = Framework.Sinks
+module Driver = Backdroid.Driver
+
+let analyze ?(subclass_aware = false) app =
+  let cfg =
+    { Driver.default_config with
+      Driver.subclass_aware_initial_search = subclass_aware }
+  in
+  Driver.analyze ~cfg ~dex:app.G.dex ~manifest:app.G.manifest ()
+
+let () =
+  (* 1. a clinit-field flow: the verifier choice lives in a static field set
+     by an off-path <clinit>, like the MP3LocalServer.PORT track of Fig. 6 *)
+  let app =
+    G.generate
+      { G.default_config with
+        G.seed = 7;
+        name = "com.studiosol.palcomp3.sim";
+        filler_classes = 6;
+        plants =
+          [ { G.shape = Shape.Clinit_field; sink = Sinks.cipher; insecure = true } ] }
+  in
+  let r = analyze app in
+  print_endline "== Fig. 6-style SSG (off-path static initializer track) ==";
+  List.iter
+    (fun (rep : Driver.sink_report) ->
+       match rep.ssg with
+       | Some ssg when rep.reachable -> Fmt.pr "%a@." Backdroid.Ssg.pp ssg
+       | _ -> ())
+    r.Driver.reports;
+
+  (* 2. the subclassed-sink false negative and its fix *)
+  let fn_app =
+    G.generate
+      { G.default_config with
+        G.seed = 8;
+        name = "com.gta.nslm2.sim";
+        filler_classes = 6;
+        plants =
+          [ { G.shape = Shape.Subclassed_sink; sink = Sinks.ssl_factory;
+              insecure = true } ] }
+  in
+  print_endline "== the Sec. VI-C false negative (DefaultSSLSocketFactory) ==";
+  let default_run = analyze fn_app in
+  Printf.printf "default initial search : %d sink calls found (paper: miss)\n"
+    (List.length default_run.Driver.reports);
+  let fixed_run = analyze ~subclass_aware:true fn_app in
+  Printf.printf "hierarchy-aware search : %d sink calls found, %d insecure\n"
+    (List.length fixed_run.Driver.reports)
+    (List.length (Driver.insecure_reports fixed_run));
+
+  (* 3. an allow-all verifier reached through a callback *)
+  let cb_app =
+    G.generate
+      { G.default_config with
+        G.seed = 9;
+        name = "com.audit.sslcb";
+        filler_classes = 6;
+        plants =
+          [ { G.shape = Shape.Callback; sink = Sinks.ssl_factory; insecure = true };
+            { G.shape = Shape.Callback; sink = Sinks.https_conn; insecure = false } ] }
+  in
+  print_endline "\n== callback-registered verifiers ==";
+  let r = analyze cb_app in
+  List.iter
+    (fun (rep : Driver.sink_report) ->
+       Printf.printf "%-12s fact=%-45s verdict=%s\n"
+         (Sinks.kind_to_string rep.sink.Sinks.kind)
+         (Backdroid.Facts.to_string rep.fact)
+         (Backdroid.Detectors.verdict_to_string rep.verdict))
+    r.Driver.reports

@@ -1,0 +1,1 @@
+lib/appgen/corpus.ml: Float Framework Generator List Printf Rng Shape

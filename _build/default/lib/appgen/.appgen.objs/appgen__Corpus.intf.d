@@ -1,0 +1,1 @@
+lib/appgen/corpus.mli: Framework Generator Rng Shape

@@ -1,0 +1,1 @@
+lib/appgen/filler.ml: Builder Expr Ir Jclass Jsig List Manifest Printf Rng Stmt Types Value

@@ -1,0 +1,1 @@
+lib/appgen/filler.mli: Ir Manifest Rng

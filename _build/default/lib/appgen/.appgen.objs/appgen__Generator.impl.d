@@ -1,0 +1,1 @@
+lib/appgen/generator.ml: Buffer Char Dex Filler Framework Ir List Manifest Printf Rng Shape String Templates

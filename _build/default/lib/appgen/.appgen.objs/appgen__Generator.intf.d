@@ -1,0 +1,1 @@
+lib/appgen/generator.mli: Dex Framework Ir Manifest Shape Templates

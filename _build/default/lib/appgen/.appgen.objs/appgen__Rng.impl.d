@@ -1,0 +1,1 @@
+lib/appgen/rng.ml: Int64 List

@@ -1,0 +1,1 @@
+lib/appgen/shape.mli:

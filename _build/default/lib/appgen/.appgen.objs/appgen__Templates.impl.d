@@ -1,0 +1,1 @@
+lib/appgen/templates.ml: Builder Expr Framework Ir Jclass Jmethod Jsig List Manifest Option Printf Rng Shape String Types Value

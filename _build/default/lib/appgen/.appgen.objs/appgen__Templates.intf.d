@@ -1,0 +1,1 @@
+lib/appgen/templates.mli: Framework Ir Manifest Rng Shape

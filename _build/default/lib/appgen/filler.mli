@@ -1,0 +1,42 @@
+(** Filler code: the bulk of a synthetic app.  A web of classes reachable
+    from an entry activity, with arithmetic bodies, static call chains and
+    virtual dispatch through a common base class (which fans out under CHA
+    exactly the way real app hierarchies make whole-app analysis expensive),
+    while containing no sink APIs — so a targeted analysis can skip all of
+    it. *)
+
+module B = Ir.Builder
+module Component = Manifest.Component
+val base_cls : string -> string
+val impl_cls : string -> int -> string
+val meth_sig : string -> int -> int -> Ir.Jsig.meth
+val step_sig : string -> Ir.Jsig.meth
+
+(** Arithmetic filler statements over an int seed local; returns the last
+    defined local. *)
+val arith_block :
+  Rng.t ->
+  B.mb -> n:int -> seed_local:Ir.Value.local -> Ir.Value.local
+val plain_ctor : cls:string -> super:string -> Ir.Jmethod.t
+
+(** Generate the filler class web.  Call edges go from class [i] to classes
+    [> i] (static calls), plus virtual [step] dispatch through the base type,
+    which CHA resolves to every override.  [dispatch_p] is the fraction of
+    methods containing such a dispatch site — the knob that makes whole-app
+    analysis expensive on "framework-heavy" apps while leaving the targeted
+    analysis untouched. *)
+val classes :
+  ?dispatch_p:float ->
+  ?fanout_max:int ->
+  ?jump_locality:int ->
+  Rng.t ->
+  ns:string ->
+  n_classes:int ->
+  methods_per_class:int -> stmts_per_method:int -> Ir.Jclass.t list
+
+(** The activity that roots the filler web, making it reachable from entry
+    points (whole-app analyses must therefore traverse it). *)
+val root_activity :
+  Rng.t ->
+  ns:string ->
+  n_classes:int -> methods_per_class:int -> Ir.Jclass.t * Component.t

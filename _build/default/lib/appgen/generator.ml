@@ -1,0 +1,152 @@
+(** The synthetic app generator: assembles framework stubs, filler code and
+    planted sink flows into a complete app (program + manifest + disassembled
+    dex + ground truth). *)
+
+module Sinks = Framework.Sinks
+
+type plant_spec = {
+  shape : Shape.t;
+  sink : Sinks.t;
+  insecure : bool;
+}
+
+type config = {
+  seed : int;
+  name : string;
+  filler_classes : int;
+  filler_methods_per_class : int;
+  filler_stmts_per_method : int;
+  filler_dispatch_p : float;
+      (** fraction of filler methods containing a virtual-dispatch site *)
+  filler_fanout_max : int;
+      (** maximum static-call fan-out per filler method; higher values make
+          the app's calling-context space explode for whole-app analyses *)
+  filler_jump_locality : int;
+      (** 0 = calls jump anywhere forward (shallow chains); k>0 = calls stay
+          within the next k classes (chains as deep as the class count) *)
+  plants : plant_spec list;
+  multidex : bool;
+}
+
+let default_config =
+  { seed = 1;
+    name = "com.example.app";
+    filler_classes = 10;
+    filler_methods_per_class = 6;
+    filler_stmts_per_method = 8;
+    filler_dispatch_p = 0.25;
+    filler_fanout_max = 3;
+    filler_jump_locality = 0;
+    plants = [];
+    multidex = false }
+
+type app = {
+  name : string;
+  config : config;
+  program : Ir.Program.t;
+  manifest : Manifest.App_manifest.t;
+  dex : Dex.Dexfile.t;
+  planted : Templates.planted list;
+  size_stmts : int;
+}
+
+(** Sanitise an app name into a Java package fragment. *)
+let package_of_name name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+       if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '.' then
+         Buffer.add_char b c
+       else if c >= 'A' && c <= 'Z' then Buffer.add_char b (Char.lowercase_ascii c)
+       else Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let generate (cfg : config) =
+  let rng = Rng.create cfg.seed in
+  let pkg = package_of_name cfg.name in
+  (* shared-util plants form one group behind a common hub class; all other
+     plants live in their own sub-namespace *)
+  let shared, solo =
+    List.partition (fun (p : plant_spec) -> p.shape = Shape.Shared_util)
+      cfg.plants
+  in
+  let plant_results =
+    List.mapi
+      (fun i (p : plant_spec) ->
+         let ctx =
+           { Templates.ns = Printf.sprintf "%s.s%d" pkg i; rng = Rng.split rng }
+         in
+         Templates.plant ctx p.shape ~sink:p.sink ~insecure:p.insecure)
+      solo
+  in
+  let shared_classes, shared_components, shared_planted =
+    match shared with
+    | [] -> [], [], []
+    | first :: _ ->
+      let ctx = { Templates.ns = pkg ^ ".sh"; rng = Rng.split rng } in
+      (* the whole group shares the first member's sink and security flag *)
+      Templates.plant_shared_group ctx ~sink:first.sink ~insecure:first.insecure
+        ~count:(List.length shared)
+  in
+  (* filler web + its root activity *)
+  let filler_rng = Rng.split rng in
+  let filler_classes =
+    Filler.classes ~dispatch_p:cfg.filler_dispatch_p
+      ~fanout_max:cfg.filler_fanout_max
+      ~jump_locality:cfg.filler_jump_locality filler_rng ~ns:pkg
+      ~n_classes:cfg.filler_classes
+      ~methods_per_class:cfg.filler_methods_per_class
+      ~stmts_per_method:cfg.filler_stmts_per_method
+  in
+  let filler_act, filler_comp =
+    Filler.root_activity filler_rng ~ns:pkg ~n_classes:cfg.filler_classes
+      ~methods_per_class:cfg.filler_methods_per_class
+  in
+  let classes =
+    Framework.Stubs.classes ()
+    @ (filler_act :: filler_classes)
+    @ shared_classes
+    @ List.concat_map (fun (r : Templates.result) -> r.classes) plant_results
+  in
+  let program = Ir.Program.of_classes classes in
+  let components =
+    (filler_comp :: shared_components)
+    @ List.concat_map (fun (r : Templates.result) -> r.components) plant_results
+  in
+  let manifest = Manifest.App_manifest.make ~package:pkg ~components in
+  let dex =
+    if cfg.multidex then begin
+      (* split app classes into classes.dex / classes2.dex style partitions *)
+      let app_names =
+        List.filter_map
+          (fun (c : Ir.Jclass.t) -> if c.is_system then None else Some c.name)
+          classes
+      in
+      let rec chunk xs =
+        match xs with
+        | [] -> []
+        | _ ->
+          let n = min 50 (List.length xs) in
+          let part = List.filteri (fun i _ -> i < n) xs in
+          let rest = List.filteri (fun i _ -> i >= n) xs in
+          part :: chunk rest
+      in
+      Dex.Dexfile.of_partitions program (chunk app_names)
+    end
+    else Dex.Dexfile.of_program program
+  in
+  { name = cfg.name;
+    config = cfg;
+    program;
+    manifest;
+    dex;
+    planted =
+      shared_planted
+      @ List.map (fun (r : Templates.result) -> r.planted) plant_results;
+    size_stmts = Ir.Program.code_size program }
+
+(** Approximate on-disk size in "MB" for reporting, from our calibration of
+    statements per megabyte (see {!Corpus.stmts_per_mb}). *)
+let size_mb ~stmts_per_mb app =
+  float_of_int app.size_stmts /. float_of_int stmts_per_mb

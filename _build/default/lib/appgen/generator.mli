@@ -1,0 +1,40 @@
+(** The synthetic app generator: assembles framework stubs, filler code and
+    planted sink flows into a complete app (program + manifest + disassembled
+    dex + ground truth). *)
+
+module Sinks = Framework.Sinks
+type plant_spec = {
+  shape : Shape.t;
+  sink : Sinks.t;
+  insecure : bool;
+}
+type config = {
+  seed : int;
+  name : string;
+  filler_classes : int;
+  filler_methods_per_class : int;
+  filler_stmts_per_method : int;
+  filler_dispatch_p : float;
+  filler_fanout_max : int;
+  filler_jump_locality : int;
+  plants : plant_spec list;
+  multidex : bool;
+}
+val default_config : config
+type app = {
+  name : string;
+  config : config;
+  program : Ir.Program.t;
+  manifest : Manifest.App_manifest.t;
+  dex : Dex.Dexfile.t;
+  planted : Templates.planted list;
+  size_stmts : int;
+}
+
+(** Sanitise an app name into a Java package fragment. *)
+val package_of_name : string -> string
+val generate : config -> app
+
+(** Approximate on-disk size in "MB" for reporting, from our calibration of
+    statements per megabyte (see {!Corpus.stmts_per_mb}). *)
+val size_mb : stmts_per_mb:int -> app -> float

@@ -1,0 +1,37 @@
+(** Deterministic splitmix64 RNG, so every corpus is reproducible from its
+    seed without touching the global [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0
+
+let bool t p = float t < p
+
+(** Pick a uniformly random element of a non-empty list. *)
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(** Split off an independent generator (for per-app determinism inside a
+    corpus). *)
+let split t = create (Int64.to_int (next_int64 t))

@@ -1,0 +1,20 @@
+(** Deterministic splitmix64 RNG, so every corpus is reproducible from its
+    seed without touching the global [Random] state. *)
+
+type t = { mutable state : int64; }
+val create : int -> t
+val next_int64 : t -> int64
+
+(** Uniform int in [0, bound). *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+val bool : t -> float -> bool
+
+(** Pick a uniformly random element of a non-empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** Split off an independent generator (for per-app determinism inside a
+    corpus). *)
+val split : t -> t

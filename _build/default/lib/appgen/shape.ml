@@ -1,0 +1,83 @@
+(** Code shapes a planted sink flow can take.  Each shape stresses one of the
+    bytecode-search mechanisms of Sec. IV, or one documented weakness of the
+    whole-app baseline (Sec. VI-C). *)
+
+type t =
+  | Direct            (** entry → private method → static chain → sink *)
+  | Static_chain      (** entry → static methods only → sink *)
+  | Child_class       (** callee invoked through a non-overloading child class *)
+  | Super_class       (** callee invoked through its super-class type *)
+  | Interface_dispatch  (** callee invoked through an app interface *)
+  | Callback          (** View.setOnClickListener → onClick *)
+  | Async_thread      (** new Thread(runnable).start() → run() *)
+  | Async_executor    (** Executor.execute(runnable) → run(), via util chain *)
+  | Async_task        (** AsyncTask.execute() → doInBackground() *)
+  | Static_init       (** sink under a <clinit>; recursive class-use search *)
+  | Clinit_field      (** sink param from a static field set in an off-path <clinit> *)
+  | Icc_explicit      (** startService(new Intent(ctx, C.class)) → onStartCommand *)
+  | Icc_implicit      (** sendBroadcast(action) → matching receiver's onReceive *)
+  | Lifecycle_field   (** value set in onCreate, used in onResume *)
+  | Dead_code         (** sink in a never-invoked method — must NOT be reported *)
+  | Unregistered_component
+      (** sink only reachable from a component absent from the manifest —
+          must NOT be reported (Amandroid FP class) *)
+  | Skipped_lib       (** sink inside a package on Amandroid's liblist *)
+  | Subclassed_sink
+      (** sink API invoked via an app subclass of the sink's system class —
+          BackDroid's documented FN unless the hierarchy-aware initial search
+          is enabled *)
+  | Recursive_chain
+      (** mutually recursive methods on the path to the sink — exercises the
+          dead-method-loop detection of Sec. IV-F *)
+  | Shared_util
+      (** several sink calls behind one shared utility class, so different
+          sinks re-explore the same backward paths — exercises the
+          search-command cache of Sec. IV-F *)
+  | Reflective_sink
+      (** the sink's containing method is only invoked through Java
+          reflection — missed unless reflection resolution is enabled
+          (Sec. VII) *)
+  | Builder_spec
+      (** the cipher transformation string is assembled with a StringBuilder
+          — resolved only through the API models of Sec. V-B *)
+
+let all =
+  [ Direct; Static_chain; Child_class; Super_class; Interface_dispatch;
+    Callback; Async_thread; Async_executor; Async_task; Static_init;
+    Clinit_field; Icc_explicit; Icc_implicit; Lifecycle_field; Dead_code;
+    Unregistered_component; Skipped_lib; Subclassed_sink; Recursive_chain;
+    Shared_util; Reflective_sink; Builder_spec ]
+
+let to_string = function
+  | Direct -> "direct"
+  | Static_chain -> "static-chain"
+  | Child_class -> "child-class"
+  | Super_class -> "super-class"
+  | Interface_dispatch -> "interface"
+  | Callback -> "callback"
+  | Async_thread -> "async-thread"
+  | Async_executor -> "async-executor"
+  | Async_task -> "async-task"
+  | Static_init -> "static-init"
+  | Clinit_field -> "clinit-field"
+  | Icc_explicit -> "icc-explicit"
+  | Icc_implicit -> "icc-implicit"
+  | Lifecycle_field -> "lifecycle-field"
+  | Dead_code -> "dead-code"
+  | Unregistered_component -> "unregistered-component"
+  | Skipped_lib -> "skipped-lib"
+  | Subclassed_sink -> "subclassed-sink"
+  | Recursive_chain -> "recursive-chain"
+  | Shared_util -> "shared-util"
+  | Reflective_sink -> "reflective-sink"
+  | Builder_spec -> "builder-spec"
+
+(** Is a flow of this shape actually reachable from a registered entry
+    point?  (Ground truth for detection scoring.) *)
+let reachable = function
+  | Dead_code | Unregistered_component -> false
+  | Direct | Static_chain | Child_class | Super_class | Interface_dispatch
+  | Callback | Async_thread | Async_executor | Async_task | Static_init
+  | Clinit_field | Icc_explicit | Icc_implicit | Lifecycle_field
+  | Skipped_lib | Subclassed_sink | Recursive_chain | Shared_util
+  | Reflective_sink | Builder_spec -> true

@@ -1,0 +1,36 @@
+(** Code shapes a planted sink flow can take.  Each shape stresses one of the
+    bytecode-search mechanisms of Sec. IV, or one documented weakness of the
+    whole-app baseline (Sec. VI-C). *)
+
+type t =
+    Direct
+  | Static_chain
+  | Child_class
+  | Super_class
+  | Interface_dispatch
+  | Callback
+  | Async_thread
+  | Async_executor
+  | Async_task
+  | Static_init
+  | Clinit_field
+  | Icc_explicit
+  | Icc_implicit
+  | Lifecycle_field
+  | Dead_code
+  | Unregistered_component
+  | Skipped_lib
+  | Subclassed_sink
+  | Recursive_chain
+  | Shared_util
+  | Reflective_sink
+  | Builder_spec
+
+(** the cipher transformation string is assembled with a StringBuilder
+          — resolved only through the API models of Sec. V-B *)
+val all : t list
+val to_string : t -> string
+
+(** Is a flow of this shape actually reachable from a registered entry
+    point?  (Ground truth for detection scoring.) *)
+val reachable : t -> bool

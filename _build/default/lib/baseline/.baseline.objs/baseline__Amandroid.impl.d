@@ -1,0 +1,1 @@
+lib/baseline/amandroid.ml: Array Backdroid Callgraph Cha Expr Framework Hashtbl Int64 Ir Jclass Jmethod Jsig Liblist List Manifest Option Program Stmt String Types Unix Value

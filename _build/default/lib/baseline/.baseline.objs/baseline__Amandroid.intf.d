@@ -1,0 +1,1 @@
+lib/baseline/amandroid.mli: Backdroid Callgraph Framework Ir Manifest

@@ -1,0 +1,1 @@
+lib/baseline/callgraph.ml: Array Cha Expr Framework Hashtbl Ir Jclass Jmethod Jsig Liblist List Manifest Option Program Queue Stmt String Types Unix Value

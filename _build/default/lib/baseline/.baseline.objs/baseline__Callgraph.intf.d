@@ -1,0 +1,1 @@
+lib/baseline/callgraph.mli: Framework Hashtbl Ir Manifest

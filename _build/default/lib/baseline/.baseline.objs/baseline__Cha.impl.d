@@ -1,0 +1,1 @@
+lib/baseline/cha.ml: Expr Ir Jclass Jmethod Jsig List Program

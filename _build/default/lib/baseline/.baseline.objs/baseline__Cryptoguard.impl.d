@@ -1,0 +1,1 @@
+lib/baseline/cryptoguard.ml: Array Backdroid Expr Framework Hashtbl Int64 Ir Jclass Jmethod Jsig List Option Program Stmt Value

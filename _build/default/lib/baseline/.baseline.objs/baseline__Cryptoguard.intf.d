@@ -1,0 +1,1 @@
+lib/baseline/cryptoguard.mli: Backdroid Framework Ir

@@ -1,0 +1,1 @@
+lib/baseline/flowdroid_cg.ml: Array Callgraph Cha Expr Hashtbl Ir Jmethod Jsig List Option Program Queue Stmt String Unix

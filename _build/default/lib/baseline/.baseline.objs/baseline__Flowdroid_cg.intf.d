@@ -1,0 +1,1 @@
+lib/baseline/flowdroid_cg.mli: Ir Manifest

@@ -1,0 +1,1 @@
+lib/baseline/liblist.ml: List String

@@ -1,0 +1,439 @@
+(** The Amandroid-style baseline: whole-app inter-procedural dataflow
+    analysis.  It first constructs the whole-app call graph from all entry
+    points, then runs a context-sensitive forward constant / points-to
+    analysis over every reachable method (memoised per method and abstract
+    calling context), evaluating the parameters of every sink API call it
+    executes.
+
+    The documented behaviours of the real tool are reproduced through
+    {!Callgraph.config}: liblist package skipping, the missing
+    Executor/AsyncTask/onClick edges, unregistered components treated as
+    entries (false positives), plus a per-app simulated "occasional internal
+    error" knob standing in for the "Could not find procedure" / "key not
+    found" failures of Sec. VI-C (see DESIGN.md). *)
+
+open Ir
+module Facts = Backdroid.Facts
+module Api_model = Backdroid.Api_model
+module Detectors = Backdroid.Detectors
+module Sinks = Framework.Sinks
+
+exception Timeout = Callgraph.Timeout
+exception Internal_error of string
+
+type config = {
+  cg : Callgraph.config;
+  sinks : Sinks.t list;
+  error_rate : float;
+      (** fraction of apps failing with a simulated internal error *)
+  max_inline_depth : int;
+  context_widening : int;
+      (** distinct calling contexts interpreted per method before the
+          analysis widens that method to unknown arguments (the k-limiting /
+          widening every context-sensitive dataflow engine applies) *)
+  deadline : float option;
+}
+
+let default_config =
+  { cg = Callgraph.amandroid_config;
+    sinks = Sinks.primary;
+    error_rate = 0.0;
+    max_inline_depth = 64;
+    context_widening = 256;
+    deadline = None }
+
+type finding = {
+  sink : Sinks.t;
+  meth : Jsig.meth;
+  site : int;
+  fact : Facts.t;
+  verdict : Detectors.verdict;
+}
+
+type outcome =
+  | Completed of finding list
+  | Timed_out
+  | Errored of string
+
+type result = {
+  outcome : outcome;
+  cg_methods : int;
+  cg_edges : int;
+  contexts : int;
+}
+
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  program : Program.t;
+  manifest : Manifest.App_manifest.t;
+  cfg : config;
+  statics : (string, Facts.t) Hashtbl.t;
+  memo : (string, Facts.t) Hashtbl.t;    (** (meth, args-context) -> return *)
+  in_progress : (string, unit) Hashtbl.t;
+  ctx_count : (string, int) Hashtbl.t;   (** per-method context counter *)
+  mutable findings : finding list;
+  mutable contexts : int;
+  mutable steps : int;
+}
+
+let check_deadline ctx =
+  ctx.steps <- ctx.steps + 1;
+  if ctx.steps land 1023 = 0 then
+    match ctx.cfg.deadline with
+    | Some d when Unix.gettimeofday () > d -> raise Timeout
+    | Some _ | None -> ()
+
+let lookup env id = Option.value ~default:Facts.Unknown (Hashtbl.find_opt env id)
+
+let value_fact env = function
+  | Value.Local l -> lookup env l.Value.id
+  | Value.Const (Value.Str_c s) -> Facts.Const_str s
+  | Value.Const (Value.Int_c i) -> Facts.Const_int i
+  | Value.Const (Value.Long_c i) -> Facts.Const_int (Int64.to_int i)
+  | Value.Const (Value.Class_c c) -> Facts.Const_str c
+  | Value.Const (Value.Null | Value.Float_c _ | Value.Double_c _) ->
+    Facts.Unknown
+
+(** Context key: the method plus a bounded rendering of the argument facts —
+    the unit of the whole-app analysis's context sensitivity (and of its
+    cost). *)
+let context_key (m : Jsig.meth) this_fact args =
+  let part f =
+    let s = Facts.to_string f in
+    if String.length s <= 64 then s else String.sub s 0 64
+  in
+  Jsig.meth_to_string m ^ "|" ^ part this_fact ^ "|"
+  ^ String.concat "," (List.map part args)
+
+let is_system ctx cls =
+  match Program.find_class ctx.program cls with
+  | Some c -> c.Jclass.is_system
+  | None -> true
+
+let thread_runnable_key = "<thread-runnable>"
+
+let rec eval_method ctx ~depth ~meth ~this_fact ~arg_facts =
+  (* widening: past the per-method context budget, fall back to the
+     unknown-arguments summary instead of interpreting yet another context *)
+  let mkey = Jsig.meth_to_string meth in
+  let seen = Option.value ~default:0 (Hashtbl.find_opt ctx.ctx_count mkey) in
+  let this_fact, arg_facts =
+    if seen >= ctx.cfg.context_widening then
+      Facts.Unknown, List.map (fun _ -> Facts.Unknown) arg_facts
+    else this_fact, arg_facts
+  in
+  let key = context_key meth this_fact arg_facts in
+  match Hashtbl.find_opt ctx.memo key with
+  | Some r -> r
+  | None ->
+    if Hashtbl.mem ctx.in_progress key then Facts.Unknown
+    else begin
+      Hashtbl.replace ctx.in_progress key ();
+      ctx.contexts <- ctx.contexts + 1;
+      Hashtbl.replace ctx.ctx_count mkey (seen + 1);
+      let r = eval_body ctx ~depth ~meth ~this_fact ~arg_facts in
+      Hashtbl.remove ctx.in_progress key;
+      Hashtbl.replace ctx.memo key r;
+      r
+    end
+
+and eval_body ctx ~depth ~meth ~this_fact ~arg_facts =
+  match Program.find_method ctx.program meth with
+  | None | Some { Jmethod.body = None; _ } -> Facts.Unknown
+  | Some m ->
+    let body = Option.get m.Jmethod.body in
+    let env = Hashtbl.create 16 in
+    let ret = ref Facts.Unknown in
+    let n = Array.length body in
+    let i = ref 0 in
+    while !i < n do
+      check_deadline ctx;
+      (match body.(!i) with
+       | Stmt.Assign (l, e) ->
+         Hashtbl.replace env l.Value.id
+           (eval_expr ctx ~depth ~env ~this_fact ~arg_facts ~meth ~site:!i e)
+       | Stmt.Instance_put (o, f, v) ->
+         (match lookup env o.Value.id with
+          | Facts.New_obj obj ->
+            Hashtbl.replace obj.members (Jsig.field_to_string f)
+              (value_fact env v)
+          | _ -> ())
+       | Stmt.Static_put (f, v) ->
+         Hashtbl.replace ctx.statics (Jsig.field_to_string f) (value_fact env v)
+       | Stmt.Array_put (a, idx, v) ->
+         (match lookup env a.Value.id, value_fact env idx with
+          | Facts.Arr arr, Facts.Const_int k ->
+            Hashtbl.replace arr.cells k (value_fact env v)
+          | _, _ -> ())
+       | Stmt.Invoke iv ->
+         ignore (eval_invoke ctx ~depth ~env ~meth ~site:!i iv)
+       | Stmt.Return v ->
+         (match v with Some v -> ret := value_fact env v | None -> ());
+         i := n
+       | Stmt.If _ | Stmt.Goto _ | Stmt.Throw _ | Stmt.Nop -> ());
+      incr i
+    done;
+    !ret
+
+and eval_expr ctx ~depth ~env ~this_fact ~arg_facts ~meth ~site (e : Expr.t) =
+  match e with
+  | Expr.Imm v -> value_fact env v
+  | Expr.Binop (op, a, b) ->
+    Api_model.binop op (value_fact env a) (value_fact env b)
+  | Expr.Cast (_, v) -> value_fact env v
+  | Expr.New c -> Facts.new_obj c
+  | Expr.New_array (t, _) -> Facts.new_arr t
+  | Expr.Array_get (a, idx) ->
+    (match lookup env a.Value.id, value_fact env idx with
+     | Facts.Arr arr, Facts.Const_int k ->
+       Option.value ~default:Facts.Unknown (Hashtbl.find_opt arr.cells k)
+     | _, _ -> Facts.Unknown)
+  | Expr.Instance_get (o, f) ->
+    (match lookup env o.Value.id with
+     | Facts.New_obj obj ->
+       Option.value ~default:Facts.Unknown
+         (Hashtbl.find_opt obj.members (Jsig.field_to_string f))
+     | _ -> Facts.Unknown)
+  | Expr.Static_get f ->
+    (match Hashtbl.find_opt ctx.statics (Jsig.field_to_string f) with
+     | Some fact -> fact
+     | None ->
+       (* make sure the initializer has been interpreted *)
+       (match Program.find_class ctx.program f.Jsig.fcls with
+        | Some c when not c.Jclass.is_system ->
+          (match Jclass.clinit c with
+           | Some cm ->
+             ignore
+               (eval_method ctx ~depth:(depth + 1) ~meth:cm.Jmethod.msig
+                  ~this_fact:Facts.Unknown ~arg_facts:[]);
+             Option.value ~default:(Facts.Static_ref f)
+               (Hashtbl.find_opt ctx.statics (Jsig.field_to_string f))
+           | None -> Facts.Static_ref f)
+        | Some _ | None -> Facts.Static_ref f))
+  | Expr.Phi ls ->
+    List.fold_left (fun acc l -> Facts.join acc (lookup env l.Value.id))
+      Facts.Unknown ls
+  | Expr.Param i ->
+    (match List.nth_opt arg_facts i with
+     | Some f -> f
+     | None -> Facts.Framework_input)
+  | Expr.This -> this_fact
+  | Expr.Caught_exception -> Facts.Unknown
+  | Expr.Length _ -> Facts.Unknown
+  | Expr.Invoke iv -> eval_invoke ctx ~depth ~env ~meth ~site iv
+
+and eval_invoke ctx ~depth ~env ~meth ~site (iv : Expr.invoke) =
+  check_deadline ctx;
+  let recv = Option.map (fun b -> lookup env b.Value.id) iv.base in
+  let args = List.map (value_fact env) iv.args in
+  (* sink detection: direct signature match, or CHA resolution through the
+     hierarchy (an invocation via an app subclass of the sink class still
+     reaches the framework method) *)
+  let sink_match =
+    match Sinks.find_by_msig ctx.cfg.sinks iv.callee with
+    | Some s -> Some s
+    | None ->
+      List.find_opt
+        (fun (s : Sinks.t) ->
+           String.equal (Jsig.sub_signature s.msig) (Jsig.sub_signature iv.callee)
+           && Program.is_subclass_of ctx.program ~sub:iv.callee.Jsig.cls
+                ~super:s.msig.Jsig.cls)
+        ctx.cfg.sinks
+  in
+  (match sink_match with
+   | Some sink ->
+     let fact =
+       Option.value ~default:Facts.Unknown
+         (List.nth_opt args sink.Sinks.param_index)
+     in
+     let verdict = Detectors.classify ctx.program sink fact in
+     ctx.findings <- { sink; meth; site; fact; verdict } :: ctx.findings
+   | None -> ());
+  (* domain-knowledge async / callback / ICC descents *)
+  descend_async ctx ~depth ~env iv recv args;
+  (* API models *)
+  match Api_model.eval iv.callee recv args with
+  | Some f -> f
+  | None ->
+    if Jsig.is_init iv.callee && iv.callee.Jsig.cls = "java.lang.Thread" then begin
+      (* remember the wrapped runnable for the start() edge *)
+      (match recv, args with
+       | Some (Facts.New_obj o), [ r ] ->
+         Hashtbl.replace o.members thread_runnable_key r
+       | _, _ -> ());
+      Facts.Unknown
+    end
+    else if is_system ctx iv.callee.Jsig.cls then Facts.Unknown
+    else if depth >= ctx.cfg.max_inline_depth then Facts.Unknown
+    else begin
+      (* CHA: interpret every possible target and join the returns — the
+         whole-app analysis pays for the full dispatch fan-out *)
+      let targets =
+        Cha.targets ctx.program iv
+        |> List.filter (fun (tm : Jsig.meth) ->
+            not (Liblist.skipped ~packages:ctx.cfg.cg.Callgraph.skip_packages tm.cls))
+      in
+      let this_fact = Option.value ~default:Facts.Unknown recv in
+      List.fold_left
+        (fun acc tm ->
+           Facts.join acc
+             (eval_method ctx ~depth:(depth + 1) ~meth:tm ~this_fact
+                ~arg_facts:args))
+        Facts.Unknown targets
+    end
+
+(** Descend across the async / callback / ICC edges the configuration
+    enables, using the points-to class of the handed object. *)
+and descend_async ctx ~depth ~env:_ (iv : Expr.invoke) recv args =
+  let cfg = ctx.cfg.cg in
+  let run_on fact subsig =
+    match fact with
+    | Facts.New_obj o when not (is_system ctx o.Facts.cls) ->
+      (match Program.resolve_method ctx.program o.Facts.cls subsig with
+       | Some (_, m) when m.Jmethod.body <> None ->
+         ignore
+           (eval_method ctx ~depth:(depth + 1) ~meth:m.Jmethod.msig
+              ~this_fact:fact ~arg_facts:[])
+       | Some _ | None -> ())
+    | _ -> ()
+  in
+  let name = iv.callee.Jsig.name and cls = iv.callee.Jsig.cls in
+  if cfg.Callgraph.connect_thread && name = "start" && cls = "java.lang.Thread"
+  then begin
+    match recv with
+    | Some (Facts.New_obj o) ->
+      (match Hashtbl.find_opt o.Facts.members thread_runnable_key with
+       | Some r -> run_on r "void run()"
+       | None -> run_on (Facts.New_obj o) "void run()")
+    | _ -> ()
+  end
+  else if cfg.Callgraph.connect_executor && name = "execute"
+          && cls = "java.util.concurrent.Executor" then
+    (match args with r :: _ -> run_on r "void run()" | [] -> ())
+  else if cfg.Callgraph.connect_asynctask && name = "execute"
+          && cls = "android.os.AsyncTask" then
+    (match recv with
+     | Some r -> run_on r "java.lang.Object doInBackground(java.lang.Object[])"
+     | None -> ())
+  else if cfg.Callgraph.connect_onclick && name = "setOnClickListener" then
+    (match args with
+     | l :: _ -> run_on l "void onClick(android.view.View)"
+     | [] -> ())
+  else if cfg.Callgraph.icc
+          && (name = "startService" || name = "startActivity"
+              || name = "sendBroadcast") then begin
+    match args with
+    | [ Facts.New_obj intent ] ->
+      let target_handlers =
+        let explicit =
+          match Hashtbl.find_opt intent.Facts.members Api_model.intent_target_key with
+          | Some (Facts.Const_str c) -> [ c ]
+          | _ -> []
+        in
+        let implicit =
+          match Hashtbl.find_opt intent.Facts.members Api_model.intent_action_key with
+          | Some (Facts.Const_str a) ->
+            List.map
+              (fun (c : Manifest.Component.t) -> c.cls)
+              (Manifest.App_manifest.components_matching_action ctx.manifest a)
+          | _ -> []
+        in
+        explicit @ implicit
+      in
+      List.iter
+        (fun cls ->
+           match Program.find_class ctx.program cls with
+           | Some c ->
+             List.iter
+               (fun (m : Jmethod.t) ->
+                  if
+                    Manifest.Lifecycle.is_lifecycle_subsig
+                      (Jmethod.sub_signature m)
+                    && m.Jmethod.body <> None
+                  then begin
+                    let handler_args =
+                      List.map
+                        (fun ty ->
+                           if Types.equal ty Types.intent then
+                             Facts.New_obj intent
+                           else Facts.Framework_input)
+                        m.Jmethod.msig.Jsig.params
+                    in
+                    ignore
+                      (eval_method ctx ~depth:(depth + 1) ~meth:m.Jmethod.msig
+                         ~this_fact:(Facts.new_obj cls) ~arg_facts:handler_args)
+                  end)
+               c.Jclass.methods
+           | None -> ())
+        target_handlers
+    | _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+
+(** Deterministic per-app hash used by the simulated occasional-error knob. *)
+let app_hash (manifest : Manifest.App_manifest.t) =
+  let h = Hashtbl.hash manifest.Manifest.App_manifest.package in
+  float_of_int (h land 0xFFFF) /. 65536.0
+
+(** Run the full whole-app analysis of one app. *)
+let analyze ?(cfg = default_config) ~program ~manifest () =
+  try
+    if cfg.error_rate > 0.0 && app_hash manifest < cfg.error_rate then
+      raise (Internal_error "key not found");
+    let cg_cfg = { cfg.cg with Callgraph.deadline = cfg.deadline } in
+    let cg = Callgraph.build ~cfg:cg_cfg program manifest in
+    let ctx =
+      { program; manifest; cfg = { cfg with deadline = cfg.deadline };
+        statics = Hashtbl.create 64; memo = Hashtbl.create 1024;
+        in_progress = Hashtbl.create 64; ctx_count = Hashtbl.create 256;
+        findings = []; contexts = 0; steps = 0 }
+    in
+    (* lifecycle-aware entry evaluation: all handlers of one component run
+       in lifecycle order on a shared instance, so state written in onCreate
+       is visible to onResume etc. *)
+    let by_class = Hashtbl.create 8 in
+    List.iter
+      (fun (entry : Jsig.meth) ->
+         let prev =
+           Option.value ~default:[] (Hashtbl.find_opt by_class entry.cls)
+         in
+         Hashtbl.replace by_class entry.cls (entry :: prev))
+      cg.Callgraph.entries;
+    Hashtbl.iter
+      (fun cls handlers ->
+         let this_fact = Facts.new_obj cls in
+         let order = Manifest.Lifecycle.all_handler_subsigs in
+         let pos (m : Jsig.meth) =
+           let rec go i = function
+             | [] -> max_int
+             | s :: rest ->
+               if String.equal s (Jsig.sub_signature m) then i else go (i + 1) rest
+           in
+           go 0 order
+         in
+         let sorted = List.sort (fun a b -> compare (pos a) (pos b)) handlers in
+         List.iter
+           (fun (entry : Jsig.meth) ->
+              ignore
+                (eval_method ctx ~depth:0 ~meth:entry ~this_fact
+                   ~arg_facts:
+                     (List.map (fun _ -> Facts.Framework_input)
+                        entry.Jsig.params)))
+           sorted)
+      by_class;
+    { outcome = Completed (List.rev ctx.findings);
+      cg_methods = cg.Callgraph.method_count;
+      cg_edges = cg.Callgraph.edge_count;
+      contexts = ctx.contexts }
+  with
+  | Timeout -> { outcome = Timed_out; cg_methods = 0; cg_edges = 0; contexts = 0 }
+  | Internal_error e ->
+    { outcome = Errored e; cg_methods = 0; cg_edges = 0; contexts = 0 }
+
+(** Insecure findings of a completed run. *)
+let insecure_findings = function
+  | Completed fs ->
+    List.filter (fun f -> f.verdict = Detectors.Insecure) fs
+  | Timed_out | Errored _ -> []

@@ -1,0 +1,53 @@
+(** The Amandroid-style baseline: whole-app inter-procedural dataflow
+    analysis.  It first constructs the whole-app call graph from all entry
+    points, then runs a context-sensitive forward constant / points-to
+    analysis over every reachable method (memoised per method and abstract
+    calling context), evaluating the parameters of every sink API call it
+    executes.
+
+    The documented behaviours of the real tool are reproduced through
+    {!Callgraph.config}: liblist package skipping, the missing
+    Executor/AsyncTask/onClick edges, unregistered components treated as
+    entries (false positives), plus a per-app simulated "occasional internal
+    error" knob standing in for the "Could not find procedure" / "key not
+    found" failures of Sec. VI-C (see DESIGN.md). *)
+
+module Facts = Backdroid.Facts
+module Api_model = Backdroid.Api_model
+module Detectors = Backdroid.Detectors
+module Sinks = Framework.Sinks
+exception Timeout
+exception Internal_error of string
+type config = {
+  cg : Callgraph.config;
+  sinks : Sinks.t list;
+  error_rate : float;
+  max_inline_depth : int;
+  context_widening : int;
+  deadline : float option;
+}
+val default_config : config
+type finding = {
+  sink : Sinks.t;
+  meth : Ir.Jsig.meth;
+  site : int;
+  fact : Facts.t;
+  verdict : Detectors.verdict;
+}
+type outcome = Completed of finding list | Timed_out | Errored of string
+type result = {
+  outcome : outcome;
+  cg_methods : int;
+  cg_edges : int;
+  contexts : int;
+}
+
+(** Run the full whole-app analysis of one app: call-graph construction
+    from all entry points, then the context-sensitive dataflow over every
+    reachable method, honouring [deadline] and the simulated error knob. *)
+val analyze :
+  ?cfg:config ->
+  program:Ir.Program.t -> manifest:Manifest.App_manifest.t -> unit -> result
+
+(** Insecure findings of a completed run ([] on timeout / error). *)
+val insecure_findings : outcome -> finding list

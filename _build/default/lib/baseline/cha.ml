@@ -1,0 +1,27 @@
+(** Class-hierarchy-analysis call resolution for the whole-app baselines. *)
+
+open Ir
+
+(** Concrete app methods an invocation may dispatch to under CHA. *)
+let targets program (iv : Expr.invoke) =
+  match iv.kind with
+  | Expr.Static | Expr.Special -> begin
+      match Program.find_method program iv.callee with
+      | Some m when m.Jmethod.body <> None -> [ iv.callee ]
+      | Some _ -> []
+      | None ->
+        (* resolve up the hierarchy, as the VM does for super calls *)
+        (match
+           Program.resolve_method program iv.callee.Jsig.cls
+             (Jsig.sub_signature iv.callee)
+         with
+         | Some (c, m) when m.Jmethod.body <> None ->
+           [ { iv.callee with Jsig.cls = c.Jclass.name } ]
+         | Some _ | None -> [])
+    end
+  | Expr.Virtual | Expr.Interface ->
+    Program.dispatch_targets program iv.callee.Jsig.cls
+      (Jsig.sub_signature iv.callee)
+    |> List.filter_map (fun (cls, (m : Jmethod.t)) ->
+        if m.Jmethod.body <> None then Some { m.Jmethod.msig with Jsig.cls = cls }
+        else None)

@@ -1,0 +1,4 @@
+(** Class-hierarchy-analysis call resolution for the whole-app baselines. *)
+
+(** Concrete app methods an invocation may dispatch to under CHA. *)
+val targets : Ir.Program.t -> Ir.Expr.invoke -> Ir.Jsig.meth list

@@ -1,0 +1,116 @@
+(** A CryptoGuard-style comparator (Sec. VIII related work): crypto-specific
+    slicing on top of *intra*-procedural dataflow only.  For every sink API
+    call it resolves the security-relevant parameter using nothing but the
+    containing method's body — the precision/runtime trade-off the paper
+    attributes to CryptoGuard.
+
+    Characteristic behaviour demonstrated by the test suite:
+    - parameters passed in from callers are unresolvable (false negatives on
+      every inter-procedural flow, which is most of them);
+    - entry-point reachability is never checked, so sinks in dead code or
+      unregistered components are reported anyway (false positives);
+    - it is extremely fast, since no inter-procedural work happens at all. *)
+
+open Ir
+module Facts = Backdroid.Facts
+module Api_model = Backdroid.Api_model
+module Detectors = Backdroid.Detectors
+module Sinks = Framework.Sinks
+
+type finding = {
+  sink : Sinks.t;
+  meth : Jsig.meth;
+  site : int;
+  fact : Facts.t;
+  verdict : Detectors.verdict;
+}
+
+let lookup env id = Option.value ~default:Facts.Unknown (Hashtbl.find_opt env id)
+
+let value_fact env = function
+  | Value.Local l -> lookup env l.Value.id
+  | Value.Const (Value.Str_c s) -> Facts.Const_str s
+  | Value.Const (Value.Int_c i) -> Facts.Const_int i
+  | Value.Const (Value.Long_c i) -> Facts.Const_int (Int64.to_int i)
+  | Value.Const (Value.Class_c c) -> Facts.Const_str c
+  | Value.Const (Value.Null | Value.Float_c _ | Value.Double_c _) ->
+    Facts.Unknown
+
+(** One linear pass over a single body: constants, arithmetic, points-to and
+    the modelled APIs — but no calls are entered and parameters are opaque. *)
+let eval_body_local program sinks (meth : Jsig.meth) body =
+  let env : (string, Facts.t) Hashtbl.t = Hashtbl.create 16 in
+  let findings = ref [] in
+  Array.iteri
+    (fun site stmt ->
+       (* sink check first, so the arguments are pre-assignment facts *)
+       (match Stmt.invoke stmt with
+        | Some iv ->
+          (match Sinks.find_by_msig sinks iv.Expr.callee with
+           | Some sink ->
+             let fact =
+               Option.value ~default:Facts.Unknown
+                 (Option.map (value_fact env)
+                    (List.nth_opt iv.Expr.args sink.Sinks.param_index))
+             in
+             let verdict = Detectors.classify program sink fact in
+             findings := { sink; meth; site; fact; verdict } :: !findings
+           | None -> ())
+        | None -> ());
+       match stmt with
+       | Stmt.Assign (l, e) ->
+         let fact =
+           match e with
+           | Expr.Imm v -> value_fact env v
+           | Expr.Binop (op, a, b) ->
+             Api_model.binop op (value_fact env a) (value_fact env b)
+           | Expr.Cast (_, v) -> value_fact env v
+           | Expr.New c -> Facts.new_obj c
+           | Expr.New_array (t, _) -> Facts.new_arr t
+           | Expr.Instance_get (o, f) ->
+             (match lookup env o.Value.id with
+              | Facts.New_obj obj ->
+                Option.value ~default:Facts.Unknown
+                  (Hashtbl.find_opt obj.members (Jsig.field_to_string f))
+              | _ -> Facts.Unknown)
+           | Expr.Phi ls ->
+             List.fold_left
+               (fun acc x -> Facts.join acc (lookup env x.Value.id))
+               Facts.Unknown ls
+           | Expr.Invoke iv ->
+             (* API models only; app calls are not entered *)
+             let recv = Option.map (fun b -> lookup env b.Value.id) iv.base in
+             let args = List.map (value_fact env) iv.args in
+             Option.value ~default:Facts.Unknown (Api_model.eval iv.callee recv args)
+           | Expr.Static_get f -> Facts.Static_ref f
+           | Expr.Param _ | Expr.This | Expr.Caught_exception
+           | Expr.Array_get _ | Expr.Length _ -> Facts.Unknown
+         in
+         Hashtbl.replace env l.Value.id fact
+       | Stmt.Instance_put (o, f, v) ->
+         (match lookup env o.Value.id with
+          | Facts.New_obj obj ->
+            Hashtbl.replace obj.members (Jsig.field_to_string f) (value_fact env v)
+          | _ -> ())
+       | Stmt.Invoke _ | Stmt.Static_put _ | Stmt.Array_put _ | Stmt.Return _
+       | Stmt.If _ | Stmt.Goto _ | Stmt.Throw _ | Stmt.Nop -> ())
+    body;
+  List.rev !findings
+
+(** Scan every app method once; no reachability, no inter-procedural flow. *)
+let analyze ?(sinks = Sinks.primary) (program : Program.t) =
+  Program.fold_classes program
+    (fun c acc ->
+       if c.Jclass.is_system then acc
+       else
+         List.fold_left
+           (fun acc (m : Jmethod.t) ->
+              match m.Jmethod.body with
+              | None -> acc
+              | Some body ->
+                eval_body_local program sinks m.Jmethod.msig body @ acc)
+           acc c.Jclass.methods)
+    []
+
+let insecure_findings findings =
+  List.filter (fun f -> f.verdict = Detectors.Insecure) findings

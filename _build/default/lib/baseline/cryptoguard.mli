@@ -1,0 +1,25 @@
+(** A CryptoGuard-style comparator (Sec. VIII related work): crypto-specific
+    slicing on top of *intra*-procedural dataflow only.  For every sink API
+    call it resolves the security-relevant parameter using nothing but the
+    containing method's body — the precision/runtime trade-off the paper
+    attributes to CryptoGuard.
+
+    Characteristic behaviour demonstrated by the test suite:
+    - parameters passed in from callers are unresolvable (false negatives on
+      every inter-procedural flow, which is most of them);
+    - entry-point reachability is never checked, so sinks in dead code or
+      unregistered components are reported anyway (false positives);
+    - it is extremely fast, since no inter-procedural work happens at all. *)
+
+type finding = {
+  sink : Framework.Sinks.t;
+  meth : Ir.Jsig.meth;
+  site : int;
+  fact : Backdroid.Facts.t;
+  verdict : Backdroid.Detectors.verdict;
+}
+
+(** Scan every app method once; no reachability, no inter-procedural flow. *)
+val analyze : ?sinks:Framework.Sinks.t list -> Ir.Program.t -> finding list
+
+val insecure_findings : finding list -> finding list

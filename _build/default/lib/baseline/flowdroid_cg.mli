@@ -1,0 +1,21 @@
+(** The FlowDroid baseline of Sec. II-C: whole-app call-graph generation
+    *only* (no taint analysis), with geomPTA-style context-sensitive
+    refinement.  The base call graph is built per (method, calling-context)
+    pair; the refinement passes then revisit every virtual call site × CHA
+    target × calling context of the enclosing method, which is exactly where
+    a context-sensitive points-to-based call graph blows up on large,
+    dispatch-heavy apps (the 24% Fig. 1 timeouts). *)
+
+exception Timeout
+type config = {
+  context_depth : int;
+  refinement_rounds : int;
+  deadline : float option;
+}
+val default_config : config
+type result = { methods : int; contexts : int; edges : int; refined : int; }
+val check_deadline : config -> unit
+
+(** Build the context-refined call graph.  Raises {!Timeout} past the
+    deadline (the 24% of modern apps in Fig. 1). *)
+val build : ?cfg:config -> Ir.Program.t -> Manifest.App_manifest.t -> result

@@ -1,0 +1,36 @@
+(** Amandroid's liblist.txt: packages whose code the whole-app baseline skips
+    by default.  The paper names Amazon, Tencent and Facebook packages among
+    the 139 skipped popular libraries; this list mirrors the entries our
+    corpora exercise plus a representative sample of the real file. *)
+
+let default =
+  [ "com.tencent.smtt";
+    "com.amazon.identity";
+    "com.facebook";
+    "com.flurry";
+    "com.google.ads";
+    "com.google.android.gms";
+    "com.heyzap";
+    "com.unity3d";
+    "com.chartboost";
+    "com.inmobi";
+    "com.millennialmedia";
+    "com.mopub";
+    "com.adjust.sdk";
+    "com.applovin";
+    "com.crashlytics";
+    "io.fabric.sdk";
+    "com.squareup.okhttp";
+    "okhttp3";
+    "retrofit2";
+    "com.github" ]
+
+(** Is [cls] inside one of the skipped packages? *)
+let skipped ?(packages = default) cls =
+  List.exists
+    (fun pkg ->
+       let lp = String.length pkg in
+       String.length cls > lp
+       && String.sub cls 0 lp = pkg
+       && cls.[lp] = '.')
+    packages

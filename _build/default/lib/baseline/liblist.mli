@@ -1,0 +1,9 @@
+(** Amandroid's liblist.txt: packages whose code the whole-app baseline skips
+    by default.  The paper names Amazon, Tencent and Facebook packages among
+    the 139 skipped popular libraries; this list mirrors the entries our
+    corpora exercise plus a representative sample of the real file. *)
+
+val default : string list
+
+(** Is [cls] inside one of the skipped packages? *)
+val skipped : ?packages:string list -> string -> bool

@@ -1,0 +1,1 @@
+lib/core/api_model.ml: Expr Facts Framework Hashtbl Ir Jsig List Option Printf Types

@@ -1,0 +1,1 @@
+lib/core/api_model.mli: Facts Framework Ir

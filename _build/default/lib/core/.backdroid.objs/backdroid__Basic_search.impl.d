@@ -1,0 +1,1 @@
+lib/core/basic_search.ml: Bytesearch Expr Hashtbl Ir Jclass Jmethod Jsig List Log Option Program Sigformat String Types

@@ -1,0 +1,1 @@
+lib/core/basic_search.mli: Bytesearch Ir String

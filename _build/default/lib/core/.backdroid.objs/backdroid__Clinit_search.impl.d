@@ -1,0 +1,1 @@
+lib/core/clinit_search.ml: Bytesearch Hashtbl Ir Jsig List Log Manifest Sigformat String

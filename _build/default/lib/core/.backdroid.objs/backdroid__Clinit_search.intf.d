@@ -1,0 +1,1 @@
+lib/core/clinit_search.mli: Bytesearch Ir Manifest String

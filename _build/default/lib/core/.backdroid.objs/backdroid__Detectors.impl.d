@@ -1,0 +1,1 @@
+lib/core/detectors.ml: Array Facts Framework Ir Jmethod Jsig List Program Stmt String Value

@@ -1,0 +1,1 @@
+lib/core/detectors.mli: Facts Framework Ir

@@ -1,0 +1,1 @@
+lib/core/dispatch.ml: Ir Jmethod Jsig Lifecycle_search Program

@@ -1,0 +1,1 @@
+lib/core/dispatch.mli: Ir

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Bytesearch Detectors Dex Facts Forward Framework Hashtbl Ir Jclass Jsig List Log Loopdetect Manifest Perapp_ssg Program Reflection Sigformat Slicer Ssg

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Bytesearch Detectors Dex Facts Forward Framework Ir Loopdetect Manifest Perapp_ssg Slicer Ssg

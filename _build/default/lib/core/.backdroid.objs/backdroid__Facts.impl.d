@@ -1,0 +1,1 @@
+lib/core/facts.ml: Fmt Hashtbl Ir Printf String

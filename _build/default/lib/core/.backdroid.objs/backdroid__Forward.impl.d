@@ -1,0 +1,1 @@
+lib/core/forward.ml: Api_model Array Expr Facts Framework Hashtbl Int64 Ir Jclass Jmethod Jsig List Option Program Ssg Stmt Types Value

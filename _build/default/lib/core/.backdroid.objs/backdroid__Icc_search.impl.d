@@ -1,0 +1,1 @@
+lib/core/icc_search.ml: Array Bytesearch Expr Hashtbl Ir Jmethod Jsig List Log Manifest Program Sigformat Stmt Types Value

@@ -1,0 +1,1 @@
+lib/core/icc_search.mli: Bytesearch Ir Manifest

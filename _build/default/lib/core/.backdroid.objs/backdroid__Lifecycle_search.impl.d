@@ -1,0 +1,1 @@
+lib/core/lifecycle_search.ml: Hashtbl Ir Jclass Jmethod Jsig List Manifest Program String

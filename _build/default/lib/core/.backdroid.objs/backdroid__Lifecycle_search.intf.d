@@ -1,0 +1,1 @@
+lib/core/lifecycle_search.mli: Ir Manifest

@@ -1,0 +1,1 @@
+lib/core/object_taint.ml: Array Bytesearch Expr Hashtbl Ir Jclass Jmethod Jsig List Log Loopdetect Option Program Sigformat Stmt String Types Value

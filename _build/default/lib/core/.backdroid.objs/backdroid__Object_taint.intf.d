@@ -1,0 +1,1 @@
+lib/core/object_taint.mli: Bytesearch Ir Loopdetect

@@ -1,0 +1,1 @@
+lib/core/perapp_ssg.ml: Fmt Framework Hashtbl Ir Jsig List Printf Ssg

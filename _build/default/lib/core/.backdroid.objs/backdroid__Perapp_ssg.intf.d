@@ -1,0 +1,1 @@
+lib/core/perapp_ssg.mli: Format Framework Ir Ssg

@@ -1,0 +1,1 @@
+lib/core/reflection.ml: Array Expr Framework Hashtbl Ir Jclass Jmethod Jsig List Program Stmt String Value

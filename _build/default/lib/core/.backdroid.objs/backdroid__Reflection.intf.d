@@ -1,0 +1,1 @@
+lib/core/reflection.mli: Framework Hashtbl Ir String

@@ -1,0 +1,1 @@
+lib/core/sigformat.mli: Ir

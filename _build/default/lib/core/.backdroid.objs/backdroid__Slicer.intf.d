@@ -1,0 +1,1 @@
+lib/core/slicer.mli: Bytesearch Framework Hashtbl Ir Loopdetect Manifest Ssg

@@ -1,0 +1,1 @@
+lib/core/ssg.ml: Fmt Framework Hashtbl Ir Jsig List Option Stmt

@@ -1,0 +1,1 @@
+lib/core/ssg.mli: Format Framework Hashtbl Ir

@@ -1,0 +1,75 @@
+(** The basic signature-based search (Sec. IV-A): locate callers of static,
+    private and constructor methods by searching the dexdump plaintext for
+    the callee's (translated) signature — plus the child-class signature
+    expansion for methods that may be invoked through a non-overloading
+    child class. *)
+
+open Ir
+
+type call_site = {
+  caller : Jsig.meth;
+  site : int;              (** statement index of the invocation *)
+  invoke : Expr.invoke;
+}
+
+(** Step 4 of Fig. 3: the quick forward analysis over the caller body that
+    pins down the actual call site(s) matching [search_cls]/[callee]. *)
+let find_call_sites program ~caller ~callee ~search_cls =
+  match Program.find_method program caller with
+  | None | Some { Jmethod.body = None; _ } -> []
+  | Some m ->
+    List.filter_map
+      (fun (idx, (iv : Expr.invoke)) ->
+         if
+           String.equal iv.callee.Jsig.cls search_cls
+           && String.equal iv.callee.Jsig.name callee.Jsig.name
+           && List.length iv.callee.Jsig.params = List.length callee.Jsig.params
+           && List.for_all2 Types.equal iv.callee.Jsig.params callee.Jsig.params
+         then Some { caller; site = idx; invoke = iv }
+         else None)
+      (Jmethod.call_sites m)
+
+(** Search signatures to try for [callee]: its own, plus — when the callee is
+    neither static, private nor a constructor — the signature relocated onto
+    every transitive child class that does not overload it (Sec. IV-A,
+    "Searching over a child class"). *)
+let search_classes program (callee : Jsig.meth) =
+  let own = [ callee.cls ] in
+  match Program.find_method program callee with
+  | Some m when Jmethod.is_signature_method m -> own
+  | _ ->
+    let subsig = Jsig.sub_signature callee in
+    let children =
+      Program.subclasses_transitive program callee.cls
+      |> List.filter (fun child ->
+          match Program.find_class program child with
+          | Some c -> Option.is_none (Jclass.find_method_by_subsig c subsig)
+          | None -> false)
+    in
+    own @ children
+
+(** Run the basic search: one bytecode search per candidate signature, then
+    call-site recovery in the program space.  Results are deduplicated. *)
+let callers engine (callee : Jsig.meth) =
+  let program = Bytesearch.Engine.program engine in
+  let sites = ref [] in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun search_cls ->
+       let dex_sig = Sigformat.to_dex_meth_on_class callee search_cls in
+       let hits = Bytesearch.Engine.run engine (Bytesearch.Query.Invocation dex_sig) in
+       Log.debug (fun m ->
+           m "basic search %s -> %d invocation hits" dex_sig (List.length hits));
+       List.iter
+         (fun (h : Bytesearch.Engine.hit) ->
+            List.iter
+              (fun cs ->
+                 let key = (Jsig.meth_to_string cs.caller, cs.site) in
+                 if not (Hashtbl.mem seen key) then begin
+                   Hashtbl.replace seen key ();
+                   sites := cs :: !sites
+                 end)
+              (find_call_sites program ~caller:h.owner ~callee ~search_cls))
+         hits)
+    (search_classes program callee);
+  List.rev !sites

@@ -1,0 +1,28 @@
+(** The basic signature-based search (Sec. IV-A): locate callers of static,
+    private and constructor methods by searching the dexdump plaintext for
+    the callee's (translated) signature — plus the child-class signature
+    expansion for methods that may be invoked through a non-overloading
+    child class. *)
+
+type call_site = {
+  caller : Ir.Jsig.meth;
+  site : int;
+  invoke : Ir.Expr.invoke;
+}
+
+(** Step 4 of Fig. 3: the quick forward analysis over the caller body that
+    pins down the actual call site(s) matching [search_cls]/[callee]. *)
+val find_call_sites :
+  Ir.Program.t ->
+  caller:Ir.Jsig.meth ->
+  callee:Ir.Jsig.meth -> search_cls:String.t -> call_site list
+
+(** Search signatures to try for [callee]: its own, plus — when the callee is
+    neither static, private nor a constructor — the signature relocated onto
+    every transitive child class that does not overload it (Sec. IV-A,
+    "Searching over a child class"). *)
+val search_classes : Ir.Program.t -> Ir.Jsig.meth -> string list
+
+(** Run the basic search: one bytecode search per candidate signature, then
+    call-site recovery in the program space.  Results are deduplicated. *)
+val callers : Bytesearch.Engine.t -> Ir.Jsig.meth -> call_site list

@@ -1,0 +1,49 @@
+(** Special search over static initializers (Sec. IV-C).
+
+    [<clinit>] methods are never invoked explicitly, so BackDroid instead
+    performs a recursive class-use search: find the classes whose code uses
+    the initializer's class, check whether any is a registered entry
+    component, and repeat over the using classes until an entry class is
+    found or no new class appears.  Only control-flow reachability is
+    decided — [<clinit>] has no parameters, hence no dataflow mapping. *)
+
+open Ir
+
+(** Classes whose instruction lines mention [cls] (excluding [cls] itself). *)
+let using_classes engine cls =
+  let desc = Sigformat.to_dex_class cls in
+  let hits = Bytesearch.Engine.run engine (Bytesearch.Query.Class_use desc) in
+  List.sort_uniq String.compare
+    (List.filter_map
+       (fun (h : Bytesearch.Engine.hit) ->
+          if String.equal h.owner_cls cls then None else Some h.owner_cls)
+       hits)
+
+(** Is [clinit_owner]'s initializer reachable from a registered entry
+    component?  Also returns the class-use chain discovered (for
+    diagnostics). *)
+let reachable engine (manifest : Manifest.App_manifest.t) ~clinit_owner =
+  let seen = Hashtbl.create 16 in
+  Log.debug (fun m -> m "recursive class-use search from %s" clinit_owner);
+  let rec go frontier chain =
+    match frontier with
+    | [] -> false, List.rev chain
+    | cls :: rest ->
+      if Hashtbl.mem seen cls then go rest chain
+      else begin
+        Hashtbl.replace seen cls ();
+        if Manifest.App_manifest.is_entry_class manifest cls then
+          true, List.rev (cls :: chain)
+        else begin
+          let users = using_classes engine cls in
+          let fresh = List.filter (fun u -> not (Hashtbl.mem seen u)) users in
+          go (rest @ fresh) (cls :: chain)
+        end
+      end
+  in
+  go [ clinit_owner ] []
+
+(** Convenience wrapper for a [<clinit>] method signature. *)
+let clinit_reachable engine manifest (m : Jsig.meth) =
+  assert (Jsig.is_clinit m);
+  reachable engine manifest ~clinit_owner:m.cls

@@ -1,0 +1,23 @@
+(** Special search over static initializers (Sec. IV-C).
+
+    [<clinit>] methods are never invoked explicitly, so BackDroid instead
+    performs a recursive class-use search: find the classes whose code uses
+    the initializer's class, check whether any is a registered entry
+    component, and repeat over the using classes until an entry class is
+    found or no new class appears.  Only control-flow reachability is
+    decided — [<clinit>] has no parameters, hence no dataflow mapping. *)
+
+(** Classes whose instruction lines mention [cls] (excluding [cls] itself). *)
+val using_classes : Bytesearch.Engine.t -> String.t -> String.t list
+
+(** Is [clinit_owner]'s initializer reachable from a registered entry
+    component?  Also returns the class-use chain discovered (for
+    diagnostics). *)
+val reachable :
+  Bytesearch.Engine.t ->
+  Manifest.App_manifest.t -> clinit_owner:String.t -> bool * String.t list
+
+(** Convenience wrapper for a [<clinit>] method signature. *)
+val clinit_reachable :
+  Bytesearch.Engine.t ->
+  Manifest.App_manifest.t -> Ir.Jsig.meth -> bool * String.t list

@@ -1,0 +1,79 @@
+(** Security verdicts over the propagated sink-parameter facts: the crypto
+    (ECB) and SSL (hostname verification) misuse detectors of the paper's
+    evaluation, plus reporting defaults for the auxiliary sinks. *)
+
+open Ir
+module Sinks = Framework.Sinks
+
+type verdict =
+  | Insecure
+  | Secure
+  | Unresolved  (** the dataflow representation did not decide the verdict *)
+
+let verdict_to_string = function
+  | Insecure -> "INSECURE"
+  | Secure -> "secure"
+  | Unresolved -> "unresolved"
+
+(** Does the class's [verify] method constantly accept (return 1)?  Used for
+    app-defined [javax.net.ssl.HostnameVerifier] implementations. *)
+let verifier_accepts_all program cls =
+  match Program.find_class program cls with
+  | None -> None
+  | Some c ->
+    let verify =
+      List.find_opt
+        (fun (m : Jmethod.t) -> String.equal m.msig.Jsig.name "verify")
+        c.methods
+    in
+    (match verify with
+     | Some { Jmethod.body = Some body; _ } ->
+       let returns_const =
+         Array.fold_left
+           (fun acc st ->
+              match st with
+              | Stmt.Return (Some (Value.Const (Value.Int_c i))) -> Some i
+              | Stmt.Return (Some (Value.Local _)) -> acc
+              | _ -> acc)
+           None body
+       in
+       (match returns_const with
+        | Some 1 -> Some true
+        | Some _ -> Some false
+        | None -> None)
+     | Some _ | None -> None)
+
+let classify_ssl program (fact : Facts.t) =
+  match fact with
+  | Facts.Static_ref f
+    when Jsig.field_equal f Framework.Api.allow_all_hostname_verifier ->
+    Insecure
+  | Facts.New_obj o -> begin
+      match o.Facts.cls with
+      | "org.apache.http.conn.ssl.AllowAllHostnameVerifier" -> Insecure
+      | "org.apache.http.conn.ssl.StrictHostnameVerifier"
+      | "org.apache.http.conn.ssl.BrowserCompatHostnameVerifier" -> Secure
+      | cls ->
+        (match verifier_accepts_all program cls with
+         | Some true -> Insecure
+         | Some false -> Secure
+         | None -> Unresolved)
+    end
+  | Facts.Const_str _ | Facts.Const_int _ | Facts.Arr _ | Facts.Static_ref _
+  | Facts.Framework_input | Facts.Sym _ | Facts.Unknown -> Unresolved
+
+let classify program (sink : Sinks.t) (fact : Facts.t) =
+  match sink.kind with
+  | Sinks.Crypto_cipher -> begin
+      match fact with
+      | Facts.Const_str spec ->
+        if Sinks.cipher_spec_is_insecure spec then Insecure else Secure
+      | Facts.Const_int _ | Facts.New_obj _ | Facts.Arr _ | Facts.Static_ref _
+      | Facts.Framework_input | Facts.Sym _ | Facts.Unknown -> Unresolved
+    end
+  | Sinks.Ssl_hostname -> classify_ssl program fact
+  | Sinks.Sms_send | Sinks.Server_socket | Sinks.Local_socket ->
+    (* auxiliary sinks: report the resolved value; no misuse policy *)
+    (match fact with
+     | Facts.Const_str _ | Facts.Const_int _ -> Secure
+     | _ -> Unresolved)

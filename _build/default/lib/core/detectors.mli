@@ -1,0 +1,13 @@
+(** Security verdicts over the propagated sink-parameter facts: the crypto
+    (ECB) and SSL (hostname verification) misuse detectors of the paper's
+    evaluation, plus reporting defaults for the auxiliary sinks. *)
+
+module Sinks = Framework.Sinks
+type verdict = Insecure | Secure | Unresolved
+val verdict_to_string : verdict -> string
+
+(** Does the class's [verify] method constantly accept (return 1)?  Used for
+    app-defined [javax.net.ssl.HostnameVerifier] implementations. *)
+val verifier_accepts_all : Ir.Program.t -> string -> bool option
+val classify_ssl : Ir.Program.t -> Facts.t -> verdict
+val classify : Ir.Program.t -> Sinks.t -> Facts.t -> verdict

@@ -1,0 +1,30 @@
+(** Search dispatch: given a callee method whose callers must be located,
+    decide which of the search mechanisms of Sec. IV applies. *)
+
+open Ir
+
+type strategy =
+  | Basic            (** signature search (incl. child-class expansion) *)
+  | Advanced         (** constructor search + forward object taint *)
+  | Clinit           (** recursive class-use search *)
+  | Lifecycle        (** lifecycle handler: entry check / predecessor search *)
+
+let to_string = function
+  | Basic -> "basic"
+  | Advanced -> "advanced"
+  | Clinit -> "clinit"
+  | Lifecycle -> "lifecycle"
+
+(** Classify [callee].  Order matters: [<clinit>] before everything (it is a
+    static method but unsearchable); lifecycle handlers before the
+    super/interface test (they override framework declarations yet need the
+    domain-knowledge search, not object taint). *)
+let classify program (callee : Jsig.meth) =
+  if Jsig.is_clinit callee then Clinit
+  else if Lifecycle_search.is_lifecycle_handler program callee then Lifecycle
+  else
+    match Program.find_method program callee with
+    | Some m when Jmethod.is_signature_method m -> Basic
+    | Some _ | None ->
+      if Program.overrides_foreign_declaration program callee then Advanced
+      else Basic

@@ -1,0 +1,11 @@
+(** Search dispatch: given a callee method whose callers must be located,
+    decide which of the search mechanisms of Sec. IV applies. *)
+
+type strategy = Basic | Advanced | Clinit | Lifecycle
+val to_string : strategy -> string
+
+(** Classify [callee].  Order matters: [<clinit>] before everything (it is a
+    static method but unsearchable); lifecycle handlers before the
+    super/interface test (they override framework declarations yet need the
+    domain-knowledge search, not object taint). *)
+val classify : Ir.Program.t -> Ir.Jsig.meth -> strategy

@@ -1,0 +1,193 @@
+(** The BackDroid driver: the four-step pipeline of Fig. 2.
+
+    1. the app is already preprocessed (IR + disassembled dexdump plaintext);
+    2. the initial bytecode search locates the target sink API calls;
+    3. backward slicing with on-the-fly bytecode search builds one SSG per
+       sink call;
+    4. forward constant / points-to propagation over each SSG produces the
+       complete dataflow representation of the sink parameters, which the
+       detectors turn into verdicts.
+
+    The driver owns the cross-sink caches (search-command cache inside the
+    engine; sink-API-call reachability cache) and the loop-detection
+    statistics of Sec. IV-F. *)
+
+open Ir
+module Sinks = Framework.Sinks
+
+type config = {
+  sinks : Sinks.t list;
+  subclass_aware_initial_search : bool;
+      (** also search sink invocations through app subclasses of the sink
+          class — the fix for the two FNs of Sec. VI-C (off by default to
+          reproduce the paper's behaviour; flip for the ablation) *)
+  resolve_reflection : bool;
+      (** de-reflect constant Class.forName/getMethod/invoke triples before
+          the analysis (the Sec. VII extension; off by default) *)
+  indexed_search : bool;
+      (** search via the preprocessing-time inverted index (default); off =
+          grep-style full scans per query, like the paper's prototype *)
+  slicer : Slicer.config;
+  forward : Forward.config;
+}
+
+let default_config =
+  { sinks = Sinks.primary;
+    subclass_aware_initial_search = false;
+    resolve_reflection = false;
+    indexed_search = true;
+    slicer = Slicer.default_config;
+    forward = Forward.default_config }
+
+type sink_report = {
+  sink : Sinks.t;
+  meth : Jsig.meth;         (** method containing the sink call *)
+  site : int;
+  reachable : bool;
+  fact : Facts.t;
+  verdict : Detectors.verdict;
+  ssg : Ssg.t option;       (** absent when served from the sink cache *)
+}
+
+type stats = {
+  sink_calls : int;
+  searches_total : int;
+  searches_cached : int;
+  search_cache_rate : float;
+  sink_cache_lookups : int;
+  sink_cache_hits : int;
+  loops : Loopdetect.stats;
+  ssg_nodes : int;
+  ssg_edges : int;
+}
+
+type result = {
+  reports : sink_report list;
+  stats : stats;
+}
+
+(** A detected issue: an insecure, entry-reachable sink call. *)
+let insecure_reports r =
+  List.filter (fun rep -> rep.reachable && rep.verdict = Detectors.Insecure)
+    r.reports
+
+(** Merge all per-sink SSGs of a result into the per-app SSG (Sec. V-A's
+    future-work structure). *)
+let per_app_ssg r =
+  Perapp_ssg.merge (List.filter_map (fun rep -> rep.ssg) r.reports)
+
+(* ------------------------------------------------------------------ *)
+
+(** Step 2: initial bytecode search for the sink API invocations.  With
+    [subclass_aware_initial_search], invocations through app subclasses of
+    the sink class are found as well (each resolves to the same framework
+    method, like the DefaultSSLSocketFactory case of Sec. VI-C). *)
+let initial_sink_search ~cfg engine =
+  let program = Bytesearch.Engine.program engine in
+  let occ = ref [] in
+  let seen = Hashtbl.create 16 in
+  let search (sink : Sinks.t) (msig : Jsig.meth) =
+    let hits =
+      Bytesearch.Engine.run engine
+        (Bytesearch.Query.Invocation (Sigformat.to_dex_meth msig))
+    in
+    List.iter
+      (fun (h : Bytesearch.Engine.hit) ->
+         match h.stmt_idx with
+         | Some idx ->
+           let key = (Jsig.meth_to_string h.owner, idx) in
+           if not (Hashtbl.mem seen key) then begin
+             Hashtbl.replace seen key ();
+             occ := (sink, h.owner, idx) :: !occ
+           end
+         | None -> ())
+      hits
+  in
+  List.iter
+    (fun (sink : Sinks.t) ->
+       search sink sink.msig;
+       if cfg.subclass_aware_initial_search then
+         List.iter
+           (fun sub ->
+              match Program.find_class program sub with
+              | Some c when not c.Jclass.is_system ->
+                search sink { sink.msig with Jsig.cls = sub }
+              | Some _ | None -> ())
+           (Program.subclasses_transitive program sink.msig.Jsig.cls))
+    cfg.sinks;
+  List.rev !occ
+
+(** Analyze one app. *)
+let analyze ?(cfg = default_config) ~(dex : Dex.Dexfile.t)
+    ~(manifest : Manifest.App_manifest.t) () =
+  let dex =
+    if cfg.resolve_reflection then begin
+      let program', rewrites = Reflection.transform dex.Dex.Dexfile.program in
+      if rewrites = 0 then dex else Dex.Dexfile.of_program program'
+    end
+    else dex
+  in
+  let engine = Bytesearch.Engine.create ~indexed:cfg.indexed_search dex in
+  let program = Bytesearch.Engine.program engine in
+  let loops = Loopdetect.create () in
+  let reach_cache = Hashtbl.create 64 in
+  let reach_total = ref 0 and reach_cached = ref 0 in
+  (* the sink-API-call cache: containing method -> reachability *)
+  let sink_meth_cache : (string, bool) Hashtbl.t = Hashtbl.create 16 in
+  let sink_cache_lookups = ref 0 and sink_cache_hits = ref 0 in
+  let ssg_nodes = ref 0 and ssg_edges = ref 0 in
+  let occurrences = initial_sink_search ~cfg engine in
+  let reports =
+    List.map
+      (fun ((sink : Sinks.t), meth, site) ->
+         let mkey = Jsig.meth_to_string meth in
+         incr sink_cache_lookups;
+         match Hashtbl.find_opt sink_meth_cache mkey with
+         | Some false ->
+           (* Sec. IV-F: this method is known unreachable; skip re-analysis *)
+           incr sink_cache_hits;
+           { sink; meth; site; reachable = false; fact = Facts.Unknown;
+             verdict = Detectors.Unresolved; ssg = None }
+         | Some true | None ->
+           if Hashtbl.mem sink_meth_cache mkey then incr sink_cache_hits;
+           Log.info (fun m ->
+               m "backtracking %s sink at %s:%d"
+                 (Sinks.kind_to_string sink.Sinks.kind)
+                 (Jsig.meth_to_string meth) site);
+           let ssg =
+             Slicer.slice ~engine ~manifest ~loops ~reach_cache ~reach_total
+               ~reach_cached ~cfg:cfg.slicer ~sink ~sink_meth:meth
+               ~sink_site:site ()
+           in
+           Hashtbl.replace sink_meth_cache mkey ssg.Ssg.reachable;
+           ssg_nodes := !ssg_nodes + Ssg.node_count ssg;
+           ssg_edges := !ssg_edges + Ssg.edge_count ssg;
+           let fact =
+             if ssg.Ssg.reachable then Forward.run ~cfg:cfg.forward program ssg
+             else Facts.Unknown
+           in
+           let verdict =
+             if ssg.Ssg.reachable then Detectors.classify program sink fact
+             else Detectors.Unresolved
+           in
+           Log.info (fun m ->
+               m "sink at %s:%d: reachable=%b fact=%s verdict=%s"
+                 (Jsig.meth_to_string meth) site ssg.Ssg.reachable
+                 (Facts.to_string fact)
+                 (Detectors.verdict_to_string verdict));
+           { sink; meth; site; reachable = ssg.Ssg.reachable; fact; verdict;
+             ssg = Some ssg })
+      occurrences
+  in
+  let stats =
+    { sink_calls = List.length occurrences;
+      searches_total = Bytesearch.Engine.total_searches engine;
+      searches_cached = Bytesearch.Engine.cached_searches engine;
+      search_cache_rate = Bytesearch.Engine.cache_rate engine;
+      sink_cache_lookups = !sink_cache_lookups;
+      sink_cache_hits = !sink_cache_hits;
+      loops;
+      ssg_nodes = !ssg_nodes;
+      ssg_edges = !ssg_edges }
+  in
+  { reports; stats }

@@ -1,0 +1,64 @@
+(** The BackDroid driver: the four-step pipeline of Fig. 2.
+
+    1. the app is already preprocessed (IR + disassembled dexdump plaintext);
+    2. the initial bytecode search locates the target sink API calls;
+    3. backward slicing with on-the-fly bytecode search builds one SSG per
+       sink call;
+    4. forward constant / points-to propagation over each SSG produces the
+       complete dataflow representation of the sink parameters, which the
+       detectors turn into verdicts.
+
+    The driver owns the cross-sink caches (search-command cache inside the
+    engine; sink-API-call reachability cache) and the loop-detection
+    statistics of Sec. IV-F. *)
+
+module Sinks = Framework.Sinks
+type config = {
+  sinks : Sinks.t list;
+  subclass_aware_initial_search : bool;
+  resolve_reflection : bool;
+  indexed_search : bool;
+  slicer : Slicer.config;
+  forward : Forward.config;
+}
+val default_config : config
+type sink_report = {
+  sink : Sinks.t;
+  meth : Ir.Jsig.meth;
+  site : int;
+  reachable : bool;
+  fact : Facts.t;
+  verdict : Detectors.verdict;
+  ssg : Ssg.t option;
+}
+type stats = {
+  sink_calls : int;
+  searches_total : int;
+  searches_cached : int;
+  search_cache_rate : float;
+  sink_cache_lookups : int;
+  sink_cache_hits : int;
+  loops : Loopdetect.stats;
+  ssg_nodes : int;
+  ssg_edges : int;
+}
+type result = { reports : sink_report list; stats : stats; }
+
+(** A detected issue: an insecure, entry-reachable sink call. *)
+val insecure_reports : result -> sink_report list
+
+(** Merge all per-sink SSGs of a result into the per-app SSG (Sec. V-A's
+    future-work structure). *)
+val per_app_ssg : result -> Perapp_ssg.t
+
+(** Step 2: initial bytecode search for the sink API invocations.  With
+    [subclass_aware_initial_search], invocations through app subclasses of
+    the sink class are found as well (each resolves to the same framework
+    method, like the DefaultSSLSocketFactory case of Sec. VI-C). *)
+val initial_sink_search :
+  cfg:config -> Bytesearch.Engine.t -> (Sinks.t * Ir.Jsig.meth * int) list
+
+(** Analyze one app. *)
+val analyze :
+  ?cfg:config ->
+  dex:Dex.Dexfile.t -> manifest:Manifest.App_manifest.t -> unit -> result

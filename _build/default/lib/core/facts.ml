@@ -1,0 +1,60 @@
+(** Dataflow facts for the forward constant and points-to propagation over
+    the SSG (Sec. V-B).  [New_obj] and [Arr] carry the points-to information
+    of Sec. V-B's NewObj / ArrayObj structures: a pointer to the constructor
+    class plus a mutable member map, so every reference propagated along the
+    flow paths shares one object. *)
+
+type t =
+  | Const_str of string
+  | Const_int of int
+  | New_obj of obj
+  | Arr of arr
+  | Static_ref of Ir.Jsig.field
+      (** a framework constant field, e.g. ALLOW_ALL_HOSTNAME_VERIFIER *)
+  | Framework_input  (** values handed in by the Android framework *)
+  | Sym of string    (** symbolic expression over unresolved inputs *)
+  | Unknown
+
+and obj = {
+  cls : string;
+  members : (string, t) Hashtbl.t;
+      (** instance fields (keyed by field signature) and Intent extras /
+          builder parts (keyed by strings) *)
+}
+
+and arr = {
+  elem : Ir.Types.t;
+  cells : (int, t) Hashtbl.t;
+}
+
+let new_obj cls = New_obj { cls; members = Hashtbl.create 4 }
+let new_arr elem = Arr { elem; cells = Hashtbl.create 4 }
+
+let to_string = function
+  | Const_str s -> Printf.sprintf "%S" s
+  | Const_int i -> string_of_int i
+  | New_obj o -> "new " ^ o.cls
+  | Arr a -> Printf.sprintf "%s[]" (Ir.Types.to_string a.elem)
+  | Static_ref f -> Ir.Jsig.field_to_string f
+  | Framework_input -> "<framework>"
+  | Sym s -> "<" ^ s ^ ">"
+  | Unknown -> "<unknown>"
+
+let pp ppf f = Fmt.string ppf (to_string f)
+
+(** Bounded symbolic fact: symbolic expressions are truncated so abstract
+    values (and the context keys derived from them) stay small — the usual
+    bounded-depth expression abstraction. *)
+let sym s =
+  if String.length s <= 48 then Sym s else Sym (String.sub s 0 45 ^ "...")
+
+(** Join for Phi nodes: equal facts survive, otherwise prefer the known
+    one over Unknown, else go symbolic. *)
+let join a b =
+  match a, b with
+  | Unknown, x | x, Unknown -> x
+  | Const_str x, Const_str y when String.equal x y -> a
+  | Const_int x, Const_int y when x = y -> a
+  | New_obj x, New_obj y when x == y -> a
+  | Static_ref x, Static_ref y when Ir.Jsig.field_equal x y -> a
+  | _, _ -> sym (to_string a ^ " | " ^ to_string b)

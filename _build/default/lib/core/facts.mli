@@ -1,0 +1,30 @@
+(** Dataflow facts for the forward constant and points-to propagation over
+    the SSG (Sec. V-B).  [New_obj] and [Arr] carry the points-to information
+    of Sec. V-B's NewObj / ArrayObj structures: a pointer to the constructor
+    class plus a mutable member map, so every reference propagated along the
+    flow paths shares one object. *)
+
+type t =
+    Const_str of string
+  | Const_int of int
+  | New_obj of obj
+  | Arr of arr
+  | Static_ref of Ir.Jsig.field
+  | Framework_input
+  | Sym of string
+  | Unknown
+and obj = { cls : string; members : (string, t) Hashtbl.t; }
+and arr = { elem : Ir.Types.t; cells : (int, t) Hashtbl.t; }
+val new_obj : string -> t
+val new_arr : Ir.Types.t -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Bounded symbolic fact: symbolic expressions are truncated so abstract
+    values (and the context keys derived from them) stay small — the usual
+    bounded-depth expression abstraction. *)
+val sym : string -> t
+
+(** Join for Phi nodes: equal facts survive, otherwise prefer the known
+    one over Unknown, else go symbolic. *)
+val join : t -> t -> t

@@ -1,0 +1,92 @@
+(** Special search over Android ICC (Sec. IV-D): the two-time search.
+
+    To find who starts a given component, BackDroid launches two searches —
+    one for ICC API calls (startService / startActivity / sendBroadcast) and
+    one for the ICC parameter (the [const-class] of the target component for
+    explicit ICC, or the action string for implicit ICC) — and keeps the ICC
+    calls whose enclosing method also contains a parameter hit. *)
+
+open Ir
+
+type icc_site = {
+  caller : Jsig.meth;
+  site : int;             (** index of the ICC call statement *)
+  intent_local : string;  (** the Intent argument at the ICC call *)
+}
+
+let icc_call_subsigs =
+  [ "startService"; "startActivity"; "sendBroadcast" ]
+
+(** Classes an ICC call may be declared against in the bytecode. *)
+let icc_receiver_classes =
+  [ "android.content.Context"; "android.app.Activity"; "android.app.Service" ]
+
+let icc_call_queries () =
+  List.concat_map
+    (fun name ->
+       List.map
+         (fun cls ->
+            let msig =
+              Jsig.meth ~cls ~name ~params:[ Types.intent ] ~ret:Types.Void
+            in
+            Bytesearch.Query.Invocation (Sigformat.to_dex_meth msig))
+         icc_receiver_classes)
+    icc_call_subsigs
+
+(** First search: all ICC call sites in the app. *)
+let search_icc_calls engine =
+  List.concat_map
+    (fun q -> Bytesearch.Engine.run engine q)
+    (icc_call_queries ())
+
+(** Second search: parameter hits for the target component. *)
+let search_icc_params engine ~(component : Manifest.Component.t) =
+  let explicit =
+    Bytesearch.Engine.run engine
+      (Bytesearch.Query.Const_class (Sigformat.to_dex_class component.cls))
+  in
+  let implicit =
+    List.concat_map
+      (fun action ->
+         Bytesearch.Engine.run engine (Bytesearch.Query.Const_string action))
+      component.actions
+  in
+  explicit @ implicit
+
+(** Merge the two search results: an ICC call counts if its enclosing method
+    also contains a parameter hit.  Returns the matching call sites with the
+    Intent local recovered from the IR. *)
+let callers engine ~(component : Manifest.Component.t) =
+  let program = Bytesearch.Engine.program engine in
+  let call_hits = search_icc_calls engine in
+  let param_hits = search_icc_params engine ~component in
+  let param_methods = Hashtbl.create 8 in
+  List.iter
+    (fun (h : Bytesearch.Engine.hit) ->
+       Hashtbl.replace param_methods (Jsig.meth_to_string h.owner) ())
+    param_hits;
+  let merged =
+    List.filter
+      (fun (h : Bytesearch.Engine.hit) ->
+         Hashtbl.mem param_methods (Jsig.meth_to_string h.owner))
+      call_hits
+  in
+  Log.debug (fun m ->
+      m "two-time ICC search for %s: %d call hits, %d param hits, %d merged"
+        component.cls (List.length call_hits) (List.length param_hits)
+        (List.length merged));
+  List.filter_map
+    (fun (h : Bytesearch.Engine.hit) ->
+       match Program.find_method program h.owner, h.stmt_idx with
+       | Some { Jmethod.body = Some body; _ }, Some idx
+         when idx < Array.length body ->
+         (match Stmt.invoke body.(idx) with
+          | Some iv ->
+            (match iv.Expr.args with
+             | [ Value.Local intent ] ->
+               Some { caller = h.owner; site = idx; intent_local = intent.Value.id }
+             | _ -> None)
+          | None -> None)
+       | _, _ -> None)
+    merged
+  |> List.sort_uniq compare

@@ -1,0 +1,28 @@
+(** Special search over Android ICC (Sec. IV-D): the two-time search.
+
+    To find who starts a given component, BackDroid launches two searches —
+    one for ICC API calls (startService / startActivity / sendBroadcast) and
+    one for the ICC parameter (the [const-class] of the target component for
+    explicit ICC, or the action string for implicit ICC) — and keeps the ICC
+    calls whose enclosing method also contains a parameter hit. *)
+
+type icc_site = { caller : Ir.Jsig.meth; site : int; intent_local : string; }
+val icc_call_subsigs : string list
+
+(** Classes an ICC call may be declared against in the bytecode. *)
+val icc_receiver_classes : string list
+val icc_call_queries : unit -> Bytesearch.Query.t list
+
+(** First search: all ICC call sites in the app. *)
+val search_icc_calls : Bytesearch.Engine.t -> Bytesearch.Engine.hit list
+
+(** Second search: parameter hits for the target component. *)
+val search_icc_params :
+  Bytesearch.Engine.t ->
+  component:Manifest.Component.t -> Bytesearch.Engine.hit list
+
+(** Merge the two search results: an ICC call counts if its enclosing method
+    also contains a parameter hit.  Returns the matching call sites with the
+    Intent local recovered from the IR. *)
+val callers :
+  Bytesearch.Engine.t -> component:Manifest.Component.t -> icc_site list

@@ -1,0 +1,23 @@
+(** Special search over Android lifecycle handlers (Sec. IV-E).
+
+    When backtracking reaches a lifecycle handler: if the dataflow is already
+    complete, the handler is an entry method and no further search is needed.
+    Otherwise the domain-knowledge table of {!module:Manifest.Lifecycle}
+    gives the handlers that run earlier in the same component, which are
+    slicing continuations for residual field taints. *)
+
+(** Is [m] a lifecycle handler, i.e. does it override one of the four
+    component kinds' handler sub-signatures while its class descends from a
+    framework component class? *)
+val is_lifecycle_handler : Ir.Program.t -> Ir.Jsig.meth -> bool
+
+(** Is [m] an entry point: a lifecycle handler of a component registered in
+    the manifest?  Handlers of classes absent from the manifest are
+    deactivated code (the Amandroid false-positive class of Sec. VI-C). *)
+val is_entry :
+  Ir.Program.t -> Manifest.App_manifest.t -> Ir.Jsig.meth -> bool
+
+(** Earlier handlers of the same component class that can seed residual
+    state: the transitive predecessor closure, filtered to the handlers the
+    class actually defines. *)
+val predecessor_handlers : Ir.Program.t -> Ir.Jsig.meth -> Ir.Jsig.meth list

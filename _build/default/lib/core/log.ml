@@ -1,0 +1,12 @@
+(** Logging source for the BackDroid pipeline.  Enable with
+    [Logs.Src.set_level Backdroid.Log.src (Some Logs.Debug)] (the CLI's
+    [-v] flag does this) to watch the bytecode searches guide the backward
+    analysis step by step, as in the Fig. 3 / Fig. 4 walk-throughs. *)
+
+let src = Logs.Src.create "backdroid" ~doc:"BackDroid targeted analysis"
+
+module L = (val Logs.src_log src : Logs.LOG)
+
+let debug f = L.debug f
+let info f = L.info f
+let warn f = L.warn f

@@ -1,0 +1,10 @@
+(** Logging source for the BackDroid pipeline.  Enable with
+    [Logs.Src.set_level Log.src (Some Logs.Debug)] (the CLI's
+    [-v] flag does this) to watch the bytecode searches guide the backward
+    analysis step by step, as in the Fig. 3 / Fig. 4 walk-throughs. *)
+
+val src : Logs.src
+module L : Logs.LOG
+val debug : ('a, unit) Logs.msgf -> unit
+val info : ('a, unit) Logs.msgf -> unit
+val warn : ('a, unit) Logs.msgf -> unit

@@ -1,0 +1,96 @@
+(** The per-app SSG the paper plans as future work (Sec. V-A, Sec. VI-D):
+    the union of all per-sink SSGs of one app, deduplicated, so that no
+    matter how many sinks there are, only one partial-app graph has to be
+    kept. *)
+
+open Ir
+module Sinks = Framework.Sinks
+
+type t = {
+  sinks : (Sinks.t * Jsig.meth * int) list;
+      (** every sink occurrence folded into the graph *)
+  nodes : Ssg.unit_ list;
+  edges : Ssg.edge list;
+  entry_methods : Jsig.meth list;
+  static_track : Jsig.meth list;
+  reachable_sinks : int;
+}
+
+let edge_key (e : Ssg.edge) =
+  match e with
+  | Ssg.Call { caller; site; callee } ->
+    Printf.sprintf "call|%s|%d|%s" (Jsig.meth_to_string caller) site
+      (Jsig.meth_to_string callee)
+  | Ssg.Contained { caller; site; callee } ->
+    Printf.sprintf "cont|%s|%d|%s" (Jsig.meth_to_string caller) site
+      (Jsig.meth_to_string callee)
+  | Ssg.Async { caller; ctor_site; callee; _ } ->
+    Printf.sprintf "async|%s|%d|%s" (Jsig.meth_to_string caller) ctor_site
+      (Jsig.meth_to_string callee)
+  | Ssg.Icc { caller; site; handler } ->
+    Printf.sprintf "icc|%s|%d|%s" (Jsig.meth_to_string caller) site
+      (Jsig.meth_to_string handler)
+  | Ssg.Lifecycle { pre; handler } ->
+    Printf.sprintf "lc|%s|%s" (Jsig.meth_to_string pre)
+      (Jsig.meth_to_string handler)
+
+(** Merge per-sink SSGs into the per-app graph. *)
+let merge (ssgs : Ssg.t list) =
+  let node_seen = Hashtbl.create 256 in
+  let edge_seen = Hashtbl.create 128 in
+  let meth_seen = Hashtbl.create 32 in
+  let nodes = ref [] and edges = ref [] in
+  let entries = ref [] and statics = ref [] in
+  let add_meth store m =
+    let k = Jsig.meth_to_string m in
+    if not (Hashtbl.mem meth_seen (store, k)) then begin
+      Hashtbl.replace meth_seen (store, k) ();
+      (if store = "entry" then entries := m :: !entries
+       else statics := m :: !statics)
+    end
+  in
+  List.iter
+    (fun (ssg : Ssg.t) ->
+       List.iter
+         (fun (u : Ssg.unit_) ->
+            let k = (Jsig.meth_to_string u.meth, u.stmt_idx) in
+            if not (Hashtbl.mem node_seen k) then begin
+              Hashtbl.replace node_seen k ();
+              nodes := u :: !nodes
+            end)
+         ssg.nodes;
+       List.iter
+         (fun e ->
+            let k = edge_key e in
+            if not (Hashtbl.mem edge_seen k) then begin
+              Hashtbl.replace edge_seen k ();
+              edges := e :: !edges
+            end)
+         ssg.edges;
+       List.iter (add_meth "entry") ssg.entry_methods;
+       List.iter (add_meth "static") ssg.static_track)
+    ssgs;
+  { sinks =
+      List.map (fun (s : Ssg.t) -> (s.sink, s.sink_meth, s.sink_site)) ssgs;
+    nodes = List.rev !nodes;
+    edges = List.rev !edges;
+    entry_methods = List.rev !entries;
+    static_track = List.rev !statics;
+    reachable_sinks =
+      List.length (List.filter (fun (s : Ssg.t) -> s.reachable) ssgs) }
+
+let node_count t = List.length t.nodes
+let edge_count t = List.length t.edges
+
+let pp ppf t =
+  Fmt.pf ppf "per-app SSG: %d sinks (%d reachable), %d nodes, %d edges@."
+    (List.length t.sinks) t.reachable_sinks (node_count t) (edge_count t);
+  List.iter
+    (fun ((sink : Sinks.t), m, site) ->
+       Fmt.pf ppf "  sink %s at %s:%d@."
+         (Sinks.kind_to_string sink.Sinks.kind)
+         (Jsig.meth_to_string m) site)
+    t.sinks;
+  List.iter
+    (fun m -> Fmt.pf ppf "  entry %s@." (Jsig.meth_to_string m))
+    t.entry_methods

@@ -1,0 +1,21 @@
+(** The per-app SSG the paper plans as future work (Sec. V-A, Sec. VI-D):
+    the union of all per-sink SSGs of one app, deduplicated, so that no
+    matter how many sinks there are, only one partial-app graph has to be
+    kept. *)
+
+module Sinks = Framework.Sinks
+type t = {
+  sinks : (Sinks.t * Ir.Jsig.meth * int) list;
+  nodes : Ssg.unit_ list;
+  edges : Ssg.edge list;
+  entry_methods : Ir.Jsig.meth list;
+  static_track : Ir.Jsig.meth list;
+  reachable_sinks : int;
+}
+val edge_key : Ssg.edge -> string
+
+(** Merge per-sink SSGs into the per-app graph. *)
+val merge : Ssg.t list -> t
+val node_count : t -> int
+val edge_count : t -> int
+val pp : Format.formatter -> t -> unit

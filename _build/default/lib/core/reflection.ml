@@ -1,0 +1,138 @@
+(** DroidRA-style reflection resolution (the Sec. VII plan: "first resolve
+    reflection parameters using our on-the-fly backtracking and then directly
+    build caller edges").
+
+    The transform scans every app method for constant
+    [Class.forName] / [getMethod] / [Method.invoke] triples, resolves the
+    target method, and rewrites the reflective invocation into a direct call.
+    The app is then re-disassembled, so the ordinary initial sink search and
+    caller searches see the de-reflected call sites. *)
+
+open Ir
+module Api = Framework.Api
+
+(** Per-body constant tracking: which locals hold a resolved Class, and
+    which hold a resolved (class, method-name) pair. *)
+type tracking = {
+  strings : (string, string) Hashtbl.t;  (** local id -> string constant *)
+  classes : (string, string) Hashtbl.t;  (** local id -> class name *)
+  methods : (string, string * string) Hashtbl.t;
+      (** local id -> (class name, method name) *)
+}
+
+let resolve_target program cls name =
+  match Program.find_class program cls with
+  | None -> None
+  | Some c ->
+    List.find_opt
+      (fun (m : Jmethod.t) ->
+         String.equal m.msig.Jsig.name name && m.Jmethod.body <> None)
+      c.Jclass.methods
+
+(** Rewrite one body; returns the new body and the number of de-reflected
+    invocations. *)
+let transform_body program body =
+  let t =
+    { strings = Hashtbl.create 4; classes = Hashtbl.create 2;
+      methods = Hashtbl.create 2 }
+  in
+  let rewrites = ref 0 in
+  let rewrite_invoke (iv : Expr.invoke) =
+    if Jsig.meth_equal iv.callee Api.method_invoke then
+      match iv.base with
+      | Some b ->
+        (match Hashtbl.find_opt t.methods b.Value.id with
+         | Some (cls, name) ->
+           (match resolve_target program cls name with
+            | Some target when target.Jmethod.access.Jmethod.is_static ->
+              incr rewrites;
+              Some
+                { Expr.kind = Expr.Static; callee = target.Jmethod.msig;
+                  base = None; args = [] }
+            | Some _ | None -> None)
+         | None -> None)
+      | None -> None
+    else None
+  in
+  let new_body =
+    Array.map
+      (fun stmt ->
+         (* track the constants *)
+         (match stmt with
+          | Stmt.Assign (l, Expr.Imm (Value.Const (Value.Str_c s))) ->
+            Hashtbl.replace t.strings l.Value.id s
+          | Stmt.Assign (l, Expr.Invoke iv)
+            when Jsig.meth_equal iv.Expr.callee Api.class_for_name -> begin
+              match iv.Expr.args with
+              | [ Value.Const (Value.Str_c s) ] ->
+                Hashtbl.replace t.classes l.Value.id s
+              | [ Value.Local a ] ->
+                (match Hashtbl.find_opt t.strings a.Value.id with
+                 | Some s -> Hashtbl.replace t.classes l.Value.id s
+                 | None -> ())
+              | _ -> ()
+            end
+          | Stmt.Assign (l, Expr.Imm (Value.Const (Value.Class_c c))) ->
+            (* const-class literals resolve like forName *)
+            Hashtbl.replace t.classes l.Value.id c
+          | Stmt.Assign (l, Expr.Invoke iv)
+            when Jsig.meth_equal iv.Expr.callee Api.class_get_method -> begin
+              match iv.Expr.base, iv.Expr.args with
+              | Some b, [ arg ] ->
+                let name =
+                  match arg with
+                  | Value.Const (Value.Str_c s) -> Some s
+                  | Value.Local a -> Hashtbl.find_opt t.strings a.Value.id
+                  | Value.Const _ -> None
+                in
+                (match Hashtbl.find_opt t.classes b.Value.id, name with
+                 | Some cls, Some n ->
+                   Hashtbl.replace t.methods l.Value.id (cls, n)
+                 | _, _ -> ())
+              | _, _ -> ()
+            end
+          | _ -> ());
+         (* rewrite reflective invokes *)
+         match stmt with
+         | Stmt.Invoke iv ->
+           (match rewrite_invoke iv with
+            | Some direct -> Stmt.Invoke direct
+            | None -> stmt)
+         | Stmt.Assign (l, Expr.Invoke iv) ->
+           (match rewrite_invoke iv with
+            | Some direct -> Stmt.Assign (l, Expr.Invoke direct)
+            | None -> stmt)
+         | _ -> stmt)
+      body
+  in
+  new_body, !rewrites
+
+(** De-reflect a whole program.  Returns the transformed program and the
+    number of rewritten invocations (0 means the original program is
+    returned unchanged). *)
+let transform program =
+  let total = ref 0 in
+  let classes =
+    Program.fold_classes program
+      (fun c acc ->
+         if c.Jclass.is_system then c :: acc
+         else begin
+           let methods =
+             List.map
+               (fun (m : Jmethod.t) ->
+                  match m.Jmethod.body with
+                  | None -> m
+                  | Some body ->
+                    let body', n = transform_body program body in
+                    if n = 0 then m
+                    else begin
+                      total := !total + n;
+                      { m with Jmethod.body = Some body' }
+                    end)
+               c.Jclass.methods
+           in
+           { c with Jclass.methods } :: acc
+         end)
+      []
+  in
+  if !total = 0 then program, 0 else Program.of_classes classes, !total

@@ -1,0 +1,30 @@
+(** DroidRA-style reflection resolution (the Sec. VII plan: "first resolve
+    reflection parameters using our on-the-fly backtracking and then directly
+    build caller edges").
+
+    The transform scans every app method for constant
+    [Class.forName] / [getMethod] / [Method.invoke] triples, resolves the
+    target method, and rewrites the reflective invocation into a direct call.
+    The app is then re-disassembled, so the ordinary initial sink search and
+    caller searches see the de-reflected call sites. *)
+
+module Api = Framework.Api
+
+(** Per-body constant tracking: which locals hold a resolved Class, and
+    which hold a resolved (class, method-name) pair. *)
+type tracking = {
+  strings : (string, string) Hashtbl.t;
+  classes : (string, string) Hashtbl.t;
+  methods : (string, string * string) Hashtbl.t;
+}
+val resolve_target :
+  Ir.Program.t -> string -> String.t -> Ir.Jmethod.t option
+
+(** Rewrite one body; returns the new body and the number of de-reflected
+    invocations. *)
+val transform_body : Ir.Program.t -> Ir.Stmt.t array -> Ir.Stmt.t array * int
+
+(** De-reflect a whole program.  Returns the transformed program and the
+    number of rewritten invocations (0 means the original program is
+    returned unchanged). *)
+val transform : Ir.Program.t -> Ir.Program.t * int

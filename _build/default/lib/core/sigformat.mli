@@ -1,0 +1,18 @@
+(** Signature translation between the program-analysis space (Soot-style IR
+    signatures) and the bytecode-search space (dexdump format) — steps 1 and
+    3 of the basic search walk-through in Fig. 3. *)
+
+(** Step 1: IR method signature → dexdump search signature. *)
+val to_dex_meth : Ir.Jsig.meth -> string
+
+(** Step 3: dexdump signature (as found by the search) → IR signature, ready
+    for method-body lookup in the program space. *)
+val of_dex_meth : string -> Ir.Jsig.meth
+val to_dex_field : Ir.Jsig.field -> string
+val of_dex_field : string -> Ir.Jsig.field
+val to_dex_class : string -> string
+val of_dex_class : string -> string
+
+(** Search signature for the same method relocated onto another class (used
+    for child-class searches). *)
+val to_dex_meth_on_class : Ir.Jsig.meth -> string -> string

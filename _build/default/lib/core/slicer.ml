@@ -1,0 +1,747 @@
+(** The adjusted backward slicing (Sec. V-A): starting at a sink API call,
+    taint the security-relevant parameter and scan method bodies backwards,
+    crossing method boundaries through the bytecode searches of Sec. IV and
+    recording every visited statement and inter-procedural relationship into
+    the SSG.
+
+    Taints cover locals, instance fields (tainting the class object along
+    with the field, so aliases and method boundaries are survived), Intent
+    extras (keyed like fields) and static fields (a global set).  Contained
+    methods — constructors writing tainted fields, and calls whose return
+    value is tainted — are analysed by recursive sub-slices whose residual
+    taints are mapped back to the call site. *)
+
+open Ir
+module Sinks = Framework.Sinks
+
+type config = {
+  max_depth : int;      (** inter-procedural backtracking depth *)
+  max_work : int;       (** total work items per sink *)
+  max_contained_depth : int;
+}
+
+let default_config = { max_depth = 48; max_work = 4000; max_contained_depth = 8 }
+
+(* ------------------------------------------------------------------ *)
+(* Taint sets                                                           *)
+
+type taints = {
+  locals : (string, unit) Hashtbl.t;
+  fields : (string, Jsig.field) Hashtbl.t;
+      (** key: [objid ^ "#" ^ field signature] *)
+  intents : (string * string, unit) Hashtbl.t;  (** (obj id, extra key) *)
+  mutable settled : residual_acc list;
+      (** residuals settled during the scan, at identity statements *)
+}
+
+and residual_acc = R_acc_param of int | R_acc_this
+
+let fresh_taints () =
+  { locals = Hashtbl.create 8; fields = Hashtbl.create 4;
+    intents = Hashtbl.create 2; settled = [] }
+
+let field_key obj (f : Jsig.field) = obj ^ "#" ^ Jsig.field_to_string f
+
+let taint_local t id = Hashtbl.replace t.locals id ()
+let untaint_local t id = Hashtbl.remove t.locals id
+let local_tainted t id = Hashtbl.mem t.locals id
+
+let taint_field t obj f =
+  Hashtbl.replace t.fields (field_key obj f) f;
+  (* the paper also taints the class object itself *)
+  taint_local t obj
+
+let untaint_field t obj f = Hashtbl.remove t.fields (field_key obj f)
+let field_tainted t obj f = Hashtbl.mem t.fields (field_key obj f)
+
+(** Fields tainted on a given object local. *)
+let fields_of t obj =
+  Hashtbl.fold
+    (fun k f acc ->
+       match String.index_opt k '#' with
+       | Some i when String.sub k 0 i = obj -> f :: acc
+       | Some _ | None -> acc)
+    t.fields []
+
+let taint_intent t obj key =
+  Hashtbl.replace t.intents (obj, key) ();
+  (* track the carrying object as well, mirroring the field rule *)
+  Hashtbl.replace t.locals obj ()
+let untaint_intent t obj key = Hashtbl.remove t.intents (obj, key)
+let intent_keys_of t obj =
+  Hashtbl.fold (fun (o, k) () acc -> if o = obj then k :: acc else acc)
+    t.intents []
+
+let is_empty t =
+  Hashtbl.length t.locals = 0 && Hashtbl.length t.fields = 0
+  && Hashtbl.length t.intents = 0
+
+(** Transfer all taints attached to alias [dst] onto [src] (processing a
+    backward copy [dst := src]). *)
+let transfer_alias t ~dst ~src =
+  if local_tainted t dst then begin
+    untaint_local t dst;
+    taint_local t src
+  end;
+  List.iter (fun f -> untaint_field t dst f; taint_field t src f) (fields_of t dst);
+  List.iter
+    (fun k -> untaint_intent t dst k; taint_intent t src k)
+    (intent_keys_of t dst)
+
+(* ------------------------------------------------------------------ *)
+(* Residual taints at method entry                                      *)
+
+type residual =
+  | R_param of int
+  | R_param_field of int * Jsig.field
+  | R_this
+  | R_this_field of Jsig.field
+  | R_intent of int * string
+      (** Intent extra: parameter index ([-1] = the component's launching
+          Intent, from [getIntent()]) and extra key *)
+
+(* ------------------------------------------------------------------ *)
+(* Slicer state                                                         *)
+
+type state = {
+  engine : Bytesearch.Engine.t;
+  program : Program.t;
+  manifest : Manifest.App_manifest.t;
+  loops : Loopdetect.stats;
+  cfg : config;
+  ssg : Ssg.t;
+  reach_cache : (string, bool) Hashtbl.t;  (** shared across sinks (Sec. IV-F) *)
+  reach_total : int ref;
+  reach_cached : int ref;
+  mutable work_count : int;
+}
+
+let getintent_marker = "<launching-intent>"
+
+let record st meth idx stmt = ignore (Ssg.add_node st.ssg ~meth ~stmt_idx:idx ~stmt)
+
+(** Quick backward lookup of a string constant for [v] (used to resolve
+    Intent extra keys at [getStringExtra]/[putExtra] sites). *)
+let resolve_string_const body idx (v : Value.t) =
+  match v with
+  | Value.Const (Value.Str_c s) -> Some s
+  | Value.Const _ -> None
+  | Value.Local l ->
+    let rec back i =
+      if i < 0 then None
+      else
+        match body.(i) with
+        | Stmt.Assign (d, Expr.Imm (Value.Const (Value.Str_c s)))
+          when Value.local_equal d l -> Some s
+        | _ -> back (i - 1)
+    in
+    back (idx - 1)
+
+let is_system_class st cls =
+  match Program.find_class st.program cls with
+  | Some c -> c.Jclass.is_system
+  | None -> true
+
+(* ------------------------------------------------------------------ *)
+(* Backward scan of one method body                                     *)
+
+(** Scan [meth]'s body backward from [from_idx], transforming [t] in place
+    and recording SSG nodes.  Returns the residual taints at method entry.
+    [path] carries the methods on the current backtracking chain for loop
+    detection; [cdepth] bounds contained-method recursion. *)
+let rec scan st ~path ~cdepth (meth : Jsig.meth) body ~from_idx t =
+  let idx = ref (min from_idx (Array.length body - 1)) in
+  while !idx >= 0 do
+    let stmt = body.(!idx) in
+    (match stmt with
+     | Stmt.Assign (l, Expr.Param i) when local_tainted t l.Value.id ->
+       (* identity statement: the tainted local IS the parameter — settle it
+          as a residual for the caller mapping *)
+       untaint_local t l.Value.id;
+       record st meth !idx stmt;
+       Ssg.record_taint st.ssg ~meth l.Value.id;
+       t.settled <- R_acc_param i :: t.settled
+     | Stmt.Assign (l, Expr.This) when local_tainted t l.Value.id ->
+       untaint_local t l.Value.id;
+       record st meth !idx stmt;
+       Ssg.record_taint st.ssg ~meth l.Value.id;
+       t.settled <- R_acc_this :: t.settled
+     | Stmt.Assign (l, e) when local_tainted t l.Value.id ->
+       untaint_local t l.Value.id;
+       record st meth !idx stmt;
+       Ssg.record_taint st.ssg ~meth l.Value.id;
+       process_def st ~path ~cdepth meth body !idx t l e
+     | Stmt.Assign (l, Expr.Imm (Value.Local x))
+       when fields_of t l.Value.id <> [] || intent_keys_of t l.Value.id <> [] ->
+       (* alias copy: move attached field / intent taints to the source *)
+       record st meth !idx stmt;
+       transfer_alias t ~dst:l.Value.id ~src:x.Value.id
+     | Stmt.Assign (l, Expr.Cast (_, Value.Local x))
+       when fields_of t l.Value.id <> [] || intent_keys_of t l.Value.id <> [] ->
+       record st meth !idx stmt;
+       transfer_alias t ~dst:l.Value.id ~src:x.Value.id
+     | Stmt.Instance_put (o, f, v) when field_tainted t o.Value.id f ->
+       record st meth !idx stmt;
+       untaint_field t o.Value.id f;
+       (* drop the object taint when no other tainted field remains *)
+       if fields_of t o.Value.id = [] && intent_keys_of t o.Value.id = [] then
+         untaint_local t o.Value.id;
+       taint_value t v
+     | Stmt.Static_put (f, v)
+       when List.exists (Jsig.field_equal f) st.ssg.Ssg.global_static_taints ->
+       record st meth !idx stmt;
+       Ssg.remove_global_static_taint st.ssg f;
+       taint_value t v
+     | Stmt.Array_put (a, _i, v) when local_tainted t a.Value.id ->
+       (* arrays are handled like fields: the store feeds the tainted array *)
+       record st meth !idx stmt;
+       taint_value t v
+     | Stmt.Invoke iv ->
+       process_plain_invoke st ~path ~cdepth meth body !idx t iv
+     | Stmt.Assign _ | Stmt.Instance_put _ | Stmt.Static_put _
+     | Stmt.Array_put _ | Stmt.Return _ | Stmt.If _ | Stmt.Goto _
+     | Stmt.Throw _ | Stmt.Nop -> ());
+    decr idx
+  done;
+  residuals_of st meth t
+
+and taint_value t = function
+  | Value.Local l -> taint_local t l.Value.id
+  | Value.Const _ -> ()
+
+(** Transfer for a tainted definition [l := e]. *)
+and process_def st ~path ~cdepth meth body idx t l e =
+  match e with
+  | Expr.Imm (Value.Local x) -> taint_local t x.Value.id
+  | Expr.Imm (Value.Const _) -> ()
+  | Expr.Binop (_, a, b) -> taint_value t a; taint_value t b
+  | Expr.Cast (_, v) -> taint_value t v
+  | Expr.Phi ls -> List.iter (fun x -> taint_local t x.Value.id) ls
+  | Expr.New _ | Expr.New_array _ -> ()  (* points-to origin: a leaf *)
+  | Expr.Length v -> taint_value t v
+  | Expr.Array_get (a, _) -> taint_local t a.Value.id
+  | Expr.Instance_get (o, f) -> taint_field t o.Value.id f
+  | Expr.Static_get f ->
+    Ssg.add_global_static_taint st.ssg f;
+    locate_static_writers st ~path ~cdepth f
+  | Expr.Param _ | Expr.This | Expr.Caught_exception -> ()
+  | Expr.Invoke iv -> process_result_invoke st ~path ~cdepth meth body idx t l iv
+
+(** A call whose result is tainted ([l] is the result local). *)
+and process_result_invoke st ~path ~cdepth meth body idx t l (iv : Expr.invoke) =
+  let callee = iv.callee in
+  if Jsig.meth_equal callee Framework.Api.intent_get_string_extra then begin
+    match iv.base, resolve_string_const body idx (List.nth iv.args 0) with
+    | Some b, Some key -> taint_intent t b.Value.id key
+    | Some b, None -> taint_local t b.Value.id
+    | None, _ -> ()
+  end
+  else if Jsig.meth_equal callee Framework.Api.activity_get_intent then
+    (* the result is the component's launching Intent: re-key any extra-key
+       taints of the result local onto the marker so they surface as
+       R_intent (-1, _) residuals *)
+    List.iter
+      (fun key ->
+         untaint_intent t l.Value.id key;
+         taint_intent t getintent_marker key)
+      (intent_keys_of t l.Value.id)
+  else if is_system_class st callee.Jsig.cls then begin
+    (* generic framework model: result depends on receiver and arguments *)
+    (match iv.base with Some b -> taint_local t b.Value.id | None -> ());
+    List.iter (taint_value t) iv.args
+  end
+  else begin
+    (* contained app method: trace its return values by sub-slice *)
+    match Program.find_method st.program callee with
+    | None | Some { Jmethod.body = None; _ } ->
+      (match iv.base with Some b -> taint_local t b.Value.id | None -> ());
+      List.iter (taint_value t) iv.args
+    | Some callee_m ->
+      if cdepth >= st.cfg.max_contained_depth then ()
+      else if Loopdetect.on_path path callee then
+        Loopdetect.record st.loops Loopdetect.Inner_backward
+      else begin
+        Ssg.add_edge st.ssg
+          (Ssg.Contained { caller = meth; site = idx; callee });
+        let cbody = Option.get callee_m.Jmethod.body in
+        let ct = fresh_taints () in
+        Array.iter
+          (fun s ->
+             match s with
+             | Stmt.Return (Some (Value.Local l)) -> taint_local ct l.Value.id
+             | _ -> ())
+          cbody;
+        let res =
+          scan st ~path:(callee :: path) ~cdepth:(cdepth + 1) callee cbody
+            ~from_idx:(Array.length cbody - 1) ct
+        in
+        apply_residuals_at_site st t iv res
+      end
+  end
+
+(** A plain (result-less) invocation: constructor field mapping, Intent
+    [putExtra], or a contained call touching tainted object fields. *)
+and process_plain_invoke st ~path ~cdepth meth _body idx t (iv : Expr.invoke) =
+  let callee = iv.callee in
+  match iv.base with
+  | Some b
+    when Jsig.meth_equal callee Framework.Api.intent_put_extra
+      || (String.equal callee.Jsig.name "putExtra"
+          && String.equal callee.Jsig.cls "android.content.Intent") ->
+    (match iv.args with
+     | [ k; v ] ->
+       (match resolve_string_const _body idx k with
+        | Some key when Hashtbl.mem t.intents (b.Value.id, key) ->
+          record st meth idx (Stmt.Invoke iv);
+          untaint_intent t b.Value.id key;
+          taint_value t v
+        | Some _ | None -> ())
+     | _ -> ())
+  | Some b
+    when (fields_of t b.Value.id <> [] || intent_keys_of t b.Value.id <> [])
+         && not (is_system_class st callee.Jsig.cls) ->
+    (* contained method (constructor or setter) that may define the tainted
+       fields of the receiver *)
+    (match Program.find_method st.program callee with
+     | None | Some { Jmethod.body = None; _ } -> ()
+     | Some callee_m ->
+       if cdepth >= st.cfg.max_contained_depth then ()
+       else if Loopdetect.on_path path callee then
+         Loopdetect.record st.loops Loopdetect.Inner_backward
+       else begin
+         record st meth idx (Stmt.Invoke iv);
+         Ssg.add_edge st.ssg (Ssg.Contained { caller = meth; site = idx; callee });
+         let cbody = Option.get callee_m.Jmethod.body in
+         let ct = fresh_taints () in
+         (match Jmethod.this_local callee_m with
+          | Some this_l ->
+            List.iter (fun f -> taint_field ct this_l.Value.id f)
+              (fields_of t b.Value.id)
+          | None -> ());
+         let res =
+           scan st ~path:(callee :: path) ~cdepth:(cdepth + 1) callee cbody
+             ~from_idx:(Array.length cbody - 1) ct
+         in
+         (* the callee resolved (or re-mapped) the fields it defines *)
+         List.iter
+           (fun f ->
+              match
+                List.find_opt
+                  (function
+                    | R_this_field f' -> Jsig.field_equal f f'
+                    | _ -> false)
+                  res
+              with
+              | Some _ -> ()  (* still unresolved inside callee: keep taint *)
+              | None -> untaint_field t b.Value.id f)
+           (fields_of t b.Value.id);
+         apply_residuals_at_site st t iv res
+       end)
+  | Some _ | None -> ()
+
+(** Map a contained sub-slice's residuals back onto the call-site values. *)
+and apply_residuals_at_site st t (iv : Expr.invoke) res =
+  List.iter
+    (fun r ->
+       match r with
+       | R_param i ->
+         (match List.nth_opt iv.args i with
+          | Some v -> taint_value t v
+          | None -> ())
+       | R_param_field (i, f) ->
+         (match List.nth_opt iv.args i with
+          | Some (Value.Local l) -> taint_field t l.Value.id f
+          | Some (Value.Const _) | None -> ())
+       | R_this ->
+         (match iv.base with Some b -> taint_local t b.Value.id | None -> ())
+       | R_this_field f ->
+         (match iv.base with Some b -> taint_field t b.Value.id f | None -> ())
+       | R_intent (i, key) ->
+         (match List.nth_opt iv.args i with
+          | Some (Value.Local l) -> taint_intent t l.Value.id key
+          | Some (Value.Const _) | None -> ()))
+    res;
+  ignore st
+
+(** Static-field search (Sec. V-A): capture the methods that write a newly
+    tainted static field, so only matching contained methods are analysed;
+    writers that are [<clinit>]s join the SSG's static track. *)
+and locate_static_writers st ~path ~cdepth f =
+  ignore path;
+  ignore cdepth;
+  let hits =
+    Bytesearch.Engine.run st.engine
+      (Bytesearch.Query.Static_field_access (Sigformat.to_dex_field f))
+  in
+  List.iter
+    (fun (h : Bytesearch.Engine.hit) ->
+       if Jsig.is_clinit h.owner then Ssg.add_static_track st.ssg h.owner)
+    hits
+
+(** Compute the residual taints once the scan reaches the method entry. *)
+and residuals_of st meth t =
+  let m = Program.find_method st.program meth in
+  match m with
+  | None -> []
+  | Some m ->
+    let this_id =
+      match Jmethod.this_local m with Some l -> Some l.Value.id | None -> None
+    in
+    let param_ids =
+      List.mapi (fun i ty -> ignore ty; (i, Jmethod.param_local m i))
+        m.Jmethod.msig.Jsig.params
+      |> List.filter_map (fun (i, l) ->
+          match l with Some l -> Some (i, l.Value.id) | None -> None)
+    in
+    let param_index id =
+      List.find_opt (fun (_, pid) -> String.equal pid id) param_ids
+      |> Option.map fst
+    in
+    let acc = ref [] in
+    Hashtbl.iter
+      (fun id () ->
+         if Some id = this_id then acc := R_this :: !acc
+         else
+           match param_index id with
+           | Some i -> acc := R_param i :: !acc
+           | None -> ())
+      t.locals;
+    Hashtbl.iter
+      (fun key f ->
+         match String.index_opt key '#' with
+         | None -> ()
+         | Some i ->
+           let id = String.sub key 0 i in
+           if Some id = this_id then acc := R_this_field f :: !acc
+           else
+             match param_index id with
+             | Some pi -> acc := R_param_field (pi, f) :: !acc
+             | None -> ())
+      t.fields;
+    Hashtbl.iter
+      (fun (id, k) () ->
+         if id = getintent_marker then acc := R_intent (-1, k) :: !acc
+         else
+           match param_index id with
+           | Some i -> acc := R_intent (i, k) :: !acc
+           | None -> ())
+      t.intents;
+    List.iter
+      (fun r ->
+         match r with
+         | R_acc_param i ->
+           if not (List.mem (R_param i) !acc) then acc := R_param i :: !acc
+         | R_acc_this ->
+           if not (List.mem R_this !acc) then acc := R_this :: !acc)
+      t.settled;
+    ignore st;
+    !acc
+
+(* ------------------------------------------------------------------ *)
+(* Inter-procedural backtracking                                        *)
+
+type work = {
+  w_meth : Jsig.meth;
+  w_from : int;
+  w_taints : taints;
+  w_path : Jsig.meth list;
+  w_depth : int;
+}
+
+(** Memoized control-flow reachability of a method from registered entry
+    points — this is both the tail of every empty-taint backtracking path and
+    the paper's sink-API-call cache (Sec. IV-F).  Successful paths record
+    their inter-procedural edges and entry methods into the SSG so the
+    forward analysis can replay them. *)
+let rec method_reachable st path (m : Jsig.meth) =
+  let key = Jsig.meth_to_string m in
+  incr st.reach_total;
+  match Hashtbl.find_opt st.reach_cache key with
+  | Some r ->
+    incr st.reach_cached;
+    if r then note_entry_if_needed st m;
+    r
+  | None ->
+    if Loopdetect.on_path path m then begin
+      Loopdetect.record st.loops Loopdetect.Cross_backward;
+      false
+    end
+    else if List.length path > st.cfg.max_depth then false
+    else begin
+      let r = compute_reachable st (m :: path) m in
+      Hashtbl.replace st.reach_cache key r;
+      r
+    end
+
+and note_entry_if_needed st m =
+  if Lifecycle_search.is_entry st.program st.manifest m then
+    Ssg.add_entry st.ssg m
+
+and compute_reachable st path (m : Jsig.meth) =
+  if Lifecycle_search.is_entry st.program st.manifest m then begin
+    Ssg.add_entry st.ssg m;
+    true
+  end
+  else
+    match Dispatch.classify st.program m with
+    | Dispatch.Lifecycle ->
+      (* a lifecycle handler of an unregistered component: deactivated *)
+      false
+    | Dispatch.Clinit ->
+      let ok, _chain = Clinit_search.clinit_reachable st.engine st.manifest m in
+      if ok then Ssg.add_entry st.ssg m;
+      ok
+    | Dispatch.Basic ->
+      List.exists
+        (fun (cs : Basic_search.call_site) ->
+           let r = method_reachable st path cs.caller in
+           if r then
+             Ssg.add_edge st.ssg
+               (Ssg.Call { caller = cs.caller; site = cs.site; callee = m });
+           r)
+        (Basic_search.callers st.engine m)
+    | Dispatch.Advanced ->
+      List.exists
+        (fun (ac : Object_taint.advanced_caller) ->
+           let r = method_reachable st path ac.caller in
+           if r then
+             Ssg.add_edge st.ssg
+               (Ssg.Async
+                  { caller = ac.caller; ctor_site = ac.obj_site;
+                    ctor_local = ac.obj_local; callee = m; chain = ac.chain;
+                    ending = ac.ending });
+           r)
+        (Object_taint.advanced_callers st.engine st.loops m)
+
+(** Continue backtracking from the entry of [w.w_meth] given its residual
+    taints, pushing new work items onto [queue]. *)
+let continue_to_callers st queue (w : work) res =
+  let m = w.w_meth in
+  Log.debug (fun l ->
+      l "entry of %s: %d residual taints, strategy %s"
+        (Jsig.meth_to_string m) (List.length res)
+        (Dispatch.to_string (Dispatch.classify st.program m)));
+  let push meth from taints =
+    if st.work_count < st.cfg.max_work && List.length w.w_path <= st.cfg.max_depth
+    then begin
+      st.work_count <- st.work_count + 1;
+      Queue.add
+        { w_meth = meth; w_from = from; w_taints = taints;
+          w_path = m :: w.w_path; w_depth = w.w_depth + 1 }
+        queue
+    end
+  in
+  let guard_path callee k =
+    if Loopdetect.on_path w.w_path callee then
+      Loopdetect.record st.loops Loopdetect.Cross_backward
+    else k ()
+  in
+  let has_intent_res =
+    List.exists (function R_intent _ -> true | _ -> false) res
+  in
+  if res = [] then begin
+    (* dataflow fully resolved: only control-flow reachability remains *)
+    if method_reachable st w.w_path m then st.ssg.Ssg.reachable <- true
+  end
+  else if has_intent_res && Lifecycle_search.is_lifecycle_handler st.program m
+  then begin
+    (* ICC boundary: the residual data lives in the launching Intent *)
+    match Manifest.App_manifest.find_component st.manifest m.Jsig.cls with
+    | None -> ()  (* unregistered component: path invalid *)
+    | Some component ->
+      let sites = Icc_search.callers st.engine ~component in
+      List.iter
+        (fun (site : Icc_search.icc_site) ->
+           guard_path site.caller (fun () ->
+               Ssg.add_edge st.ssg
+                 (Ssg.Icc { caller = site.caller; site = site.site; handler = m });
+               let t = fresh_taints () in
+               List.iter
+                 (function
+                   | R_intent (_, key) -> taint_intent t site.intent_local key
+                   | R_param _ | R_param_field _ | R_this | R_this_field _ -> ())
+                 res;
+               push site.caller (site.site - 1) t))
+        sites
+  end
+  else if Lifecycle_search.is_lifecycle_handler st.program m then begin
+    if Manifest.App_manifest.is_entry_class st.manifest m.Jsig.cls then begin
+      Ssg.add_entry st.ssg m;
+      let this_fields =
+        List.filter_map (function R_this_field f -> Some f | _ -> None) res
+      in
+      if this_fields = [] then
+        (* residual params are framework-provided: flow complete *)
+        st.ssg.Ssg.reachable <- true
+      else begin
+        (* search earlier handlers of the same component for the fields *)
+        let preds = Lifecycle_search.predecessor_handlers st.program m in
+        if preds = [] then st.ssg.Ssg.reachable <- true
+        else
+          List.iter
+            (fun pre ->
+               guard_path pre (fun () ->
+                   Ssg.add_edge st.ssg (Ssg.Lifecycle { pre; handler = m });
+                   match Program.find_method st.program pre with
+                   | Some { Jmethod.body = Some body; _ } as mo ->
+                     let t = fresh_taints () in
+                     (match Option.get mo |> Jmethod.this_local with
+                      | Some this_l ->
+                        List.iter (fun f -> taint_field t this_l.Value.id f)
+                          this_fields
+                      | None -> ());
+                     push pre (Array.length body - 1) t
+                   | Some { Jmethod.body = None; _ } | None -> ()))
+            preds
+      end
+    end
+    (* else: unregistered component — path invalid *)
+  end
+  else
+    match Dispatch.classify st.program m with
+    | Dispatch.Clinit ->
+      (* no dataflow crosses a <clinit>; only reachability matters, and
+         remaining static-field taints resolve off-path *)
+      let ok, _ = Clinit_search.clinit_reachable st.engine st.manifest m in
+      if ok then begin
+        Ssg.add_entry st.ssg m;
+        st.ssg.Ssg.reachable <- true
+      end
+    | Dispatch.Lifecycle -> ()  (* handled above *)
+    | Dispatch.Basic ->
+      List.iter
+        (fun (cs : Basic_search.call_site) ->
+           guard_path cs.caller (fun () ->
+               Ssg.add_edge st.ssg
+                 (Ssg.Call { caller = cs.caller; site = cs.site; callee = m });
+               let t = fresh_taints () in
+               List.iter
+                 (fun r ->
+                    match r with
+                    | R_param i ->
+                      (match List.nth_opt cs.invoke.Expr.args i with
+                       | Some (Value.Local l) -> taint_local t l.Value.id
+                       | Some (Value.Const _) | None -> ())
+                    | R_param_field (i, f) ->
+                      (match List.nth_opt cs.invoke.Expr.args i with
+                       | Some (Value.Local l) -> taint_field t l.Value.id f
+                       | Some (Value.Const _) | None -> ())
+                    | R_this ->
+                      (match cs.invoke.Expr.base with
+                       | Some b -> taint_local t b.Value.id
+                       | None -> ())
+                    | R_this_field f ->
+                      (match cs.invoke.Expr.base with
+                       | Some b -> taint_field t b.Value.id f
+                       | None -> ())
+                    | R_intent (i, key) ->
+                      (match List.nth_opt cs.invoke.Expr.args i with
+                       | Some (Value.Local l) -> taint_intent t l.Value.id key
+                       | Some (Value.Const _) | None -> ()))
+                 res;
+               push cs.caller (cs.site - 1) t))
+        (Basic_search.callers st.engine m)
+    | Dispatch.Advanced ->
+      List.iter
+        (fun (ac : Object_taint.advanced_caller) ->
+           guard_path ac.caller (fun () ->
+               Ssg.add_edge st.ssg
+                 (Ssg.Async
+                    { caller = ac.caller; ctor_site = ac.obj_site;
+                      ctor_local = ac.obj_local; callee = m; chain = ac.chain;
+                      ending = ac.ending });
+               (* this-side residuals map onto the constructor object in the
+                  chain head; the whole head body is rescanned since fields
+                  may be written anywhere before the callback fires *)
+               let this_fields =
+                 List.filter_map
+                   (function R_this_field f -> Some f | _ -> None)
+                   res
+               in
+               let this_res = List.exists (function R_this -> true | _ -> false) res in
+               (match Program.find_method st.program ac.caller with
+                | Some { Jmethod.body = Some body; _ } ->
+                  let t = fresh_taints () in
+                  List.iter (fun f -> taint_field t ac.obj_local f) this_fields;
+                  if this_res then taint_local t ac.obj_local;
+                  if not (is_empty t) then push ac.caller (Array.length body - 1) t
+                  else if method_reachable st w.w_path ac.caller then
+                    st.ssg.Ssg.reachable <- true
+                | Some { Jmethod.body = None; _ } | None -> ());
+               (* parameter residuals map at an app-level ending call *)
+               (match ac.ending_invoke with
+                | Some iv ->
+                  let t = fresh_taints () in
+                  List.iter
+                    (fun r ->
+                       match r with
+                       | R_param i ->
+                         (match List.nth_opt iv.Expr.args i with
+                          | Some (Value.Local l) -> taint_local t l.Value.id
+                          | Some (Value.Const _) | None -> ())
+                       | R_param_field (i, f) ->
+                         (match List.nth_opt iv.Expr.args i with
+                          | Some (Value.Local l) -> taint_field t l.Value.id f
+                          | Some (Value.Const _) | None -> ())
+                       | R_this | R_this_field _ | R_intent _ -> ())
+                    res;
+                  if not (is_empty t) then
+                    push ac.ending_in (ac.ending_site - 1) t
+                | None ->
+                  (* framework ending: callee params are framework inputs *)
+                  ())))
+        (Object_taint.advanced_callers st.engine st.loops m)
+
+(** Resolve still-untainted static fields by adding their classes'
+    [<clinit>] methods to the SSG's static track (off-path static
+    initializers, Sec. V-A). *)
+let add_off_path_clinits st =
+  List.iter
+    (fun (f : Jsig.field) ->
+       match Program.find_class st.program f.Jsig.fcls with
+       | Some c ->
+         (match Jclass.clinit c with
+          | Some clinit -> Ssg.add_static_track st.ssg clinit.Jmethod.msig
+          | None -> ())
+       | None -> ())
+    st.ssg.Ssg.global_static_taints
+
+(** Slice one sink API call occurrence, producing its SSG. *)
+let slice ~engine ~manifest ~loops ~reach_cache ~reach_total ~reach_cached
+    ?(cfg = default_config) ~(sink : Sinks.t) ~sink_meth ~sink_site () =
+  let program = Bytesearch.Engine.program engine in
+  let ssg = Ssg.create ~sink ~sink_meth ~sink_site in
+  let st =
+    { engine; program; manifest; loops; cfg; ssg; reach_cache; reach_total;
+      reach_cached; work_count = 0 }
+  in
+  (match Program.find_method program sink_meth with
+   | Some { Jmethod.body = Some body; _ } when sink_site < Array.length body ->
+     let stmt = body.(sink_site) in
+     record st sink_meth sink_site stmt;
+     let t = fresh_taints () in
+     (match Stmt.invoke stmt with
+      | Some iv ->
+        (match List.nth_opt iv.Expr.args sink.Sinks.param_index with
+         | Some (Value.Local l) -> taint_local t l.Value.id
+         | Some (Value.Const _) | None -> ())
+      | None -> ());
+     let queue = Queue.create () in
+     Queue.add
+       { w_meth = sink_meth; w_from = sink_site - 1; w_taints = t;
+         w_path = []; w_depth = 0 }
+       queue;
+     while not (Queue.is_empty queue) do
+       let w = Queue.pop queue in
+       match Program.find_method program w.w_meth with
+       | Some { Jmethod.body = Some body; _ } ->
+         let res =
+           scan st ~path:(w.w_meth :: w.w_path) ~cdepth:0 w.w_meth body
+             ~from_idx:w.w_from w.w_taints
+         in
+         continue_to_callers st queue w res
+       | Some { Jmethod.body = None; _ } | None -> ()
+     done;
+     add_off_path_clinits st
+   | Some { Jmethod.body = None; _ } | Some _ | None -> ());
+  ssg

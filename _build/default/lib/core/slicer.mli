@@ -1,0 +1,38 @@
+(** The adjusted backward slicing (Sec. V-A): starting at a sink API call,
+    taint the security-relevant parameter and scan method bodies backwards,
+    crossing method boundaries through the bytecode searches of Sec. IV and
+    recording every visited statement and inter-procedural relationship into
+    the SSG.
+
+    Taints cover locals, instance fields (tainting the class object along
+    with the field, so aliases and method boundaries are survived), Intent
+    extras (keyed like fields) and static fields (a global set).  Contained
+    methods — constructors writing tainted fields, and calls whose return
+    value is tainted — are analysed by recursive sub-slices whose residual
+    taints are mapped back to the call site. *)
+
+type config = {
+  max_depth : int;            (** inter-procedural backtracking depth *)
+  max_work : int;             (** total work items per sink *)
+  max_contained_depth : int;  (** contained-method sub-slice recursion *)
+}
+
+val default_config : config
+
+(** Slice one sink API call occurrence, producing its SSG.  The
+    [reach_cache] (with its hit counters) is shared across the sinks of one
+    app — it implements the sink-API-call caching of Sec. IV-F; [loops]
+    accumulates the dead-loop statistics. *)
+val slice :
+  engine:Bytesearch.Engine.t ->
+  manifest:Manifest.App_manifest.t ->
+  loops:Loopdetect.stats ->
+  reach_cache:(string, bool) Hashtbl.t ->
+  reach_total:int ref ->
+  reach_cached:int ref ->
+  ?cfg:config ->
+  sink:Framework.Sinks.t ->
+  sink_meth:Ir.Jsig.meth ->
+  sink_site:int ->
+  unit ->
+  Ssg.t

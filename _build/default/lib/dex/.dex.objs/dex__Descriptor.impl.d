@@ -1,0 +1,1 @@
+lib/dex/descriptor.ml: Ir List Printf String

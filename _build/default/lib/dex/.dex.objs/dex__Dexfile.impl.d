@@ -1,0 +1,1 @@
+lib/dex/dexfile.ml: Array Buffer Disasm Ir List

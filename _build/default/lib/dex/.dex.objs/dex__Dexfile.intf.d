@@ -1,0 +1,1 @@
+lib/dex/dexfile.mli: Disasm Ir

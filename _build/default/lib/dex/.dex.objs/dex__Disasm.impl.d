@@ -1,0 +1,1 @@
+lib/dex/disasm.ml: Array Descriptor Hashtbl Ir List Printf String

@@ -1,0 +1,1 @@
+lib/dex/parse.ml: Array Descriptor Ir Jsig List Option Printf Scanf String

@@ -1,0 +1,1 @@
+lib/dex/parse.mli: Ir

@@ -1,0 +1,105 @@
+(** Dex (dexdump) descriptor rendering and parsing — the "bytecode format"
+    side of the paper's step-1/step-3 signature translation.
+
+    Types render as [I], [Ljava/lang/String;], [[I]; methods as
+    [Lcom/foo/Bar;.start:(Ljava/lang/String;)V]; fields as
+    [Lcom/foo/Bar;.port:I]. *)
+
+let class_desc name = "L" ^ String.map (fun c -> if c = '.' then '/' else c) name ^ ";"
+
+let class_of_desc d =
+  let n = String.length d in
+  if n >= 2 && d.[0] = 'L' && d.[n - 1] = ';' then
+    String.map (fun c -> if c = '/' then '.' else c) (String.sub d 1 (n - 2))
+  else invalid_arg (Printf.sprintf "Descriptor.class_of_desc: %S" d)
+
+let rec type_desc = function
+  | Ir.Types.Void -> "V"
+  | Boolean -> "Z"
+  | Byte -> "B"
+  | Char -> "C"
+  | Short -> "S"
+  | Int -> "I"
+  | Long -> "J"
+  | Float -> "F"
+  | Double -> "D"
+  | Object c -> class_desc c
+  | Array e -> "[" ^ type_desc e
+
+(** Parse one type descriptor starting at [pos]; returns the type and the
+    position just past it. *)
+let rec parse_type d pos =
+  match d.[pos] with
+  | 'V' -> Ir.Types.Void, pos + 1
+  | 'Z' -> Boolean, pos + 1
+  | 'B' -> Byte, pos + 1
+  | 'C' -> Char, pos + 1
+  | 'S' -> Short, pos + 1
+  | 'I' -> Int, pos + 1
+  | 'J' -> Long, pos + 1
+  | 'F' -> Float, pos + 1
+  | 'D' -> Double, pos + 1
+  | 'L' ->
+    let semi = String.index_from d pos ';' in
+    Object (class_of_desc (String.sub d pos (semi - pos + 1))), semi + 1
+  | '[' ->
+    let e, p = parse_type d (pos + 1) in
+    Array e, p
+  | c -> invalid_arg (Printf.sprintf "Descriptor.parse_type: %c in %S" c d)
+
+let type_of_desc d =
+  let t, p = parse_type d 0 in
+  if p <> String.length d then
+    invalid_arg (Printf.sprintf "Descriptor.type_of_desc: trailing data in %S" d);
+  t
+
+let proto_desc ~params ~ret =
+  "(" ^ String.concat "" (List.map type_desc params) ^ ")" ^ type_desc ret
+
+(** Full dexdump method signature, the exact string the bytecode search
+    constructs in step 1 of Fig. 3. *)
+let meth_desc (m : Ir.Jsig.meth) =
+  Printf.sprintf "%s.%s:%s" (class_desc m.cls) m.name
+    (proto_desc ~params:m.params ~ret:m.ret)
+
+let field_desc (f : Ir.Jsig.field) =
+  Printf.sprintf "%s.%s:%s" (class_desc f.fcls) f.fname (type_desc f.fty)
+
+(** Parse a dexdump method signature back into IR form (step 3 of Fig. 3). *)
+let meth_of_desc s =
+  let fail () = invalid_arg (Printf.sprintf "Descriptor.meth_of_desc: %S" s) in
+  match String.index_opt s '.' with
+  | None -> fail ()
+  | Some dot ->
+    let cls = class_of_desc (String.sub s 0 dot) in
+    let rest = String.sub s (dot + 1) (String.length s - dot - 1) in
+    (match String.index_opt rest ':' with
+     | None -> fail ()
+     | Some colon ->
+       let name = String.sub rest 0 colon in
+       let proto = String.sub rest (colon + 1) (String.length rest - colon - 1) in
+       if String.length proto < 2 || proto.[0] <> '(' then fail ();
+       let rp = String.index proto ')' in
+       let params_s = String.sub proto 1 (rp - 1) in
+       let ret_s = String.sub proto (rp + 1) (String.length proto - rp - 1) in
+       let rec params pos acc =
+         if pos >= String.length params_s then List.rev acc
+         else
+           let t, p = parse_type params_s pos in
+           params p (t :: acc)
+       in
+       Ir.Jsig.meth ~cls ~name ~params:(params 0 []) ~ret:(type_of_desc ret_s))
+
+let field_of_desc s =
+  let fail () = invalid_arg (Printf.sprintf "Descriptor.field_of_desc: %S" s) in
+  match String.index_opt s '.' with
+  | None -> fail ()
+  | Some dot ->
+    let cls = class_of_desc (String.sub s 0 dot) in
+    let rest = String.sub s (dot + 1) (String.length s - dot - 1) in
+    (match String.index_opt rest ':' with
+     | None -> fail ()
+     | Some colon ->
+       let name = String.sub rest 0 colon in
+       let ty = type_of_desc (String.sub rest (colon + 1) (String.length rest - colon - 1)) in
+       Ir.Jsig.field ~cls ~name ~ty)

@@ -1,0 +1,34 @@
+(** A disassembled (and, if multidex, merged) dex file: the flat array of
+    plaintext lines that the bytecode search engine scans, each line tagged
+    with its enclosing method. *)
+
+type t = {
+  lines : Disasm.line array;
+  program : Ir.Program.t;
+}
+
+let of_program p = { lines = Array.of_list (Disasm.program_lines p); program = p }
+
+(** Emulate multidex: disassemble each classesN.dex partition separately and
+    merge the plaintexts, as BackDroid's preprocessing step does. *)
+let of_partitions p partitions =
+  let part_lines part =
+    List.concat_map
+      (fun cls_name ->
+         match Ir.Program.find_class p cls_name with
+         | Some c when not c.Ir.Jclass.is_system -> Disasm.class_lines c
+         | Some _ | None -> [])
+      part
+  in
+  { lines = Array.of_list (List.concat_map part_lines partitions); program = p }
+
+let line_count t = Array.length t.lines
+
+let to_string t =
+  let buf = Buffer.create (64 * Array.length t.lines) in
+  Array.iter
+    (fun (l : Disasm.line) ->
+       Buffer.add_string buf l.text;
+       Buffer.add_char buf '\n')
+    t.lines;
+  Buffer.contents buf

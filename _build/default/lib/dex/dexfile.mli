@@ -1,0 +1,12 @@
+(** A disassembled (and, if multidex, merged) dex file: the flat array of
+    plaintext lines that the bytecode search engine scans, each line tagged
+    with its enclosing method. *)
+
+type t = { lines : Disasm.line array; program : Ir.Program.t; }
+val of_program : Ir.Program.t -> t
+
+(** Emulate multidex: disassemble each classesN.dex partition separately and
+    merge the plaintexts, as BackDroid's preprocessing step does. *)
+val of_partitions : Ir.Program.t -> string list list -> t
+val line_count : t -> int
+val to_string : t -> string

@@ -1,0 +1,188 @@
+(** The "dexdump" of the pipeline: renders IR method bodies into
+    dexdump-format plaintext instruction lines.  BackDroid's on-the-fly
+    bytecode search is a text search over exactly this output. *)
+
+type line = {
+  text : string;
+  owner : Ir.Jsig.meth option;  (** enclosing method for instruction lines *)
+  owner_cls : string option;
+  stmt_idx : int option;        (** IR statement index for diagnostics *)
+}
+
+let header text owner_cls = { text; owner = None; owner_cls; stmt_idx = None }
+
+let binop_mnemonic = function
+  | Ir.Expr.Add -> "add-int" | Sub -> "sub-int" | Mul -> "mul-int"
+  | Div -> "div-int" | Rem -> "rem-int" | Band -> "and-int" | Bor -> "or-int"
+  | Bxor -> "xor-int" | Shl -> "shl-int" | Shr -> "shr-int"
+  | Ushr -> "ushr-int" | Cmp -> "cmp-long"
+  | Eq -> "if-eq" | Ne -> "if-ne" | Lt -> "if-lt" | Le -> "if-le"
+  | Gt -> "if-gt" | Ge -> "if-ge"
+
+let invoke_mnemonic = function
+  | Ir.Expr.Virtual -> "invoke-virtual"
+  | Special -> "invoke-direct"
+  | Static -> "invoke-static"
+  | Interface -> "invoke-interface"
+
+(** Per-method register naming: IR locals map to [vN] in first-use order. *)
+type regmap = { tbl : (string, int) Hashtbl.t; mutable next : int }
+
+let reg rm (l : Ir.Value.local) =
+  match Hashtbl.find_opt rm.tbl l.id with
+  | Some n -> Printf.sprintf "v%d" n
+  | None ->
+    let n = rm.next in
+    rm.next <- n + 1;
+    Hashtbl.replace rm.tbl l.id n;
+    Printf.sprintf "v%d" n
+
+let value_reg rm = function
+  | Ir.Value.Local l -> reg rm l
+  | Ir.Value.Const c ->
+    (* dexdump shows a register; constants are materialised by a preceding
+       const instruction in real bytecode.  For inline constant operands we
+       show the literal, which search never targets. *)
+    (match c with
+     | Ir.Value.Int_c i -> Printf.sprintf "#int %d" i
+     | Null -> "#null"
+     | Long_c i -> Printf.sprintf "#long %Ld" i
+     | Float_c f | Double_c f -> Printf.sprintf "#float %f" f
+     | Str_c s -> Printf.sprintf "%S" s
+     | Class_c cl -> Descriptor.class_desc cl)
+
+let invoke_line rm (iv : Ir.Expr.invoke) =
+  let regs =
+    (match iv.base with Some b -> [ reg rm b ] | None -> [])
+    @ List.map (value_reg rm) iv.args
+  in
+  Printf.sprintf "%s {%s}, %s" (invoke_mnemonic iv.kind)
+    (String.concat ", " regs)
+    (Descriptor.meth_desc iv.callee)
+
+let stmt_lines rm idx (st : Ir.Stmt.t) =
+  let one text = [ text ] in
+  ignore idx;
+  match st with
+  | Assign (l, Imm (Const (Str_c s))) ->
+    one (Printf.sprintf "const-string %s, %S" (reg rm l) s)
+  | Assign (l, Imm (Const (Class_c c))) ->
+    one (Printf.sprintf "const-class %s, %s" (reg rm l) (Descriptor.class_desc c))
+  | Assign (l, Imm (Const (Int_c i))) ->
+    one (Printf.sprintf "const/16 %s, #int %d" (reg rm l) i)
+  | Assign (l, Imm (Const Null)) ->
+    one (Printf.sprintf "const/4 %s, #int 0" (reg rm l))
+  | Assign (l, Imm (Const (Long_c i))) ->
+    one (Printf.sprintf "const-wide %s, #long %Ld" (reg rm l) i)
+  | Assign (l, Imm (Const (Float_c f))) ->
+    one (Printf.sprintf "const %s, #float %f" (reg rm l) f)
+  | Assign (l, Imm (Const (Double_c f))) ->
+    one (Printf.sprintf "const-wide %s, #double %f" (reg rm l) f)
+  | Assign (l, Imm (Local x)) ->
+    one (Printf.sprintf "move-object %s, %s" (reg rm l) (reg rm x))
+  | Assign (l, Binop (op, a, b)) ->
+    one (Printf.sprintf "%s %s, %s, %s" (binop_mnemonic op) (reg rm l)
+           (value_reg rm a) (value_reg rm b))
+  | Assign (l, Cast (t, v)) ->
+    [ Printf.sprintf "move-object %s, %s" (reg rm l) (value_reg rm v);
+      Printf.sprintf "check-cast %s, %s" (reg rm l) (Descriptor.type_desc t) ]
+  | Assign (l, Invoke iv) ->
+    [ invoke_line rm iv;
+      Printf.sprintf "move-result-object %s" (reg rm l) ]
+  | Assign (l, New c) ->
+    one (Printf.sprintf "new-instance %s, %s" (reg rm l)
+           (Descriptor.class_desc c))
+  | Assign (l, New_array (t, n)) ->
+    one (Printf.sprintf "new-array %s, %s, [%s" (reg rm l) (value_reg rm n)
+           (Descriptor.type_desc t))
+  | Assign (l, Array_get (a, i)) ->
+    one (Printf.sprintf "aget-object %s, %s, %s" (reg rm l) (reg rm a)
+           (value_reg rm i))
+  | Assign (l, Instance_get (o, f)) ->
+    one (Printf.sprintf "iget-object %s, %s, %s" (reg rm l) (reg rm o)
+           (Descriptor.field_desc f))
+  | Assign (l, Static_get f) ->
+    one (Printf.sprintf "sget-object %s, %s" (reg rm l)
+           (Descriptor.field_desc f))
+  | Assign (l, Phi ls) ->
+    one (Printf.sprintf ".phi %s = (%s)" (reg rm l)
+           (String.concat ", " (List.map (reg rm) ls)))
+  | Assign (l, Param i) -> one (Printf.sprintf ".param %s, p%d" (reg rm l) i)
+  | Assign (l, This) -> one (Printf.sprintf ".this %s" (reg rm l))
+  | Assign (l, Caught_exception) ->
+    one (Printf.sprintf "move-exception %s" (reg rm l))
+  | Assign (l, Length v) ->
+    one (Printf.sprintf "array-length %s, %s" (reg rm l) (value_reg rm v))
+  | Instance_put (o, f, v) ->
+    one (Printf.sprintf "iput-object %s, %s, %s" (value_reg rm v) (reg rm o)
+           (Descriptor.field_desc f))
+  | Static_put (f, v) ->
+    one (Printf.sprintf "sput-object %s, %s" (value_reg rm v)
+           (Descriptor.field_desc f))
+  | Array_put (a, i, v) ->
+    one (Printf.sprintf "aput-object %s, %s, %s" (value_reg rm v) (reg rm a)
+           (value_reg rm i))
+  | Invoke iv -> one (invoke_line rm iv)
+  | Return (Some v) -> one (Printf.sprintf "return-object %s" (value_reg rm v))
+  | Return None -> one "return-void"
+  | If (op, a, b, target) ->
+    one (Printf.sprintf "%s %s, %s, :cond_%04x" (binop_mnemonic op)
+           (value_reg rm a) (value_reg rm b) target)
+  | Goto target -> one (Printf.sprintf "goto :goto_%04x" target)
+  | Throw v -> one (Printf.sprintf "throw %s" (value_reg rm v))
+  | Nop -> one "nop"
+
+let method_lines (cls : Ir.Jclass.t) (m : Ir.Jmethod.t) =
+  let msig = m.msig in
+  let head =
+    header
+      (Printf.sprintf "  method %s" (Descriptor.meth_desc msig))
+      (Some cls.name)
+  in
+  match m.body with
+  | None -> [ head ]
+  | Some body ->
+    let rm = { tbl = Hashtbl.create 16; next = 0 } in
+    let buf = ref [ head ] in
+    Array.iteri
+      (fun i st ->
+         List.iter
+           (fun text ->
+              buf :=
+                { text = Printf.sprintf "    %04x: %s" i text;
+                  owner = Some msig; owner_cls = Some cls.name;
+                  stmt_idx = Some i }
+                :: !buf)
+           (stmt_lines rm i st))
+      body;
+    List.rev !buf
+
+let class_lines (c : Ir.Jclass.t) =
+  let head =
+    [ header (Printf.sprintf "Class descriptor : '%s'" (Descriptor.class_desc c.name))
+        (Some c.name);
+      header
+        (Printf.sprintf "  Superclass : '%s'"
+           (match c.super with Some s -> Descriptor.class_desc s | None -> "-"))
+        (Some c.name) ]
+    @ List.map
+        (fun i ->
+           header (Printf.sprintf "  Interface : '%s'" (Descriptor.class_desc i))
+             (Some c.name))
+        c.interfaces
+    @ List.map
+        (fun f ->
+           header (Printf.sprintf "  field %s" (Descriptor.field_desc f))
+             (Some c.name))
+        c.fields
+  in
+  head @ List.concat_map (method_lines c) c.methods
+
+(** Disassemble all non-system classes — the app dex content. *)
+let program_lines p =
+  let classes =
+    Ir.Program.fold_classes p (fun c acc -> c :: acc) []
+    |> List.filter (fun (c : Ir.Jclass.t) -> not c.is_system)
+    |> List.sort (fun (a : Ir.Jclass.t) b -> String.compare a.name b.name)
+  in
+  List.concat_map class_lines classes

@@ -1,0 +1,25 @@
+(** The "dexdump" of the pipeline: renders IR method bodies into
+    dexdump-format plaintext instruction lines.  BackDroid's on-the-fly
+    bytecode search is a text search over exactly this output. *)
+
+type line = {
+  text : string;
+  owner : Ir.Jsig.meth option;
+  owner_cls : string option;
+  stmt_idx : int option;
+}
+val header : string -> string option -> line
+val binop_mnemonic : Ir.Expr.binop -> string
+val invoke_mnemonic : Ir.Expr.invoke_kind -> string
+
+(** Per-method register naming: IR locals map to [vN] in first-use order. *)
+type regmap = { tbl : (string, int) Hashtbl.t; mutable next : int; }
+val reg : regmap -> Ir.Value.local -> string
+val value_reg : regmap -> Ir.Value.t -> string
+val invoke_line : regmap -> Ir.Expr.invoke -> string
+val stmt_lines : regmap -> 'a -> Ir.Stmt.t -> string list
+val method_lines : Ir.Jclass.t -> Ir.Jmethod.t -> line list
+val class_lines : Ir.Jclass.t -> line list
+
+(** Disassemble all non-system classes — the app dex content. *)
+val program_lines : Ir.Program.t -> line list

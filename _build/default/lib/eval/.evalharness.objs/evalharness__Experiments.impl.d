@@ -1,0 +1,1 @@
+lib/eval/experiments.ml: Appgen Backdroid Baseline Hashtbl List Printf Report Runner Stats String

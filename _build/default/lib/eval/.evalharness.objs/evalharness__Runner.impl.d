@@ -1,0 +1,1 @@
+lib/eval/runner.ml: Appgen Backdroid Baseline List Result Stats Unix

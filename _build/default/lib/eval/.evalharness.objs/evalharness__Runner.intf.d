@@ -1,0 +1,1 @@
+lib/eval/runner.mli: Appgen Backdroid Baseline

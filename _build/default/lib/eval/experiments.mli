@@ -1,0 +1,55 @@
+(** One function per table / figure of the paper's evaluation, each printing
+    the measured series next to the numbers the paper reports.
+
+    Time scaling: wall-clock seconds on our synthetic substrate stand in for
+    the paper's minutes on real APKs.  The timeout given to the whole-app
+    baselines plays the paper's 300-minute timeout, so
+    [minutes_per_second = 300 / timeout_s] converts measured seconds into
+    "paper-minute equivalents" for the distribution buckets. *)
+
+module G = Appgen.Generator
+module Corpus = Appgen.Corpus
+module Shape = Appgen.Shape
+type opts = {
+  scale : float;
+  count : int;
+  timeout_s : float;
+  flowdroid_timeout_s : float;
+  seed : int;
+}
+val default_opts : opts
+val minutes_per_second : opts -> float
+type corpus_run = {
+  backdroid : Runner.measurement list;
+  amandroid : Runner.measurement list;
+  flowdroid : Runner.measurement list;
+}
+val run_corpus : ?progress:(string -> unit) -> opts -> corpus_run
+val pf : ('a, out_channel, unit) format -> 'a
+val header : string -> unit
+val minutes : opts -> Runner.measurement -> float
+val time_buckets : float list
+val bucket_labels : string list
+val print_distribution : opts -> Runner.measurement list -> unit
+val table1 : ?seed:int -> unit -> unit
+val fig1 : opts -> corpus_run -> unit
+val fig7 : opts -> corpus_run -> unit
+val fig8 : opts -> corpus_run -> unit
+val speedup_summary : opts -> corpus_run -> unit
+val fig9 : opts -> corpus_run -> unit
+type detection_row = {
+  group : string;
+  mutable total : int;
+  mutable bd_detected : int;
+  mutable am_detected : int;
+}
+val detection : ?timeout_s:float -> unit -> unit
+val enhancements : corpus_run -> unit
+val ablation_search : ?count:int -> opts -> unit
+
+(** Compact pass/deviation summary of the headline reproduction claims. *)
+val reproduction_summary : opts -> corpus_run -> unit
+
+(** Run every experiment in sequence, printing paper-vs-measured sections;
+    [csv_path] additionally exports the raw per-app measurements. *)
+val run_all : ?opts:opts -> ?csv_path:string option -> unit -> unit

@@ -1,0 +1,52 @@
+(** Machine-readable exports of the experiment measurements: one CSV row per
+    (app, tool) measurement, so the tables and figures can be re-plotted
+    outside the harness. *)
+
+let csv_header =
+  "app,tool,seconds,timed_out,errored,sink_calls,size_stmts,size_mb,insecure,\
+   search_cache_rate,sink_cache_rate,loops,cross_backward_loops"
+
+let csv_row (m : Runner.measurement) =
+  Printf.sprintf "%s,%s,%.6f,%b,%b,%d,%d,%.2f,%d,%.4f,%.4f,%d,%d"
+    m.app
+    (Runner.tool_name m.tool)
+    m.seconds m.timed_out m.errored m.sink_calls m.size_stmts m.size_mb
+    m.insecure m.search_cache_rate m.sink_cache_rate m.loops
+    m.cross_backward_loops
+
+(** Write all measurements of a corpus run to [path]. *)
+let write_csv path (ms : Runner.measurement list) =
+  let oc = open_out path in
+  output_string oc csv_header;
+  output_char oc '\n';
+  List.iter
+    (fun m ->
+       output_string oc (csv_row m);
+       output_char oc '\n')
+    ms;
+  close_out oc
+
+(** Parse one row back (used by the round-trip test). *)
+let parse_row line =
+  match String.split_on_char ',' line with
+  | [ app; tool; seconds; timed_out; errored; sink_calls; size_stmts; size_mb;
+      insecure; search_cache_rate; sink_cache_rate; loops; cross ] ->
+    Some
+      { Runner.app;
+        tool =
+          (match tool with
+           | "BackDroid" -> Runner.Backdroid_tool
+           | "Amandroid" -> Runner.Amandroid_tool
+           | _ -> Runner.Flowdroid_cg_tool);
+        seconds = float_of_string seconds;
+        timed_out = bool_of_string timed_out;
+        errored = bool_of_string errored;
+        sink_calls = int_of_string sink_calls;
+        size_stmts = int_of_string size_stmts;
+        size_mb = float_of_string size_mb;
+        insecure = int_of_string insecure;
+        search_cache_rate = float_of_string search_cache_rate;
+        sink_cache_rate = float_of_string sink_cache_rate;
+        loops = int_of_string loops;
+        cross_backward_loops = int_of_string cross }
+  | _ -> None

@@ -1,0 +1,15 @@
+(** Machine-readable exports of the experiment measurements: one CSV row per
+    (app, tool) measurement, so the tables and figures can be re-plotted
+    outside the harness. *)
+
+val csv_header : string
+
+(** Render one measurement as a CSV row (no trailing newline). *)
+val csv_row : Runner.measurement -> string
+
+(** Write all measurements of a corpus run to [path]. *)
+val write_csv : string -> Runner.measurement list -> unit
+
+(** Parse one row back (used by the round-trip test); [None] on malformed
+    input. *)
+val parse_row : string -> Runner.measurement option

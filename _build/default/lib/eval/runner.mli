@@ -1,0 +1,33 @@
+(** Runs each tool over generated apps with wall-clock timing and (for the
+    whole-app baselines) a real timeout, collecting the per-app measurements
+    the experiments aggregate. *)
+
+module G = Appgen.Generator
+type tool = Backdroid_tool | Amandroid_tool | Flowdroid_cg_tool
+val tool_name : tool -> string
+type measurement = {
+  app : string;
+  tool : tool;
+  seconds : float;
+  timed_out : bool;
+  errored : bool;
+  sink_calls : int;
+  size_stmts : int;
+  size_mb : float;
+  insecure : int;
+  search_cache_rate : float;
+  sink_cache_rate : float;
+  loops : int;
+  cross_backward_loops : int;
+}
+val time : (unit -> 'a) -> 'a * float
+val mb_of : G.app -> float
+val run_backdroid :
+  ?cfg:Backdroid.Driver.config ->
+  G.app -> measurement * Backdroid.Driver.result
+val run_amandroid :
+  ?cfg:Baseline.Amandroid.config ->
+  timeout_s:float -> G.app -> measurement * Baseline.Amandroid.result
+val run_flowdroid_cg :
+  ?cfg:Baseline.Flowdroid_cg.config ->
+  timeout_s:float -> G.app -> measurement

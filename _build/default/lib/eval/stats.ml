@@ -1,0 +1,44 @@
+(** Small statistics helpers for the experiment harness. *)
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let sorted xs = List.sort compare xs
+
+(** Median (lower median for even-length lists, as the paper reports). *)
+let median xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let s = sorted xs in
+    let n = List.length s in
+    if n mod 2 = 1 then List.nth s (n / 2)
+    else (List.nth s (n / 2 - 1) +. List.nth s (n / 2)) /. 2.0
+
+let percentile p xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let s = sorted xs in
+    let n = List.length s in
+    let idx = int_of_float (p /. 100.0 *. float_of_int (n - 1) +. 0.5) in
+    List.nth s (max 0 (min (n - 1) idx))
+
+let minimum xs = List.fold_left min infinity xs
+let maximum xs = List.fold_left max neg_infinity xs
+
+(** Count of elements within [lo, hi). *)
+let count_in ~lo ~hi xs = List.length (List.filter (fun x -> x >= lo && x < hi) xs)
+
+(** Histogram over bucket boundaries: [buckets = [b1; b2; ...]] yields counts
+    for [< b1), [b1, b2), ..., [bn, inf). *)
+let histogram ~buckets xs =
+  let rec go lo = function
+    | [] -> [ List.length (List.filter (fun x -> x >= lo) xs) ]
+    | b :: rest -> count_in ~lo ~hi:b xs :: go b rest
+  in
+  go neg_infinity buckets
+
+let fraction num den =
+  if den = 0 then 0.0 else float_of_int num /. float_of_int den

@@ -1,0 +1,18 @@
+(** Small statistics helpers for the experiment harness. *)
+
+val mean : float list -> float
+val sorted : 'a list -> 'a list
+
+(** Median (lower median for even-length lists, as the paper reports). *)
+val median : float list -> float
+val percentile : float -> float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+
+(** Count of elements within [lo, hi). *)
+val count_in : lo:'a -> hi:'a -> 'a list -> int
+
+(** Histogram over bucket boundaries: [buckets = [b1; b2; ...]] yields counts
+    for [< b1), [b1, b2), ..., [bn, inf). *)
+val histogram : buckets:float list -> float list -> int list
+val fraction : int -> int -> float

@@ -1,0 +1,1 @@
+lib/framework/sinks.ml: Api Ir List String

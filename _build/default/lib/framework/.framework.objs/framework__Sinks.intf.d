@@ -1,0 +1,1 @@
+lib/framework/sinks.mli: Ir

@@ -1,0 +1,1 @@
+lib/framework/stubs.ml: Api Builder Ir Jclass Jmethod Jsig Types

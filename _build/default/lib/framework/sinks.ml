@@ -1,0 +1,58 @@
+(** The security-sensitive sink API catalog.
+
+    The paper's evaluation targets three sink APIs (crypto + 2× SSL); the
+    catalog also carries the "uncommon" sinks mentioned in Sec. VI-D so
+    downstream users can vet other sink-based problems. *)
+
+type kind =
+  | Crypto_cipher    (** [Cipher.getInstance(spec)] — insecure if ECB *)
+  | Ssl_hostname     (** [setHostnameVerifier(v)] — insecure if allow-all *)
+  | Sms_send
+  | Server_socket
+  | Local_socket
+
+type t = {
+  kind : kind;
+  msig : Ir.Jsig.meth;
+  param_index : int;
+      (** index of the security-relevant parameter (receiver excluded) *)
+}
+
+let kind_to_string = function
+  | Crypto_cipher -> "crypto-cipher"
+  | Ssl_hostname -> "ssl-hostname"
+  | Sms_send -> "sms-send"
+  | Server_socket -> "server-socket"
+  | Local_socket -> "local-socket"
+
+let cipher = { kind = Crypto_cipher; msig = Api.cipher_get_instance; param_index = 0 }
+
+let ssl_factory =
+  { kind = Ssl_hostname; msig = Api.ssl_set_hostname_verifier; param_index = 0 }
+
+let https_conn =
+  { kind = Ssl_hostname; msig = Api.https_set_hostname_verifier; param_index = 0 }
+
+let sms = { kind = Sms_send; msig = Api.sms_send_text_message; param_index = 2 }
+let server_socket =
+  { kind = Server_socket; msig = Api.server_socket_init; param_index = 0 }
+let local_socket =
+  { kind = Local_socket; msig = Api.local_server_socket_init; param_index = 0 }
+
+(** The three sink APIs of the paper's evaluation (Sec. VI-A). *)
+let primary = [ cipher; ssl_factory; https_conn ]
+
+let catalog = [ cipher; ssl_factory; https_conn; sms; server_socket; local_socket ]
+
+let find_by_msig sinks msig =
+  List.find_opt (fun s -> Ir.Jsig.meth_equal s.msig msig) sinks
+
+(** An ECB (or mode-less) transformation string is the insecure crypto
+    configuration the detectors flag. *)
+let cipher_spec_is_insecure spec =
+  let has_sub ~sub s =
+    let ls = String.length s and lb = String.length sub in
+    let rec at i = i + lb <= ls && (String.sub s i lb = sub || at (i + 1)) in
+    lb = 0 || at 0
+  in
+  has_sub ~sub:"ECB" spec || not (String.contains spec '/')

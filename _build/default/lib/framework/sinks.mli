@@ -1,0 +1,29 @@
+(** The security-sensitive sink API catalog.
+
+    The paper's evaluation targets three sink APIs (crypto + 2× SSL); the
+    catalog also carries the "uncommon" sinks mentioned in Sec. VI-D so
+    downstream users can vet other sink-based problems. *)
+
+type kind =
+    Crypto_cipher
+  | Ssl_hostname
+  | Sms_send
+  | Server_socket
+  | Local_socket
+type t = { kind : kind; msig : Ir.Jsig.meth; param_index : int; }
+val kind_to_string : kind -> string
+val cipher : t
+val ssl_factory : t
+val https_conn : t
+val sms : t
+val server_socket : t
+val local_socket : t
+
+(** The three sink APIs of the paper's evaluation (Sec. VI-A). *)
+val primary : t list
+val catalog : t list
+val find_by_msig : t list -> Ir.Jsig.meth -> t option
+
+(** An ECB (or mode-less) transformation string is the insecure crypto
+    configuration the detectors flag. *)
+val cipher_spec_is_insecure : string -> bool

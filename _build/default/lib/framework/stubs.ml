@@ -1,0 +1,189 @@
+(** Framework stub classes — the [is_system] part of the class table.  Their
+    methods carry no bodies (like real framework classes outside the app dex),
+    but their signatures and hierarchy are what both the searches and CHA
+    resolution need. *)
+
+open Ir
+
+let decl ~cls ~name ~params ~ret =
+  Builder.abstract_method ~cls ~name ~params ~ret
+
+let native_method ?(static = false) ~cls ~name ~params ~ret () =
+  let access =
+    { Jmethod.default_access with Jmethod.is_native = true; is_static = static }
+  in
+  Jmethod.make ~access ~msig:(Jsig.meth ~cls ~name ~params ~ret) ~body:None ()
+
+let system_class ?super ?(interfaces = []) ?(is_interface = false)
+    ?(is_abstract = false) ?(fields = []) ?(methods = []) name =
+  let super =
+    match super with
+    | Some s -> Some s
+    | None -> if name = "java.lang.Object" then None else Some "java.lang.Object"
+  in
+  { (Jclass.make ~interfaces ~is_interface ~is_abstract ~is_system:true
+       ~fields ~methods name)
+    with Jclass.super }
+
+let nm = native_method
+
+let classes () =
+  let open Types in
+  [
+    system_class "java.lang.Object"
+      ~methods:[ nm ~cls:"java.lang.Object" ~name:"<init>" ~params:[] ~ret:Void () ];
+    system_class "java.lang.String";
+    system_class "java.lang.Class"
+      ~methods:
+        [ nm ~static:true ~cls:"java.lang.Class" ~name:"forName"
+            ~params:[ string_ ] ~ret:(Object "java.lang.Class") ();
+          nm ~cls:"java.lang.Class" ~name:"getMethod" ~params:[ string_ ]
+            ~ret:(Object "java.lang.reflect.Method") () ];
+    system_class "java.lang.reflect.Method"
+      ~methods:
+        [ nm ~cls:"java.lang.reflect.Method" ~name:"invoke"
+            ~params:[ object_; Array object_ ] ~ret:object_ () ];
+    system_class "java.lang.StringBuilder"
+      ~methods:
+        [ nm ~cls:"java.lang.StringBuilder" ~name:"<init>" ~params:[] ~ret:Void ();
+          nm ~cls:"java.lang.StringBuilder" ~name:"append" ~params:[ string_ ]
+            ~ret:(Object "java.lang.StringBuilder") ();
+          nm ~cls:"java.lang.StringBuilder" ~name:"toString" ~params:[]
+            ~ret:string_ () ];
+    system_class "java.lang.Runnable" ~is_interface:true
+      ~methods:[ decl ~cls:"java.lang.Runnable" ~name:"run" ~params:[] ~ret:Void ];
+    system_class "java.lang.Thread" ~interfaces:[ "java.lang.Runnable" ]
+      ~methods:
+        [ nm ~cls:"java.lang.Thread" ~name:"<init>" ~params:[] ~ret:Void ();
+          nm ~cls:"java.lang.Thread" ~name:"<init>" ~params:[ runnable ] ~ret:Void ();
+          nm ~cls:"java.lang.Thread" ~name:"start" ~params:[] ~ret:Void ();
+          nm ~cls:"java.lang.Thread" ~name:"run" ~params:[] ~ret:Void () ];
+    system_class "java.util.concurrent.Executor" ~is_interface:true
+      ~methods:
+        [ decl ~cls:"java.util.concurrent.Executor" ~name:"execute"
+            ~params:[ runnable ] ~ret:Void ];
+    system_class "java.util.concurrent.Executors"
+      ~methods:
+        [ nm ~static:true ~cls:"java.util.concurrent.Executors"
+            ~name:"newSingleThreadExecutor" ~params:[]
+            ~ret:(Object "java.util.concurrent.Executor") () ];
+    system_class "android.os.Bundle";
+    system_class "android.os.IBinder" ~is_interface:true;
+    system_class "android.os.AsyncTask" ~is_abstract:true
+      ~methods:
+        [ nm ~cls:"android.os.AsyncTask" ~name:"<init>" ~params:[] ~ret:Void ();
+          nm ~cls:"android.os.AsyncTask" ~name:"execute"
+            ~params:[ Array object_ ] ~ret:(Object "android.os.AsyncTask") ();
+          decl ~cls:"android.os.AsyncTask" ~name:"doInBackground"
+            ~params:[ Array object_ ] ~ret:object_ ];
+    system_class "android.content.Context"
+      ~methods:
+        [ nm ~cls:"android.content.Context" ~name:"startService"
+            ~params:[ intent ] ~ret:Void ();
+          nm ~cls:"android.content.Context" ~name:"startActivity"
+            ~params:[ intent ] ~ret:Void ();
+          nm ~cls:"android.content.Context" ~name:"sendBroadcast"
+            ~params:[ intent ] ~ret:Void () ];
+    system_class "android.content.Intent"
+      ~methods:
+        [ nm ~cls:"android.content.Intent" ~name:"<init>" ~params:[] ~ret:Void ();
+          nm ~cls:"android.content.Intent" ~name:"<init>"
+            ~params:[ Object "android.content.Context"; Object "java.lang.Class" ]
+            ~ret:Void ();
+          nm ~cls:"android.content.Intent" ~name:"setAction" ~params:[ string_ ]
+            ~ret:intent ();
+          nm ~cls:"android.content.Intent" ~name:"putExtra"
+            ~params:[ string_; string_ ] ~ret:intent ();
+          nm ~cls:"android.content.Intent" ~name:"getStringExtra"
+            ~params:[ string_ ] ~ret:string_ ();
+          nm ~cls:"android.content.Intent" ~name:"getAction" ~params:[]
+            ~ret:string_ () ];
+    system_class "android.app.Activity" ~super:"android.content.Context"
+      ~methods:
+        [ nm ~cls:"android.app.Activity" ~name:"onCreate"
+            ~params:[ Object "android.os.Bundle" ] ~ret:Void ();
+          nm ~cls:"android.app.Activity" ~name:"onStart" ~params:[] ~ret:Void ();
+          nm ~cls:"android.app.Activity" ~name:"onResume" ~params:[] ~ret:Void ();
+          nm ~cls:"android.app.Activity" ~name:"onPause" ~params:[] ~ret:Void ();
+          nm ~cls:"android.app.Activity" ~name:"onStop" ~params:[] ~ret:Void ();
+          nm ~cls:"android.app.Activity" ~name:"onDestroy" ~params:[] ~ret:Void ();
+          nm ~cls:"android.app.Activity" ~name:"getIntent" ~params:[]
+            ~ret:intent () ];
+    system_class "android.app.Service" ~super:"android.content.Context"
+      ~methods:
+        [ nm ~cls:"android.app.Service" ~name:"onCreate" ~params:[] ~ret:Void ();
+          nm ~cls:"android.app.Service" ~name:"onStartCommand"
+            ~params:[ intent; Int; Int ] ~ret:Int ();
+          nm ~cls:"android.app.Service" ~name:"onBind" ~params:[ intent ]
+            ~ret:(Object "android.os.IBinder") () ];
+    system_class "android.content.BroadcastReceiver"
+      ~methods:
+        [ nm ~cls:"android.content.BroadcastReceiver" ~name:"onReceive"
+            ~params:[ Object "android.content.Context"; intent ] ~ret:Void () ];
+    system_class "android.content.ContentProvider"
+      ~methods:
+        [ nm ~cls:"android.content.ContentProvider" ~name:"onCreate" ~params:[]
+            ~ret:Boolean () ];
+    system_class "android.view.View"
+      ~methods:
+        [ nm ~cls:"android.view.View" ~name:"<init>" ~params:[] ~ret:Void ();
+          nm ~cls:"android.view.View" ~name:"setOnClickListener"
+            ~params:[ Object "android.view.View$OnClickListener" ] ~ret:Void () ];
+    system_class "android.view.View$OnClickListener" ~is_interface:true
+      ~methods:
+        [ decl ~cls:"android.view.View$OnClickListener" ~name:"onClick"
+            ~params:[ Object "android.view.View" ] ~ret:Void ];
+    system_class "javax.crypto.Cipher"
+      ~methods:
+        [ nm ~static:true ~cls:"javax.crypto.Cipher" ~name:"getInstance"
+            ~params:[ string_ ] ~ret:(Object "javax.crypto.Cipher") () ];
+    system_class "org.apache.http.conn.ssl.X509HostnameVerifier"
+      ~is_interface:true;
+    system_class "org.apache.http.conn.ssl.AllowAllHostnameVerifier"
+      ~interfaces:[ "org.apache.http.conn.ssl.X509HostnameVerifier" ]
+      ~methods:
+        [ nm ~cls:"org.apache.http.conn.ssl.AllowAllHostnameVerifier"
+            ~name:"<init>" ~params:[] ~ret:Void () ];
+    system_class "org.apache.http.conn.ssl.StrictHostnameVerifier"
+      ~interfaces:[ "org.apache.http.conn.ssl.X509HostnameVerifier" ]
+      ~methods:
+        [ nm ~cls:"org.apache.http.conn.ssl.StrictHostnameVerifier"
+            ~name:"<init>" ~params:[] ~ret:Void () ];
+    system_class "org.apache.http.conn.ssl.SSLSocketFactory"
+      ~fields:[ Api.allow_all_hostname_verifier ]
+      ~methods:
+        [ nm ~cls:"org.apache.http.conn.ssl.SSLSocketFactory" ~name:"<init>"
+            ~params:[] ~ret:Void ();
+          nm ~static:true ~cls:"org.apache.http.conn.ssl.SSLSocketFactory"
+            ~name:"getSocketFactory" ~params:[]
+            ~ret:(Object "org.apache.http.conn.ssl.SSLSocketFactory") ();
+          nm ~cls:"org.apache.http.conn.ssl.SSLSocketFactory"
+            ~name:"setHostnameVerifier"
+            ~params:[ Object "org.apache.http.conn.ssl.X509HostnameVerifier" ]
+            ~ret:Void () ];
+    system_class "javax.net.ssl.HostnameVerifier" ~is_interface:true;
+    system_class "javax.net.ssl.HttpsURLConnection"
+      ~methods:
+        [ nm ~cls:"javax.net.ssl.HttpsURLConnection" ~name:"<init>" ~params:[]
+            ~ret:Void ();
+          nm ~cls:"javax.net.ssl.HttpsURLConnection" ~name:"setHostnameVerifier"
+            ~params:[ Object "javax.net.ssl.HostnameVerifier" ] ~ret:Void () ];
+    system_class "android.app.PendingIntent";
+    system_class "android.telephony.SmsManager"
+      ~methods:
+        [ nm ~static:true ~cls:"android.telephony.SmsManager" ~name:"getDefault"
+            ~params:[] ~ret:(Object "android.telephony.SmsManager") ();
+          nm ~cls:"android.telephony.SmsManager" ~name:"sendTextMessage"
+            ~params:
+              [ string_; string_; string_; Object "android.app.PendingIntent";
+                Object "android.app.PendingIntent" ]
+            ~ret:Void () ];
+    system_class "java.net.ServerSocket"
+      ~methods:
+        [ nm ~cls:"java.net.ServerSocket" ~name:"<init>" ~params:[ Int ]
+            ~ret:Void () ];
+    system_class "android.net.LocalServerSocket"
+      ~methods:
+        [ nm ~cls:"android.net.LocalServerSocket" ~name:"<init>"
+            ~params:[ string_ ] ~ret:Void () ];
+  ]

@@ -1,0 +1,26 @@
+(** Framework stub classes — the [is_system] part of the class table.  Their
+    methods carry no bodies (like real framework classes outside the app dex),
+    but their signatures and hierarchy are what both the searches and CHA
+    resolution need. *)
+
+val decl :
+  cls:string ->
+  name:string -> params:Ir.Types.t list -> ret:Ir.Types.t -> Ir.Jmethod.t
+val native_method :
+  ?static:bool ->
+  cls:string ->
+  name:string ->
+  params:Ir.Types.t list -> ret:Ir.Types.t -> unit -> Ir.Jmethod.t
+val system_class :
+  ?super:string ->
+  ?interfaces:string list ->
+  ?is_interface:bool ->
+  ?is_abstract:bool ->
+  ?fields:Ir.Jsig.field list ->
+  ?methods:Ir.Jmethod.t list -> string -> Ir.Jclass.t
+val nm :
+  ?static:bool ->
+  cls:string ->
+  name:string ->
+  params:Ir.Types.t list -> ret:Ir.Types.t -> unit -> Ir.Jmethod.t
+val classes : unit -> Ir.Jclass.t list

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Expr Jmethod Jsig List Printf Stmt Types Value

@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Fmt Jsig List Printf String Types Value

@@ -1,0 +1,1 @@
+lib/ir/jclass.ml: Jmethod Jsig List String Types

@@ -1,0 +1,1 @@
+lib/ir/jclass.mli: Jmethod Jsig String Types

@@ -1,0 +1,1 @@
+lib/ir/jmethod.ml: Array Expr Jsig List Stmt

@@ -1,0 +1,1 @@
+lib/ir/jmethod.mli: Expr Jsig Stmt Value

@@ -1,0 +1,1 @@
+lib/ir/jsig.ml: Fmt Hashtbl List Printf String Types

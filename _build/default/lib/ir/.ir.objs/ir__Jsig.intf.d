@@ -1,0 +1,1 @@
+lib/ir/jsig.mli: Format Hashtbl Seq Types

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Array Fmt Jclass Jmethod Jsig List Program Stmt String

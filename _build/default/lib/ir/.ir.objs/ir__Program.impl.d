@@ -1,0 +1,1 @@
+lib/ir/program.ml: Hashtbl Jclass Jmethod Jsig List Option String

@@ -1,0 +1,1 @@
+lib/ir/program.mli: Hashtbl Jclass Jmethod Jsig String

@@ -1,0 +1,1 @@
+lib/ir/value.ml: Float Fmt Int64 Printf String Types

@@ -1,0 +1,146 @@
+(** Imperative construction DSL for classes and method bodies.  Used by the
+    synthetic app generator, the examples and the test suite.
+
+    A method builder allocates fresh SSA locals and appends statements; the
+    identity statements for [this] and parameters are emitted automatically by
+    {!method_}. *)
+
+(* A tiny growable array so we avoid list-reversal noise. *)
+module Buffer_ext = struct
+  type 'a t = { mutable data : 'a array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let push b x =
+    if b.len = Array.length b.data then begin
+      let cap = max 8 (2 * Array.length b.data) in
+      let data = Array.make cap x in
+      Array.blit b.data 0 data 0 b.len;
+      b.data <- data
+    end;
+    b.data.(b.len) <- x;
+    b.len <- b.len + 1
+
+  let to_array b = Array.sub b.data 0 b.len
+  let length b = b.len
+end
+
+type mb = {
+  mutable next_local : int;
+  stmts : Stmt.t Buffer_ext.t;
+  mutable this_l : Value.local option;
+  mutable params_l : Value.local array;
+}
+
+let fresh_local mb ty =
+  let id = Printf.sprintf "$r%d" mb.next_local in
+  mb.next_local <- mb.next_local + 1;
+  { Value.id; ty }
+
+let emit mb st = Buffer_ext.push mb.stmts st
+
+(** Position the next statement will take; usable as a branch target. *)
+let here mb = Buffer_ext.length mb.stmts
+
+let assign mb ty e =
+  let l = fresh_local mb ty in
+  emit mb (Stmt.Assign (l, e));
+  l
+
+let const_str mb s = assign mb Types.string_ (Expr.Imm (Value.Const (Value.Str_c s)))
+let const_int mb i = assign mb Types.Int (Expr.Imm (Value.Const (Value.Int_c i)))
+let const_class mb c =
+  assign mb (Types.Object "java.lang.Class")
+    (Expr.Imm (Value.Const (Value.Class_c c)))
+
+let this mb =
+  match mb.this_l with
+  | Some l -> l
+  | None -> invalid_arg "Builder.this: static method"
+
+let param mb i = mb.params_l.(i)
+
+(** Allocate an object and run its constructor: [new C; C.<init>(args)]. *)
+let new_obj mb cls ~ctor_params ~args =
+  let l = assign mb (Types.Object cls) (Expr.New cls) in
+  let callee = Jsig.meth ~cls ~name:"<init>" ~params:ctor_params ~ret:Types.Void in
+  emit mb (Stmt.Invoke { Expr.kind = Expr.Special; callee; base = Some l; args });
+  l
+
+let invoke mb ?base ~kind ~callee ~args () =
+  emit mb (Stmt.Invoke { Expr.kind; callee; base; args })
+
+let invoke_ret mb ?base ~kind ~callee ~args () =
+  let l = fresh_local mb callee.Jsig.ret in
+  emit mb (Stmt.Assign (l, Expr.Invoke { Expr.kind; callee; base; args }));
+  l
+
+let call_virtual mb ~base ~callee ~args =
+  invoke mb ~base ~kind:Expr.Virtual ~callee ~args ()
+
+let call_static mb ~callee ~args = invoke mb ~kind:Expr.Static ~callee ~args ()
+
+let call_interface mb ~base ~callee ~args =
+  invoke mb ~base ~kind:Expr.Interface ~callee ~args ()
+
+let return_void mb = emit mb (Stmt.Return None)
+let return_val mb v = emit mb (Stmt.Return (Some v))
+
+let iget mb obj f = assign mb f.Jsig.fty (Expr.Instance_get (obj, f))
+let iput mb obj f v = emit mb (Stmt.Instance_put (obj, f, v))
+let sget mb f = assign mb f.Jsig.fty (Expr.Static_get f)
+let sput mb f v = emit mb (Stmt.Static_put (f, v))
+
+(** Build a method.  [gen] receives the builder after the identity statements
+    have been emitted, so [this]/[param] are available; it must emit the
+    trailing return itself (or use [~auto_return:true]). *)
+let method_ ?(access = Jmethod.default_access) ?(auto_return = true)
+    ~cls ~name ~params ~ret gen =
+  let mb =
+    { next_local = 0; stmts = Buffer_ext.create (); this_l = None;
+      params_l = [||] }
+  in
+  if not access.Jmethod.is_static then begin
+    let l = fresh_local mb (Types.Object cls) in
+    mb.this_l <- Some l;
+    emit mb (Stmt.Assign (l, Expr.This))
+  end;
+  mb.params_l <-
+    Array.of_list
+      (List.mapi
+         (fun i ty ->
+            let l = fresh_local mb ty in
+            emit mb (Stmt.Assign (l, Expr.Param i));
+            l)
+         params);
+  gen mb;
+  if auto_return then begin
+    let already_returns =
+      let n = Buffer_ext.length mb.stmts in
+      n > 0
+      &&
+      match (Buffer_ext.to_array mb.stmts).(n - 1) with
+      | Stmt.Return _ | Stmt.Throw _ | Stmt.Goto _ -> true
+      | _ -> false
+    in
+    if not already_returns then
+      if Types.equal ret Types.Void then return_void mb
+      else return_val mb (Value.Const Value.Null)
+  end;
+  let msig = Jsig.meth ~cls ~name ~params ~ret in
+  Jmethod.make ~access ~msig ~body:(Some (Buffer_ext.to_array mb.stmts)) ()
+
+let static_access = { Jmethod.default_access with Jmethod.is_static = true }
+let private_access = { Jmethod.default_access with Jmethod.is_private = true; is_public = false }
+
+let constructor ?(params = []) ~cls gen =
+  method_ ~cls ~name:"<init>" ~params ~ret:Types.Void gen
+
+let clinit ~cls gen =
+  method_ ~access:static_access ~cls ~name:"<clinit>" ~params:[] ~ret:Types.Void
+    gen
+
+(** An abstract / interface method declaration (no body). *)
+let abstract_method ~cls ~name ~params ~ret =
+  let access = { Jmethod.default_access with Jmethod.is_abstract = true } in
+  Jmethod.make ~access ~msig:(Jsig.meth ~cls ~name ~params ~ret) ~body:None ()

@@ -1,0 +1,81 @@
+(** Imperative construction DSL for classes and method bodies.  Used by the
+    synthetic app generator, the examples and the test suite.
+
+    A method builder allocates fresh SSA locals and appends statements; the
+    identity statements for [this] and parameters are emitted automatically by
+    {!method_}. *)
+
+module Buffer_ext :
+  sig
+    type 'a t = { mutable data : 'a array; mutable len : int; }
+    val create : unit -> 'a t
+    val push : 'a t -> 'a -> unit
+    val to_array : 'a t -> 'a array
+    val length : 'a t -> int
+  end
+type mb = {
+  mutable next_local : int;
+  stmts : Stmt.t Buffer_ext.t;
+  mutable this_l : Value.local option;
+  mutable params_l : Value.local array;
+}
+val fresh_local : mb -> Types.t -> Value.local
+val emit : mb -> Stmt.t -> unit
+
+(** Position the next statement will take; usable as a branch target. *)
+val here : mb -> int
+val assign : mb -> Types.t -> Expr.t -> Value.local
+val const_str : mb -> string -> Value.local
+val const_int : mb -> int -> Value.local
+val const_class : mb -> string -> Value.local
+val this : mb -> Value.local
+val param : mb -> int -> Value.local
+
+(** Allocate an object and run its constructor: [new C; C.<init>(args)]. *)
+val new_obj :
+  mb ->
+  string ->
+  ctor_params:Types.t list -> args:Value.t list -> Value.local
+val invoke :
+  mb ->
+  ?base:Value.local ->
+  kind:Expr.invoke_kind ->
+  callee:Jsig.meth -> args:Value.t list -> unit -> unit
+val invoke_ret :
+  mb ->
+  ?base:Value.local ->
+  kind:Expr.invoke_kind ->
+  callee:Jsig.meth -> args:Value.t list -> unit -> Value.local
+val call_virtual :
+  mb ->
+  base:Value.local -> callee:Jsig.meth -> args:Value.t list -> unit
+val call_static : mb -> callee:Jsig.meth -> args:Value.t list -> unit
+val call_interface :
+  mb ->
+  base:Value.local -> callee:Jsig.meth -> args:Value.t list -> unit
+val return_void : mb -> unit
+val return_val : mb -> Value.t -> unit
+val iget : mb -> Value.local -> Jsig.field -> Value.local
+val iput : mb -> Value.local -> Jsig.field -> Value.t -> unit
+val sget : mb -> Jsig.field -> Value.local
+val sput : mb -> Jsig.field -> Value.t -> unit
+
+(** Build a method.  [gen] receives the builder after the identity statements
+    have been emitted, so [this]/[param] are available; it must emit the
+    trailing return itself (or use [~auto_return:true]). *)
+val method_ :
+  ?access:Jmethod.access ->
+  ?auto_return:bool ->
+  cls:string ->
+  name:string ->
+  params:Types.t list -> ret:Types.t -> (mb -> unit) -> Jmethod.t
+val static_access : Jmethod.access
+val private_access : Jmethod.access
+val constructor :
+  ?params:Types.t list -> cls:string -> (mb -> unit) -> Jmethod.t
+val clinit : cls:string -> (mb -> unit) -> Jmethod.t
+
+(** An abstract / interface method declaration (no body). *)
+val abstract_method :
+  cls:string ->
+  name:string -> params:Types.t list -> ret:Types.t -> Jmethod.t

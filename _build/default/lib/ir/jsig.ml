@@ -1,0 +1,98 @@
+(** Method and field signatures, in Soot's textual conventions.
+
+    A full method signature prints as
+    [<com.foo.Bar: void start(java.lang.String)>] and a sub-signature (the
+    class-independent part used for virtual dispatch) as
+    [void start(java.lang.String)]. *)
+
+type meth = {
+  cls : string;  (** declaring class, dotted notation *)
+  name : string; (** simple method name; [<init>] / [<clinit>] for ctors *)
+  params : Types.t list;
+  ret : Types.t;
+}
+
+type field = {
+  fcls : string;
+  fname : string;
+  fty : Types.t;
+}
+
+let meth ~cls ~name ~params ~ret = { cls; name; params; ret }
+let field ~cls ~name ~ty = { fcls = cls; fname = name; fty = ty }
+
+let meth_equal a b =
+  String.equal a.cls b.cls && String.equal a.name b.name
+  && Types.equal a.ret b.ret
+  && List.length a.params = List.length b.params
+  && List.for_all2 Types.equal a.params b.params
+
+let field_equal a b =
+  String.equal a.fcls b.fcls && String.equal a.fname b.fname
+  && Types.equal a.fty b.fty
+
+let is_init m = String.equal m.name "<init>"
+let is_clinit m = String.equal m.name "<clinit>"
+
+(** Class-independent part of a method signature: [ret name(p1,p2)].  Two
+    methods with equal sub-signatures are in an overriding relation when their
+    classes are. *)
+let sub_signature m =
+  Printf.sprintf "%s %s(%s)" (Types.to_string m.ret) m.name
+    (String.concat "," (List.map Types.to_string m.params))
+
+(** Full Soot-format signature: [<cls: ret name(p1,p2)>]. *)
+let meth_to_string m = Printf.sprintf "<%s: %s>" m.cls (sub_signature m)
+
+let field_to_string f =
+  Printf.sprintf "<%s: %s %s>" f.fcls (Types.to_string f.fty) f.fname
+
+(** Parse a Soot-format method signature produced by {!meth_to_string}.
+    Raises [Invalid_argument] on malformed input. *)
+let meth_of_string s =
+  let fail () = invalid_arg (Printf.sprintf "Jsig.meth_of_string: %S" s) in
+  let s = String.trim s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '<' || s.[n - 1] <> '>' then fail ();
+  let inner = String.sub s 1 (n - 2) in
+  match String.index_opt inner ':' with
+  | None -> fail ()
+  | Some colon ->
+    let cls = String.sub inner 0 colon in
+    let rest = String.trim (String.sub inner (colon + 1) (String.length inner - colon - 1)) in
+    (match String.index_opt rest ' ' with
+     | None -> fail ()
+     | Some sp ->
+       let ret = Types.of_string (String.sub rest 0 sp) in
+       let rest = String.sub rest (sp + 1) (String.length rest - sp - 1) in
+       (match String.index_opt rest '(' with
+        | None -> fail ()
+        | Some lp ->
+          let name = String.sub rest 0 lp in
+          let rp = String.rindex rest ')' in
+          let args = String.sub rest (lp + 1) (rp - lp - 1) in
+          let params =
+            if String.trim args = "" then []
+            else
+              String.split_on_char ',' args |> List.map Types.of_string
+          in
+          { cls; name; params; ret }))
+
+let pp_meth ppf m = Fmt.string ppf (meth_to_string m)
+let pp_field ppf f = Fmt.string ppf (field_to_string f)
+
+module Meth_key = struct
+  type t = meth
+  let equal = meth_equal
+  let hash m = Hashtbl.hash (m.cls, m.name, List.map Types.to_key m.params)
+end
+
+module Meth_tbl = Hashtbl.Make (Meth_key)
+
+module Field_key = struct
+  type t = field
+  let equal = field_equal
+  let hash f = Hashtbl.hash (f.fcls, f.fname)
+end
+
+module Field_tbl = Hashtbl.Make (Field_key)

@@ -1,0 +1,204 @@
+(** A whole program: the class table plus hierarchy queries and (CHA-style)
+    virtual-dispatch resolution.  This is the "program analysis space" side of
+    BackDroid; the "bytecode search space" is derived from it by
+    {!module:Dex.Disasm}. *)
+
+type t = {
+  classes : (string, Jclass.t) Hashtbl.t;
+  mutable subclass_cache : (string, string list) Hashtbl.t option;
+  dispatch_cache : (string * string, (string * Jmethod.t) list) Hashtbl.t;
+}
+
+let create () =
+  { classes = Hashtbl.create 512; subclass_cache = None;
+    dispatch_cache = Hashtbl.create 1024 }
+
+let add_class p (c : Jclass.t) =
+  Hashtbl.replace p.classes c.name c;
+  p.subclass_cache <- None;
+  Hashtbl.reset p.dispatch_cache
+
+let of_classes cs =
+  let p = create () in
+  List.iter (add_class p) cs;
+  p
+
+let find_class p name = Hashtbl.find_opt p.classes name
+
+let iter_classes p f = Hashtbl.iter (fun _ c -> f c) p.classes
+
+let fold_classes p f init =
+  Hashtbl.fold (fun _ c acc -> f c acc) p.classes init
+
+let app_classes p =
+  fold_classes p (fun c acc -> if c.Jclass.is_system then acc else c :: acc) []
+
+let find_method p (msig : Jsig.meth) =
+  match find_class p msig.cls with
+  | None -> None
+  | Some c -> Jclass.find_method c ~name:msig.name ~params:msig.params
+
+(** Walk up the superclass chain starting from (and excluding) [name]. *)
+let superclasses p name =
+  let rec go acc n =
+    match find_class p n with
+    | None -> List.rev acc
+    | Some c ->
+      (match c.super with
+       | None -> List.rev acc
+       | Some s -> go (s :: acc) s)
+  in
+  go [] name
+
+(** All interfaces implemented by [name], transitively (through both the
+    superclass chain and super-interfaces). *)
+let interfaces_of p name =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec add_iface i =
+    if not (Hashtbl.mem seen i) then begin
+      Hashtbl.replace seen i ();
+      acc := i :: !acc;
+      match find_class p i with
+      | Some ic -> List.iter add_iface ic.interfaces
+      | None -> ()
+    end
+  in
+  let rec walk n =
+    match find_class p n with
+    | None -> ()
+    | Some c ->
+      List.iter add_iface c.interfaces;
+      (match c.super with Some s -> walk s | None -> ())
+  in
+  walk name;
+  List.rev !acc
+
+let rebuild_subclass_cache p =
+  let tbl = Hashtbl.create 256 in
+  let add parent child =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt tbl parent) in
+    Hashtbl.replace tbl parent (child :: prev)
+  in
+  iter_classes p (fun c ->
+      (match c.super with Some s -> add s c.name | None -> ());
+      List.iter (fun i -> add i c.name) c.interfaces);
+  p.subclass_cache <- Some tbl;
+  tbl
+
+let direct_subclasses p name =
+  let tbl =
+    match p.subclass_cache with
+    | Some t -> t
+    | None -> rebuild_subclass_cache p
+  in
+  Option.value ~default:[] (Hashtbl.find_opt tbl name)
+
+(** All strict subclasses (and, for interfaces, implementers) of [name]. *)
+let subclasses_transitive p name =
+  let seen = Hashtbl.create 16 in
+  let rec go n acc =
+    List.fold_left
+      (fun acc child ->
+         if Hashtbl.mem seen child then acc
+         else begin
+           Hashtbl.replace seen child ();
+           go child (child :: acc)
+         end)
+      acc (direct_subclasses p n)
+  in
+  List.rev (go name [])
+
+let is_subclass_of p ~sub ~super =
+  String.equal sub super
+  || List.exists (String.equal super) (superclasses p sub)
+  || List.exists (String.equal super) (interfaces_of p sub)
+
+(** Resolve a sub-signature against [cls], walking up the hierarchy as the VM
+    would.  Returns the concrete declaring method, if any. *)
+let resolve_method p cls subsig =
+  let rec go n =
+    match find_class p n with
+    | None -> None
+    | Some c ->
+      (match Jclass.find_method_by_subsig c subsig with
+       | Some m -> Some (c, m)
+       | None -> (match c.super with Some s -> go s | None -> None))
+  in
+  go cls
+
+(** CHA dispatch: all concrete methods an [invoke-virtual] /
+    [invoke-interface] on static receiver type [cls] with [subsig] may reach.
+    Considers the resolved method in [cls] itself plus every overriding
+    definition in subclasses / implementers. *)
+let dispatch_targets_uncached p cls subsig =
+  let targets = ref [] in
+  let add (c : Jclass.t) (m : Jmethod.t) =
+    if (not m.access.is_abstract) && not c.is_interface then
+      targets := (c.name, m) :: !targets
+  in
+  (match resolve_method p cls subsig with
+   | Some (c, m) -> add c m
+   | None -> ());
+  List.iter
+    (fun sub ->
+       match find_class p sub with
+       | Some c ->
+         (match Jclass.find_method_by_subsig c subsig with
+          | Some m -> add c m
+          | None -> ())
+       | None -> ())
+    (subclasses_transitive p cls);
+  List.rev !targets
+
+let dispatch_targets p cls subsig =
+  match Hashtbl.find_opt p.dispatch_cache (cls, subsig) with
+  | Some ts -> ts
+  | None ->
+    let ts = dispatch_targets_uncached p cls subsig in
+    Hashtbl.replace p.dispatch_cache (cls, subsig) ts;
+    ts
+
+(** Does any strict subclass of [cls] override [subsig]?  Drives the paper's
+    child-class signature-search rule (Sec. IV-A). *)
+let subclass_overrides p cls subsig =
+  List.exists
+    (fun sub ->
+       match find_class p sub with
+       | Some c -> Option.is_some (Jclass.find_method_by_subsig c subsig)
+       | None -> false)
+    (subclasses_transitive p cls)
+
+(** Does [msig]'s method override a method declared in a superclass or
+    interface of its class?  Such callees need the advanced search. *)
+let overrides_foreign_declaration p (msig : Jsig.meth) =
+  let subsig = Jsig.sub_signature msig in
+  let declares n =
+    match find_class p n with
+    | Some c -> Option.is_some (Jclass.find_method_by_subsig c subsig)
+    | None -> false
+  in
+  List.exists declares (superclasses p msig.cls)
+  || List.exists declares (interfaces_of p msig.cls)
+
+(** Total number of statements in app (non-system) method bodies — our
+    size metric, standing in for APK megabytes. *)
+let code_size p =
+  fold_classes p
+    (fun c acc ->
+       if c.Jclass.is_system then acc
+       else
+         acc
+         + List.fold_left (fun a m -> a + Jmethod.stmt_count m) 0 c.methods)
+    0
+
+let method_count p =
+  fold_classes p
+    (fun c acc ->
+       if c.Jclass.is_system then acc else acc + List.length c.methods)
+    0
+
+let class_count p =
+  fold_classes p
+    (fun c acc -> if c.Jclass.is_system then acc else acc + 1)
+    0

@@ -1,0 +1,69 @@
+(** IR statements.  The paper's SSG only needs to handle three statement
+    families — DefinitionStmt (our [Assign] and the store forms), InvokeStmt
+    and ReturnStmt — but the IR also carries control flow ([If] / [Goto]) so
+    that generated apps have realistic bodies. *)
+
+type t =
+  | Assign of Value.local * Expr.t
+  | Instance_put of Value.local * Jsig.field * Value.t  (** [obj.f = v] *)
+  | Static_put of Jsig.field * Value.t                  (** [C.f = v] *)
+  | Array_put of Value.local * Value.t * Value.t        (** [a[i] = v] *)
+  | Invoke of Expr.invoke
+  | Return of Value.t option
+  | If of Expr.binop * Value.t * Value.t * int  (** conditional jump to index *)
+  | Goto of int
+  | Throw of Value.t
+  | Nop
+
+(** The local defined by the statement, if any. *)
+let def = function
+  | Assign (l, _) -> Some l
+  | Instance_put _ | Static_put _ | Array_put _ | Invoke _ | Return _
+  | If _ | Goto _ | Throw _ | Nop -> None
+
+(** All values read by the statement. *)
+let uses = function
+  | Assign (_, e) -> Expr.uses e
+  | Instance_put (o, _, v) -> [ Value.Local o; v ]
+  | Static_put (_, v) -> [ v ]
+  | Array_put (a, i, v) -> [ Value.Local a; i; v ]
+  | Invoke iv -> Expr.uses (Expr.Invoke iv)
+  | Return (Some v) -> [ v ]
+  | Return None -> []
+  | If (_, a, b, _) -> [ a; b ]
+  | Goto _ | Nop -> []
+  | Throw v -> [ v ]
+
+(** The invoke expression embedded in the statement, if any. *)
+let invoke = function
+  | Assign (_, Expr.Invoke iv) -> Some iv
+  | Invoke iv -> Some iv
+  | Assign (_, _) | Instance_put _ | Static_put _ | Array_put _ | Return _
+  | If _ | Goto _ | Throw _ | Nop -> None
+
+let to_string = function
+  | Assign (l, Expr.Param i) ->
+    Printf.sprintf "%s := @parameter%d: %s" l.Value.id i
+      (Types.to_string l.Value.ty)
+  | Assign (l, Expr.This) ->
+    Printf.sprintf "%s := @this: %s" l.Value.id (Types.to_string l.Value.ty)
+  | Assign (l, e) -> Printf.sprintf "%s = %s" l.Value.id (Expr.to_string e)
+  | Instance_put (o, f, v) ->
+    Printf.sprintf "%s.%s = %s" o.Value.id (Jsig.field_to_string f)
+      (Value.to_string v)
+  | Static_put (f, v) ->
+    Printf.sprintf "%s = %s" (Jsig.field_to_string f) (Value.to_string v)
+  | Array_put (a, i, v) ->
+    Printf.sprintf "%s[%s] = %s" a.Value.id (Value.to_string i)
+      (Value.to_string v)
+  | Invoke iv -> Expr.to_string (Expr.Invoke iv)
+  | Return (Some v) -> "return " ^ Value.to_string v
+  | Return None -> "return"
+  | If (op, a, b, t) ->
+    Printf.sprintf "if %s %s %s goto %d" (Value.to_string a)
+      (Expr.binop_to_string op) (Value.to_string b) t
+  | Goto t -> Printf.sprintf "goto %d" t
+  | Throw v -> "throw " ^ Value.to_string v
+  | Nop -> "nop"
+
+let pp ppf s = Fmt.string ppf (to_string s)

@@ -1,0 +1,27 @@
+(** IR statements.  The paper's SSG only needs to handle three statement
+    families — DefinitionStmt (our [Assign] and the store forms), InvokeStmt
+    and ReturnStmt — but the IR also carries control flow ([If] / [Goto]) so
+    that generated apps have realistic bodies. *)
+
+type t =
+    Assign of Value.local * Expr.t
+  | Instance_put of Value.local * Jsig.field * Value.t
+  | Static_put of Jsig.field * Value.t
+  | Array_put of Value.local * Value.t * Value.t
+  | Invoke of Expr.invoke
+  | Return of Value.t option
+  | If of Expr.binop * Value.t * Value.t * int
+  | Goto of int
+  | Throw of Value.t
+  | Nop
+
+(** The local defined by the statement, if any. *)
+val def : t -> Value.local option
+
+(** All values read by the statement. *)
+val uses : t -> Value.t list
+
+(** The invoke expression embedded in the statement, if any. *)
+val invoke : t -> Expr.invoke option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/manifest/app_manifest.ml: Component Ir Lifecycle List Option String

@@ -1,0 +1,1 @@
+lib/manifest/app_manifest.mli: Component Ir String

@@ -1,0 +1,1 @@
+lib/manifest/component.mli:

@@ -1,0 +1,1 @@
+lib/manifest/lifecycle.mli: Component

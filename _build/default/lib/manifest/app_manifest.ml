@@ -1,0 +1,40 @@
+(** The parsed AndroidManifest.xml model: package name plus registered
+    components.  Components present in code but *not* listed here are
+    deactivated — reaching one of their lifecycle handlers does not make a
+    sink reachable (the source of several Amandroid false positives in
+    Sec. VI-C). *)
+
+type t = {
+  package : string;
+  components : Component.t list;
+}
+
+let make ~package ~components = { package; components }
+
+let find_component t cls =
+  List.find_opt (fun (c : Component.t) -> String.equal c.cls cls) t.components
+
+(** Is [cls] a registered entry component? *)
+let is_entry_class t cls = Option.is_some (find_component t cls)
+
+let components_matching_action t action =
+  List.filter (fun (c : Component.t) -> List.mem action c.actions) t.components
+
+let entry_classes t = List.map (fun (c : Component.t) -> c.cls) t.components
+
+(** All entry-point methods of the app: every lifecycle handler defined by a
+    registered component class (looked up in [program], including inherited
+    definitions are ignored — only handlers the app overrides count). *)
+let entry_methods t (program : Ir.Program.t) =
+  List.concat_map
+    (fun (comp : Component.t) ->
+       match Ir.Program.find_class program comp.cls with
+       | None -> []
+       | Some c ->
+         List.filter_map
+           (fun (m : Ir.Jmethod.t) ->
+              if Lifecycle.is_lifecycle_subsig (Ir.Jmethod.sub_signature m)
+              then Some m.msig
+              else None)
+           c.methods)
+    t.components

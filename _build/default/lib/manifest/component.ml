@@ -1,0 +1,26 @@
+(** Android app components as registered in AndroidManifest.xml. *)
+
+type kind = Activity | Service | Receiver | Provider
+
+type t = {
+  cls : string;           (** implementing class, dotted notation *)
+  kind : kind;
+  exported : bool;
+  actions : string list;  (** intent-filter action strings *)
+}
+
+let make ?(exported = false) ?(actions = []) ~kind cls =
+  { cls; kind; exported; actions }
+
+let kind_to_string = function
+  | Activity -> "activity"
+  | Service -> "service"
+  | Receiver -> "receiver"
+  | Provider -> "provider"
+
+(** Framework superclass an app component of this kind must extend. *)
+let framework_class = function
+  | Activity -> "android.app.Activity"
+  | Service -> "android.app.Service"
+  | Receiver -> "android.content.BroadcastReceiver"
+  | Provider -> "android.content.ContentProvider"

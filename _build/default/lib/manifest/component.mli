@@ -1,0 +1,14 @@
+(** Android app components as registered in AndroidManifest.xml. *)
+
+type kind = Activity | Service | Receiver | Provider
+type t = {
+  cls : string;
+  kind : kind;
+  exported : bool;
+  actions : string list;
+}
+val make : ?exported:bool -> ?actions:string list -> kind:kind -> string -> t
+val kind_to_string : kind -> string
+
+(** Framework superclass an app component of this kind must extend. *)
+val framework_class : kind -> string

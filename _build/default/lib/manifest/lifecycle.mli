@@ -1,0 +1,23 @@
+(** Domain knowledge about Android lifecycle handlers (Sec. IV-E).
+
+    Since there are only four component kinds, a fixed table suffices: for
+    each kind we list the handler sub-signatures and, for the special search
+    over lifecycle handlers, which earlier handlers "invoke" (precede) a given
+    handler in the lifecycle state machine. *)
+
+val activity_handlers : string list
+val service_handlers : string list
+val receiver_handlers : string list
+val provider_handlers : string list
+val handlers_of_kind : Component.kind -> string list
+val all_handler_subsigs : string list
+val is_lifecycle_subsig : string -> bool
+
+(** Handlers guaranteed to run before [subsig] in the same component —
+    the "other lifecycle handlers that invoke the callee handler".  E.g.
+    [onResume] is preceded by [onStart], which is preceded by [onCreate]. *)
+val predecessors : string -> string list
+
+(** Handlers that are direct entry points: the system calls them first, so a
+    dataflow arriving here needs no further backward search. *)
+val is_entry_handler : string -> bool

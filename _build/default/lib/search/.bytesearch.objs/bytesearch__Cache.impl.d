@@ -1,0 +1,1 @@
+lib/search/cache.ml: Hashtbl Option Query

@@ -1,0 +1,1 @@
+lib/search/cache.mli: Hashtbl Query

@@ -1,0 +1,1 @@
+lib/search/engine.ml: Array Cache Dex Hashtbl Ir List Option Printf Query String

@@ -1,0 +1,1 @@
+lib/search/engine.mli: Dex Ir Query

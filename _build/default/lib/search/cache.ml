@@ -1,0 +1,55 @@
+(** Search-command caching (implementation enhancement 1, Sec. IV-F).
+
+    Keys are the rendered raw command strings; the cache also keeps the
+    per-category and aggregate counters the paper reports (average cache rate
+    23.39%, min 2.97%, max 88.95%). *)
+
+type 'hit stats = {
+  mutable total : int;
+  mutable cached : int;
+  per_category : (Query.category, int * int) Hashtbl.t;
+      (** category -> (total, cached) *)
+}
+
+type 'hit t = {
+  table : (string, 'hit list) Hashtbl.t;
+  stats : 'hit stats;
+}
+
+let create () =
+  { table = Hashtbl.create 256;
+    stats = { total = 0; cached = 0; per_category = Hashtbl.create 8 } }
+
+let bump t cat ~was_cached =
+  let s = t.stats in
+  s.total <- s.total + 1;
+  if was_cached then s.cached <- s.cached + 1;
+  let tot, cch = Option.value ~default:(0, 0) (Hashtbl.find_opt s.per_category cat) in
+  Hashtbl.replace s.per_category cat
+    (tot + 1, if was_cached then cch + 1 else cch)
+
+(** Look up or compute the result of [query], recording statistics. *)
+let find_or_add t query compute =
+  let key = Query.to_command query in
+  let cat = Query.category query in
+  match Hashtbl.find_opt t.table key with
+  | Some hits ->
+    bump t cat ~was_cached:true;
+    hits
+  | None ->
+    bump t cat ~was_cached:false;
+    let hits = compute () in
+    Hashtbl.replace t.table key hits;
+    hits
+
+(** Fraction of search commands served from cache, in [0, 1]. *)
+let cache_rate t =
+  if t.stats.total = 0 then 0.0
+  else float_of_int t.stats.cached /. float_of_int t.stats.total
+
+let total_searches t = t.stats.total
+let cached_searches t = t.stats.cached
+
+let category_stats t =
+  Hashtbl.fold (fun cat (tot, cch) acc -> (cat, tot, cch) :: acc)
+    t.stats.per_category []

@@ -1,0 +1,236 @@
+(** The bytecode search engine: executes typed queries as substring scans
+    over the dexdump plaintext, returning hits mapped back to their enclosing
+    methods, with command-level caching. *)
+
+type hit = {
+  line_no : int;
+  text : string;
+  owner : Ir.Jsig.meth;     (** enclosing method of the matching line *)
+  owner_cls : string;
+  stmt_idx : int option;
+}
+
+(** Inverted indexes over the dexdump plaintext, built in one preprocessing
+    pass (the moral equivalent of `grep` building its own cache).  The
+    un-indexed mode scans every line per query, like shelling out to grep —
+    kept for the search-cost ablation benchmark. *)
+type index = {
+  invocations : (string, hit list) Hashtbl.t;   (** dex sig -> invoke lines *)
+  new_instances : (string, hit list) Hashtbl.t; (** class desc -> lines *)
+  const_classes : (string, hit list) Hashtbl.t;
+  const_strings : (string, hit list) Hashtbl.t; (** quoted literal -> lines *)
+  field_ops : (string, hit list) Hashtbl.t;     (** field sig -> iget/iput/... *)
+  static_field_ops : (string, hit list) Hashtbl.t;
+  class_tokens : (string, hit list) Hashtbl.t;  (** class desc -> any line *)
+}
+
+type t = {
+  dex : Dex.Dexfile.t;
+  cache : hit Cache.t;
+  index : index option;
+}
+
+let push tbl key hit =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+  Hashtbl.replace tbl key (hit :: prev)
+
+(* the instruction text starts after "    %04x: " *)
+let opcode_rest text =
+  match String.index_opt text ':' with
+  | Some colon when colon + 2 <= String.length text ->
+    Some (String.sub text (colon + 2) (String.length text - colon - 2))
+  | Some _ | None -> None
+
+let last_operand rest =
+  (* operand after the last ", " *)
+  let rec find i best =
+    if i + 1 >= String.length rest then best
+    else if rest.[i] = ',' && rest.[i + 1] = ' ' then find (i + 1) (Some (i + 2))
+    else find (i + 1) best
+  in
+  match find 0 None with
+  | Some start -> Some (String.sub rest start (String.length rest - start))
+  | None -> None
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(** Class-descriptor tokens ([Lcom/foo/Bar;]) occurring in a line. *)
+let class_tokens_of text =
+  let n = String.length text in
+  let ok c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '/' || c = '_' || c = '$'
+  in
+  let rec go i acc =
+    if i >= n then acc
+    else if text.[i] = 'L' && (i = 0 || not (ok text.[i - 1])) then begin
+      let rec scan j = if j < n && ok text.[j] then scan (j + 1) else j in
+      let j = scan (i + 1) in
+      if j < n && text.[j] = ';' && j > i + 1 then
+        go (j + 1) (String.sub text i (j - i + 1) :: acc)
+      else go (i + 1) acc
+    end
+    else go (i + 1) acc
+  in
+  List.sort_uniq String.compare (go 0 [])
+
+let build_index (dex : Dex.Dexfile.t) =
+  let idx =
+    { invocations = Hashtbl.create 1024;
+      new_instances = Hashtbl.create 256;
+      const_classes = Hashtbl.create 64;
+      const_strings = Hashtbl.create 256;
+      field_ops = Hashtbl.create 256;
+      static_field_ops = Hashtbl.create 128;
+      class_tokens = Hashtbl.create 1024 }
+  in
+  Array.iteri
+    (fun line_no (line : Dex.Disasm.line) ->
+       match line.owner with
+       | None -> ()
+       | Some owner ->
+         let hit =
+           { line_no; text = line.text; owner;
+             owner_cls = Option.value ~default:"" line.owner_cls;
+             stmt_idx = line.stmt_idx }
+         in
+         (match opcode_rest line.text with
+          | None -> ()
+          | Some rest ->
+            (match last_operand rest with
+             | Some operand ->
+               if starts_with ~prefix:"invoke-" rest then
+                 push idx.invocations operand hit
+               else if starts_with ~prefix:"new-instance" rest then
+                 push idx.new_instances operand hit
+               else if starts_with ~prefix:"const-class" rest then
+                 push idx.const_classes operand hit
+               else if starts_with ~prefix:"const-string" rest then
+                 push idx.const_strings operand hit
+               else if starts_with ~prefix:"iget" rest
+                       || starts_with ~prefix:"iput" rest then
+                 push idx.field_ops operand hit
+               else if starts_with ~prefix:"sget" rest
+                       || starts_with ~prefix:"sput" rest then begin
+                 push idx.field_ops operand hit;
+                 push idx.static_field_ops operand hit
+               end
+             | None -> ());
+            List.iter
+              (fun tok -> push idx.class_tokens tok hit)
+              (class_tokens_of rest)))
+    dex.Dex.Dexfile.lines;
+  idx
+
+let create ?(indexed = true) dex =
+  { dex; cache = Cache.create ();
+    index = (if indexed then Some (build_index dex) else None) }
+
+let program t = t.dex.Dex.Dexfile.program
+
+(* Naive-but-tight substring check; patterns are short and lines are short,
+   so this outperforms building a full-text index for our corpus sizes. *)
+let contains ~pat s =
+  let lp = String.length pat and ls = String.length s in
+  if lp = 0 then true
+  else if lp > ls then false
+  else begin
+    let max_start = ls - lp in
+    let c0 = pat.[0] in
+    let rec at i =
+      if i > max_start then false
+      else if s.[i] = c0 && String.sub s i lp = pat then true
+      else at (i + 1)
+    in
+    at 0
+  end
+
+let starts_with_opcode ~prefixes text =
+  (* instruction lines look like "    0004: invoke-virtual {...}, ..." *)
+  match String.index_opt text ':' with
+  | None -> false
+  | Some colon ->
+    let rest_start = colon + 2 in
+    List.exists
+      (fun p ->
+         rest_start + String.length p <= String.length text
+         && String.sub text rest_start (String.length p) = p)
+      prefixes
+
+let scan t ~prefixes ~pat ~filter =
+  let acc = ref [] in
+  Array.iteri
+    (fun i (line : Dex.Disasm.line) ->
+       match line.owner with
+       | None -> ()
+       | Some owner ->
+         if (prefixes = [] || starts_with_opcode ~prefixes line.text)
+            && contains ~pat line.text
+         then begin
+           let h =
+             { line_no = i; text = line.text; owner;
+               owner_cls = Option.value ~default:"" line.owner_cls;
+               stmt_idx = line.stmt_idx }
+           in
+           if filter h then acc := h :: !acc
+         end)
+    t.dex.Dex.Dexfile.lines;
+  List.rev !acc
+
+let indexed_lookup idx (q : Query.t) =
+  let get tbl key = List.rev (Option.value ~default:[] (Hashtbl.find_opt tbl key)) in
+  match q with
+  | Query.Invocation sig_ -> Some (get idx.invocations sig_)
+  | Query.New_instance cls -> Some (get idx.new_instances cls)
+  | Query.Const_class cls -> Some (get idx.const_classes cls)
+  | Query.Const_string s -> Some (get idx.const_strings (Printf.sprintf "%S" s))
+  | Query.Field_access fld -> Some (get idx.field_ops fld)
+  | Query.Static_field_access fld -> Some (get idx.static_field_ops fld)
+  | Query.Class_use cls ->
+    let subject = Dex.Descriptor.class_of_desc cls in
+    Some
+      (List.filter
+         (fun h -> not (String.equal h.owner_cls subject))
+         (get idx.class_tokens cls))
+  | Query.Raw _ -> None  (* free-form searches always scan *)
+
+let scan_uncached t (q : Query.t) =
+  match q with
+  | Invocation sig_ ->
+    scan t ~prefixes:[ "invoke-" ] ~pat:(", " ^ sig_) ~filter:(fun _ -> true)
+  | New_instance cls ->
+    scan t ~prefixes:[ "new-instance" ] ~pat:(", " ^ cls) ~filter:(fun _ -> true)
+  | Const_class cls ->
+    scan t ~prefixes:[ "const-class" ] ~pat:(", " ^ cls) ~filter:(fun _ -> true)
+  | Const_string s ->
+    scan t ~prefixes:[ "const-string" ] ~pat:(Printf.sprintf "%S" s)
+      ~filter:(fun _ -> true)
+  | Field_access fld ->
+    scan t ~prefixes:[ "iget"; "iput"; "sget"; "sput" ] ~pat:(", " ^ fld)
+      ~filter:(fun _ -> true)
+  | Static_field_access fld ->
+    scan t ~prefixes:[ "sget"; "sput" ] ~pat:(", " ^ fld)
+      ~filter:(fun _ -> true)
+  | Class_use cls ->
+    let subject = Dex.Descriptor.class_of_desc cls in
+    scan t ~prefixes:[] ~pat:cls
+      ~filter:(fun h -> not (String.equal h.owner_cls subject))
+  | Raw pat -> scan t ~prefixes:[] ~pat ~filter:(fun _ -> true)
+
+let run_uncached t q =
+  match t.index with
+  | Some idx ->
+    (match indexed_lookup idx q with
+     | Some hits -> hits
+     | None -> scan_uncached t q)
+  | None -> scan_uncached t q
+
+(** Execute a query, consulting the command cache first. *)
+let run t q = Cache.find_or_add t.cache q (fun () -> run_uncached t q)
+
+let cache_rate t = Cache.cache_rate t.cache
+let total_searches t = Cache.total_searches t.cache
+let cached_searches t = Cache.cached_searches t.cache
+let category_stats t = Cache.category_stats t.cache

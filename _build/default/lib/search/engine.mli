@@ -1,0 +1,44 @@
+(** The bytecode search engine: executes typed queries over the dexdump
+    plaintext, returning hits mapped back to their enclosing methods, with
+    command-level caching (Sec. IV-F).
+
+    Two execution modes exist: the default inverted index is built once at
+    preprocessing time and answers queries in O(1); the un-indexed mode scans
+    every line per query, like the paper's prototype shelling out to grep —
+    kept for the search-cost ablation benchmark. *)
+
+(** One matching plaintext line. *)
+type hit = {
+  line_no : int;              (** position in the merged dex plaintext *)
+  text : string;              (** the raw matching line *)
+  owner : Ir.Jsig.meth;       (** enclosing method of the matching line *)
+  owner_cls : string;         (** enclosing class *)
+  stmt_idx : int option;      (** IR statement index, when the line is an
+                                  instruction *)
+}
+
+type t
+
+(** Build an engine over a disassembled app.  [indexed] (default true)
+    selects the inverted-index mode. *)
+val create : ?indexed:bool -> Dex.Dexfile.t -> t
+
+(** The program the engine's dexfile was disassembled from — the "program
+    analysis space" paired with this "bytecode search space". *)
+val program : t -> Ir.Program.t
+
+(** Execute a query, consulting the command cache first. *)
+val run : t -> Query.t -> hit list
+
+(** Execute a query bypassing the command cache (used by the ablation
+    benchmarks to measure raw query cost). *)
+val run_uncached : t -> Query.t -> hit list
+
+(** Fraction of search commands served from the cache, in [0, 1]. *)
+val cache_rate : t -> float
+
+val total_searches : t -> int
+val cached_searches : t -> int
+
+(** Per-category totals: (category, total searches, cache hits). *)
+val category_stats : t -> (Query.category * int * int) list

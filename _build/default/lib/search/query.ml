@@ -1,0 +1,46 @@
+(** Typed bytecode-search commands.  Each constructor corresponds to one kind
+    of raw text search BackDroid issues against the dexdump plaintext; the
+    rendered command string is also the cache key. *)
+
+type t =
+  | Invocation of string
+      (** dexdump method signature; matches [invoke-*] lines *)
+  | New_instance of string  (** dexdump class descriptor *)
+  | Const_class of string   (** dexdump class descriptor on [const-class] *)
+  | Const_string of string  (** quoted string constant *)
+  | Field_access of string  (** dexdump field signature; iget/iput/sget/sput *)
+  | Static_field_access of string  (** sget/sput only *)
+  | Class_use of string
+      (** class descriptor anywhere in instruction lines of other classes *)
+  | Raw of string           (** free-form substring *)
+
+(** Granularity label used for the per-category cache statistics of
+    Sec. IV-F. *)
+type category =
+  | Cat_caller      (** caller-method (invocation) searches *)
+  | Cat_class       (** invoked-class searches *)
+  | Cat_field       (** static / instance field searches *)
+  | Cat_raw         (** everything else *)
+
+let category = function
+  | Invocation _ | New_instance _ -> Cat_caller
+  | Const_class _ | Class_use _ -> Cat_class
+  | Field_access _ | Static_field_access _ -> Cat_field
+  | Const_string _ | Raw _ -> Cat_raw
+
+let category_to_string = function
+  | Cat_caller -> "caller"
+  | Cat_class -> "class"
+  | Cat_field -> "field"
+  | Cat_raw -> "raw"
+
+(** Raw command string, e.g. ["grep 'invoke-.*, Lcom/foo;.m:()V'"]. *)
+let to_command = function
+  | Invocation s -> Printf.sprintf "grep 'invoke-.*, %s'" s
+  | New_instance s -> Printf.sprintf "grep 'new-instance .*, %s'" s
+  | Const_class s -> Printf.sprintf "grep 'const-class .*, %s'" s
+  | Const_string s -> Printf.sprintf "grep 'const-string .*, %S'" s
+  | Field_access s -> Printf.sprintf "grep '[is]\\(get\\|put\\)-.*, %s'" s
+  | Static_field_access s -> Printf.sprintf "grep 's\\(get\\|put\\)-.*, %s'" s
+  | Class_use s -> Printf.sprintf "grep '%s'" s
+  | Raw s -> Printf.sprintf "grep '%s'" s

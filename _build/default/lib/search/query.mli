@@ -1,0 +1,22 @@
+(** Typed bytecode-search commands.  Each constructor corresponds to one kind
+    of raw text search BackDroid issues against the dexdump plaintext; the
+    rendered command string is also the cache key. *)
+
+type t =
+    Invocation of string
+  | New_instance of string
+  | Const_class of string
+  | Const_string of string
+  | Field_access of string
+  | Static_field_access of string
+  | Class_use of string
+  | Raw of string
+
+(** Granularity label used for the per-category cache statistics of
+    Sec. IV-F. *)
+type category = Cat_caller | Cat_class | Cat_field | Cat_raw
+val category : t -> category
+val category_to_string : category -> string
+
+(** Raw command string, e.g. ["grep 'invoke-.*, Lcom/foo;.m:()V'"]. *)
+val to_command : t -> string

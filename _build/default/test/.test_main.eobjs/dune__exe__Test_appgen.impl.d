@@ -1,0 +1,1 @@
+test/test_appgen.ml: Alcotest Appgen Dex Framework List Manifest Printf String

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Appgen Backdroid Baseline Framework List Printf Unix

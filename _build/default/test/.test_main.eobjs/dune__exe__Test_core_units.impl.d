@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Backdroid Builder Bytesearch Dex Expr Framework Ir Jclass Jmethod Jsig List Manifest Program String Types Value

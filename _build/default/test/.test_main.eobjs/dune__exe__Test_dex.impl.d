@@ -1,0 +1,1 @@
+test/test_dex.ml: Alcotest Appgen Array Dex Framework Gen Ir Jclass Jsig List Option QCheck QCheck_alcotest String Types

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Appgen Evalharness Filename Float Framework List Sys

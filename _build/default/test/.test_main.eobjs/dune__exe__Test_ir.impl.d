@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Expr Framework Ir Jclass Jmethod Jsig List Option Program QCheck QCheck_alcotest Stmt String Types Value

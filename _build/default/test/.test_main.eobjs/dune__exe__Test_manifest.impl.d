@@ -1,0 +1,1 @@
+test/test_manifest.ml: Alcotest Framework Ir List Manifest

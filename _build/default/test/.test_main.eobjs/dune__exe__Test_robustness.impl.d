@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Appgen Backdroid Dex Framework Ir List Manifest Printf Unix

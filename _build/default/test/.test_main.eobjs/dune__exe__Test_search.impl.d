@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Bytesearch Dex Expr Gen Ir Jclass Jsig List Printf QCheck QCheck_alcotest String Types

@@ -1,0 +1,1 @@
+test/test_searches_deep.ml: Alcotest Appgen Backdroid Builder Bytesearch Dex Expr Framework Gen Ir Jclass Jmethod Jsig List Manifest Option Printf Program QCheck QCheck_alcotest Types Value

@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Appgen Backdroid Baseline Dex Framework Gen Ir List Manifest Printf QCheck QCheck_alcotest

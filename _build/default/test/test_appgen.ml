@@ -1,0 +1,141 @@
+(* Tests for the synthetic app generator: determinism, size control, ground
+   truth consistency, corpus statistics. *)
+
+module G = Appgen.Generator
+module Shape = Appgen.Shape
+module Corpus = Appgen.Corpus
+module Sinks = Framework.Sinks
+
+let gen_small seed =
+  G.generate
+    { G.default_config with
+      G.seed;
+      name = "com.t.gen";
+      filler_classes = 8;
+      plants =
+        [ { G.shape = Shape.Direct; sink = Sinks.cipher; insecure = true };
+          { G.shape = Shape.Callback; sink = Sinks.ssl_factory; insecure = false } ] }
+
+let test_determinism () =
+  let a = gen_small 5 and b = gen_small 5 in
+  Alcotest.(check int) "same size" a.G.size_stmts b.G.size_stmts;
+  Alcotest.(check int) "same dex lines" (Dex.Dexfile.line_count a.G.dex)
+    (Dex.Dexfile.line_count b.G.dex);
+  Alcotest.(check string) "same dex text" (Dex.Dexfile.to_string a.G.dex)
+    (Dex.Dexfile.to_string b.G.dex)
+
+let test_seed_changes_output () =
+  let a = gen_small 5 and b = gen_small 6 in
+  Alcotest.(check bool) "different seeds differ" true
+    (not (String.equal (Dex.Dexfile.to_string a.G.dex) (Dex.Dexfile.to_string b.G.dex)))
+
+let test_ground_truth () =
+  let app = gen_small 5 in
+  Alcotest.(check int) "two planted sinks" 2 (List.length app.G.planted);
+  let p0 = List.nth app.G.planted 0 in
+  Alcotest.(check bool) "direct plant reachable" true p0.Appgen.Templates.reachable;
+  Alcotest.(check bool) "direct plant insecure" true p0.Appgen.Templates.insecure
+
+let test_size_scales () =
+  let mk n =
+    (G.generate { G.default_config with G.seed = 3; name = "com.t.size"; filler_classes = n }).G.size_stmts
+  in
+  let s10 = mk 10 and s40 = mk 40 in
+  Alcotest.(check bool) "4x classes -> roughly 4x stmts" true
+    (s40 > 3 * s10 && s40 < 5 * s10)
+
+let test_components_registered () =
+  let app = gen_small 5 in
+  let comps = app.G.manifest.Manifest.App_manifest.components in
+  (* filler activity + 2 plant activities *)
+  Alcotest.(check bool) "at least three components" true (List.length comps >= 3)
+
+let test_multidex_equivalent () =
+  let base = { G.default_config with G.seed = 9; name = "com.t.mdx"; filler_classes = 12 } in
+  let a = G.generate base in
+  let b = G.generate { base with G.multidex = true } in
+  Alcotest.(check int) "same line count with multidex"
+    (Dex.Dexfile.line_count a.G.dex) (Dex.Dexfile.line_count b.G.dex)
+
+(* --- corpus --- *)
+
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let median xs =
+  let s = List.sort compare xs in
+  List.nth s (List.length s / 2)
+
+let test_yearly_sizes () =
+  List.iter
+    (fun (year, (avg, med, count)) ->
+       let sizes = Corpus.yearly_sizes ~seed:1 year in
+       Alcotest.(check int)
+         (Printf.sprintf "%d sample count" year)
+         count (List.length sizes);
+       let m = mean sizes and md = median sizes in
+       Alcotest.(check bool)
+         (Printf.sprintf "%d mean within 15%% of %.1f (got %.1f)" year avg m)
+         true
+         (abs_float (m -. avg) /. avg < 0.15);
+       Alcotest.(check bool)
+         (Printf.sprintf "%d median within 15%% of %.1f (got %.1f)" year med md)
+         true
+         (abs_float (md -. med) /. med < 0.15))
+    Corpus.year_models
+
+let test_modern_corpus_shape () =
+  let configs = Corpus.modern_144 ~scale:1.0 () in
+  Alcotest.(check int) "144 apps" 144 (List.length configs);
+  let sink_counts =
+    List.map (fun (c : G.config) -> List.length c.G.plants) configs
+  in
+  let avg = mean (List.map float_of_int sink_counts) in
+  Alcotest.(check bool)
+    (Printf.sprintf "avg sink calls ~21 (got %.1f)" avg)
+    true
+    (avg > 14.0 && avg < 28.0);
+  Alcotest.(check bool) "outlier has 121 sinks" true
+    (List.exists (fun (c : G.config) -> List.length c.G.plants = 121) configs)
+
+let test_detection_corpus_groups () =
+  let apps = Corpus.detection () in
+  let count g =
+    List.length (List.filter (fun (a : Corpus.detection_app) -> a.group = g) apps)
+  in
+  Alcotest.(check int) "7 ecb tps" 7 (count "ecb-tp");
+  Alcotest.(check int) "15 plain ssl tps" 15 (count "ssl-tp");
+  Alcotest.(check int) "2 subclassed ssl tps" 2 (count "ssl-tp-subclassed");
+  Alcotest.(check int) "6 unregistered fps" 6 (count "ssl-fp-unregistered");
+  Alcotest.(check int) "8 skipped-lib extras" 8 (count "extra-skipped-lib");
+  Alcotest.(check int) "8 async-gap extras" 8 (count "extra-async-gap");
+  Alcotest.(check int) "10 error extras" 10 (count "extra-error")
+
+let test_rng_determinism () =
+  let a = Appgen.Rng.create 42 and b = Appgen.Rng.create 42 in
+  let xs = List.init 20 (fun _ -> Appgen.Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Appgen.Rng.int b 1000) in
+  Alcotest.(check (list int)) "same stream" xs ys
+
+let test_rng_bounds () =
+  let r = Appgen.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Appgen.Rng.int r 10 in
+    if x < 0 || x >= 10 then Alcotest.fail "out of bounds";
+    let f = Appgen.Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of bounds"
+  done
+
+let unit_cases =
+  [ Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_output;
+    Alcotest.test_case "ground truth" `Quick test_ground_truth;
+    Alcotest.test_case "size scaling" `Quick test_size_scales;
+    Alcotest.test_case "components registered" `Quick test_components_registered;
+    Alcotest.test_case "multidex equivalence" `Quick test_multidex_equivalent;
+    Alcotest.test_case "yearly size models (Table I)" `Quick test_yearly_sizes;
+    Alcotest.test_case "modern-144 corpus shape" `Quick test_modern_corpus_shape;
+    Alcotest.test_case "detection corpus groups" `Quick test_detection_corpus_groups;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds ]
+
+let suites = [ "appgen.unit", unit_cases ]

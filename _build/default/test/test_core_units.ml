@@ -1,0 +1,277 @@
+(* Unit tests for BackDroid's core submodules: dispatch classification,
+   signature translation, loop bookkeeping, API models, fact joins and the
+   detectors. *)
+
+open Ir
+module B = Builder
+module Api = Framework.Api
+module Sinks = Framework.Sinks
+module Facts = Backdroid.Facts
+module Detectors = Backdroid.Detectors
+
+let plain_ctor ~cls ~super =
+  B.constructor ~cls (fun mb ->
+      B.invoke mb ~base:(B.this mb) ~kind:Expr.Special
+        ~callee:(Jsig.meth ~cls:super ~name:"<init>" ~params:[] ~ret:Types.Void)
+        ~args:[] ())
+
+let void_m ?(access = Jmethod.default_access) cls name =
+  B.method_ ~access ~cls ~name ~params:[] ~ret:Types.Void (fun _ -> ())
+
+let sample_program () =
+  let act =
+    Jclass.make ~super:(Some "android.app.Activity") "d.MainAct"
+      ~methods:
+        [ plain_ctor ~cls:"d.MainAct" ~super:"android.app.Activity";
+          B.method_ ~cls:"d.MainAct" ~name:"onCreate" ~params:[ Api.bundle_t ]
+            ~ret:Types.Void (fun _ -> ());
+          void_m ~access:B.private_access "d.MainAct" "helper";
+          void_m "d.MainAct" "plainPublic" ]
+  in
+  let runnable_impl =
+    Jclass.make ~interfaces:[ "java.lang.Runnable" ] "d.Job"
+      ~methods:
+        [ plain_ctor ~cls:"d.Job" ~super:"java.lang.Object";
+          void_m "d.Job" "run" ]
+  in
+  let helper =
+    Jclass.make "d.Util"
+      ~methods:
+        [ void_m ~access:B.static_access "d.Util" "stat";
+          B.clinit ~cls:"d.Util" (fun _ -> ()) ]
+  in
+  Program.of_classes (Framework.Stubs.classes () @ [ act; runnable_impl; helper ])
+
+(* --- dispatch --- *)
+
+let msig cls name = Jsig.meth ~cls ~name ~params:[] ~ret:Types.Void
+
+let test_dispatch () =
+  let p = sample_program () in
+  let check name expected m =
+    Alcotest.(check string) name expected
+      (Backdroid.Dispatch.to_string (Backdroid.Dispatch.classify p m))
+  in
+  check "static method -> basic" "basic" (msig "d.Util" "stat");
+  check "private method -> basic" "basic" (msig "d.MainAct" "helper");
+  check "plain public, no foreign decl -> basic" "basic"
+    (msig "d.MainAct" "plainPublic");
+  check "interface impl -> advanced" "advanced" (msig "d.Job" "run");
+  check "clinit -> clinit" "clinit" (msig "d.Util" "<clinit>");
+  check "lifecycle handler -> lifecycle" "lifecycle"
+    (Jsig.meth ~cls:"d.MainAct" ~name:"onCreate" ~params:[ Api.bundle_t ]
+       ~ret:Types.Void)
+
+(* --- sigformat --- *)
+
+let test_sigformat_roundtrip () =
+  let m =
+    Jsig.meth ~cls:"com.a.B" ~name:"f" ~params:[ Types.string_; Types.Int ]
+      ~ret:Types.Boolean
+  in
+  let d = Backdroid.Sigformat.to_dex_meth m in
+  Alcotest.(check string) "dex form" "Lcom/a/B;.f:(Ljava/lang/String;I)Z" d;
+  Alcotest.(check bool) "roundtrip" true
+    (Jsig.meth_equal (Backdroid.Sigformat.of_dex_meth d) m);
+  Alcotest.(check string) "relocated onto child"
+    "Lcom/a/Child;.f:(Ljava/lang/String;I)Z"
+    (Backdroid.Sigformat.to_dex_meth_on_class m "com.a.Child")
+
+(* --- loopdetect --- *)
+
+let test_loopdetect () =
+  let s = Backdroid.Loopdetect.create () in
+  Backdroid.Loopdetect.record s Backdroid.Loopdetect.Cross_backward;
+  Backdroid.Loopdetect.record s Backdroid.Loopdetect.Cross_backward;
+  Backdroid.Loopdetect.record s Backdroid.Loopdetect.Inner_forward;
+  Alcotest.(check int) "total" 3 (Backdroid.Loopdetect.total s);
+  Alcotest.(check int) "cross backward" 2
+    (Backdroid.Loopdetect.get s Backdroid.Loopdetect.Cross_backward);
+  let m = msig "a.B" "f" in
+  Alcotest.(check bool) "on_path" true (Backdroid.Loopdetect.on_path [ m ] m);
+  Alcotest.(check bool) "not on_path" false
+    (Backdroid.Loopdetect.on_path [ m ] (msig "a.B" "g"))
+
+(* --- api model --- *)
+
+let test_binop_mimicry () =
+  let open Backdroid.Api_model in
+  Alcotest.(check bool) "add" true
+    (binop Expr.Add (Facts.Const_int 2) (Facts.Const_int 3) = Facts.Const_int 5);
+  Alcotest.(check bool) "xor" true
+    (binop Expr.Bxor (Facts.Const_int 6) (Facts.Const_int 3) = Facts.Const_int 5);
+  Alcotest.(check bool) "cmp true" true
+    (binop Expr.Lt (Facts.Const_int 1) (Facts.Const_int 2) = Facts.Const_int 1);
+  (match binop Expr.Add Facts.Unknown (Facts.Const_int 1) with
+   | Facts.Sym _ -> ()
+   | f -> Alcotest.fail ("expected symbolic, got " ^ Facts.to_string f))
+
+let test_stringbuilder_model () =
+  let open Backdroid.Api_model in
+  let sb = Facts.new_obj "java.lang.StringBuilder" in
+  let sb =
+    match eval Api.string_builder_append (Some sb) [ Facts.Const_str "AES/" ] with
+    | Some f -> f
+    | None -> Alcotest.fail "append not modelled"
+  in
+  let sb =
+    match eval Api.string_builder_append (Some sb) [ Facts.Const_str "ECB" ] with
+    | Some f -> f
+    | None -> Alcotest.fail "append not modelled"
+  in
+  match eval Api.string_builder_to_string (Some sb) [] with
+  | Some (Facts.Const_str s) -> Alcotest.(check string) "concat" "AES/ECB" s
+  | Some f -> Alcotest.fail ("unexpected " ^ Facts.to_string f)
+  | None -> Alcotest.fail "toString not modelled"
+
+let test_intent_model () =
+  let open Backdroid.Api_model in
+  let intent = Facts.new_obj "android.content.Intent" in
+  ignore
+    (eval Api.intent_put_extra (Some intent)
+       [ Facts.Const_str "spec"; Facts.Const_str "AES/ECB/PKCS5Padding" ]);
+  match eval Api.intent_get_string_extra (Some intent) [ Facts.Const_str "spec" ] with
+  | Some (Facts.Const_str s) ->
+    Alcotest.(check string) "extra roundtrip" "AES/ECB/PKCS5Padding" s
+  | _ -> Alcotest.fail "extra lost"
+
+(* --- facts --- *)
+
+let test_fact_join () =
+  Alcotest.(check bool) "equal consts join" true
+    (Facts.join (Facts.Const_str "a") (Facts.Const_str "a") = Facts.Const_str "a");
+  Alcotest.(check bool) "unknown is identity" true
+    (Facts.join Facts.Unknown (Facts.Const_int 3) = Facts.Const_int 3);
+  (match Facts.join (Facts.Const_str "a") (Facts.Const_str "b") with
+   | Facts.Sym _ -> ()
+   | f -> Alcotest.fail ("expected sym, got " ^ Facts.to_string f))
+
+let test_sym_truncation () =
+  match Facts.sym (String.make 500 'x') with
+  | Facts.Sym s ->
+    Alcotest.(check bool) "bounded" true (String.length s <= 48)
+  | f -> Alcotest.fail ("expected sym, got " ^ Facts.to_string f)
+
+(* --- detectors --- *)
+
+let test_cipher_detector () =
+  let p = sample_program () in
+  let check spec expected =
+    Alcotest.(check string) spec expected
+      (Detectors.verdict_to_string
+         (Detectors.classify p Sinks.cipher (Facts.Const_str spec)))
+  in
+  check "AES/ECB/PKCS5Padding" "INSECURE";
+  check "AES" "INSECURE";           (* mode-less default is ECB *)
+  check "AES/GCM/NoPadding" "secure";
+  check "DES/CBC/PKCS5Padding" "secure";
+  Alcotest.(check string) "unknown fact unresolved" "unresolved"
+    (Detectors.verdict_to_string (Detectors.classify p Sinks.cipher Facts.Unknown))
+
+let test_ssl_detector () =
+  let p = sample_program () in
+  let v fact = Detectors.verdict_to_string (Detectors.classify p Sinks.ssl_factory fact) in
+  Alcotest.(check string) "allow-all field" "INSECURE"
+    (v (Facts.Static_ref Api.allow_all_hostname_verifier));
+  Alcotest.(check string) "allow-all object" "INSECURE"
+    (v (Facts.new_obj "org.apache.http.conn.ssl.AllowAllHostnameVerifier"));
+  Alcotest.(check string) "strict object" "secure"
+    (v (Facts.new_obj "org.apache.http.conn.ssl.StrictHostnameVerifier"))
+
+let test_app_verifier_detector () =
+  (* an app-defined verifier whose verify() returns constant true *)
+  let vcls = "d.TrustAll" in
+  let verify ret_val =
+    B.method_ ~cls:vcls ~name:"verify" ~params:[ Types.string_ ]
+      ~ret:Types.Boolean (fun mb ->
+        B.return_val mb (Value.Const (Value.Int_c ret_val)))
+  in
+  let mk ret_val =
+    Program.of_classes
+      (Framework.Stubs.classes ()
+       @ [ Jclass.make ~interfaces:[ "javax.net.ssl.HostnameVerifier" ] vcls
+             ~methods:[ plain_ctor ~cls:vcls ~super:"java.lang.Object"; verify ret_val ] ])
+  in
+  let verdict p =
+    Detectors.verdict_to_string
+      (Detectors.classify p Sinks.https_conn (Facts.new_obj vcls))
+  in
+  Alcotest.(check string) "returns-true verifier" "INSECURE" (verdict (mk 1));
+  Alcotest.(check string) "returns-false verifier" "secure" (verdict (mk 0))
+
+(* --- object taint indicators --- *)
+
+let test_indicator_types () =
+  let p = sample_program () in
+  let inds =
+    Backdroid.Object_taint.indicator_types p "d.Job" "void run()"
+  in
+  Alcotest.(check bool) "Runnable is an indicator" true
+    (List.mem "java.lang.Runnable" inds);
+  let none = Backdroid.Object_taint.indicator_types p "d.Util" "void stat()" in
+  Alcotest.(check (list string)) "no indicator for plain statics" [] none
+
+(* --- clinit search uses the manifest --- *)
+
+let test_clinit_search () =
+  let user =
+    Jclass.make "d.Model"
+      ~methods:
+        [ B.method_ ~access:B.static_access ~cls:"d.Model" ~name:"touch"
+            ~params:[] ~ret:Types.Void (fun mb ->
+              ignore
+                (B.sget mb (Jsig.field ~cls:"d.Cfg" ~name:"X" ~ty:Types.Int))) ]
+  in
+  let cfg_cls =
+    Jclass.make "d.Cfg"
+      ~fields:[ Jsig.field ~cls:"d.Cfg" ~name:"X" ~ty:Types.Int ]
+      ~methods:[ B.clinit ~cls:"d.Cfg" (fun _ -> ()) ]
+  in
+  let act =
+    Jclass.make ~super:(Some "android.app.Activity") "d.Entry"
+      ~methods:
+        [ plain_ctor ~cls:"d.Entry" ~super:"android.app.Activity";
+          B.method_ ~cls:"d.Entry" ~name:"onCreate" ~params:[ Api.bundle_t ]
+            ~ret:Types.Void (fun mb ->
+              B.call_static mb
+                ~callee:(Jsig.meth ~cls:"d.Model" ~name:"touch" ~params:[] ~ret:Types.Void)
+                ~args:[]) ]
+  in
+  let program =
+    Program.of_classes (Framework.Stubs.classes () @ [ user; cfg_cls; act ])
+  in
+  let engine = Bytesearch.Engine.create (Dex.Dexfile.of_program program) in
+  let manifest =
+    Manifest.App_manifest.make ~package:"d"
+      ~components:[ Manifest.Component.make ~kind:Manifest.Component.Activity "d.Entry" ]
+  in
+  let ok, chain =
+    Backdroid.Clinit_search.clinit_reachable engine manifest
+      (Jsig.meth ~cls:"d.Cfg" ~name:"<clinit>" ~params:[] ~ret:Types.Void)
+  in
+  Alcotest.(check bool) "reachable through Model and Entry" true ok;
+  Alcotest.(check bool) "chain nonempty" true (List.length chain >= 2);
+  (* unregistered manifest: unreachable *)
+  let empty_manifest = Manifest.App_manifest.make ~package:"d" ~components:[] in
+  let ok2, _ =
+    Backdroid.Clinit_search.clinit_reachable engine empty_manifest
+      (Jsig.meth ~cls:"d.Cfg" ~name:"<clinit>" ~params:[] ~ret:Types.Void)
+  in
+  Alcotest.(check bool) "unreachable without entries" false ok2
+
+let cases =
+  [ Alcotest.test_case "dispatch classification" `Quick test_dispatch;
+    Alcotest.test_case "sigformat roundtrip" `Quick test_sigformat_roundtrip;
+    Alcotest.test_case "loopdetect" `Quick test_loopdetect;
+    Alcotest.test_case "binop mimicry" `Quick test_binop_mimicry;
+    Alcotest.test_case "stringbuilder model" `Quick test_stringbuilder_model;
+    Alcotest.test_case "intent model" `Quick test_intent_model;
+    Alcotest.test_case "fact join" `Quick test_fact_join;
+    Alcotest.test_case "sym truncation" `Quick test_sym_truncation;
+    Alcotest.test_case "cipher detector" `Quick test_cipher_detector;
+    Alcotest.test_case "ssl detector" `Quick test_ssl_detector;
+    Alcotest.test_case "app verifier detector" `Quick test_app_verifier_detector;
+    Alcotest.test_case "indicator types" `Quick test_indicator_types;
+    Alcotest.test_case "clinit search" `Quick test_clinit_search ]
+
+let suites = [ "core.units", cases ]

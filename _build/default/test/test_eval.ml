@@ -1,0 +1,110 @@
+(* Tests for the evaluation harness: statistics helpers and the per-tool
+   runners. *)
+
+module G = Appgen.Generator
+module Stats = Evalharness.Stats
+module Runner = Evalharness.Runner
+
+let test_median () =
+  Alcotest.(check (float 1e-9)) "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Stats.median []))
+
+let test_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ])
+
+let test_histogram () =
+  let xs = [ 0.5; 1.5; 2.5; 7.0; 20.0 ] in
+  Alcotest.(check (list int)) "buckets" [ 1; 2; 1; 1 ]
+    (Stats.histogram ~buckets:[ 1.0; 5.0; 10.0 ] xs)
+
+let test_count_in () =
+  Alcotest.(check int) "half-open" 2
+    (Stats.count_in ~lo:1.0 ~hi:3.0 [ 0.5; 1.0; 2.9; 3.0 ])
+
+let test_percentile () =
+  let xs = List.init 101 (fun i -> float_of_int i) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile 50.0 xs);
+  Alcotest.(check (float 1e-9)) "p90" 90.0 (Stats.percentile 90.0 xs)
+
+let tiny_app () =
+  G.generate
+    { G.default_config with
+      G.seed = 3;
+      name = "com.eval.tiny";
+      filler_classes = 3;
+      plants =
+        [ { G.shape = Appgen.Shape.Direct; sink = Framework.Sinks.cipher;
+            insecure = true } ] }
+
+let test_run_backdroid () =
+  let m, _ = Runner.run_backdroid (tiny_app ()) in
+  Alcotest.(check bool) "no timeout" false m.Runner.timed_out;
+  Alcotest.(check int) "one sink call" 1 m.Runner.sink_calls;
+  Alcotest.(check int) "one insecure" 1 m.Runner.insecure;
+  Alcotest.(check bool) "positive time" true (m.Runner.seconds >= 0.0)
+
+let test_run_amandroid () =
+  let m, _ = Runner.run_amandroid ~timeout_s:30.0 (tiny_app ()) in
+  Alcotest.(check bool) "no timeout" false m.Runner.timed_out;
+  Alcotest.(check int) "one insecure" 1 m.Runner.insecure
+
+let test_run_amandroid_timeout_cap () =
+  (* an enormous deep app with a tiny budget must report exactly the cap *)
+  let app =
+    G.generate
+      { G.default_config with
+        G.seed = 5;
+        name = "com.eval.big";
+        filler_classes = 200;
+        filler_jump_locality = 2;
+        filler_fanout_max = 3 }
+  in
+  let m, _ = Runner.run_amandroid ~timeout_s:0.05 app in
+  if m.Runner.timed_out then
+    Alcotest.(check (float 1e-9)) "capped at budget" 0.05 m.Runner.seconds
+  else Alcotest.(check bool) "fast enough to finish" true (m.Runner.seconds < 0.5)
+
+let test_run_flowdroid () =
+  let m = Runner.run_flowdroid_cg ~timeout_s:30.0 (tiny_app ()) in
+  Alcotest.(check bool) "no timeout" false m.Runner.timed_out;
+  Alcotest.(check string) "tool name" "FlowDroid-CG" (Runner.tool_name m.Runner.tool)
+
+let test_csv_roundtrip () =
+  let m, _ = Runner.run_backdroid (tiny_app ()) in
+  let row = Evalharness.Report.csv_row m in
+  match Evalharness.Report.parse_row row with
+  | Some m' ->
+    Alcotest.(check string) "app" m.Runner.app m'.Runner.app;
+    Alcotest.(check int) "sinks" m.Runner.sink_calls m'.Runner.sink_calls;
+    Alcotest.(check bool) "tool" true (m.Runner.tool = m'.Runner.tool)
+  | None -> Alcotest.fail "row failed to parse"
+
+let test_csv_write () =
+  let m, _ = Runner.run_backdroid (tiny_app ()) in
+  let path = Filename.temp_file "bd" ".csv" in
+  Evalharness.Report.write_csv path [ m; m ];
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  Alcotest.(check int) "header + 2 rows" 3 (List.length !lines)
+
+let cases =
+  [ Alcotest.test_case "median" `Quick test_median;
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "count_in" `Quick test_count_in;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "run backdroid" `Quick test_run_backdroid;
+    Alcotest.test_case "run amandroid" `Quick test_run_amandroid;
+    Alcotest.test_case "amandroid timeout cap" `Quick test_run_amandroid_timeout_cap;
+    Alcotest.test_case "run flowdroid-cg" `Quick test_run_flowdroid;
+    Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv write" `Quick test_csv_write ]
+
+let suites = [ "eval.unit", cases ]

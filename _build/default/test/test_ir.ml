@@ -1,0 +1,180 @@
+(* Unit and property tests for the IR substrate. *)
+
+open Ir
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- generators --- *)
+
+let gen_type =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let base =
+          oneofl
+            [ Types.Void; Types.Boolean; Types.Byte; Types.Char; Types.Short;
+              Types.Int; Types.Long; Types.Float; Types.Double;
+              Types.Object "java.lang.String"; Types.Object "com.example.Foo" ]
+        in
+        if n <= 0 then base
+        else frequency [ 3, base; 1, map (fun t -> Types.Array t) (self (n / 2)) ]))
+
+let arb_type = QCheck.make ~print:Types.to_string gen_type
+
+let gen_nonvoid = QCheck.Gen.(map (function Types.Void -> Types.Int | t -> t) gen_type)
+let arb_nonvoid = QCheck.make ~print:Types.to_string gen_nonvoid
+
+let gen_meth =
+  QCheck.Gen.(
+    let* cls = oneofl [ "com.a.B"; "com.foo.bar.Baz"; "x.Y$1"; "single.K" ] in
+    let* name = oneofl [ "run"; "doWork"; "<init>"; "<clinit>"; "getX" ] in
+    let* params = list_size (int_bound 4) gen_nonvoid in
+    let* ret = gen_type in
+    return (Jsig.meth ~cls ~name ~params ~ret))
+
+let arb_meth = QCheck.make ~print:Jsig.meth_to_string gen_meth
+
+(* --- properties --- *)
+
+let type_roundtrip =
+  QCheck.Test.make ~name:"Types.of_string/to_string roundtrip" ~count:200
+    arb_type (fun t -> Types.equal (Types.of_string (Types.to_string t)) t)
+
+let meth_roundtrip =
+  QCheck.Test.make ~name:"Jsig.meth_of_string/to_string roundtrip" ~count:200
+    arb_meth (fun m -> Jsig.meth_equal (Jsig.meth_of_string (Jsig.meth_to_string m)) m)
+
+let subsig_class_independent =
+  QCheck.Test.make ~name:"sub_signature is class independent" ~count:100
+    arb_meth (fun m ->
+      String.equal (Jsig.sub_signature m)
+        (Jsig.sub_signature { m with Jsig.cls = "other.Cls" }))
+
+(* --- unit tests --- *)
+
+let mk_class ?super ?(interfaces = []) ?(methods = []) name =
+  Jclass.make ?super ~interfaces ~methods name
+
+let sample_program () =
+  let m cls name =
+    Ir.Builder.method_ ~cls ~name ~params:[] ~ret:Types.Void (fun mb ->
+        Ir.Builder.return_void mb)
+  in
+  Ir.Program.of_classes
+    [ mk_class "a.Base" ~methods:[ m "a.Base" "go"; m "a.Base" "only" ];
+      mk_class "a.Mid" ~super:(Some "a.Base") ~methods:[ m "a.Mid" "go" ];
+      mk_class "a.Leaf" ~super:(Some "a.Mid");
+      mk_class "a.I" ~methods:[] ~interfaces:[];
+      { (mk_class "a.Iface") with Jclass.is_interface = true };
+      mk_class "a.Impl" ~interfaces:[ "a.Iface" ] ]
+
+let test_superclasses () =
+  let p = sample_program () in
+  Alcotest.(check (list string)) "leaf superclasses"
+    [ "a.Mid"; "a.Base"; "java.lang.Object" ]
+    (Program.superclasses p "a.Leaf")
+
+let test_subclasses () =
+  let p = sample_program () in
+  Alcotest.(check (list string)) "base subclasses (sorted)"
+    [ "a.Leaf"; "a.Mid" ]
+    (List.sort String.compare (Program.subclasses_transitive p "a.Base"))
+
+let test_resolve_override () =
+  let p = sample_program () in
+  match Program.resolve_method p "a.Leaf" "void go()" with
+  | Some (cls, _) -> Alcotest.(check string) "resolves to Mid.go" "a.Mid" cls.Jclass.name
+  | None -> Alcotest.fail "void go() not resolved"
+
+let test_resolve_inherited () =
+  let p = sample_program () in
+  match Program.resolve_method p "a.Leaf" "void only()" with
+  | Some (cls, _) -> Alcotest.(check string) "resolves to Base.only" "a.Base" cls.Jclass.name
+  | None -> Alcotest.fail "void only() not resolved"
+
+let test_subclass_overrides () =
+  let p = sample_program () in
+  Alcotest.(check bool) "go is overridden below Base" true
+    (Program.subclass_overrides p "a.Base" "void go()");
+  Alcotest.(check bool) "only is not overridden" false
+    (Program.subclass_overrides p "a.Base" "void only()")
+
+let test_overrides_foreign () =
+  let p = sample_program () in
+  Alcotest.(check bool) "Mid.go overrides Base.go" true
+    (Program.overrides_foreign_declaration p
+       (Jsig.meth ~cls:"a.Mid" ~name:"go" ~params:[] ~ret:Types.Void));
+  Alcotest.(check bool) "Base.only overrides nothing" false
+    (Program.overrides_foreign_declaration p
+       (Jsig.meth ~cls:"a.Base" ~name:"only" ~params:[] ~ret:Types.Void))
+
+let test_builder_identity_stmts () =
+  let m =
+    Ir.Builder.method_ ~cls:"t.C" ~name:"f" ~params:[ Types.Int; Types.string_ ]
+      ~ret:Types.Void (fun mb ->
+        ignore (Ir.Builder.const_int mb 42))
+  in
+  (match Jmethod.this_local m with
+   | Some l -> Alcotest.(check string) "this type" "t.C" (Types.to_string l.Value.ty)
+   | None -> Alcotest.fail "no this local");
+  (match Jmethod.param_local m 1 with
+   | Some l ->
+     Alcotest.(check string) "param1 type" "java.lang.String"
+       (Types.to_string l.Value.ty)
+   | None -> Alcotest.fail "no param1 local");
+  let body = Option.get m.Jmethod.body in
+  (match body.(Array.length body - 1) with
+   | Stmt.Return None -> ()
+   | s -> Alcotest.fail ("auto return missing: " ^ Stmt.to_string s))
+
+let test_static_method_no_this () =
+  let m =
+    Ir.Builder.method_ ~access:Ir.Builder.static_access ~cls:"t.C" ~name:"s"
+      ~params:[] ~ret:Types.Void (fun _ -> ())
+  in
+  Alcotest.(check bool) "static has no this" true (Jmethod.this_local m = None);
+  Alcotest.(check bool) "static is a signature method" true
+    (Jmethod.is_signature_method m)
+
+let test_clinit_not_signature_method () =
+  let m = Ir.Builder.clinit ~cls:"t.C" (fun _ -> ()) in
+  Alcotest.(check bool) "clinit excluded from signature methods" false
+    (Jmethod.is_signature_method m)
+
+let test_stmt_def_use () =
+  let l = { Value.id = "$r0"; ty = Types.Int } in
+  let r = { Value.id = "$r1"; ty = Types.Int } in
+  let s = Stmt.Assign (l, Expr.Binop (Expr.Add, Value.Local r, Value.Const (Value.Int_c 1))) in
+  (match Stmt.def s with
+   | Some d -> Alcotest.(check string) "def" "$r0" d.Value.id
+   | None -> Alcotest.fail "no def");
+  Alcotest.(check int) "uses" 2 (List.length (Stmt.uses s))
+
+let test_code_size_excludes_system () =
+  let p =
+    Ir.Program.of_classes
+      (Framework.Stubs.classes ()
+       @ [ mk_class "app.C"
+             ~methods:
+               [ Ir.Builder.method_ ~cls:"app.C" ~name:"f" ~params:[]
+                   ~ret:Types.Void (fun mb -> Ir.Builder.return_void mb) ] ])
+  in
+  (* body: this identity + return *)
+  Alcotest.(check int) "app stmts only" 2 (Program.code_size p)
+
+let unit_cases =
+  [ Alcotest.test_case "superclasses" `Quick test_superclasses;
+    Alcotest.test_case "subclasses" `Quick test_subclasses;
+    Alcotest.test_case "resolve override" `Quick test_resolve_override;
+    Alcotest.test_case "resolve inherited" `Quick test_resolve_inherited;
+    Alcotest.test_case "subclass_overrides" `Quick test_subclass_overrides;
+    Alcotest.test_case "overrides_foreign_declaration" `Quick test_overrides_foreign;
+    Alcotest.test_case "builder identity stmts" `Quick test_builder_identity_stmts;
+    Alcotest.test_case "static method" `Quick test_static_method_no_this;
+    Alcotest.test_case "clinit dispatch exclusion" `Quick test_clinit_not_signature_method;
+    Alcotest.test_case "stmt def/use" `Quick test_stmt_def_use;
+    Alcotest.test_case "code_size excludes system" `Quick test_code_size_excludes_system ]
+
+let prop_cases =
+  List.map qcheck [ type_roundtrip; meth_roundtrip; subsig_class_independent ]
+
+let suites = [ "ir.unit", unit_cases; "ir.props", prop_cases ]

@@ -1,0 +1,74 @@
+(* Tests for the manifest model and lifecycle domain knowledge. *)
+
+module C = Manifest.Component
+module M = Manifest.App_manifest
+module L = Manifest.Lifecycle
+
+let sample () =
+  M.make ~package:"com.x"
+    ~components:
+      [ C.make ~kind:C.Activity "com.x.Main";
+        C.make ~kind:C.Service "com.x.Svc";
+        C.make ~kind:C.Receiver ~actions:[ "com.x.PING" ] "com.x.Rcv" ]
+
+let test_entry_class () =
+  let m = sample () in
+  Alcotest.(check bool) "registered" true (M.is_entry_class m "com.x.Main");
+  Alcotest.(check bool) "unregistered" false (M.is_entry_class m "com.x.Ghost")
+
+let test_action_match () =
+  let m = sample () in
+  Alcotest.(check int) "one receiver for PING" 1
+    (List.length (M.components_matching_action m "com.x.PING"));
+  Alcotest.(check int) "no receiver for PONG" 0
+    (List.length (M.components_matching_action m "com.x.PONG"))
+
+let test_lifecycle_membership () =
+  Alcotest.(check bool) "onCreate(Bundle)" true
+    (L.is_lifecycle_subsig "void onCreate(android.os.Bundle)");
+  Alcotest.(check bool) "onStartCommand" true
+    (L.is_lifecycle_subsig "int onStartCommand(android.content.Intent,int,int)");
+  Alcotest.(check bool) "random method" false (L.is_lifecycle_subsig "void foo()")
+
+let test_predecessors () =
+  Alcotest.(check (list string)) "onResume <- onStart"
+    [ "void onStart()" ]
+    (L.predecessors "void onResume()");
+  Alcotest.(check (list string)) "onStart <- onCreate/onRestart"
+    [ "void onCreate(android.os.Bundle)"; "void onRestart()" ]
+    (L.predecessors "void onStart()")
+
+let test_entry_methods () =
+  let act_cls = "com.x.Main" in
+  let act =
+    Ir.Jclass.make ~super:(Some "android.app.Activity") act_cls
+      ~methods:
+        [ Ir.Builder.method_ ~cls:act_cls ~name:"onCreate"
+            ~params:[ Ir.Types.Object "android.os.Bundle" ] ~ret:Ir.Types.Void
+            (fun _ -> ());
+          Ir.Builder.method_ ~cls:act_cls ~name:"helper" ~params:[]
+            ~ret:Ir.Types.Void (fun _ -> ()) ]
+  in
+  let p = Ir.Program.of_classes (Framework.Stubs.classes () @ [ act ]) in
+  let m = sample () in
+  let entries = M.entry_methods m p in
+  Alcotest.(check int) "only the lifecycle handler is an entry" 1
+    (List.length entries);
+  Alcotest.(check string) "it is onCreate" "onCreate"
+    (List.hd entries).Ir.Jsig.name
+
+let test_framework_class () =
+  Alcotest.(check string) "activity" "android.app.Activity"
+    (C.framework_class C.Activity);
+  Alcotest.(check string) "receiver" "android.content.BroadcastReceiver"
+    (C.framework_class C.Receiver)
+
+let unit_cases =
+  [ Alcotest.test_case "entry class" `Quick test_entry_class;
+    Alcotest.test_case "action match" `Quick test_action_match;
+    Alcotest.test_case "lifecycle membership" `Quick test_lifecycle_membership;
+    Alcotest.test_case "predecessors" `Quick test_predecessors;
+    Alcotest.test_case "entry methods" `Quick test_entry_methods;
+    Alcotest.test_case "framework classes" `Quick test_framework_class ]
+
+let suites = [ "manifest.unit", unit_cases ]

@@ -1,0 +1,156 @@
+(* Miscellaneous coverage: pretty-printer output, CHA dispatch on interface
+   hierarchies, builder control flow, and a couple of cross-cutting
+   properties. *)
+
+open Ir
+module B = Builder
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let contains ~sub s =
+  let ls = String.length s and lb = String.length sub in
+  let rec at i = i + lb <= ls && (String.sub s i lb = sub || at (i + 1)) in
+  lb = 0 || at 0
+
+let test_pp_class () =
+  let c =
+    Jclass.make ~super:(Some "p.Base") ~interfaces:[ "p.I" ] "p.C"
+      ~fields:[ Jsig.field ~cls:"p.C" ~name:"f" ~ty:Types.Int ]
+      ~methods:
+        [ B.method_ ~cls:"p.C" ~name:"go" ~params:[ Types.string_ ]
+            ~ret:Types.Void (fun mb ->
+              ignore (B.const_str mb "x")) ]
+  in
+  let s = Fmt.str "%a" Pp.pp_class c in
+  Alcotest.(check bool) "class line" true (contains ~sub:"class p.C extends p.Base" s);
+  Alcotest.(check bool) "implements" true (contains ~sub:"implements p.I" s);
+  Alcotest.(check bool) "field" true (contains ~sub:"<p.C: int f>" s);
+  Alcotest.(check bool) "method subsig" true
+    (contains ~sub:"void go(java.lang.String)" s);
+  Alcotest.(check bool) "identity stmt printed" true
+    (contains ~sub:":= @this: p.C" s)
+
+let test_dispatch_interface () =
+  let iface =
+    { (Jclass.make "q.I") with
+      Jclass.is_interface = true;
+      methods = [ B.abstract_method ~cls:"q.I" ~name:"f" ~params:[] ~ret:Types.Void ] }
+  in
+  let mk name =
+    Jclass.make ~interfaces:[ "q.I" ] name
+      ~methods:
+        [ B.method_ ~cls:name ~name:"f" ~params:[] ~ret:Types.Void (fun _ -> ()) ]
+  in
+  let p = Program.of_classes [ iface; mk "q.A"; mk "q.B" ] in
+  let targets = Program.dispatch_targets p "q.I" "void f()" in
+  Alcotest.(check (list string)) "both implementers" [ "q.A"; "q.B" ]
+    (List.sort String.compare (List.map fst targets))
+
+let test_builder_diamond () =
+  (* hand-build an if/goto/phi diamond and check the analyses survive it *)
+  let m =
+    B.method_ ~access:B.static_access ~cls:"q.D" ~name:"pick"
+      ~params:[ Types.Int ] ~ret:Types.string_ (fun mb ->
+        let base = B.here mb in
+        B.emit mb
+          (Stmt.If (Expr.Gt, Value.Local (B.param mb 0),
+                    Value.Const (Value.Int_c 0), base + 3));
+        let a = B.const_str mb "AES/GCM/NoPadding" in
+        B.emit mb (Stmt.Goto (base + 4));
+        let b = B.const_str mb "AES/GCM/NoPadding" in
+        let r = B.assign mb Types.string_ (Expr.Phi [ a; b ]) in
+        B.return_val mb (Value.Local r))
+  in
+  let body = Option.get m.Jmethod.body in
+  Alcotest.(check bool) "diamond emitted" true (Array.length body >= 6);
+  (* the dex renderer handles If/Goto/Phi lines *)
+  let klass = Jclass.make "q.D" ~methods:[ m ] in
+  let dex = Dex.Dexfile.of_program (Program.of_classes [ klass ]) in
+  let text = Dex.Dexfile.to_string dex in
+  Alcotest.(check bool) "if rendered" true (contains ~sub:"if-gt" text);
+  Alcotest.(check bool) "goto rendered" true (contains ~sub:"goto :goto_" text);
+  Alcotest.(check bool) "phi rendered" true (contains ~sub:".phi" text)
+
+let test_diamond_spec_still_detected () =
+  (* a diamond where both branches produce the same (insecure) constant:
+     the Phi join keeps the constant and the detector still fires *)
+  let cls = "q.Dia" in
+  let meth =
+    B.method_ ~access:B.static_access ~cls ~name:"enc" ~params:[ Types.Int ]
+      ~ret:Types.Void (fun mb ->
+        let base = B.here mb in
+        B.emit mb
+          (Stmt.If (Expr.Gt, Value.Local (B.param mb 0),
+                    Value.Const (Value.Int_c 0), base + 3));
+        let a = B.const_str mb "AES/ECB/PKCS5Padding" in
+        B.emit mb (Stmt.Goto (base + 4));
+        let b = B.const_str mb "AES/ECB/PKCS5Padding" in
+        let r = B.assign mb Types.string_ (Expr.Phi [ a; b ]) in
+        ignore
+          (B.invoke_ret mb ~kind:Expr.Static
+             ~callee:Framework.Api.cipher_get_instance
+             ~args:[ Value.Local r ] ()))
+  in
+  let act_cls = "q.DiaAct" in
+  let act =
+    Jclass.make ~super:(Some "android.app.Activity") act_cls
+      ~methods:
+        [ B.constructor ~cls:act_cls (fun mb ->
+              B.invoke mb ~base:(B.this mb) ~kind:Expr.Special
+                ~callee:
+                  (Jsig.meth ~cls:"android.app.Activity" ~name:"<init>"
+                     ~params:[] ~ret:Types.Void)
+                ~args:[] ());
+          B.method_ ~cls:act_cls ~name:"onCreate"
+            ~params:[ Framework.Api.bundle_t ] ~ret:Types.Void (fun mb ->
+              let k = B.const_int mb 1 in
+              B.call_static mb
+                ~callee:
+                  (Jsig.meth ~cls ~name:"enc" ~params:[ Types.Int ]
+                     ~ret:Types.Void)
+                ~args:[ Value.Local k ]) ]
+  in
+  let program =
+    Program.of_classes
+      (Framework.Stubs.classes () @ [ Jclass.make cls ~methods:[ meth ]; act ])
+  in
+  let manifest =
+    Manifest.App_manifest.make ~package:"q"
+      ~components:
+        [ Manifest.Component.make ~kind:Manifest.Component.Activity act_cls ]
+  in
+  let r =
+    Backdroid.Driver.analyze ~dex:(Dex.Dexfile.of_program program) ~manifest ()
+  in
+  Alcotest.(check int) "phi-joined constant detected" 1
+    (List.length (Backdroid.Driver.insecure_reports r))
+
+let query_commands_injective =
+  QCheck.Test.make ~name:"query commands are injective per constructor"
+    ~count:100
+    QCheck.(make Gen.(pair (string_size (int_range 1 20)) (string_size (int_range 1 20))))
+    (fun (a, b) ->
+       let open Bytesearch.Query in
+       a = b
+       || (to_command (Invocation a) <> to_command (Invocation b)
+           && to_command (Const_string a) <> to_command (Const_string b)))
+
+let histogram_total =
+  QCheck.Test.make ~name:"histogram buckets sum to the sample count" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 30) (float_range 0.0 100.0))
+    (fun xs ->
+       let counts =
+         Evalharness.Stats.histogram ~buckets:[ 10.0; 50.0; 90.0 ] xs
+       in
+       List.fold_left ( + ) 0 counts = List.length xs)
+
+let cases =
+  [ Alcotest.test_case "pp class output" `Quick test_pp_class;
+    Alcotest.test_case "dispatch on interfaces" `Quick test_dispatch_interface;
+    Alcotest.test_case "builder diamond renders" `Quick test_builder_diamond;
+    Alcotest.test_case "diamond spec still detected" `Quick
+      test_diamond_spec_still_detected ]
+
+let prop_cases = List.map qcheck [ query_commands_injective; histogram_total ]
+
+let suites = [ "misc.unit", cases; "misc.props", prop_cases ]

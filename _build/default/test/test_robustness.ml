@@ -1,0 +1,205 @@
+(* Robustness and auxiliary-sink tests: degenerate inputs must not crash the
+   pipeline, multidex must be transparent, analysis must be deterministic,
+   and the catalog's auxiliary sinks must resolve their facts. *)
+
+module G = Appgen.Generator
+module Shape = Appgen.Shape
+module Sinks = Framework.Sinks
+module Driver = Backdroid.Driver
+
+let analyze ?cfg (app : G.app) =
+  Driver.analyze ?cfg ~dex:app.dex ~manifest:app.manifest ()
+
+let test_empty_app () =
+  let app =
+    G.generate
+      { G.default_config with G.seed = 2; name = "com.rob.empty"; filler_classes = 0 }
+  in
+  let r = analyze app in
+  Alcotest.(check int) "no sink calls" 0 (List.length r.Driver.reports)
+
+let test_filler_only_app () =
+  let app =
+    G.generate
+      { G.default_config with G.seed = 3; name = "com.rob.filler"; filler_classes = 20 }
+  in
+  let r = analyze app in
+  Alcotest.(check int) "no sinks in filler" 0 r.Driver.stats.Driver.sink_calls
+
+let test_no_manifest_components () =
+  let app =
+    G.generate
+      { G.default_config with
+        G.seed = 4;
+        name = "com.rob.nomanifest";
+        filler_classes = 2;
+        plants =
+          [ { G.shape = Shape.Direct; sink = Sinks.cipher; insecure = true } ] }
+  in
+  let empty_manifest =
+    Manifest.App_manifest.make ~package:"com.rob.nomanifest" ~components:[]
+  in
+  let r = Driver.analyze ~dex:app.G.dex ~manifest:empty_manifest () in
+  Alcotest.(check bool) "sink found" true (List.length r.Driver.reports >= 1);
+  Alcotest.(check int) "nothing reachable without registered components" 0
+    (List.length
+       (List.filter (fun (rep : Driver.sink_report) -> rep.reachable)
+          r.Driver.reports))
+
+let test_deterministic_analysis () =
+  let mk () =
+    G.generate
+      { G.default_config with
+        G.seed = 5;
+        name = "com.rob.det";
+        filler_classes = 6;
+        plants =
+          [ { G.shape = Shape.Callback; sink = Sinks.ssl_factory; insecure = true };
+            { G.shape = Shape.Icc_explicit; sink = Sinks.cipher; insecure = false } ] }
+  in
+  let summarize r =
+    List.map
+      (fun (rep : Driver.sink_report) ->
+         ( Ir.Jsig.meth_to_string rep.meth, rep.site, rep.reachable,
+           Backdroid.Facts.to_string rep.fact,
+           Backdroid.Detectors.verdict_to_string rep.verdict ))
+      r.Driver.reports
+    |> List.sort compare
+  in
+  let a = summarize (analyze (mk ())) and b = summarize (analyze (mk ())) in
+  Alcotest.(check bool) "identical reports across runs" true (a = b)
+
+let test_multidex_transparent () =
+  let base =
+    { G.default_config with
+      G.seed = 6;
+      name = "com.rob.mdx";
+      filler_classes = 10;
+      plants =
+        [ { G.shape = Shape.Super_class; sink = Sinks.cipher; insecure = true } ] }
+  in
+  let single = analyze (G.generate base) in
+  let multi = analyze (G.generate { base with G.multidex = true }) in
+  Alcotest.(check int) "same insecure count"
+    (List.length (Driver.insecure_reports single))
+    (List.length (Driver.insecure_reports multi))
+
+let test_auxiliary_sink_facts () =
+  let check sink shape expect =
+    let app =
+      G.generate
+        { G.default_config with
+          G.seed = 7;
+          name = "com.rob.aux";
+          filler_classes = 2;
+          plants = [ { G.shape = shape; sink; insecure = true } ] }
+    in
+    let cfg = { Driver.default_config with Driver.sinks = Sinks.catalog } in
+    let r = analyze ~cfg app in
+    match
+      List.filter (fun (rep : Driver.sink_report) -> rep.reachable)
+        r.Driver.reports
+    with
+    | [ rep ] ->
+      Alcotest.(check string)
+        (Sinks.kind_to_string sink.Sinks.kind ^ " fact")
+        expect
+        (Backdroid.Facts.to_string rep.fact)
+    | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected 1 reachable report, got %d" (List.length l))
+  in
+  check Sinks.server_socket Shape.Direct "8080";
+  check Sinks.local_socket Shape.Static_chain "\"open-socket\"";
+  check Sinks.sms Shape.Direct "\"premium-text\""
+
+let test_all_catalog_initial_search () =
+  (* all six catalog sinks planted in one app; every occurrence located *)
+  let plants =
+    List.map
+      (fun sink -> { G.shape = Shape.Direct; sink; insecure = true })
+      Sinks.catalog
+  in
+  let app =
+    G.generate
+      { G.default_config with
+        G.seed = 8; name = "com.rob.catalog"; filler_classes = 2; plants }
+  in
+  let cfg = { Driver.default_config with Driver.sinks = Sinks.catalog } in
+  let r = analyze ~cfg app in
+  Alcotest.(check int) "six occurrences" 6 r.Driver.stats.Driver.sink_calls
+
+let test_large_sink_count () =
+  (* a 121-sink app completes quickly and reports every occurrence *)
+  let rng = Appgen.Rng.create 99 in
+  let plants =
+    List.init 121 (fun _ -> Appgen.Corpus.random_plant rng ~insecure_p:0.0)
+  in
+  let app =
+    G.generate
+      { G.default_config with
+        G.seed = 9; name = "com.rob.many"; filler_classes = 10; plants }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = analyze app in
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "all sink calls located" true
+    (r.Driver.stats.Driver.sink_calls >= 110);
+  Alcotest.(check bool) (Printf.sprintf "fast enough (%.2fs)" dt) true (dt < 5.0)
+
+let test_sink_in_clinit_direct () =
+  (* a sink invoked directly inside a <clinit> body: dispatch must route the
+     containing method through the recursive class-use search *)
+  let module B = Ir.Builder in
+  let cls = "com.rob.ci.Holder" in
+  let holder =
+    Ir.Jclass.make cls
+      ~methods:
+        [ B.clinit ~cls (fun mb ->
+              let v = B.const_str mb "AES/ECB/PKCS5Padding" in
+              ignore
+                (B.invoke_ret mb ~kind:Ir.Expr.Static
+                   ~callee:Framework.Api.cipher_get_instance
+                   ~args:[ Ir.Value.Local v ] ())) ]
+  in
+  let user =
+    Ir.Jclass.make ~super:(Some "android.app.Activity") "com.rob.ci.Main"
+      ~methods:
+        [ B.constructor ~cls:"com.rob.ci.Main" (fun mb ->
+              B.invoke mb ~base:(B.this mb) ~kind:Ir.Expr.Special
+                ~callee:
+                  (Ir.Jsig.meth ~cls:"android.app.Activity" ~name:"<init>"
+                     ~params:[] ~ret:Ir.Types.Void)
+                ~args:[] ());
+          B.method_ ~cls:"com.rob.ci.Main" ~name:"onCreate"
+            ~params:[ Framework.Api.bundle_t ] ~ret:Ir.Types.Void (fun mb ->
+              ignore
+                (B.sget mb
+                   (Ir.Jsig.field ~cls ~name:"X" ~ty:Ir.Types.Int))) ]
+  in
+  let program =
+    Ir.Program.of_classes (Framework.Stubs.classes () @ [ holder; user ])
+  in
+  let manifest =
+    Manifest.App_manifest.make ~package:"com.rob.ci"
+      ~components:
+        [ Manifest.Component.make ~kind:Manifest.Component.Activity
+            "com.rob.ci.Main" ]
+  in
+  let r = Driver.analyze ~dex:(Dex.Dexfile.of_program program) ~manifest () in
+  Alcotest.(check int) "clinit sink detected" 1
+    (List.length (Driver.insecure_reports r))
+
+let cases =
+  [ Alcotest.test_case "empty app" `Quick test_empty_app;
+    Alcotest.test_case "filler-only app" `Quick test_filler_only_app;
+    Alcotest.test_case "no manifest components" `Quick test_no_manifest_components;
+    Alcotest.test_case "deterministic analysis" `Quick test_deterministic_analysis;
+    Alcotest.test_case "multidex transparent" `Quick test_multidex_transparent;
+    Alcotest.test_case "auxiliary sink facts" `Quick test_auxiliary_sink_facts;
+    Alcotest.test_case "full catalog initial search" `Quick
+      test_all_catalog_initial_search;
+    Alcotest.test_case "121-sink app" `Quick test_large_sink_count;
+    Alcotest.test_case "sink directly in clinit" `Quick test_sink_in_clinit_direct ]
+
+let suites = [ "robustness", cases ]

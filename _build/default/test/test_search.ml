@@ -1,0 +1,151 @@
+(* Tests for the bytecode search engine and its caches. *)
+
+open Ir
+module Q = Bytesearch.Query
+module E = Bytesearch.Engine
+
+let b_static cls name params ret = Jsig.meth ~cls ~name ~params ~ret
+
+let fixture () =
+  let callee = b_static "s.Util" "enc" [ Types.string_ ] Types.Void in
+  let fld = Jsig.field ~cls:"s.Cfg" ~name:"SPEC" ~ty:Types.string_ in
+  let caller cls =
+    Jclass.make cls
+      ~methods:
+        [ Ir.Builder.method_ ~access:Ir.Builder.static_access ~cls ~name:"go"
+            ~params:[] ~ret:Types.Void (fun mb ->
+              let s = Ir.Builder.const_str mb "AES" in
+              Ir.Builder.call_static mb ~callee ~args:[ Ir.Value.Local s ]) ]
+  in
+  let cfg =
+    Jclass.make "s.Cfg" ~fields:[ fld ]
+      ~methods:
+        [ Ir.Builder.clinit ~cls:"s.Cfg" (fun mb ->
+              let v = Ir.Builder.const_str mb "X" in
+              Ir.Builder.sput mb fld (Ir.Value.Local v));
+          Ir.Builder.method_ ~access:Ir.Builder.static_access ~cls:"s.Cfg"
+            ~name:"read" ~params:[] ~ret:Types.string_ (fun mb ->
+              let v = Ir.Builder.sget mb fld in
+              Ir.Builder.return_val mb (Ir.Value.Local v)) ]
+  in
+  let util =
+    Jclass.make "s.Util"
+      ~methods:
+        [ Ir.Builder.method_ ~access:Ir.Builder.static_access ~cls:"s.Util"
+            ~name:"enc" ~params:[ Types.string_ ] ~ret:Types.Void (fun _ -> ()) ]
+  in
+  let user =
+    Jclass.make "s.User"
+      ~methods:
+        [ Ir.Builder.method_ ~access:Ir.Builder.static_access ~cls:"s.User"
+            ~name:"use" ~params:[] ~ret:Types.Void (fun mb ->
+              ignore
+                (Ir.Builder.invoke_ret mb ~kind:Expr.Static
+                   ~callee:(b_static "s.Cfg" "read" [] Types.string_) ~args:[] ())) ]
+  in
+  let p = Ir.Program.of_classes [ caller "s.A"; caller "s.B"; cfg; util; user ] in
+  E.create (Dex.Dexfile.of_program p), callee, fld
+
+let test_invocation_search () =
+  let e, callee, _ = fixture () in
+  let hits = E.run e (Q.Invocation (Dex.Descriptor.meth_desc callee)) in
+  let owners =
+    List.map (fun (h : E.hit) -> h.owner.Jsig.cls) hits |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "two callers" [ "s.A"; "s.B" ] owners
+
+let test_field_search () =
+  let e, _, fld = fixture () in
+  let hits = E.run e (Q.Static_field_access (Dex.Descriptor.field_desc fld)) in
+  Alcotest.(check int) "sput in clinit + sget in read" 2 (List.length hits)
+
+let test_const_string_search () =
+  let e, _, _ = fixture () in
+  let hits = E.run e (Q.Const_string "AES") in
+  Alcotest.(check int) "one per caller" 2 (List.length hits)
+
+let test_class_use_excludes_self () =
+  let e, _, _ = fixture () in
+  let hits = E.run e (Q.Class_use "Ls/Cfg;") in
+  let owners =
+    List.map (fun (h : E.hit) -> h.owner_cls) hits |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "only the external user" [ "s.User" ] owners
+
+let test_no_hits () =
+  let e, _, _ = fixture () in
+  Alcotest.(check int) "absent signature finds nothing" 0
+    (List.length (E.run e (Q.Invocation "Lno/Such;.m:()V")))
+
+let test_cache_hits () =
+  let e, callee, _ = fixture () in
+  let q = Q.Invocation (Dex.Descriptor.meth_desc callee) in
+  ignore (E.run e q);
+  ignore (E.run e q);
+  ignore (E.run e q);
+  Alcotest.(check int) "three searches" 3 (E.total_searches e);
+  Alcotest.(check int) "two cached" 2 (E.cached_searches e);
+  Alcotest.(check bool) "rate 2/3" true (abs_float (E.cache_rate e -. 0.6667) < 0.01)
+
+let test_cache_categories () =
+  let e, callee, fld = fixture () in
+  ignore (E.run e (Q.Invocation (Dex.Descriptor.meth_desc callee)));
+  ignore (E.run e (Q.Static_field_access (Dex.Descriptor.field_desc fld)));
+  ignore (E.run e (Q.Class_use "Ls/Cfg;"));
+  let cats = E.category_stats e |> List.map (fun (c, _, _) -> c) in
+  Alcotest.(check bool) "caller category present" true
+    (List.mem Q.Cat_caller cats);
+  Alcotest.(check bool) "field category present" true (List.mem Q.Cat_field cats);
+  Alcotest.(check bool) "class category present" true (List.mem Q.Cat_class cats)
+
+let test_command_rendering () =
+  Alcotest.(check bool) "commands are distinct cache keys" true
+    (not
+       (String.equal
+          (Q.to_command (Q.Invocation "La;.m:()V"))
+          (Q.to_command (Q.New_instance "La;.m:()V"))))
+
+(* property: searching for a generated static callee always finds the call
+   the builder emitted *)
+let search_finds_planted =
+  QCheck.Test.make ~name:"invocation search finds planted calls" ~count:50
+    QCheck.(make Gen.(int_bound 1000))
+    (fun n ->
+       let cls = Printf.sprintf "p.C%d" n in
+       let callee =
+         Jsig.meth ~cls:"p.Callee" ~name:(Printf.sprintf "m%d" n) ~params:[]
+           ~ret:Types.Void
+       in
+       let caller =
+         Jclass.make cls
+           ~methods:
+             [ Ir.Builder.method_ ~access:Ir.Builder.static_access ~cls
+                 ~name:"go" ~params:[] ~ret:Types.Void (fun mb ->
+                   Ir.Builder.call_static mb ~callee ~args:[]) ]
+       in
+       let callee_cls =
+         Jclass.make "p.Callee"
+           ~methods:
+             [ Ir.Builder.method_ ~access:Ir.Builder.static_access
+                 ~cls:"p.Callee" ~name:(Printf.sprintf "m%d" n) ~params:[]
+                 ~ret:Types.Void (fun _ -> ()) ]
+       in
+       let e =
+         E.create
+           (Dex.Dexfile.of_program (Ir.Program.of_classes [ caller; callee_cls ]))
+       in
+       List.length (E.run e (Q.Invocation (Dex.Descriptor.meth_desc callee))) = 1)
+
+let unit_cases =
+  [ Alcotest.test_case "invocation search" `Quick test_invocation_search;
+    Alcotest.test_case "static field search" `Quick test_field_search;
+    Alcotest.test_case "const-string search" `Quick test_const_string_search;
+    Alcotest.test_case "class-use excludes self" `Quick test_class_use_excludes_self;
+    Alcotest.test_case "no hits" `Quick test_no_hits;
+    Alcotest.test_case "cache hits" `Quick test_cache_hits;
+    Alcotest.test_case "cache categories" `Quick test_cache_categories;
+    Alcotest.test_case "command rendering" `Quick test_command_rendering ]
+
+let prop_cases = [ QCheck_alcotest.to_alcotest search_finds_planted ]
+
+let suites = [ "search.unit", unit_cases; "search.props", prop_cases ]

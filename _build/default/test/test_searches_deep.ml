@@ -1,0 +1,242 @@
+(* Deeper unit tests for the individual search mechanisms of Sec. IV, on
+   hand-built programs (no generator): child-class signature expansion,
+   advanced-search endings, ICC merge precision, lifecycle predecessors and
+   per-app SSG merge properties. *)
+
+open Ir
+module B = Builder
+module Api = Framework.Api
+
+let plain_ctor ~cls ~super =
+  B.constructor ~cls (fun mb ->
+      B.invoke mb ~base:(B.this mb) ~kind:Expr.Special
+        ~callee:(Jsig.meth ~cls:super ~name:"<init>" ~params:[] ~ret:Types.Void)
+        ~args:[] ())
+
+let void_m ?(access = Jmethod.default_access) cls name gen =
+  B.method_ ~access ~cls ~name ~params:[] ~ret:Types.Void gen
+
+let engine_of classes =
+  let p = Program.of_classes (Framework.Stubs.classes () @ classes) in
+  Bytesearch.Engine.create (Dex.Dexfile.of_program p), p
+
+(* --- Sec. IV-A: child-class signature expansion --- *)
+
+let child_fixture ~overload =
+  let base =
+    Jclass.make "cc.Base"
+      ~methods:
+        [ plain_ctor ~cls:"cc.Base" ~super:"java.lang.Object";
+          void_m "cc.Base" "go" (fun _ -> ()) ]
+  in
+  let child_methods =
+    plain_ctor ~cls:"cc.Child" ~super:"cc.Base"
+    :: (if overload then [ void_m "cc.Child" "go" (fun _ -> ()) ] else [])
+  in
+  let child = Jclass.make ~super:(Some "cc.Base") "cc.Child" ~methods:child_methods in
+  (* a caller that invokes go() through the child signature *)
+  let caller =
+    Jclass.make "cc.Caller"
+      ~methods:
+        [ void_m ~access:B.static_access "cc.Caller" "use" (fun mb ->
+              let c = B.new_obj mb "cc.Child" ~ctor_params:[] ~args:[] in
+              B.call_virtual mb ~base:c
+                ~callee:(Jsig.meth ~cls:"cc.Child" ~name:"go" ~params:[] ~ret:Types.Void)
+                ~args:[]) ]
+  in
+  engine_of [ base; child; caller ]
+
+let test_child_search_classes () =
+  let _, p = child_fixture ~overload:false in
+  let go = Jsig.meth ~cls:"cc.Base" ~name:"go" ~params:[] ~ret:Types.Void in
+  Alcotest.(check (list string)) "non-overloaded child expands the search"
+    [ "cc.Base"; "cc.Child" ]
+    (Backdroid.Basic_search.search_classes p go);
+  let _, p' = child_fixture ~overload:true in
+  Alcotest.(check (list string)) "overloaded child searches the original only"
+    [ "cc.Base" ]
+    (Backdroid.Basic_search.search_classes p' go)
+
+let test_child_search_finds_caller () =
+  let engine, _ = child_fixture ~overload:false in
+  let go = Jsig.meth ~cls:"cc.Base" ~name:"go" ~params:[] ~ret:Types.Void in
+  match Backdroid.Basic_search.callers engine go with
+  | [ cs ] ->
+    Alcotest.(check string) "caller found through the child signature"
+      "cc.Caller" cs.Backdroid.Basic_search.caller.Jsig.cls
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 call site, got %d" (List.length l))
+
+(* --- Sec. IV-B: advanced-search endings on a hand-built program --- *)
+
+let test_advanced_super_ending () =
+  let sup =
+    Jclass.make ~is_abstract:true "av.Sup"
+      ~methods:
+        [ plain_ctor ~cls:"av.Sup" ~super:"java.lang.Object";
+          B.abstract_method ~cls:"av.Sup" ~name:"work" ~params:[] ~ret:Types.Void ]
+  in
+  let impl =
+    Jclass.make ~super:(Some "av.Sup") "av.Impl"
+      ~methods:
+        [ plain_ctor ~cls:"av.Impl" ~super:"av.Sup";
+          void_m "av.Impl" "work" (fun _ -> ()) ]
+  in
+  let caller =
+    Jclass.make "av.Caller"
+      ~methods:
+        [ void_m ~access:B.static_access "av.Caller" "use" (fun mb ->
+              let o = B.new_obj mb "av.Impl" ~ctor_params:[] ~args:[] in
+              let up = B.assign mb (Types.Object "av.Sup") (Expr.Imm (Value.Local o)) in
+              B.call_virtual mb ~base:up
+                ~callee:(Jsig.meth ~cls:"av.Sup" ~name:"work" ~params:[] ~ret:Types.Void)
+                ~args:[]) ]
+  in
+  let engine, _ = engine_of [ sup; impl; caller ] in
+  let loops = Backdroid.Loopdetect.create () in
+  let work = Jsig.meth ~cls:"av.Impl" ~name:"work" ~params:[] ~ret:Types.Void in
+  match Backdroid.Object_taint.advanced_callers engine loops work with
+  | [ ac ] ->
+    Alcotest.(check string) "chain head" "av.Caller"
+      ac.Backdroid.Object_taint.caller.Jsig.cls;
+    Alcotest.(check string) "app-level ending via the super signature" "av.Sup"
+      ac.Backdroid.Object_taint.ending.Jsig.cls;
+    Alcotest.(check bool) "ending invoke kept for arg mapping" true
+      (Option.is_some ac.Backdroid.Object_taint.ending_invoke)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 advanced caller, got %d" (List.length l))
+
+let test_advanced_framework_ending () =
+  let job =
+    Jclass.make ~interfaces:[ "java.lang.Runnable" ] "av.Job"
+      ~methods:
+        [ plain_ctor ~cls:"av.Job" ~super:"java.lang.Object";
+          void_m "av.Job" "run" (fun _ -> ()) ]
+  in
+  let caller =
+    Jclass.make "av.Starter"
+      ~methods:
+        [ void_m ~access:B.static_access "av.Starter" "go" (fun mb ->
+              let j = B.new_obj mb "av.Job" ~ctor_params:[] ~args:[] in
+              let t =
+                B.new_obj mb "java.lang.Thread" ~ctor_params:[ Api.runnable_t ]
+                  ~args:[ Value.Local j ]
+              in
+              B.call_virtual mb ~base:t ~callee:Api.thread_start ~args:[]) ]
+  in
+  let engine, _ = engine_of [ job; caller ] in
+  let loops = Backdroid.Loopdetect.create () in
+  let run = Jsig.meth ~cls:"av.Job" ~name:"run" ~params:[] ~ret:Types.Void in
+  match Backdroid.Object_taint.advanced_callers engine loops run with
+  | [ ac ] ->
+    Alcotest.(check string) "framework ending at Thread ctor"
+      "java.lang.Thread" ac.Backdroid.Object_taint.ending.Jsig.cls;
+    Alcotest.(check bool) "no arg mapping at framework endings" true
+      (Option.is_none ac.Backdroid.Object_taint.ending_invoke)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 advanced caller, got %d" (List.length l))
+
+(* --- Sec. IV-D: the two-time ICC merge --- *)
+
+let test_icc_merge_requires_both () =
+  (* one method does startService with the const-class; another does
+     startService with no parameter hit — only the first merges *)
+  let svc_cls = "ic.Svc" in
+  let good =
+    Jclass.make "ic.Good"
+      ~methods:
+        [ void_m "ic.Good" "go" (fun mb ->
+              let cls_c = B.const_class mb svc_cls in
+              let i =
+                B.new_obj mb "android.content.Intent"
+                  ~ctor_params:[ Api.context_t; Types.Object "java.lang.Class" ]
+                  ~args:[ Value.Local (B.this mb); Value.Local cls_c ]
+              in
+              B.invoke mb ~base:(B.this mb) ~kind:Expr.Virtual
+                ~callee:Api.context_start_service ~args:[ Value.Local i ] ()) ]
+  in
+  let unrelated =
+    Jclass.make "ic.Unrelated"
+      ~methods:
+        [ void_m "ic.Unrelated" "go" (fun mb ->
+              let i =
+                B.new_obj mb "android.content.Intent" ~ctor_params:[] ~args:[]
+              in
+              B.invoke mb ~base:(B.this mb) ~kind:Expr.Virtual
+                ~callee:Api.context_start_service ~args:[ Value.Local i ] ()) ]
+  in
+  let svc =
+    Jclass.make ~super:(Some "android.app.Service") svc_cls
+      ~methods:[ plain_ctor ~cls:svc_cls ~super:"android.app.Service" ]
+  in
+  let engine, _ = engine_of [ good; unrelated; svc ] in
+  let component = Manifest.Component.make ~kind:Manifest.Component.Service svc_cls in
+  match Backdroid.Icc_search.callers engine ~component with
+  | [ site ] ->
+    Alcotest.(check string) "only the matching method merges" "ic.Good"
+      site.Backdroid.Icc_search.caller.Jsig.cls
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 icc site, got %d" (List.length l))
+
+(* --- Sec. IV-E: transitive lifecycle predecessors --- *)
+
+let test_lifecycle_transitive_predecessors () =
+  (* the class defines onCreate and onResume but not onStart: the
+     predecessor search must hop over the missing handler *)
+  let cls = "lc.Act" in
+  let act =
+    Jclass.make ~super:(Some "android.app.Activity") cls
+      ~methods:
+        [ plain_ctor ~cls ~super:"android.app.Activity";
+          B.method_ ~cls ~name:"onCreate" ~params:[ Api.bundle_t ]
+            ~ret:Types.Void (fun _ -> ());
+          void_m cls "onResume" (fun _ -> ()) ]
+  in
+  let p = Program.of_classes (Framework.Stubs.classes () @ [ act ]) in
+  let preds =
+    Backdroid.Lifecycle_search.predecessor_handlers p
+      (Jsig.meth ~cls ~name:"onResume" ~params:[] ~ret:Types.Void)
+  in
+  Alcotest.(check (list string)) "onCreate found through the missing onStart"
+    [ "onCreate" ]
+    (List.map (fun (m : Jsig.meth) -> m.name) preds)
+
+(* --- per-app SSG merge properties --- *)
+
+let merge_idempotent =
+  QCheck.Test.make ~name:"per-app SSG merge is idempotent" ~count:20
+    QCheck.(make Gen.(int_bound 1000))
+    (fun seed ->
+       let app =
+         Appgen.Generator.generate
+           { Appgen.Generator.default_config with
+             Appgen.Generator.seed;
+             name = "com.merge.prop";
+             filler_classes = 2;
+             plants =
+               [ { Appgen.Generator.shape = Appgen.Shape.Direct;
+                   sink = Framework.Sinks.cipher; insecure = true } ] }
+       in
+       let r =
+         Backdroid.Driver.analyze ~dex:app.Appgen.Generator.dex
+           ~manifest:app.Appgen.Generator.manifest ()
+       in
+       let ssgs =
+         List.filter_map
+           (fun (rep : Backdroid.Driver.sink_report) -> rep.ssg)
+           r.Backdroid.Driver.reports
+       in
+       let once = Backdroid.Perapp_ssg.merge ssgs in
+       let twice = Backdroid.Perapp_ssg.merge (ssgs @ ssgs) in
+       Backdroid.Perapp_ssg.node_count once = Backdroid.Perapp_ssg.node_count twice
+       && Backdroid.Perapp_ssg.edge_count once
+          = Backdroid.Perapp_ssg.edge_count twice)
+
+let cases =
+  [ Alcotest.test_case "child-class search expansion" `Quick test_child_search_classes;
+    Alcotest.test_case "child-class caller recovery" `Quick test_child_search_finds_caller;
+    Alcotest.test_case "advanced super-class ending" `Quick test_advanced_super_ending;
+    Alcotest.test_case "advanced framework ending" `Quick test_advanced_framework_ending;
+    Alcotest.test_case "icc merge requires both hits" `Quick test_icc_merge_requires_both;
+    Alcotest.test_case "lifecycle transitive predecessors" `Quick
+      test_lifecycle_transitive_predecessors ]
+
+let prop_cases = [ QCheck_alcotest.to_alcotest merge_idempotent ]
+
+let suites = [ "searches.deep", cases; "searches.props", prop_cases ]

@@ -1,0 +1,1 @@
+tools/calibrate.ml: Appgen Array Backdroid Baseline List Printf Sys Unix

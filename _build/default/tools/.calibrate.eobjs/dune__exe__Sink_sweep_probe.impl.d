@@ -1,0 +1,1 @@
+tools/sink_sweep_probe.ml: Appgen Backdroid List Printf Unix

@@ -1,0 +1,34 @@
+(* Calibration utility: measures BackDroid vs the whole-app baselines over
+   the first N apps of the modern-144 corpus and prints the tail fractions
+   used to pick the experiment timeout (see DESIGN.md "time scaling").
+
+   Usage: dune exec tools/calibrate.exe [N] [context-widening] *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let n = try int_of_string Sys.argv.(1) with _ -> 24 in
+  let widen = try int_of_string Sys.argv.(2) with _ -> 128 in
+  let cfgs = Appgen.Corpus.modern_144 ~count:n () in
+  let am_cfg = { Baseline.Amandroid.default_config with Baseline.Amandroid.context_widening = widen } in
+  let bds = ref [] and ams = ref [] and fds = ref [] in
+  List.iter (fun (cfg : Appgen.Generator.config) ->
+    let app = Appgen.Generator.generate cfg in
+    let (_, tbd) = time (fun () -> Backdroid.Driver.analyze ~dex:app.dex ~manifest:app.manifest ()) in
+    let (_, tam) = time (fun () -> Baseline.Amandroid.analyze ~cfg:am_cfg ~program:app.program ~manifest:app.manifest ()) in
+    let (_, tfd) = time (fun () -> Baseline.Flowdroid_cg.build app.program app.manifest) in
+    bds := tbd :: !bds; ams := tam :: !ams; fds := tfd :: !fds;
+    Printf.printf "%-22s mb=%5.1f sinks=%3d  bd=%6.3f am=%6.3f fd=%6.3f\n%!"
+      app.name (Appgen.Generator.size_mb ~stmts_per_mb:Appgen.Corpus.stmts_per_mb app)
+      (List.length cfg.plants) tbd tam tfd)
+    cfgs;
+  let med xs = let s = List.sort compare xs in List.nth s (List.length s / 2) in
+  Printf.printf "\nmedians: bd=%.4f am=%.4f fd=%.4f ratio=%.1f\n"
+    (med !bds) (med !ams) (med !fds) (med !ams /. med !bds);
+  let frac_over t xs = float_of_int (List.length (List.filter (fun x -> x > t) xs)) /. float_of_int (List.length xs) in
+  List.iter (fun t -> Printf.printf "am > %.2fs: %.0f%%   fd > %.2fs: %.0f%%\n"
+    t (100. *. frac_over t !ams) t (100. *. frac_over t !fds))
+    [0.2; 0.3; 0.5; 0.75; 1.0; 1.5; 2.0]

@@ -1,0 +1,11 @@
+(* Fig. 9 probe: BackDroid analysis time as a function of the number of
+   sink API calls, at fixed app size.
+
+   Usage: dune exec tools/sink_sweep_probe.exe *)
+let time f = let t0 = Unix.gettimeofday () in let r = f () in (r, Unix.gettimeofday () -. t0)
+let () =
+  List.iter (fun (cfg : Appgen.Generator.config) ->
+    let app = Appgen.Generator.generate cfg in
+    let (_, t) = time (fun () -> Backdroid.Driver.analyze ~dex:app.dex ~manifest:app.manifest ()) in
+    Printf.printf "sinks=%3d size=%6d bd=%.4fs\n%!" (List.length cfg.plants) app.size_stmts t)
+    (Appgen.Corpus.sink_sweep ())
