@@ -8,8 +8,12 @@
       paper's evaluation (Table I, Figs. 1, 7, 8, 9, the Sec. VI-C detection
       tables and the Sec. IV-F enhancement statistics).
 
-   Usage: dune exec bench/main.exe [-- --quick | --micro-only | --experiments-only]
-*)
+   Usage: dune exec bench/main.exe
+            [-- --quick | --micro-only | --experiments-only | --speedup-only
+               | --jobs N]
+
+   --jobs N sets the worker-pool width for the per-app experiment fan-out
+   and the parallel/speedup benchmark (default: all cores but one). *)
 
 open Bechamel
 open Toolkit
@@ -66,6 +70,11 @@ let micro_tests () =
       (Staged.stage (fun () ->
            Backdroid.Driver.analyze ~dex:small.G.dex ~manifest:small.G.manifest
              ()));
+    (* sharded index build on the worker pool (vs preprocess/index-20mb) *)
+    Test.make ~name:"preprocess/index-20mb-sharded"
+      (Staged.stage (fun () ->
+           Parallel.Pool.with_pool ~jobs:(Parallel.Pool.default_jobs ())
+             (fun pool -> Bytesearch.Engine.create ~pool medium.G.dex)));
     (* ablation: indexed search vs grep-style full scan *)
     Test.make ~name:"search/indexed-lookup"
       (Staged.stage (fun () ->
@@ -135,10 +144,44 @@ let run_micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* parallel/speedup: the per-app experiment fan-out, sequential vs --jobs N.
+   The same grid is run twice; apps, analyses and findings are identical
+   (the determinism tests assert exactly that), only the scheduling
+   differs, so the wall-clock ratio is the multicore speedup. *)
+
+let run_speedup ~jobs =
+  print_endline "\n== parallel/speedup: per-app experiment fan-out ==";
+  let opts =
+    { Evalharness.Experiments.default_opts with
+      Evalharness.Experiments.scale = 0.3;
+      count = 2 * (max 4 jobs);
+      timeout_s = 0.5;
+      flowdroid_timeout_s = 0.5 }
+  in
+  let timed o =
+    let t0 = Unix.gettimeofday () in
+    let run = Evalharness.Experiments.run_corpus o in
+    (run, Unix.gettimeofday () -. t0)
+  in
+  let _, t_seq = timed { opts with Evalharness.Experiments.jobs = 1 } in
+  let _, t_par = timed { opts with Evalharness.Experiments.jobs } in
+  Printf.printf "  %-34s %10.3f s\n" "sequential (--jobs 1)" t_seq;
+  Printf.printf "  %-34s %10.3f s\n"
+    (Printf.sprintf "parallel (--jobs %d)" jobs)
+    t_par;
+  Printf.printf "  %-34s %9.2fx\n" "speedup" (t_seq /. t_par)
 
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
+  let jobs =
+    let rec find = function
+      | "--jobs" :: n :: _ -> int_of_string n
+      | _ :: rest -> find rest
+      | [] -> Parallel.Pool.default_jobs ()
+    in
+    max 1 (find args)
+  in
   let quick = has "--quick" in
   let opts =
     if quick then
@@ -146,11 +189,16 @@ let () =
         Evalharness.Experiments.scale = 0.3;
         count = 24;
         timeout_s = 0.5;
-        flowdroid_timeout_s = 0.5 }
-    else Evalharness.Experiments.default_opts
+        flowdroid_timeout_s = 0.5;
+        jobs }
+    else { Evalharness.Experiments.default_opts with Evalharness.Experiments.jobs = jobs }
   in
-  if not (has "--experiments-only") then run_micro ();
-  if not (has "--micro-only") then begin
+  let only =
+    has "--micro-only" || has "--experiments-only" || has "--speedup-only"
+  in
+  if (not only) || has "--micro-only" then run_micro ();
+  if (not only) || has "--speedup-only" then run_speedup ~jobs;
+  if (not only) || has "--experiments-only" then begin
     print_endline
       "\n== experiment harness: regenerating the paper's tables and figures ==";
     Evalharness.Experiments.run_all ~opts

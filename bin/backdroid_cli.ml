@@ -36,6 +36,16 @@ let sink_conv =
 let seed_t =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
 
+let jobs_t =
+  Arg.(
+    value
+    & opt int (Parallel.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker-pool width: parallel sink groups within one app (analyze) \
+           or parallel apps across the grid (experiments).  1 = sequential; \
+           results are identical either way.  Defaults to all cores but one.")
+
 let verbose_t =
   Arg.(
     value & flag
@@ -116,12 +126,13 @@ let analyze_cmd =
       & info [ "subclass-aware" ]
           ~doc:"Hierarchy-aware initial sink search (fixes the Sec. VI-C FNs).")
   in
-  let run seed size_mb plants insecure dump_ssg subclass_aware verbose =
+  let run seed size_mb plants insecure dump_ssg subclass_aware jobs verbose =
     setup_logs verbose;
     let app = make_app ~seed ~size_mb ~plants ~insecure in
     let cfg =
       { Backdroid.Driver.default_config with
-        Backdroid.Driver.subclass_aware_initial_search = subclass_aware }
+        Backdroid.Driver.subclass_aware_initial_search = subclass_aware;
+        jobs }
     in
     let t0 = Unix.gettimeofday () in
     let r = Backdroid.Driver.analyze ~cfg ~dex:app.G.dex ~manifest:app.G.manifest () in
@@ -152,7 +163,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Run BackDroid on a generated app")
     Term.(
       const run $ seed_t $ size_t $ shapes_t $ insecure_t $ dump_ssg
-      $ subclass_aware $ verbose_t)
+      $ subclass_aware $ jobs_t $ verbose_t)
 
 (* --- compare --- *)
 
@@ -194,7 +205,7 @@ let experiments_cmd =
       value & opt (some int) None
       & info [ "count" ] ~docv:"N" ~doc:"Corpus size (default 144).")
   in
-  let run quick count =
+  let run quick count jobs =
     let opts =
       if quick then
         { Evalharness.Experiments.default_opts with
@@ -207,11 +218,12 @@ let experiments_cmd =
       | Some c -> { opts with Evalharness.Experiments.count = c }
       | None -> opts
     in
+    let opts = { opts with Evalharness.Experiments.jobs } in
     Evalharness.Experiments.run_all ~opts ()
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ quick $ count_t)
+    Term.(const run $ quick $ count_t $ jobs_t)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -27,6 +27,11 @@ type config = {
   indexed_search : bool;
       (** search via the preprocessing-time inverted index (default); off =
           grep-style full scans per query, like the paper's prototype *)
+  jobs : int;
+      (** per-sink parallelism: sink call sites are grouped by containing
+          method and the groups analysed on a domain pool of this size
+          (1 = sequential).  Findings and statistics are identical for any
+          [jobs] value *)
   slicer : Slicer.config;
   forward : Forward.config;
 }
@@ -36,6 +41,7 @@ let default_config =
     subclass_aware_initial_search = false;
     resolve_reflection = false;
     indexed_search = true;
+    jobs = 1;
     slicer = Slicer.default_config;
     forward = Forward.default_config }
 
@@ -117,39 +123,60 @@ let initial_sink_search ~cfg engine =
     cfg.sinks;
   List.rev !occ
 
-(** Analyze one app. *)
-let analyze ?(cfg = default_config) ~(dex : Dex.Dexfile.t)
-    ~(manifest : Manifest.App_manifest.t) () =
-  let dex =
-    if cfg.resolve_reflection then begin
-      let program', rewrites = Reflection.transform dex.Dex.Dexfile.program in
-      if rewrites = 0 then dex else Dex.Dexfile.of_program program'
-    end
-    else dex
-  in
-  let engine = Bytesearch.Engine.create ~indexed:cfg.indexed_search dex in
+(* The unit of per-sink parallelism: all sink call sites sharing one
+   containing method.  The sink-API-call cache of Sec. IV-F is keyed by the
+   containing method, so all its lookups for a group stay inside the group —
+   the method-reachability memo, the loop counters and the SSG size counters
+   are likewise group-local, and the merged statistics are identical no
+   matter how the groups are scheduled. *)
+type group_out = {
+  g_reports : (int * sink_report) list;   (* original occurrence index *)
+  g_loops : Loopdetect.stats;
+  g_sink_lookups : int;
+  g_sink_hits : int;
+  g_ssg_nodes : int;
+  g_ssg_edges : int;
+}
+
+(* Group occurrences by containing method, preserving first-occurrence order
+   across groups and occurrence order within each group. *)
+let group_by_method occurrences =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iteri
+    (fun i ((_, meth, _) as occ) ->
+       let key = Jsig.meth_to_string meth in
+       match Hashtbl.find_opt tbl key with
+       | Some cell -> cell := (i, occ) :: !cell
+       | None ->
+         let cell = ref [ (i, occ) ] in
+         Hashtbl.replace tbl key cell;
+         order := key :: !order)
+    occurrences;
+  List.rev_map (fun key -> List.rev !(Hashtbl.find tbl key)) !order
+
+let analyze_group ~cfg ~engine ~manifest group =
   let program = Bytesearch.Engine.program engine in
   let loops = Loopdetect.create () in
   let reach_cache = Hashtbl.create 64 in
   let reach_total = ref 0 and reach_cached = ref 0 in
-  (* the sink-API-call cache: containing method -> reachability *)
-  let sink_meth_cache : (string, bool) Hashtbl.t = Hashtbl.create 16 in
+  (* the group's slot in the sink-API-call cache (one key per group) *)
+  let known_reachable = ref None in
   let sink_cache_lookups = ref 0 and sink_cache_hits = ref 0 in
   let ssg_nodes = ref 0 and ssg_edges = ref 0 in
-  let occurrences = initial_sink_search ~cfg engine in
   let reports =
     List.map
-      (fun ((sink : Sinks.t), meth, site) ->
-         let mkey = Jsig.meth_to_string meth in
+      (fun (i, ((sink : Sinks.t), meth, site)) ->
          incr sink_cache_lookups;
-         match Hashtbl.find_opt sink_meth_cache mkey with
+         match !known_reachable with
          | Some false ->
            (* Sec. IV-F: this method is known unreachable; skip re-analysis *)
            incr sink_cache_hits;
-           { sink; meth; site; reachable = false; fact = Facts.Unknown;
-             verdict = Detectors.Unresolved; ssg = None }
+           ( i,
+             { sink; meth; site; reachable = false; fact = Facts.Unknown;
+               verdict = Detectors.Unresolved; ssg = None } )
          | Some true | None ->
-           if Hashtbl.mem sink_meth_cache mkey then incr sink_cache_hits;
+           if !known_reachable <> None then incr sink_cache_hits;
            Log.info (fun m ->
                m "backtracking %s sink at %s:%d"
                  (Sinks.kind_to_string sink.Sinks.kind)
@@ -159,7 +186,7 @@ let analyze ?(cfg = default_config) ~(dex : Dex.Dexfile.t)
                ~reach_cached ~cfg:cfg.slicer ~sink ~sink_meth:meth
                ~sink_site:site ()
            in
-           Hashtbl.replace sink_meth_cache mkey ssg.Ssg.reachable;
+           known_reachable := Some ssg.Ssg.reachable;
            ssg_nodes := !ssg_nodes + Ssg.node_count ssg;
            ssg_edges := !ssg_edges + Ssg.edge_count ssg;
            let fact =
@@ -175,19 +202,66 @@ let analyze ?(cfg = default_config) ~(dex : Dex.Dexfile.t)
                  (Jsig.meth_to_string meth) site ssg.Ssg.reachable
                  (Facts.to_string fact)
                  (Detectors.verdict_to_string verdict));
-           { sink; meth; site; reachable = ssg.Ssg.reachable; fact; verdict;
-             ssg = Some ssg })
-      occurrences
+           ( i,
+             { sink; meth; site; reachable = ssg.Ssg.reachable; fact; verdict;
+               ssg = Some ssg } ))
+      group
   in
-  let stats =
-    { sink_calls = List.length occurrences;
-      searches_total = Bytesearch.Engine.total_searches engine;
-      searches_cached = Bytesearch.Engine.cached_searches engine;
-      search_cache_rate = Bytesearch.Engine.cache_rate engine;
-      sink_cache_lookups = !sink_cache_lookups;
-      sink_cache_hits = !sink_cache_hits;
-      loops;
-      ssg_nodes = !ssg_nodes;
-      ssg_edges = !ssg_edges }
+  { g_reports = reports; g_loops = loops;
+    g_sink_lookups = !sink_cache_lookups; g_sink_hits = !sink_cache_hits;
+    g_ssg_nodes = !ssg_nodes; g_ssg_edges = !ssg_edges }
+
+(** Analyze one app.  [pool] (otherwise created from [cfg.jobs]) drives the
+    sharded index build and the per-sink-group fan-out. *)
+let analyze ?(cfg = default_config) ?pool ~(dex : Dex.Dexfile.t)
+    ~(manifest : Manifest.App_manifest.t) () =
+  let run pool =
+    let dex =
+      if cfg.resolve_reflection then begin
+        let program', rewrites = Reflection.transform dex.Dex.Dexfile.program in
+        if rewrites = 0 then dex else Dex.Dexfile.of_program program'
+      end
+      else dex
+    in
+    let engine =
+      Bytesearch.Engine.create ~indexed:cfg.indexed_search ~pool dex
+    in
+    let occurrences = initial_sink_search ~cfg engine in
+    let groups = Array.of_list (group_by_method occurrences) in
+    let outs =
+      Parallel.Pool.parallel_map pool
+        (analyze_group ~cfg ~engine ~manifest) groups
+    in
+    let loops = Loopdetect.create () in
+    let sink_cache_lookups = ref 0 and sink_cache_hits = ref 0 in
+    let ssg_nodes = ref 0 and ssg_edges = ref 0 in
+    Array.iter
+      (fun g ->
+         Loopdetect.add_into ~dst:loops g.g_loops;
+         sink_cache_lookups := !sink_cache_lookups + g.g_sink_lookups;
+         sink_cache_hits := !sink_cache_hits + g.g_sink_hits;
+         ssg_nodes := !ssg_nodes + g.g_ssg_nodes;
+         ssg_edges := !ssg_edges + g.g_ssg_edges)
+      outs;
+    let reports =
+      Array.to_list outs
+      |> List.concat_map (fun g -> g.g_reports)
+      |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+      |> List.map snd
+    in
+    let stats =
+      { sink_calls = List.length occurrences;
+        searches_total = Bytesearch.Engine.total_searches engine;
+        searches_cached = Bytesearch.Engine.cached_searches engine;
+        search_cache_rate = Bytesearch.Engine.cache_rate engine;
+        sink_cache_lookups = !sink_cache_lookups;
+        sink_cache_hits = !sink_cache_hits;
+        loops;
+        ssg_nodes = !ssg_nodes;
+        ssg_edges = !ssg_edges }
+    in
+    { reports; stats }
   in
-  { reports; stats }
+  match pool with
+  | Some pool -> run pool
+  | None -> Parallel.Pool.with_pool ~jobs:cfg.jobs run

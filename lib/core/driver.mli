@@ -18,6 +18,11 @@ type config = {
   subclass_aware_initial_search : bool;
   resolve_reflection : bool;
   indexed_search : bool;
+  jobs : int;
+      (** per-sink parallelism: sink call sites are grouped by containing
+          method and the groups analysed on a domain pool of this size
+          (1 = sequential, the default).  Findings and statistics are
+          identical for any [jobs] value. *)
   slicer : Slicer.config;
   forward : Forward.config;
 }
@@ -58,7 +63,11 @@ val per_app_ssg : result -> Perapp_ssg.t
 val initial_sink_search :
   cfg:config -> Bytesearch.Engine.t -> (Sinks.t * Ir.Jsig.meth * int) list
 
-(** Analyze one app. *)
+(** Analyze one app.  [pool] reuses an existing domain pool for the sharded
+    index build and the per-sink-group fan-out; without it a fresh pool of
+    [cfg.jobs] is created for the call (so [cfg.jobs = 1] is exactly the
+    sequential path). *)
 val analyze :
   ?cfg:config ->
+  ?pool:Parallel.Pool.t ->
   dex:Dex.Dexfile.t -> manifest:Manifest.App_manifest.t -> unit -> result

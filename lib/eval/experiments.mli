@@ -16,6 +16,7 @@ type opts = {
   timeout_s : float;
   flowdroid_timeout_s : float;
   seed : int;
+  jobs : int;   (** per-app fan-out width (1 = sequential) *)
 }
 val default_opts : opts
 val minutes_per_second : opts -> float
@@ -24,6 +25,11 @@ type corpus_run = {
   amandroid : Runner.measurement list;
   flowdroid : Runner.measurement list;
 }
+
+(** One generate-analyze pass per app, fanned out [opts.jobs] apps at a time
+    over a domain pool.  Each app is generated, analysed and timed within
+    one task, so measurements match sequential mode (timings aside) and come
+    back in corpus order. *)
 val run_corpus : ?progress:(string -> unit) -> opts -> corpus_run
 val pf : ('a, out_channel, unit) format -> 'a
 val header : string -> unit

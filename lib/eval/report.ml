@@ -4,15 +4,15 @@
 
 let csv_header =
   "app,tool,seconds,timed_out,errored,sink_calls,size_stmts,size_mb,insecure,\
-   search_cache_rate,sink_cache_rate,loops,cross_backward_loops"
+   search_cache_rate,sink_cache_rate,loops,cross_backward_loops,parallelism"
 
 let csv_row (m : Runner.measurement) =
-  Printf.sprintf "%s,%s,%.6f,%b,%b,%d,%d,%.2f,%d,%.4f,%.4f,%d,%d"
+  Printf.sprintf "%s,%s,%.6f,%b,%b,%d,%d,%.2f,%d,%.4f,%.4f,%d,%d,%d"
     m.app
     (Runner.tool_name m.tool)
     m.seconds m.timed_out m.errored m.sink_calls m.size_stmts m.size_mb
     m.insecure m.search_cache_rate m.sink_cache_rate m.loops
-    m.cross_backward_loops
+    m.cross_backward_loops m.parallelism
 
 (** Write all measurements of a corpus run to [path]. *)
 let write_csv path (ms : Runner.measurement list) =
@@ -30,7 +30,8 @@ let write_csv path (ms : Runner.measurement list) =
 let parse_row line =
   match String.split_on_char ',' line with
   | [ app; tool; seconds; timed_out; errored; sink_calls; size_stmts; size_mb;
-      insecure; search_cache_rate; sink_cache_rate; loops; cross ] ->
+      insecure; search_cache_rate; sink_cache_rate; loops; cross;
+      parallelism ] ->
     Some
       { Runner.app;
         tool =
@@ -48,5 +49,6 @@ let parse_row line =
         search_cache_rate = float_of_string search_cache_rate;
         sink_cache_rate = float_of_string sink_cache_rate;
         loops = int_of_string loops;
-        cross_backward_loops = int_of_string cross }
+        cross_backward_loops = int_of_string cross;
+        parallelism = int_of_string parallelism }
   | _ -> None

@@ -25,6 +25,7 @@ type measurement = {
   sink_cache_rate : float;    (** BackDroid only *)
   loops : int;                (** BackDroid only: dead loops detected *)
   cross_backward_loops : int;
+  parallelism : int;       (** worker-pool size the measurement ran under *)
 }
 
 let time f =
@@ -56,7 +57,8 @@ let run_backdroid ?(cfg = Backdroid.Driver.default_config) (app : G.app) =
       loops = Backdroid.Loopdetect.total s.Backdroid.Driver.loops;
       cross_backward_loops =
         Backdroid.Loopdetect.get s.Backdroid.Driver.loops
-          Backdroid.Loopdetect.Cross_backward },
+          Backdroid.Loopdetect.Cross_backward;
+      parallelism = cfg.Backdroid.Driver.jobs },
     r )
 
 let run_amandroid ?(cfg = Baseline.Amandroid.default_config) ~timeout_s
@@ -88,7 +90,8 @@ let run_amandroid ?(cfg = Baseline.Amandroid.default_config) ~timeout_s
       search_cache_rate = 0.0;
       sink_cache_rate = 0.0;
       loops = 0;
-      cross_backward_loops = 0 },
+      cross_backward_loops = 0;
+      parallelism = 1 },
     r )
 
 let run_flowdroid_cg ?(cfg = Baseline.Flowdroid_cg.default_config) ~timeout_s
@@ -116,4 +119,5 @@ let run_flowdroid_cg ?(cfg = Baseline.Flowdroid_cg.default_config) ~timeout_s
     search_cache_rate = 0.0;
     sink_cache_rate = 0.0;
     loops = 0;
-    cross_backward_loops = 0 }
+    cross_backward_loops = 0;
+    parallelism = 1 }

@@ -19,6 +19,7 @@ type measurement = {
   sink_cache_rate : float;
   loops : int;
   cross_backward_loops : int;
+  parallelism : int;    (** worker-pool size the measurement ran under *)
 }
 val time : (unit -> 'a) -> 'a * float
 val mb_of : G.app -> float

@@ -1,0 +1,47 @@
+(** A fixed-size [Domain]-based worker pool (OCaml 5 multicore, no external
+    dependencies): [jobs] counts the total concurrency including the
+    submitting thread, so a pool of [jobs = 1] spawns no domains and runs
+    every task inline — exactly the sequential path.
+
+    All combinators preserve input order in their results and re-raise the
+    first (lowest-index) exception a task raised, with its backtrace, after
+    every task of the batch has settled.  The submitting thread participates
+    in draining the queue while it waits, so nested [parallel_map] calls on
+    the same pool cannot deadlock. *)
+
+type t
+
+(** [Domain.recommended_domain_count () - 1], floored at 1 — leave one core
+    for the submitting thread's bookkeeping. *)
+val default_jobs : unit -> int
+
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs] is clamped to at
+    least 1).  Call {!shutdown} when done; {!with_pool} does it for you. *)
+val create : jobs:int -> t
+
+val jobs : t -> int
+
+(** Signal the workers to exit and join them.  Idempotent.  Outstanding
+    batches must have completed. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f] over a fresh pool and shuts it down
+    afterwards, also on exception. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+
+(** Order-preserving parallel map over an array. *)
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Order-preserving parallel map over a list. *)
+val parallel_map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [parallel_ranges t ?chunks ~n f] splits [0 .. n-1] into [chunks]
+    (default: [jobs t]) contiguous ranges and evaluates [f ~lo ~hi] (half
+    open, [lo <= hi]) for each, returning the per-range results in range
+    order.  Ranges cover [0, n) exactly; with [n = 0] the result is [[]]. *)
+val parallel_ranges : t -> ?chunks:int -> n:int -> (lo:int -> hi:int -> 'b) -> 'b list
+
+(** [parallel_chunks t ?chunk_size f arr] applies [f] to contiguous
+    sub-arrays of [arr] (default chunk size: [length / jobs], at least 1) and
+    returns the per-chunk results in order. *)
+val parallel_chunks : t -> ?chunk_size:int -> ('a array -> 'b) -> 'a array -> 'b list

@@ -2,7 +2,13 @@
 
     Keys are the rendered raw command strings; the cache also keeps the
     per-category and aggregate counters the paper reports (average cache rate
-    23.39%, min 2.97%, max 88.95%). *)
+    23.39%, min 2.97%, max 88.95%).
+
+    A single mutex serializes the table and the counters, and is held across
+    the compute of a miss so that concurrent domains racing on the same key
+    still produce exactly one miss plus hits — the counters are then
+    scheduling-independent, which the jobs=1-vs-jobs=N determinism guarantee
+    relies on. *)
 
 type 'hit stats = {
   mutable total : int;
@@ -14,11 +20,13 @@ type 'hit stats = {
 type 'hit t = {
   table : (string, 'hit list) Hashtbl.t;
   stats : 'hit stats;
+  lock : Mutex.t;
 }
 
 let create () =
   { table = Hashtbl.create 256;
-    stats = { total = 0; cached = 0; per_category = Hashtbl.create 8 } }
+    stats = { total = 0; cached = 0; per_category = Hashtbl.create 8 };
+    lock = Mutex.create () }
 
 let bump t cat ~was_cached =
   let s = t.stats in
@@ -32,24 +40,32 @@ let bump t cat ~was_cached =
 let find_or_add t query compute =
   let key = Query.to_command query in
   let cat = Query.category query in
-  match Hashtbl.find_opt t.table key with
-  | Some hits ->
-    bump t cat ~was_cached:true;
-    hits
-  | None ->
-    bump t cat ~was_cached:false;
-    let hits = compute () in
-    Hashtbl.replace t.table key hits;
-    hits
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some hits ->
+        bump t cat ~was_cached:true;
+        hits
+      | None ->
+        bump t cat ~was_cached:false;
+        let hits = compute () in
+        Hashtbl.replace t.table key hits;
+        hits)
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (** Fraction of search commands served from cache, in [0, 1]. *)
 let cache_rate t =
-  if t.stats.total = 0 then 0.0
-  else float_of_int t.stats.cached /. float_of_int t.stats.total
+  with_lock t (fun () ->
+      if t.stats.total = 0 then 0.0
+      else float_of_int t.stats.cached /. float_of_int t.stats.total)
 
-let total_searches t = t.stats.total
-let cached_searches t = t.stats.cached
+let total_searches t = with_lock t (fun () -> t.stats.total)
+let cached_searches t = with_lock t (fun () -> t.stats.cached)
 
 let category_stats t =
-  Hashtbl.fold (fun cat (tot, cch) acc -> (cat, tot, cch) :: acc)
-    t.stats.per_category []
+  with_lock t (fun () ->
+      Hashtbl.fold (fun cat (tot, cch) acc -> (cat, tot, cch) :: acc)
+        t.stats.per_category [])

@@ -2,22 +2,27 @@
 
     Keys are the rendered raw command strings; the cache also keeps the
     per-category and aggregate counters the paper reports (average cache rate
-    23.39%, min 2.97%, max 88.95%). *)
+    23.39%, min 2.97%, max 88.95%).
 
-type 'hit stats = {
-  mutable total : int;
-  mutable cached : int;
-  per_category : (Query.category, int * int) Hashtbl.t;
-}
-type 'hit t = { table : (string, 'hit list) Hashtbl.t; stats : 'hit stats; }
+    The cache is safe under concurrent use from multiple domains: lookups,
+    inserts and counter updates are serialized by an internal mutex, and
+    {!find_or_add} holds the lock across the compute of a miss, so each
+    distinct key is computed exactly once and the hit/miss totals are
+    independent of scheduling.  The compute function must therefore not
+    re-enter the cache. *)
+
+type 'hit t
+
 val create : unit -> 'a t
-val bump : 'a t -> Query.category -> was_cached:bool -> unit
 
-(** Look up or compute the result of [query], recording statistics. *)
+(** Look up or compute the result of [query], recording statistics.
+    Atomic: a key's first lookup computes, every other lookup (from any
+    domain) is a cache hit. *)
 val find_or_add : 'a t -> Query.t -> (unit -> 'a list) -> 'a list
 
 (** Fraction of search commands served from cache, in [0, 1]. *)
 val cache_rate : 'a t -> float
+
 val total_searches : 'a t -> int
 val cached_searches : 'a t -> int
 val category_stats : 'a t -> (Query.category * int * int) list

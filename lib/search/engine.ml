@@ -13,7 +13,13 @@ type hit = {
 (** Inverted indexes over the dexdump plaintext, built in one preprocessing
     pass (the moral equivalent of `grep` building its own cache).  The
     un-indexed mode scans every line per query, like shelling out to grep —
-    kept for the search-cost ablation benchmark. *)
+    kept for the search-cost ablation benchmark.
+
+    Buckets are finalized to ascending line order once at construction time,
+    so lookups are allocation-free table reads.  Construction can be sharded
+    over a {!Parallel.Pool.t}: each domain indexes a contiguous slice of the
+    plaintext into domain-local tables, and the ordered merge reproduces the
+    sequential bucket contents exactly. *)
 type index = {
   invocations : (string, hit list) Hashtbl.t;   (** dex sig -> invoke lines *)
   new_instances : (string, hit list) Hashtbl.t; (** class desc -> lines *)
@@ -76,62 +82,112 @@ let class_tokens_of text =
   in
   List.sort_uniq String.compare (go 0 [])
 
-let build_index (dex : Dex.Dexfile.t) =
-  let idx =
-    { invocations = Hashtbl.create 1024;
-      new_instances = Hashtbl.create 256;
-      const_classes = Hashtbl.create 64;
-      const_strings = Hashtbl.create 256;
-      field_ops = Hashtbl.create 256;
-      static_field_ops = Hashtbl.create 128;
-      class_tokens = Hashtbl.create 1024 }
-  in
-  Array.iteri
-    (fun line_no (line : Dex.Disasm.line) ->
-       match line.owner with
+let empty_index () =
+  { invocations = Hashtbl.create 1024;
+    new_instances = Hashtbl.create 256;
+    const_classes = Hashtbl.create 64;
+    const_strings = Hashtbl.create 256;
+    field_ops = Hashtbl.create 256;
+    static_field_ops = Hashtbl.create 128;
+    class_tokens = Hashtbl.create 1024 }
+
+(* Index lines[lo, hi).  Buckets come out in descending line order (prepend);
+   finalization or the sharded merge restores ascending order. *)
+let index_range (dex : Dex.Dexfile.t) ~lo ~hi =
+  let idx = empty_index () in
+  let lines = dex.Dex.Dexfile.lines in
+  for line_no = lo to hi - 1 do
+    let line : Dex.Disasm.line = lines.(line_no) in
+    match line.owner with
+    | None -> ()
+    | Some owner ->
+      let hit =
+        { line_no; text = line.text; owner;
+          owner_cls = Option.value ~default:"" line.owner_cls;
+          stmt_idx = line.stmt_idx }
+      in
+      (match opcode_rest line.text with
        | None -> ()
-       | Some owner ->
-         let hit =
-           { line_no; text = line.text; owner;
-             owner_cls = Option.value ~default:"" line.owner_cls;
-             stmt_idx = line.stmt_idx }
-         in
-         (match opcode_rest line.text with
-          | None -> ()
-          | Some rest ->
-            (match last_operand rest with
-             | Some operand ->
-               if starts_with ~prefix:"invoke-" rest then
-                 push idx.invocations operand hit
-               else if starts_with ~prefix:"new-instance" rest then
-                 push idx.new_instances operand hit
-               else if starts_with ~prefix:"const-class" rest then
-                 push idx.const_classes operand hit
-               else if starts_with ~prefix:"const-string" rest then
-                 push idx.const_strings operand hit
-               else if starts_with ~prefix:"iget" rest
-                       || starts_with ~prefix:"iput" rest then
-                 push idx.field_ops operand hit
-               else if starts_with ~prefix:"sget" rest
-                       || starts_with ~prefix:"sput" rest then begin
-                 push idx.field_ops operand hit;
-                 push idx.static_field_ops operand hit
-               end
-             | None -> ());
-            List.iter
-              (fun tok -> push idx.class_tokens tok hit)
-              (class_tokens_of rest)))
-    dex.Dex.Dexfile.lines;
+       | Some rest ->
+         (match last_operand rest with
+          | Some operand ->
+            if starts_with ~prefix:"invoke-" rest then
+              push idx.invocations operand hit
+            else if starts_with ~prefix:"new-instance" rest then
+              push idx.new_instances operand hit
+            else if starts_with ~prefix:"const-class" rest then
+              push idx.const_classes operand hit
+            else if starts_with ~prefix:"const-string" rest then
+              push idx.const_strings operand hit
+            else if starts_with ~prefix:"iget" rest
+                    || starts_with ~prefix:"iput" rest then
+              push idx.field_ops operand hit
+            else if starts_with ~prefix:"sget" rest
+                    || starts_with ~prefix:"sput" rest then begin
+              push idx.field_ops operand hit;
+              push idx.static_field_ops operand hit
+            end
+          | None -> ());
+         List.iter
+           (fun tok -> push idx.class_tokens tok hit)
+           (class_tokens_of rest))
+  done;
   idx
 
-let create ?(indexed = true) dex =
+let index_tables idx =
+  [ idx.invocations; idx.new_instances; idx.const_classes; idx.const_strings;
+    idx.field_ops; idx.static_field_ops; idx.class_tokens ]
+
+(* Reverse every bucket once so lookups are allocation-free table reads. *)
+let finalize_index idx =
+  List.iter
+    (fun tbl -> Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) tbl)
+    (index_tables idx);
+  idx
+
+(* Append [src]'s buckets (descending within the shard) to [dst]'s finalized
+   (ascending) buckets.  Shards are merged in slice order, so concatenation
+   reproduces the single-pass ascending bucket contents byte for byte. *)
+let merge_shard_into dst src =
+  List.iter2
+    (fun dtbl stbl ->
+       Hashtbl.iter
+         (fun key bucket ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt dtbl key) in
+            Hashtbl.replace dtbl key (prev @ List.rev bucket))
+         stbl)
+    (index_tables dst) (index_tables src)
+
+(* Shards below this size are not worth the merge traffic. *)
+let min_shard_lines = 2048
+
+let build_index ?pool (dex : Dex.Dexfile.t) =
+  let n = Array.length dex.Dex.Dexfile.lines in
+  match pool with
+  | Some pool
+    when Parallel.Pool.jobs pool > 1 && n >= 2 * min_shard_lines ->
+    let chunks =
+      min (Parallel.Pool.jobs pool) (max 1 (n / min_shard_lines))
+    in
+    let shards =
+      Parallel.Pool.parallel_ranges pool ~chunks ~n (fun ~lo ~hi ->
+          index_range dex ~lo ~hi)
+    in
+    let idx = empty_index () in
+    List.iter (merge_shard_into idx) shards;
+    idx
+  | Some _ | None -> finalize_index (index_range dex ~lo:0 ~hi:n)
+
+let create ?(indexed = true) ?pool dex =
   { dex; cache = Cache.create ();
-    index = (if indexed then Some (build_index dex) else None) }
+    index = (if indexed then Some (build_index ?pool dex) else None) }
 
 let program t = t.dex.Dex.Dexfile.program
 
 (* Naive-but-tight substring check; patterns are short and lines are short,
-   so this outperforms building a full-text index for our corpus sizes. *)
+   so this outperforms building a full-text index for our corpus sizes.  The
+   candidate comparison is a char loop — no String.sub allocation in the
+   scan hot path. *)
 let contains ~pat s =
   let lp = String.length pat and ls = String.length s in
   if lp = 0 then true
@@ -139,9 +195,14 @@ let contains ~pat s =
   else begin
     let max_start = ls - lp in
     let c0 = pat.[0] in
+    let rec eq_at i j =
+      j >= lp
+      || (String.unsafe_get s (i + j) = String.unsafe_get pat j
+          && eq_at i (j + 1))
+    in
     let rec at i =
       if i > max_start then false
-      else if s.[i] = c0 && String.sub s i lp = pat then true
+      else if s.[i] = c0 && eq_at i 1 then true
       else at (i + 1)
     in
     at 0
@@ -179,8 +240,10 @@ let scan t ~prefixes ~pat ~filter =
     t.dex.Dex.Dexfile.lines;
   List.rev !acc
 
+(* Buckets were finalized to ascending line order at build time, so a lookup
+   is a single allocation-free table read. *)
 let indexed_lookup idx (q : Query.t) =
-  let get tbl key = List.rev (Option.value ~default:[] (Hashtbl.find_opt tbl key)) in
+  let get tbl key = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
   match q with
   | Query.Invocation sig_ -> Some (get idx.invocations sig_)
   | Query.New_instance cls -> Some (get idx.new_instances cls)

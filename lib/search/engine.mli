@@ -20,8 +20,13 @@ type hit = {
 type t
 
 (** Build an engine over a disassembled app.  [indexed] (default true)
-    selects the inverted-index mode. *)
-val create : ?indexed:bool -> Dex.Dexfile.t -> t
+    selects the inverted-index mode.  [pool] shards index construction
+    across the pool's domains (per-domain slices of the plaintext indexed
+    into domain-local tables, then merged in slice order); the resulting
+    index is identical to the sequential build.  Queries against the engine
+    are safe from multiple domains: the command cache is mutex-guarded and
+    hit/miss counters are scheduling-independent. *)
+val create : ?indexed:bool -> ?pool:Parallel.Pool.t -> Dex.Dexfile.t -> t
 
 (** The program the engine's dexfile was disassembled from — the "program
     analysis space" paired with this "bytecode search space". *)

@@ -1,0 +1,246 @@
+(* Tests for the parallel subsystem: the domain pool combinators, and the
+   jobs=1 vs jobs=N determinism guarantee across every layer that fans out —
+   the sharded index build, the per-sink-group driver, and the per-app
+   experiment grid. *)
+
+module Pool = Parallel.Pool
+module G = Appgen.Generator
+module Driver = Backdroid.Driver
+
+let test_jobs = 4
+
+(* ------------------------------------------------------------------ *)
+(* Pool combinators                                                    *)
+
+let test_map_empty () =
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      Alcotest.(check int) "empty array" 0
+        (Array.length (Pool.parallel_map pool (fun x -> x) [||]));
+      Alcotest.(check (list int)) "empty list" []
+        (Pool.parallel_map_list pool (fun x -> x) []))
+
+let test_map_order () =
+  let input = Array.init 1000 (fun i -> i) in
+  let expect = Array.map (fun i -> i * i) input in
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      Alcotest.(check (array int)) "squares in order" expect
+        (Pool.parallel_map pool (fun i -> i * i) input));
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check (array int)) "sequential pool agrees" expect
+        (Pool.parallel_map pool (fun i -> i * i) input))
+
+let test_ranges_cover () =
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      List.iter
+        (fun (n, chunks) ->
+           let ranges =
+             Pool.parallel_ranges pool ?chunks ~n (fun ~lo ~hi -> (lo, hi))
+           in
+           (* contiguous, ordered, covering [0, n) exactly *)
+           let final =
+             List.fold_left
+               (fun expected_lo (lo, hi) ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "contiguous at %d (n=%d)" lo n)
+                    expected_lo lo;
+                  Alcotest.(check bool) "non-empty range" true (hi > lo);
+                  hi)
+               0 ranges
+           in
+           Alcotest.(check int) (Printf.sprintf "covers n=%d" n) n final)
+        [ (1, None); (7, None); (7, Some 100); (1000, Some 3); (5, Some 1);
+          (4, Some 4); (3, Some 2) ];
+      Alcotest.(check (list (pair int int))) "n=0 is empty" []
+        (Pool.parallel_ranges pool ~n:0 (fun ~lo ~hi -> (lo, hi))))
+
+let test_chunks_edge_cases () =
+  let input = Array.init 97 (fun i -> i) in
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      List.iter
+        (fun chunk_size ->
+           let chunks =
+             Pool.parallel_chunks pool ?chunk_size Array.to_list input
+           in
+           Alcotest.(check (list int))
+             (Printf.sprintf "chunks concat (size=%s)"
+                (match chunk_size with
+                 | Some c -> string_of_int c
+                 | None -> "default"))
+             (Array.to_list input)
+             (List.concat chunks))
+        [ None; Some 1; Some 7; Some 97; Some 1000 ])
+
+let test_exception_propagation () =
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      match
+        Pool.parallel_map pool
+          (fun i -> if i >= 5 then failwith (string_of_int i) else i)
+          (Array.init 10 (fun i -> i))
+      with
+      | _ -> Alcotest.fail "expected the worker exception to propagate"
+      | exception Failure msg ->
+        Alcotest.(check string) "lowest failing index wins" "5" msg);
+  (* the pool survives a failed batch *)
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      (try ignore (Pool.parallel_map pool (fun () -> failwith "boom") [| () |])
+       with Failure _ -> ());
+      Alcotest.(check (array int)) "usable after failure" [| 0; 1; 2 |]
+        (Pool.parallel_map pool (fun i -> i) [| 0; 1; 2 |]))
+
+let test_nested_map () =
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      let out =
+        Pool.parallel_map pool
+          (fun base ->
+             Array.fold_left ( + ) 0
+               (Pool.parallel_map pool (fun i -> base + i)
+                  (Array.init 50 (fun i -> i))))
+          (Array.init 4 (fun i -> i * 100))
+      in
+      let expect =
+        Array.init 4 (fun b -> (50 * 100 * b) + (50 * 49 / 2))
+      in
+      Alcotest.(check (array int)) "nested batches settle" expect out)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: sharded index build                                    *)
+
+let fixture_app ?(filler = 30) ?(seed = 11) () =
+  let rng = Appgen.Rng.create (seed * 31) in
+  let plants =
+    List.init 6 (fun _ -> Appgen.Corpus.random_plant rng ~insecure_p:0.5)
+  in
+  G.generate
+    { G.default_config with
+      G.seed;
+      name = Printf.sprintf "com.par.app%d" seed;
+      filler_classes = filler;
+      plants }
+
+let hit_fingerprint (h : Bytesearch.Engine.hit) =
+  Printf.sprintf "%d:%s:%s:%s" h.line_no
+    (Ir.Jsig.meth_to_string h.owner) h.owner_cls
+    (match h.stmt_idx with Some i -> string_of_int i | None -> "-")
+
+let test_sharded_index () =
+  (* ~9k dex lines: enough for the build to split into [test_jobs] shards *)
+  let app = fixture_app ~filler:65 () in
+  let seq_engine = Bytesearch.Engine.create app.G.dex in
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      let par_engine = Bytesearch.Engine.create ~pool app.G.dex in
+      let queries =
+        [ Bytesearch.Query.Invocation
+            (Dex.Descriptor.meth_desc Framework.Api.cipher_get_instance);
+          Bytesearch.Query.Invocation
+            (Dex.Descriptor.meth_desc Framework.Api.ssl_set_hostname_verifier);
+          Bytesearch.Query.Const_string "AES";
+          Bytesearch.Query.Raw "invoke-static" ]
+      in
+      List.iter
+        (fun q ->
+           let fp e =
+             List.map hit_fingerprint (Bytesearch.Engine.run_uncached e q)
+           in
+           Alcotest.(check (list string))
+             ("identical hits for " ^ Bytesearch.Query.to_command q)
+             (fp seq_engine) (fp par_engine))
+        queries)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: Driver.analyze                                         *)
+
+let report_fingerprint (r : Driver.sink_report) =
+  Printf.sprintf "%s@%s:%d reachable=%b fact=%s verdict=%s ssg=%b"
+    (Framework.Sinks.kind_to_string r.sink.Framework.Sinks.kind)
+    (Ir.Jsig.meth_to_string r.meth)
+    r.site r.reachable
+    (Backdroid.Facts.to_string r.fact)
+    (Backdroid.Detectors.verdict_to_string r.verdict)
+    (Option.is_some r.ssg)
+
+let stats_fingerprint (s : Driver.stats) =
+  Printf.sprintf
+    "sinks=%d searches=%d/%d slookups=%d shits=%d loops=%d/%d/%d/%d \
+     nodes=%d edges=%d"
+    s.sink_calls s.searches_cached s.searches_total s.sink_cache_lookups
+    s.sink_cache_hits
+    (Backdroid.Loopdetect.get s.loops Backdroid.Loopdetect.Cross_backward)
+    (Backdroid.Loopdetect.get s.loops Backdroid.Loopdetect.Inner_backward)
+    (Backdroid.Loopdetect.get s.loops Backdroid.Loopdetect.Cross_forward)
+    (Backdroid.Loopdetect.get s.loops Backdroid.Loopdetect.Inner_forward)
+    s.ssg_nodes s.ssg_edges
+
+let test_driver_determinism () =
+  let app = fixture_app ~seed:23 () in
+  let analyze jobs =
+    Driver.analyze
+      ~cfg:{ Driver.default_config with Driver.jobs }
+      ~dex:app.G.dex ~manifest:app.G.manifest ()
+  in
+  let seq = analyze 1 and par = analyze test_jobs in
+  Alcotest.(check bool) "found sink calls" true
+    (seq.Driver.stats.Driver.sink_calls > 0);
+  Alcotest.(check (list string)) "identical reports in identical order"
+    (List.map report_fingerprint seq.Driver.reports)
+    (List.map report_fingerprint par.Driver.reports);
+  Alcotest.(check string) "identical statistics"
+    (stats_fingerprint seq.Driver.stats)
+    (stats_fingerprint par.Driver.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: the per-app experiment fan-out                         *)
+
+let measurement_fingerprint (m : Evalharness.Runner.measurement) =
+  (* everything except wall-clock time and the parallelism stamp *)
+  Printf.sprintf "%s/%s to=%b err=%b sinks=%d stmts=%d mb=%.2f ins=%d \
+                  scr=%.4f skr=%.4f loops=%d cross=%d"
+    m.Evalharness.Runner.app
+    (Evalharness.Runner.tool_name m.Evalharness.Runner.tool)
+    m.Evalharness.Runner.timed_out m.Evalharness.Runner.errored
+    m.Evalharness.Runner.sink_calls m.Evalharness.Runner.size_stmts
+    m.Evalharness.Runner.size_mb m.Evalharness.Runner.insecure
+    m.Evalharness.Runner.search_cache_rate
+    m.Evalharness.Runner.sink_cache_rate m.Evalharness.Runner.loops
+    m.Evalharness.Runner.cross_backward_loops
+
+let test_corpus_determinism () =
+  let opts jobs =
+    { Evalharness.Experiments.default_opts with
+      Evalharness.Experiments.scale = 0.15;
+      count = 6;
+      timeout_s = 5.0;          (* generous: timeouts must not differ *)
+      flowdroid_timeout_s = 5.0;
+      jobs }
+  in
+  let seq = Evalharness.Experiments.run_corpus (opts 1) in
+  let par = Evalharness.Experiments.run_corpus (opts test_jobs) in
+  let fps (r : Evalharness.Experiments.corpus_run) =
+    List.map measurement_fingerprint
+      (r.Evalharness.Experiments.backdroid
+       @ r.Evalharness.Experiments.amandroid
+       @ r.Evalharness.Experiments.flowdroid)
+  in
+  Alcotest.(check (list string))
+    "identical measurements in corpus order (timings aside)" (fps seq)
+    (fps par);
+  List.iter
+    (fun (m : Evalharness.Runner.measurement) ->
+       Alcotest.(check int) "parallelism stamped" test_jobs
+         m.Evalharness.Runner.parallelism)
+    par.Evalharness.Experiments.backdroid
+
+let cases =
+  [ Alcotest.test_case "map: empty input" `Quick test_map_empty;
+    Alcotest.test_case "map: order preserved" `Quick test_map_order;
+    Alcotest.test_case "ranges: exact cover" `Quick test_ranges_cover;
+    Alcotest.test_case "chunks: edge sizes" `Quick test_chunks_edge_cases;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "nested batches" `Quick test_nested_map;
+    Alcotest.test_case "sharded index == sequential index" `Quick
+      test_sharded_index;
+    Alcotest.test_case "driver: jobs=1 == jobs=4" `Quick
+      test_driver_determinism;
+    Alcotest.test_case "corpus: jobs=1 == jobs=4" `Slow
+      test_corpus_determinism ]
+
+let suites = [ "parallel.pool", cases ]
