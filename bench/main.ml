@@ -10,10 +10,12 @@
 
    Usage: dune exec bench/main.exe
             [-- --quick | --micro-only | --experiments-only | --speedup-only
-               | --jobs N]
+               | --trace-only | --smoke | --jobs N]
 
    --jobs N sets the worker-pool width for the per-app experiment fan-out
-   and the parallel/speedup benchmark (default: all cores but one). *)
+   and the parallel/speedup benchmark (default: all cores but one).
+   --smoke is the CI mode: the trace profile plus a tiny experiment corpus,
+   no micro-benchmarks. *)
 
 open Bechamel
 open Toolkit
@@ -171,6 +173,52 @@ let run_speedup ~jobs =
     t_par;
   Printf.printf "  %-34s %9.2fx\n" "speedup" (t_seq /. t_par)
 
+(* ------------------------------------------------------------------ *)
+(* trace profile: drive the slicer through the Resolver broker with a ring
+   trace sink and aggregate the events into per-strategy latency columns,
+   plus the search-command cache's per-category compute timings. *)
+
+let run_trace_profile ~app =
+  print_endline "\n== trace: per-strategy caller-resolution profile ==";
+  let engine = Bytesearch.Engine.create app.G.dex in
+  let ring = Backdroid.Trace.Ring.create () in
+  let shared =
+    Backdroid.Context.shared ~trace:(Backdroid.Trace.Ring.sink ring) ~engine
+      ~manifest:app.G.manifest ()
+  in
+  let occurrences =
+    Backdroid.Driver.initial_sink_search
+      ~cfg:Backdroid.Driver.default_config engine
+  in
+  List.iter
+    (fun (sink, meth, site) ->
+       ignore
+         (Backdroid.Slicer.slice ~shared ~sink ~sink_meth:meth
+            ~sink_site:site ()))
+    occurrences;
+  Printf.printf "  %d sinks, %d resolutions\n" (List.length occurrences)
+    (Backdroid.Trace.Ring.recorded ring);
+  Printf.printf "  %-10s %6s %6s %9s %7s %11s %11s\n" "strategy" "count"
+    "hits" "searches" "cached" "mean" "max";
+  List.iter
+    (fun (name, (a : Backdroid.Trace.agg)) ->
+       Printf.printf "  %-10s %6d %6d %9d %7d %9.1fus %9.1fus\n" name
+         a.Backdroid.Trace.a_count a.Backdroid.Trace.a_hits
+         a.Backdroid.Trace.a_searches a.Backdroid.Trace.a_cached
+         (Backdroid.Trace.mean_us a) a.Backdroid.Trace.a_max_us)
+    (Backdroid.Trace.aggregate (Backdroid.Trace.Ring.events ring));
+  print_endline "  -- search-command cache, per category --";
+  let timings = Bytesearch.Engine.category_timings engine in
+  List.iter
+    (fun (cat, total, cached) ->
+       let us =
+         Option.value ~default:0.0 (List.assoc_opt cat timings)
+       in
+       Printf.printf "  %-10s %6d searches %6d cached %11.1fus compute\n"
+         (Bytesearch.Query.category_to_string cat)
+         total cached us)
+    (List.sort compare (Bytesearch.Engine.category_stats engine))
+
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
@@ -193,14 +241,34 @@ let () =
         jobs }
     else { Evalharness.Experiments.default_opts with Evalharness.Experiments.jobs = jobs }
   in
-  let only =
-    has "--micro-only" || has "--experiments-only" || has "--speedup-only"
-  in
-  if (not only) || has "--micro-only" then run_micro ();
-  if (not only) || has "--speedup-only" then run_speedup ~jobs;
-  if (not only) || has "--experiments-only" then begin
-    print_endline
-      "\n== experiment harness: regenerating the paper's tables and figures ==";
-    Evalharness.Experiments.run_all ~opts
-      ~csv_path:(Some "bench_measurements.csv") ()
+  if has "--smoke" then begin
+    (* CI smoke mode: tiny corpus, no micro-benchmarks *)
+    run_trace_profile ~app:(Lazy.force small);
+    let opts =
+      { Evalharness.Experiments.default_opts with
+        Evalharness.Experiments.scale = 0.15;
+        count = 4;
+        timeout_s = 0.5;
+        flowdroid_timeout_s = 0.5;
+        jobs }
+    in
+    print_endline "\n== experiment harness (smoke corpus) ==";
+    Evalharness.Experiments.run_all ~opts ()
+  end
+  else begin
+    let only =
+      has "--micro-only" || has "--experiments-only" || has "--speedup-only"
+      || has "--trace-only"
+    in
+    if (not only) || has "--micro-only" then run_micro ();
+    if (not only) || has "--trace-only" then
+      run_trace_profile ~app:(Lazy.force (if quick then small else medium));
+    if (not only) || has "--speedup-only" then run_speedup ~jobs;
+    if (not only) || has "--experiments-only" then begin
+      print_endline
+        "\n== experiment harness: regenerating the paper's tables and \
+         figures ==";
+      Evalharness.Experiments.run_all ~opts
+        ~csv_path:(Some "bench_measurements.csv") ()
+    end
   end

@@ -120,19 +120,49 @@ let analyze_cmd =
   let dump_ssg =
     Arg.(value & flag & info [ "dump-ssg" ] ~doc:"Print each sink's SSG.")
   in
+  let trace_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record one structured event per caller resolution (strategy, \
+             query, hits, cache hits, latency) and dump them as JSON to \
+             $(docv).")
+  in
+  let time_limit_t =
+    Arg.(
+      value & opt (some float) None
+      & info [ "time-limit-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-sink wall-clock slicing budget; exhausting it yields a \
+             partial (not silently truncated) analysis.")
+  in
   let subclass_aware =
     Arg.(
       value & flag
       & info [ "subclass-aware" ]
           ~doc:"Hierarchy-aware initial sink search (fixes the Sec. VI-C FNs).")
   in
-  let run seed size_mb plants insecure dump_ssg subclass_aware jobs verbose =
+  let run seed size_mb plants insecure dump_ssg subclass_aware jobs verbose
+      trace_file time_limit_ms =
     setup_logs verbose;
     let app = make_app ~seed ~size_mb ~plants ~insecure in
+    let ring =
+      match trace_file with
+      | Some _ -> Some (Backdroid.Trace.Ring.create ())
+      | None -> None
+    in
     let cfg =
       { Backdroid.Driver.default_config with
         Backdroid.Driver.subclass_aware_initial_search = subclass_aware;
-        jobs }
+        jobs;
+        budget =
+          { Backdroid.Context.default_budget with
+            Backdroid.Context.time_limit_ms };
+        trace =
+          (match ring with
+           | Some ring -> Backdroid.Trace.Ring.sink ring
+           | None -> Backdroid.Trace.log_sink) }
     in
     let t0 = Unix.gettimeofday () in
     let r = Backdroid.Driver.analyze ~cfg ~dex:app.G.dex ~manifest:app.G.manifest () in
@@ -141,12 +171,16 @@ let analyze_cmd =
       r.Backdroid.Driver.stats.Backdroid.Driver.sink_calls;
     List.iter
       (fun (rep : Backdroid.Driver.sink_report) ->
-         Printf.printf "  [%s] %s at %s:%d reachable=%b fact=%s\n"
+         Printf.printf "  [%s] %s at %s:%d reachable=%b fact=%s%s\n"
            (Backdroid.Detectors.verdict_to_string rep.verdict)
            (Sinks.kind_to_string rep.sink.Sinks.kind)
            (Ir.Jsig.meth_to_string rep.meth)
            rep.site rep.reachable
-           (Backdroid.Facts.to_string rep.fact);
+           (Backdroid.Facts.to_string rep.fact)
+           (match rep.outcome with
+            | Backdroid.Context.Complete -> ""
+            | Backdroid.Context.Partial _ ->
+              " [" ^ Backdroid.Context.outcome_to_string rep.outcome ^ "]");
          if dump_ssg then
            match rep.ssg with
            | Some ssg -> Fmt.pr "%a" Backdroid.Ssg.pp ssg
@@ -154,16 +188,25 @@ let analyze_cmd =
       r.Backdroid.Driver.reports;
     let s = r.Backdroid.Driver.stats in
     Printf.printf
-      "stats: %d searches (%.1f%% cached), %d SSG nodes, %d SSG edges, %d loops\n"
+      "stats: %d searches (%.1f%% cached), %d SSG nodes, %d SSG edges, %d \
+       loops, %d partial sinks\n"
       s.Backdroid.Driver.searches_total
       (100.0 *. s.Backdroid.Driver.search_cache_rate)
       s.Backdroid.Driver.ssg_nodes s.Backdroid.Driver.ssg_edges
       (Backdroid.Loopdetect.total s.Backdroid.Driver.loops)
+      s.Backdroid.Driver.partial_sinks;
+    match trace_file, ring with
+    | Some path, Some ring ->
+      Backdroid.Trace.Ring.write_json ring path;
+      Printf.printf "trace: %d resolutions recorded -> %s\n"
+        (Backdroid.Trace.Ring.recorded ring)
+        path
+    | _ -> ()
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Run BackDroid on a generated app")
     Term.(
       const run $ seed_t $ size_t $ shapes_t $ insecure_t $ dump_ssg
-      $ subclass_aware $ jobs_t $ verbose_t)
+      $ subclass_aware $ jobs_t $ verbose_t $ trace_t $ time_limit_t)
 
 (* --- compare --- *)
 

@@ -1,0 +1,112 @@
+(** The analysis context: everything the backward slicing threads through
+    one sink analysis, split into the app-wide {!shared} part (program,
+    manifest, search engine, the Sec. IV-F sink-reachability cache, loop
+    statistics, trace sink) and the per-sink part (SSG under construction,
+    budget accounting).
+
+    The {!budget} supersedes the slicer's bare [max_work]/[max_depth] ints:
+    it adds an optional wall-clock deadline, and exhausting any limit is
+    recorded so the slice returns a typed {!outcome} ([Partial] names the
+    limits that were hit) instead of silently truncating. *)
+
+type budget = {
+  max_depth : int;            (** inter-procedural backtracking depth *)
+  max_work : int;             (** total work items per sink *)
+  max_contained_depth : int;  (** contained-method sub-slice recursion *)
+  time_limit_ms : float option;
+      (** wall-clock deadline per sink slice; [None] = unbounded *)
+}
+
+let default_budget =
+  { max_depth = 48; max_work = 4000; max_contained_depth = 8;
+    time_limit_ms = None }
+
+type exhaustion = Work | Depth | Deadline
+
+let exhaustion_to_string = function
+  | Work -> "work"
+  | Depth -> "depth"
+  | Deadline -> "deadline"
+
+type outcome = Complete | Partial of exhaustion list
+
+let outcome_to_string = function
+  | Complete -> "complete"
+  | Partial ex ->
+    Printf.sprintf "partial(%s)"
+      (String.concat "," (List.map exhaustion_to_string ex))
+
+(* ------------------------------------------------------------------ *)
+
+(** App-wide state shared by every sink slice of one group: the engine and
+    program/manifest spaces, the sink-API-call reachability cache with its
+    counters (Sec. IV-F), the dead-loop statistics and the trace sink. *)
+type shared = {
+  engine : Bytesearch.Engine.t;
+  program : Ir.Program.t;
+  manifest : Manifest.App_manifest.t;
+  loops : Loopdetect.stats;
+  reach_cache : (string, bool) Hashtbl.t;
+  reach_total : int ref;
+  reach_cached : int ref;
+  trace : Trace.sink;
+}
+
+let shared ?(loops = Loopdetect.create ()) ?(trace = Trace.log_sink) ~engine
+    ~manifest () =
+  { engine; program = Bytesearch.Engine.program engine; manifest; loops;
+    reach_cache = Hashtbl.create 64; reach_total = ref 0;
+    reach_cached = ref 0; trace }
+
+(** One sink slice's context: the shared state plus the SSG under
+    construction and the budget accounting. *)
+type t = {
+  engine : Bytesearch.Engine.t;
+  program : Ir.Program.t;
+  manifest : Manifest.App_manifest.t;
+  loops : Loopdetect.stats;
+  reach_cache : (string, bool) Hashtbl.t;
+  reach_total : int ref;
+  reach_cached : int ref;
+  trace : Trace.sink;
+  budget : budget;
+  ssg : Ssg.t;
+  started_at : float;
+  mutable work_count : int;
+  mutable exhausted : exhaustion list;  (* most recent first, deduplicated *)
+}
+
+let create ?(budget = default_budget) (sh : shared) ~ssg =
+  { engine = sh.engine; program = sh.program; manifest = sh.manifest;
+    loops = sh.loops; reach_cache = sh.reach_cache;
+    reach_total = sh.reach_total; reach_cached = sh.reach_cached;
+    trace = sh.trace; budget; ssg; started_at = Unix.gettimeofday ();
+    work_count = 0; exhausted = [] }
+
+let exhaust ctx kind =
+  if not (List.mem kind ctx.exhausted) then
+    ctx.exhausted <- kind :: ctx.exhausted
+
+let deadline_hit ctx = List.mem Deadline ctx.exhausted
+
+(** Has the slice's wall-clock deadline passed?  Free when no time limit is
+    set; records the [Deadline] exhaustion on first detection. *)
+let out_of_time ctx =
+  match ctx.budget.time_limit_ms with
+  | None -> false
+  | Some _ when deadline_hit ctx -> true
+  | Some limit_ms ->
+    let elapsed_ms = (Unix.gettimeofday () -. ctx.started_at) *. 1000.0 in
+    if elapsed_ms > limit_ms then begin
+      exhaust ctx Deadline;
+      true
+    end
+    else false
+
+(** The typed result of the slice: [Complete], or [Partial limits] when any
+    budget dimension was exhausted (limits in the order they were first
+    hit). *)
+let outcome ctx =
+  match ctx.exhausted with
+  | [] -> Complete
+  | ex -> Partial (List.rev ex)

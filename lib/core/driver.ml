@@ -32,7 +32,13 @@ type config = {
           method and the groups analysed on a domain pool of this size
           (1 = sequential).  Findings and statistics are identical for any
           [jobs] value *)
-  slicer : Slicer.config;
+  budget : Context.budget;
+      (** per-sink slicing budget (work/depth caps + optional wall-clock
+          deadline); exhaustion surfaces as a [Partial] outcome in the
+          report *)
+  trace : Trace.sink;
+      (** receives one structured event per caller resolution; the default
+          forwards to [Log.debug] *)
   forward : Forward.config;
 }
 
@@ -42,7 +48,8 @@ let default_config =
     resolve_reflection = false;
     indexed_search = true;
     jobs = 1;
-    slicer = Slicer.default_config;
+    budget = Context.default_budget;
+    trace = Trace.log_sink;
     forward = Forward.default_config }
 
 type sink_report = {
@@ -53,6 +60,9 @@ type sink_report = {
   fact : Facts.t;
   verdict : Detectors.verdict;
   ssg : Ssg.t option;       (** absent when served from the sink cache *)
+  outcome : Context.outcome;
+      (** [Partial _] when the slice exhausted its budget ([Complete] for
+          cache-served reports: no slicing ran) *)
 }
 
 type stats = {
@@ -65,6 +75,8 @@ type stats = {
   loops : Loopdetect.stats;
   ssg_nodes : int;
   ssg_edges : int;
+  partial_sinks : int;
+      (** sink slices that exhausted their budget (typed [Partial]) *)
 }
 
 type result = {
@@ -136,6 +148,7 @@ type group_out = {
   g_sink_hits : int;
   g_ssg_nodes : int;
   g_ssg_edges : int;
+  g_partial : int;
 }
 
 (* Group occurrences by containing method, preserving first-occurrence order
@@ -156,14 +169,13 @@ let group_by_method occurrences =
   List.rev_map (fun key -> List.rev !(Hashtbl.find tbl key)) !order
 
 let analyze_group ~cfg ~engine ~manifest group =
-  let program = Bytesearch.Engine.program engine in
-  let loops = Loopdetect.create () in
-  let reach_cache = Hashtbl.create 64 in
-  let reach_total = ref 0 and reach_cached = ref 0 in
+  let shared = Context.shared ~trace:cfg.trace ~engine ~manifest () in
+  let program = shared.Context.program in
   (* the group's slot in the sink-API-call cache (one key per group) *)
   let known_reachable = ref None in
   let sink_cache_lookups = ref 0 and sink_cache_hits = ref 0 in
   let ssg_nodes = ref 0 and ssg_edges = ref 0 in
+  let partial = ref 0 in
   let reports =
     List.map
       (fun (i, ((sink : Sinks.t), meth, site)) ->
@@ -174,18 +186,26 @@ let analyze_group ~cfg ~engine ~manifest group =
            incr sink_cache_hits;
            ( i,
              { sink; meth; site; reachable = false; fact = Facts.Unknown;
-               verdict = Detectors.Unresolved; ssg = None } )
+               verdict = Detectors.Unresolved; ssg = None;
+               outcome = Context.Complete } )
          | Some true | None ->
            if !known_reachable <> None then incr sink_cache_hits;
            Log.info (fun m ->
                m "backtracking %s sink at %s:%d"
                  (Sinks.kind_to_string sink.Sinks.kind)
                  (Jsig.meth_to_string meth) site);
-           let ssg =
-             Slicer.slice ~engine ~manifest ~loops ~reach_cache ~reach_total
-               ~reach_cached ~cfg:cfg.slicer ~sink ~sink_meth:meth
+           let ssg, outcome =
+             Slicer.slice ~shared ~budget:cfg.budget ~sink ~sink_meth:meth
                ~sink_site:site ()
            in
+           (match outcome with
+            | Context.Partial _ ->
+              incr partial;
+              Log.warn (fun m ->
+                  m "sink at %s:%d: budget exhausted (%s)"
+                    (Jsig.meth_to_string meth) site
+                    (Context.outcome_to_string outcome))
+            | Context.Complete -> ());
            known_reachable := Some ssg.Ssg.reachable;
            ssg_nodes := !ssg_nodes + Ssg.node_count ssg;
            ssg_edges := !ssg_edges + Ssg.edge_count ssg;
@@ -204,12 +224,13 @@ let analyze_group ~cfg ~engine ~manifest group =
                  (Detectors.verdict_to_string verdict));
            ( i,
              { sink; meth; site; reachable = ssg.Ssg.reachable; fact; verdict;
-               ssg = Some ssg } ))
+               ssg = Some ssg; outcome } ))
       group
   in
-  { g_reports = reports; g_loops = loops;
+  { g_reports = reports; g_loops = shared.Context.loops;
     g_sink_lookups = !sink_cache_lookups; g_sink_hits = !sink_cache_hits;
-    g_ssg_nodes = !ssg_nodes; g_ssg_edges = !ssg_edges }
+    g_ssg_nodes = !ssg_nodes; g_ssg_edges = !ssg_edges;
+    g_partial = !partial }
 
 (** Analyze one app.  [pool] (otherwise created from [cfg.jobs]) drives the
     sharded index build and the per-sink-group fan-out. *)
@@ -235,13 +256,15 @@ let analyze ?(cfg = default_config) ?pool ~(dex : Dex.Dexfile.t)
     let loops = Loopdetect.create () in
     let sink_cache_lookups = ref 0 and sink_cache_hits = ref 0 in
     let ssg_nodes = ref 0 and ssg_edges = ref 0 in
+    let partial_sinks = ref 0 in
     Array.iter
       (fun g ->
          Loopdetect.add_into ~dst:loops g.g_loops;
          sink_cache_lookups := !sink_cache_lookups + g.g_sink_lookups;
          sink_cache_hits := !sink_cache_hits + g.g_sink_hits;
          ssg_nodes := !ssg_nodes + g.g_ssg_nodes;
-         ssg_edges := !ssg_edges + g.g_ssg_edges)
+         ssg_edges := !ssg_edges + g.g_ssg_edges;
+         partial_sinks := !partial_sinks + g.g_partial)
       outs;
     let reports =
       Array.to_list outs
@@ -258,7 +281,8 @@ let analyze ?(cfg = default_config) ?pool ~(dex : Dex.Dexfile.t)
         sink_cache_hits = !sink_cache_hits;
         loops;
         ssg_nodes = !ssg_nodes;
-        ssg_edges = !ssg_edges }
+        ssg_edges = !ssg_edges;
+        partial_sinks = !partial_sinks }
     in
     { reports; stats }
   in

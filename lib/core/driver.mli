@@ -23,7 +23,12 @@ type config = {
           method and the groups analysed on a domain pool of this size
           (1 = sequential, the default).  Findings and statistics are
           identical for any [jobs] value. *)
-  slicer : Slicer.config;
+  budget : Context.budget;
+      (** per-sink slicing budget (work/depth caps + optional wall-clock
+          deadline); exhaustion surfaces as a [Partial] outcome *)
+  trace : Trace.sink;
+      (** receives one structured event per caller resolution; default
+          [Trace.log_sink] *)
   forward : Forward.config;
 }
 val default_config : config
@@ -35,6 +40,9 @@ type sink_report = {
   fact : Facts.t;
   verdict : Detectors.verdict;
   ssg : Ssg.t option;
+  outcome : Context.outcome;
+      (** [Partial _] when the slice exhausted its budget ([Complete] for
+          cache-served reports: no slicing ran) *)
 }
 type stats = {
   sink_calls : int;
@@ -46,6 +54,8 @@ type stats = {
   loops : Loopdetect.stats;
   ssg_nodes : int;
   ssg_edges : int;
+  partial_sinks : int;
+      (** sink slices that exhausted their budget (typed [Partial]) *)
 }
 type result = { reports : sink_report list; stats : stats; }
 

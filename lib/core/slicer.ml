@@ -9,27 +9,28 @@
     extras (keyed like fields) and static fields (a global set).  Contained
     methods — constructors writing tainted fields, and calls whose return
     value is tainted — are analysed by recursive sub-slices whose residual
-    taints are mapped back to the call site. *)
+    taints are mapped back to the call site.
+
+    Caller queries go through the {!Resolver} broker, which classifies the
+    callee, runs the right Sec. IV search and returns uniform caller
+    records; the two traversals here ({!method_reachable}'s recursion and
+    {!continue_to_callers}) are generic over those records.  All state and
+    budget accounting lives in the {!Context}. *)
 
 open Ir
 module Sinks = Framework.Sinks
-
-type config = {
-  max_depth : int;      (** inter-procedural backtracking depth *)
-  max_work : int;       (** total work items per sink *)
-  max_contained_depth : int;
-}
-
-let default_config = { max_depth = 48; max_work = 4000; max_contained_depth = 8 }
 
 (* ------------------------------------------------------------------ *)
 (* Taint sets                                                           *)
 
 type taints = {
   locals : (string, unit) Hashtbl.t;
-  fields : (string, Jsig.field) Hashtbl.t;
-      (** key: [objid ^ "#" ^ field signature] *)
-  intents : (string * string, unit) Hashtbl.t;  (** (obj id, extra key) *)
+  fields : (string, (string, Jsig.field) Hashtbl.t) Hashtbl.t;
+      (** object id -> (field signature -> field); inner tables are removed
+          eagerly when they empty, so membership of the outer key means "has
+          tainted fields" *)
+  intents : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+      (** object id -> set of tainted extra keys; same eager-removal rule *)
   mutable settled : residual_acc list;
       (** residuals settled during the scan, at identity statements *)
 }
@@ -40,37 +41,77 @@ let fresh_taints () =
   { locals = Hashtbl.create 8; fields = Hashtbl.create 4;
     intents = Hashtbl.create 2; settled = [] }
 
-let field_key obj (f : Jsig.field) = obj ^ "#" ^ Jsig.field_to_string f
-
 let taint_local t id = Hashtbl.replace t.locals id ()
 let untaint_local t id = Hashtbl.remove t.locals id
 let local_tainted t id = Hashtbl.mem t.locals id
 
-let taint_field t obj f =
-  Hashtbl.replace t.fields (field_key obj f) f;
+let taint_field t obj (f : Jsig.field) =
+  let inner =
+    match Hashtbl.find_opt t.fields obj with
+    | Some inner -> inner
+    | None ->
+      let inner = Hashtbl.create 4 in
+      Hashtbl.replace t.fields obj inner;
+      inner
+  in
+  Hashtbl.replace inner (Jsig.field_to_string f) f;
   (* the paper also taints the class object itself *)
   taint_local t obj
 
-let untaint_field t obj f = Hashtbl.remove t.fields (field_key obj f)
-let field_tainted t obj f = Hashtbl.mem t.fields (field_key obj f)
+let untaint_field t obj (f : Jsig.field) =
+  match Hashtbl.find_opt t.fields obj with
+  | None -> ()
+  | Some inner ->
+    Hashtbl.remove inner (Jsig.field_to_string f);
+    if Hashtbl.length inner = 0 then Hashtbl.remove t.fields obj
 
-(** Fields tainted on a given object local. *)
+let field_tainted t obj (f : Jsig.field) =
+  match Hashtbl.find_opt t.fields obj with
+  | None -> false
+  | Some inner -> Hashtbl.mem inner (Jsig.field_to_string f)
+
+let has_field_taints t obj = Hashtbl.mem t.fields obj
+
+(** Fields tainted on a given object local — O(own fields). *)
 let fields_of t obj =
-  Hashtbl.fold
-    (fun k f acc ->
-       match String.index_opt k '#' with
-       | Some i when String.sub k 0 i = obj -> f :: acc
-       | Some _ | None -> acc)
-    t.fields []
+  match Hashtbl.find_opt t.fields obj with
+  | None -> []
+  | Some inner -> Hashtbl.fold (fun _ f acc -> f :: acc) inner []
 
 let taint_intent t obj key =
-  Hashtbl.replace t.intents (obj, key) ();
+  let inner =
+    match Hashtbl.find_opt t.intents obj with
+    | Some inner -> inner
+    | None ->
+      let inner = Hashtbl.create 2 in
+      Hashtbl.replace t.intents obj inner;
+      inner
+  in
+  Hashtbl.replace inner key ();
   (* track the carrying object as well, mirroring the field rule *)
   Hashtbl.replace t.locals obj ()
-let untaint_intent t obj key = Hashtbl.remove t.intents (obj, key)
+
+let untaint_intent t obj key =
+  match Hashtbl.find_opt t.intents obj with
+  | None -> ()
+  | Some inner ->
+    Hashtbl.remove inner key;
+    if Hashtbl.length inner = 0 then Hashtbl.remove t.intents obj
+
+let intent_tainted t obj key =
+  match Hashtbl.find_opt t.intents obj with
+  | None -> false
+  | Some inner -> Hashtbl.mem inner key
+
+let has_intent_taints t obj = Hashtbl.mem t.intents obj
+
+(** Extra keys tainted on a given Intent local — O(own keys). *)
 let intent_keys_of t obj =
-  Hashtbl.fold (fun (o, k) () acc -> if o = obj then k :: acc else acc)
-    t.intents []
+  match Hashtbl.find_opt t.intents obj with
+  | None -> []
+  | Some inner -> Hashtbl.fold (fun k () acc -> k :: acc) inner []
+
+let has_obj_taints t obj = has_field_taints t obj || has_intent_taints t obj
 
 let is_empty t =
   Hashtbl.length t.locals = 0 && Hashtbl.length t.fields = 0
@@ -100,25 +141,10 @@ type residual =
       (** Intent extra: parameter index ([-1] = the component's launching
           Intent, from [getIntent()]) and extra key *)
 
-(* ------------------------------------------------------------------ *)
-(* Slicer state                                                         *)
-
-type state = {
-  engine : Bytesearch.Engine.t;
-  program : Program.t;
-  manifest : Manifest.App_manifest.t;
-  loops : Loopdetect.stats;
-  cfg : config;
-  ssg : Ssg.t;
-  reach_cache : (string, bool) Hashtbl.t;  (** shared across sinks (Sec. IV-F) *)
-  reach_total : int ref;
-  reach_cached : int ref;
-  mutable work_count : int;
-}
-
 let getintent_marker = "<launching-intent>"
 
-let record st meth idx stmt = ignore (Ssg.add_node st.ssg ~meth ~stmt_idx:idx ~stmt)
+let record (ctx : Context.t) meth idx stmt =
+  ignore (Ssg.add_node ctx.ssg ~meth ~stmt_idx:idx ~stmt)
 
 (** Quick backward lookup of a string constant for [v] (used to resolve
     Intent extra keys at [getStringExtra]/[putExtra] sites). *)
@@ -137,8 +163,8 @@ let resolve_string_const body idx (v : Value.t) =
     in
     back (idx - 1)
 
-let is_system_class st cls =
-  match Program.find_class st.program cls with
+let is_system_class (ctx : Context.t) cls =
+  match Program.find_class ctx.program cls with
   | Some c -> c.Jclass.is_system
   | None -> true
 
@@ -149,7 +175,7 @@ let is_system_class st cls =
     and recording SSG nodes.  Returns the residual taints at method entry.
     [path] carries the methods on the current backtracking chain for loop
     detection; [cdepth] bounds contained-method recursion. *)
-let rec scan st ~path ~cdepth (meth : Jsig.meth) body ~from_idx t =
+let rec scan (ctx : Context.t) ~path ~cdepth (meth : Jsig.meth) body ~from_idx t =
   let idx = ref (min from_idx (Array.length body - 1)) in
   while !idx >= 0 do
     let stmt = body.(!idx) in
@@ -158,59 +184,58 @@ let rec scan st ~path ~cdepth (meth : Jsig.meth) body ~from_idx t =
        (* identity statement: the tainted local IS the parameter — settle it
           as a residual for the caller mapping *)
        untaint_local t l.Value.id;
-       record st meth !idx stmt;
-       Ssg.record_taint st.ssg ~meth l.Value.id;
+       record ctx meth !idx stmt;
+       Ssg.record_taint ctx.ssg ~meth l.Value.id;
        t.settled <- R_acc_param i :: t.settled
      | Stmt.Assign (l, Expr.This) when local_tainted t l.Value.id ->
        untaint_local t l.Value.id;
-       record st meth !idx stmt;
-       Ssg.record_taint st.ssg ~meth l.Value.id;
+       record ctx meth !idx stmt;
+       Ssg.record_taint ctx.ssg ~meth l.Value.id;
        t.settled <- R_acc_this :: t.settled
      | Stmt.Assign (l, e) when local_tainted t l.Value.id ->
        untaint_local t l.Value.id;
-       record st meth !idx stmt;
-       Ssg.record_taint st.ssg ~meth l.Value.id;
-       process_def st ~path ~cdepth meth body !idx t l e
+       record ctx meth !idx stmt;
+       Ssg.record_taint ctx.ssg ~meth l.Value.id;
+       process_def ctx ~path ~cdepth meth body !idx t l e
      | Stmt.Assign (l, Expr.Imm (Value.Local x))
-       when fields_of t l.Value.id <> [] || intent_keys_of t l.Value.id <> [] ->
+       when has_obj_taints t l.Value.id ->
        (* alias copy: move attached field / intent taints to the source *)
-       record st meth !idx stmt;
+       record ctx meth !idx stmt;
        transfer_alias t ~dst:l.Value.id ~src:x.Value.id
      | Stmt.Assign (l, Expr.Cast (_, Value.Local x))
-       when fields_of t l.Value.id <> [] || intent_keys_of t l.Value.id <> [] ->
-       record st meth !idx stmt;
+       when has_obj_taints t l.Value.id ->
+       record ctx meth !idx stmt;
        transfer_alias t ~dst:l.Value.id ~src:x.Value.id
      | Stmt.Instance_put (o, f, v) when field_tainted t o.Value.id f ->
-       record st meth !idx stmt;
+       record ctx meth !idx stmt;
        untaint_field t o.Value.id f;
        (* drop the object taint when no other tainted field remains *)
-       if fields_of t o.Value.id = [] && intent_keys_of t o.Value.id = [] then
-         untaint_local t o.Value.id;
+       if not (has_obj_taints t o.Value.id) then untaint_local t o.Value.id;
        taint_value t v
      | Stmt.Static_put (f, v)
-       when List.exists (Jsig.field_equal f) st.ssg.Ssg.global_static_taints ->
-       record st meth !idx stmt;
-       Ssg.remove_global_static_taint st.ssg f;
+       when List.exists (Jsig.field_equal f) ctx.ssg.Ssg.global_static_taints ->
+       record ctx meth !idx stmt;
+       Ssg.remove_global_static_taint ctx.ssg f;
        taint_value t v
      | Stmt.Array_put (a, _i, v) when local_tainted t a.Value.id ->
        (* arrays are handled like fields: the store feeds the tainted array *)
-       record st meth !idx stmt;
+       record ctx meth !idx stmt;
        taint_value t v
      | Stmt.Invoke iv ->
-       process_plain_invoke st ~path ~cdepth meth body !idx t iv
+       process_plain_invoke ctx ~path ~cdepth meth body !idx t iv
      | Stmt.Assign _ | Stmt.Instance_put _ | Stmt.Static_put _
      | Stmt.Array_put _ | Stmt.Return _ | Stmt.If _ | Stmt.Goto _
      | Stmt.Throw _ | Stmt.Nop -> ());
     decr idx
   done;
-  residuals_of st meth t
+  residuals_of ctx meth t
 
 and taint_value t = function
   | Value.Local l -> taint_local t l.Value.id
   | Value.Const _ -> ()
 
 (** Transfer for a tainted definition [l := e]. *)
-and process_def st ~path ~cdepth meth body idx t l e =
+and process_def (ctx : Context.t) ~path ~cdepth meth body idx t l e =
   match e with
   | Expr.Imm (Value.Local x) -> taint_local t x.Value.id
   | Expr.Imm (Value.Const _) -> ()
@@ -222,13 +247,14 @@ and process_def st ~path ~cdepth meth body idx t l e =
   | Expr.Array_get (a, _) -> taint_local t a.Value.id
   | Expr.Instance_get (o, f) -> taint_field t o.Value.id f
   | Expr.Static_get f ->
-    Ssg.add_global_static_taint st.ssg f;
-    locate_static_writers st ~path ~cdepth f
+    Ssg.add_global_static_taint ctx.ssg f;
+    locate_static_writers ctx ~path ~cdepth f
   | Expr.Param _ | Expr.This | Expr.Caught_exception -> ()
-  | Expr.Invoke iv -> process_result_invoke st ~path ~cdepth meth body idx t l iv
+  | Expr.Invoke iv -> process_result_invoke ctx ~path ~cdepth meth body idx t l iv
 
 (** A call whose result is tainted ([l] is the result local). *)
-and process_result_invoke st ~path ~cdepth meth body idx t l (iv : Expr.invoke) =
+and process_result_invoke (ctx : Context.t) ~path ~cdepth meth body idx t l
+    (iv : Expr.invoke) =
   let callee = iv.callee in
   if Jsig.meth_equal callee Framework.Api.intent_get_string_extra then begin
     match iv.base, resolve_string_const body idx (List.nth iv.args 0) with
@@ -245,23 +271,23 @@ and process_result_invoke st ~path ~cdepth meth body idx t l (iv : Expr.invoke) 
          untaint_intent t l.Value.id key;
          taint_intent t getintent_marker key)
       (intent_keys_of t l.Value.id)
-  else if is_system_class st callee.Jsig.cls then begin
+  else if is_system_class ctx callee.Jsig.cls then begin
     (* generic framework model: result depends on receiver and arguments *)
     (match iv.base with Some b -> taint_local t b.Value.id | None -> ());
     List.iter (taint_value t) iv.args
   end
   else begin
     (* contained app method: trace its return values by sub-slice *)
-    match Program.find_method st.program callee with
+    match Program.find_method ctx.program callee with
     | None | Some { Jmethod.body = None; _ } ->
       (match iv.base with Some b -> taint_local t b.Value.id | None -> ());
       List.iter (taint_value t) iv.args
     | Some callee_m ->
-      if cdepth >= st.cfg.max_contained_depth then ()
+      if cdepth >= ctx.budget.Context.max_contained_depth then ()
       else if Loopdetect.on_path path callee then
-        Loopdetect.record st.loops Loopdetect.Inner_backward
+        Loopdetect.record ctx.loops Loopdetect.Inner_backward
       else begin
-        Ssg.add_edge st.ssg
+        Ssg.add_edge ctx.ssg
           (Ssg.Contained { caller = meth; site = idx; callee });
         let cbody = Option.get callee_m.Jmethod.body in
         let ct = fresh_taints () in
@@ -272,16 +298,17 @@ and process_result_invoke st ~path ~cdepth meth body idx t l (iv : Expr.invoke) 
              | _ -> ())
           cbody;
         let res =
-          scan st ~path:(callee :: path) ~cdepth:(cdepth + 1) callee cbody
+          scan ctx ~path:(callee :: path) ~cdepth:(cdepth + 1) callee cbody
             ~from_idx:(Array.length cbody - 1) ct
         in
-        apply_residuals_at_site st t iv res
+        apply_residuals_at_site t iv res
       end
   end
 
 (** A plain (result-less) invocation: constructor field mapping, Intent
     [putExtra], or a contained call touching tainted object fields. *)
-and process_plain_invoke st ~path ~cdepth meth _body idx t (iv : Expr.invoke) =
+and process_plain_invoke (ctx : Context.t) ~path ~cdepth meth _body idx t
+    (iv : Expr.invoke) =
   let callee = iv.callee in
   match iv.base with
   | Some b
@@ -291,26 +318,26 @@ and process_plain_invoke st ~path ~cdepth meth _body idx t (iv : Expr.invoke) =
     (match iv.args with
      | [ k; v ] ->
        (match resolve_string_const _body idx k with
-        | Some key when Hashtbl.mem t.intents (b.Value.id, key) ->
-          record st meth idx (Stmt.Invoke iv);
+        | Some key when intent_tainted t b.Value.id key ->
+          record ctx meth idx (Stmt.Invoke iv);
           untaint_intent t b.Value.id key;
           taint_value t v
         | Some _ | None -> ())
      | _ -> ())
   | Some b
-    when (fields_of t b.Value.id <> [] || intent_keys_of t b.Value.id <> [])
-         && not (is_system_class st callee.Jsig.cls) ->
+    when has_obj_taints t b.Value.id
+         && not (is_system_class ctx callee.Jsig.cls) ->
     (* contained method (constructor or setter) that may define the tainted
        fields of the receiver *)
-    (match Program.find_method st.program callee with
+    (match Program.find_method ctx.program callee with
      | None | Some { Jmethod.body = None; _ } -> ()
      | Some callee_m ->
-       if cdepth >= st.cfg.max_contained_depth then ()
+       if cdepth >= ctx.budget.Context.max_contained_depth then ()
        else if Loopdetect.on_path path callee then
-         Loopdetect.record st.loops Loopdetect.Inner_backward
+         Loopdetect.record ctx.loops Loopdetect.Inner_backward
        else begin
-         record st meth idx (Stmt.Invoke iv);
-         Ssg.add_edge st.ssg (Ssg.Contained { caller = meth; site = idx; callee });
+         record ctx meth idx (Stmt.Invoke iv);
+         Ssg.add_edge ctx.ssg (Ssg.Contained { caller = meth; site = idx; callee });
          let cbody = Option.get callee_m.Jmethod.body in
          let ct = fresh_taints () in
          (match Jmethod.this_local callee_m with
@@ -319,7 +346,7 @@ and process_plain_invoke st ~path ~cdepth meth _body idx t (iv : Expr.invoke) =
               (fields_of t b.Value.id)
           | None -> ());
          let res =
-           scan st ~path:(callee :: path) ~cdepth:(cdepth + 1) callee cbody
+           scan ctx ~path:(callee :: path) ~cdepth:(cdepth + 1) callee cbody
              ~from_idx:(Array.length cbody - 1) ct
          in
          (* the callee resolved (or re-mapped) the fields it defines *)
@@ -335,12 +362,12 @@ and process_plain_invoke st ~path ~cdepth meth _body idx t (iv : Expr.invoke) =
               | Some _ -> ()  (* still unresolved inside callee: keep taint *)
               | None -> untaint_field t b.Value.id f)
            (fields_of t b.Value.id);
-         apply_residuals_at_site st t iv res
+         apply_residuals_at_site t iv res
        end)
   | Some _ | None -> ()
 
 (** Map a contained sub-slice's residuals back onto the call-site values. *)
-and apply_residuals_at_site st t (iv : Expr.invoke) res =
+and apply_residuals_at_site t (iv : Expr.invoke) res =
   List.iter
     (fun r ->
        match r with
@@ -360,27 +387,26 @@ and apply_residuals_at_site st t (iv : Expr.invoke) res =
          (match List.nth_opt iv.args i with
           | Some (Value.Local l) -> taint_intent t l.Value.id key
           | Some (Value.Const _) | None -> ()))
-    res;
-  ignore st
+    res
 
 (** Static-field search (Sec. V-A): capture the methods that write a newly
     tainted static field, so only matching contained methods are analysed;
     writers that are [<clinit>]s join the SSG's static track. *)
-and locate_static_writers st ~path ~cdepth f =
+and locate_static_writers (ctx : Context.t) ~path ~cdepth f =
   ignore path;
   ignore cdepth;
   let hits =
-    Bytesearch.Engine.run st.engine
+    Bytesearch.Engine.run ctx.engine
       (Bytesearch.Query.Static_field_access (Sigformat.to_dex_field f))
   in
   List.iter
     (fun (h : Bytesearch.Engine.hit) ->
-       if Jsig.is_clinit h.owner then Ssg.add_static_track st.ssg h.owner)
+       if Jsig.is_clinit h.owner then Ssg.add_static_track ctx.ssg h.owner)
     hits
 
 (** Compute the residual taints once the scan reaches the method entry. *)
-and residuals_of st meth t =
-  let m = Program.find_method st.program meth in
+and residuals_of (ctx : Context.t) meth t =
+  let m = Program.find_method ctx.program meth in
   match m with
   | None -> []
   | Some m ->
@@ -407,23 +433,24 @@ and residuals_of st meth t =
            | None -> ())
       t.locals;
     Hashtbl.iter
-      (fun key f ->
-         match String.index_opt key '#' with
-         | None -> ()
-         | Some i ->
-           let id = String.sub key 0 i in
-           if Some id = this_id then acc := R_this_field f :: !acc
-           else
-             match param_index id with
-             | Some pi -> acc := R_param_field (pi, f) :: !acc
-             | None -> ())
-      t.fields;
-    Hashtbl.iter
-      (fun (id, k) () ->
-         if id = getintent_marker then acc := R_intent (-1, k) :: !acc
+      (fun id inner ->
+         if Some id = this_id then
+           Hashtbl.iter (fun _ f -> acc := R_this_field f :: !acc) inner
          else
            match param_index id with
-           | Some i -> acc := R_intent (i, k) :: !acc
+           | Some pi ->
+             Hashtbl.iter (fun _ f -> acc := R_param_field (pi, f) :: !acc)
+               inner
+           | None -> ())
+      t.fields;
+    Hashtbl.iter
+      (fun id inner ->
+         if id = getintent_marker then
+           Hashtbl.iter (fun k () -> acc := R_intent (-1, k) :: !acc) inner
+         else
+           match param_index id with
+           | Some i ->
+             Hashtbl.iter (fun k () -> acc := R_intent (i, k) :: !acc) inner
            | None -> ())
       t.intents;
     List.iter
@@ -434,7 +461,6 @@ and residuals_of st meth t =
          | R_acc_this ->
            if not (List.mem R_this !acc) then acc := R_this :: !acc)
       t.settled;
-    ignore st;
     !acc
 
 (* ------------------------------------------------------------------ *)
@@ -445,280 +471,227 @@ type work = {
   w_from : int;
   w_taints : taints;
   w_path : Jsig.meth list;
-  w_depth : int;
+  w_depth : int;   (** [List.length w_path], carried to avoid recomputing *)
 }
 
 (** Memoized control-flow reachability of a method from registered entry
     points — this is both the tail of every empty-taint backtracking path and
     the paper's sink-API-call cache (Sec. IV-F).  Successful paths record
     their inter-procedural edges and entry methods into the SSG so the
-    forward analysis can replay them. *)
-let rec method_reachable st path (m : Jsig.meth) =
+    forward analysis can replay them.  [depth] is [List.length path], carried
+    as an int. *)
+let rec method_reachable (ctx : Context.t) ~depth path (m : Jsig.meth) =
   let key = Jsig.meth_to_string m in
-  incr st.reach_total;
-  match Hashtbl.find_opt st.reach_cache key with
+  incr ctx.reach_total;
+  match Hashtbl.find_opt ctx.reach_cache key with
   | Some r ->
-    incr st.reach_cached;
-    if r then note_entry_if_needed st m;
+    incr ctx.reach_cached;
+    if r then note_entry_if_needed ctx m;
     r
   | None ->
     if Loopdetect.on_path path m then begin
-      Loopdetect.record st.loops Loopdetect.Cross_backward;
+      Loopdetect.record ctx.loops Loopdetect.Cross_backward;
       false
     end
-    else if List.length path > st.cfg.max_depth then false
+    else if depth > ctx.budget.Context.max_depth then begin
+      Context.exhaust ctx Context.Depth;
+      false
+    end
+    else if Context.out_of_time ctx then false
     else begin
-      let r = compute_reachable st (m :: path) m in
-      Hashtbl.replace st.reach_cache key r;
+      let r = compute_reachable ctx ~depth:(depth + 1) (m :: path) m in
+      (* don't memoize once the deadline fired: the recursion below may have
+         been cut short, and the cache outlives this sink's slice *)
+      if not (Context.deadline_hit ctx) then Hashtbl.replace ctx.reach_cache key r;
       r
     end
 
-and note_entry_if_needed st m =
-  if Lifecycle_search.is_entry st.program st.manifest m then
-    Ssg.add_entry st.ssg m
+and note_entry_if_needed (ctx : Context.t) m =
+  if Lifecycle_search.is_entry ctx.program ctx.manifest m then
+    Ssg.add_entry ctx.ssg m
 
-and compute_reachable st path (m : Jsig.meth) =
-  if Lifecycle_search.is_entry st.program st.manifest m then begin
-    Ssg.add_entry st.ssg m;
-    true
+(** Generic reach-mode traversal: one resolution, then depth-first over the
+    caller records, recording each record's edge on success. *)
+and compute_reachable (ctx : Context.t) ~depth path (m : Jsig.meth) =
+  let r = Resolver.callers ctx m in
+  if r.Resolver.entry then Ssg.add_entry ctx.ssg m;
+  r.Resolver.complete
+  || List.exists
+       (fun (c : Resolver.caller) ->
+          let ok = method_reachable ctx ~depth path c.Resolver.c_meth in
+          if ok then Ssg.add_edge ctx.ssg c.Resolver.c_edge;
+          ok)
+       r.Resolver.callers
+
+let push (ctx : Context.t) queue (w : work) meth from taints =
+  let work_ok = ctx.work_count < ctx.budget.Context.max_work in
+  let depth_ok = w.w_depth <= ctx.budget.Context.max_depth in
+  if work_ok && depth_ok then begin
+    ctx.work_count <- ctx.work_count + 1;
+    Queue.add
+      { w_meth = meth; w_from = from; w_taints = taints;
+        w_path = w.w_meth :: w.w_path; w_depth = w.w_depth + 1 }
+      queue
   end
-  else
-    match Dispatch.classify st.program m with
-    | Dispatch.Lifecycle ->
-      (* a lifecycle handler of an unregistered component: deactivated *)
-      false
-    | Dispatch.Clinit ->
-      let ok, _chain = Clinit_search.clinit_reachable st.engine st.manifest m in
-      if ok then Ssg.add_entry st.ssg m;
-      ok
-    | Dispatch.Basic ->
-      List.exists
-        (fun (cs : Basic_search.call_site) ->
-           let r = method_reachable st path cs.caller in
-           if r then
-             Ssg.add_edge st.ssg
-               (Ssg.Call { caller = cs.caller; site = cs.site; callee = m });
-           r)
-        (Basic_search.callers st.engine m)
-    | Dispatch.Advanced ->
-      List.exists
-        (fun (ac : Object_taint.advanced_caller) ->
-           let r = method_reachable st path ac.caller in
-           if r then
-             Ssg.add_edge st.ssg
-               (Ssg.Async
-                  { caller = ac.caller; ctor_site = ac.obj_site;
-                    ctor_local = ac.obj_local; callee = m; chain = ac.chain;
-                    ending = ac.ending });
-           r)
-        (Object_taint.advanced_callers st.engine st.loops m)
+  else begin
+    if not work_ok then Context.exhaust ctx Context.Work;
+    if not depth_ok then Context.exhaust ctx Context.Depth
+  end
+
+(** Apply a caller record's taint mapping and enqueue the continuation. *)
+let apply_bind (ctx : Context.t) queue (w : work) res (c : Resolver.caller) =
+  match c.Resolver.c_bind with
+  | Resolver.Bind_call { invoke; from } ->
+    let t = fresh_taints () in
+    List.iter
+      (fun r ->
+         match r with
+         | R_param i ->
+           (match List.nth_opt invoke.Expr.args i with
+            | Some (Value.Local l) -> taint_local t l.Value.id
+            | Some (Value.Const _) | None -> ())
+         | R_param_field (i, f) ->
+           (match List.nth_opt invoke.Expr.args i with
+            | Some (Value.Local l) -> taint_field t l.Value.id f
+            | Some (Value.Const _) | None -> ())
+         | R_this ->
+           (match invoke.Expr.base with
+            | Some b -> taint_local t b.Value.id
+            | None -> ())
+         | R_this_field f ->
+           (match invoke.Expr.base with
+            | Some b -> taint_field t b.Value.id f
+            | None -> ())
+         | R_intent (i, key) ->
+           (match List.nth_opt invoke.Expr.args i with
+            | Some (Value.Local l) -> taint_intent t l.Value.id key
+            | Some (Value.Const _) | None -> ()))
+      res;
+    push ctx queue w c.Resolver.c_meth from t
+  | Resolver.Bind_intent { intent_local; from } ->
+    let t = fresh_taints () in
+    List.iter
+      (function
+        | R_intent (_, key) -> taint_intent t intent_local key
+        | R_param _ | R_param_field _ | R_this | R_this_field _ -> ())
+      res;
+    push ctx queue w c.Resolver.c_meth from t
+  | Resolver.Bind_fields ->
+    (* earlier lifecycle handler: residual receiver fields onto its own
+       [this], rescanned from the body end *)
+    (match Program.find_method ctx.program c.Resolver.c_meth with
+     | Some ({ Jmethod.body = Some body; _ } as pm) ->
+       let t = fresh_taints () in
+       (match Jmethod.this_local pm with
+        | Some this_l ->
+          List.iter
+            (function
+              | R_this_field f -> taint_field t this_l.Value.id f
+              | _ -> ())
+            res
+        | None -> ());
+       push ctx queue w c.Resolver.c_meth (Array.length body - 1) t
+     | Some { Jmethod.body = None; _ } | None -> ())
+  | Resolver.Bind_async { obj_local; ending } ->
+    (* this-side residuals map onto the constructor object in the chain
+       head; the whole head body is rescanned since fields may be written
+       anywhere before the callback fires *)
+    let this_fields =
+      List.filter_map (function R_this_field f -> Some f | _ -> None) res
+    in
+    let this_res = List.exists (function R_this -> true | _ -> false) res in
+    (match Program.find_method ctx.program c.Resolver.c_meth with
+     | Some { Jmethod.body = Some body; _ } ->
+       let t = fresh_taints () in
+       List.iter (fun f -> taint_field t obj_local f) this_fields;
+       if this_res then taint_local t obj_local;
+       if not (is_empty t) then
+         push ctx queue w c.Resolver.c_meth (Array.length body - 1) t
+       else if method_reachable ctx ~depth:w.w_depth w.w_path c.Resolver.c_meth
+       then ctx.ssg.Ssg.reachable <- true
+     | Some { Jmethod.body = None; _ } | None -> ());
+    (* parameter residuals map at an app-level ending call; a framework
+       ending means the callee params are framework inputs *)
+    (match ending with
+     | Some (ending_in, ending_site, iv) ->
+       let t = fresh_taints () in
+       List.iter
+         (fun r ->
+            match r with
+            | R_param i ->
+              (match List.nth_opt iv.Expr.args i with
+               | Some (Value.Local l) -> taint_local t l.Value.id
+               | Some (Value.Const _) | None -> ())
+            | R_param_field (i, f) ->
+              (match List.nth_opt iv.Expr.args i with
+               | Some (Value.Local l) -> taint_field t l.Value.id f
+               | Some (Value.Const _) | None -> ())
+            | R_this | R_this_field _ | R_intent _ -> ())
+         res;
+       if not (is_empty t) then push ctx queue w ending_in (ending_site - 1) t
+     | None -> ())
 
 (** Continue backtracking from the entry of [w.w_meth] given its residual
-    taints, pushing new work items onto [queue]. *)
-let continue_to_callers st queue (w : work) res =
+    taints: one broker resolution, then a generic iteration over the caller
+    records — loop guard, edge, taint binding, push. *)
+let continue_to_callers (ctx : Context.t) queue (w : work) res =
   let m = w.w_meth in
-  Log.debug (fun l ->
-      l "entry of %s: %d residual taints, strategy %s"
-        (Jsig.meth_to_string m) (List.length res)
-        (Dispatch.to_string (Dispatch.classify st.program m)));
-  let push meth from taints =
-    if st.work_count < st.cfg.max_work && List.length w.w_path <= st.cfg.max_depth
-    then begin
-      st.work_count <- st.work_count + 1;
-      Queue.add
-        { w_meth = meth; w_from = from; w_taints = taints;
-          w_path = m :: w.w_path; w_depth = w.w_depth + 1 }
-        queue
-    end
-  in
-  let guard_path callee k =
-    if Loopdetect.on_path w.w_path callee then
-      Loopdetect.record st.loops Loopdetect.Cross_backward
-    else k ()
-  in
-  let has_intent_res =
-    List.exists (function R_intent _ -> true | _ -> false) res
-  in
   if res = [] then begin
     (* dataflow fully resolved: only control-flow reachability remains *)
-    if method_reachable st w.w_path m then st.ssg.Ssg.reachable <- true
+    if method_reachable ctx ~depth:w.w_depth w.w_path m then
+      ctx.ssg.Ssg.reachable <- true
   end
-  else if has_intent_res && Lifecycle_search.is_lifecycle_handler st.program m
-  then begin
-    (* ICC boundary: the residual data lives in the launching Intent *)
-    match Manifest.App_manifest.find_component st.manifest m.Jsig.cls with
-    | None -> ()  (* unregistered component: path invalid *)
-    | Some component ->
-      let sites = Icc_search.callers st.engine ~component in
-      List.iter
-        (fun (site : Icc_search.icc_site) ->
-           guard_path site.caller (fun () ->
-               Ssg.add_edge st.ssg
-                 (Ssg.Icc { caller = site.caller; site = site.site; handler = m });
-               let t = fresh_taints () in
-               List.iter
-                 (function
-                   | R_intent (_, key) -> taint_intent t site.intent_local key
-                   | R_param _ | R_param_field _ | R_this | R_this_field _ -> ())
-                 res;
-               push site.caller (site.site - 1) t))
-        sites
+  else begin
+    let demand =
+      { Resolver.has_intent =
+          List.exists (function R_intent _ -> true | _ -> false) res;
+        has_this = List.exists (function R_this -> true | _ -> false) res;
+        this_fields =
+          List.filter_map (function R_this_field f -> Some f | _ -> None) res }
+    in
+    let r = Resolver.callers ~demand ctx m in
+    Log.debug (fun l ->
+        l "entry of %s: %d residual taints, strategy %s"
+          (Jsig.meth_to_string m) (List.length res)
+          (Resolver.strategy_to_string r.Resolver.strategy));
+    if r.Resolver.entry then Ssg.add_entry ctx.ssg m;
+    if r.Resolver.complete then ctx.ssg.Ssg.reachable <- true;
+    List.iter
+      (fun (c : Resolver.caller) ->
+         if Loopdetect.on_path w.w_path c.Resolver.c_meth then
+           Loopdetect.record ctx.loops Loopdetect.Cross_backward
+         else begin
+           Ssg.add_edge ctx.ssg c.Resolver.c_edge;
+           apply_bind ctx queue w res c
+         end)
+      r.Resolver.callers
   end
-  else if Lifecycle_search.is_lifecycle_handler st.program m then begin
-    if Manifest.App_manifest.is_entry_class st.manifest m.Jsig.cls then begin
-      Ssg.add_entry st.ssg m;
-      let this_fields =
-        List.filter_map (function R_this_field f -> Some f | _ -> None) res
-      in
-      if this_fields = [] then
-        (* residual params are framework-provided: flow complete *)
-        st.ssg.Ssg.reachable <- true
-      else begin
-        (* search earlier handlers of the same component for the fields *)
-        let preds = Lifecycle_search.predecessor_handlers st.program m in
-        if preds = [] then st.ssg.Ssg.reachable <- true
-        else
-          List.iter
-            (fun pre ->
-               guard_path pre (fun () ->
-                   Ssg.add_edge st.ssg (Ssg.Lifecycle { pre; handler = m });
-                   match Program.find_method st.program pre with
-                   | Some { Jmethod.body = Some body; _ } as mo ->
-                     let t = fresh_taints () in
-                     (match Option.get mo |> Jmethod.this_local with
-                      | Some this_l ->
-                        List.iter (fun f -> taint_field t this_l.Value.id f)
-                          this_fields
-                      | None -> ());
-                     push pre (Array.length body - 1) t
-                   | Some { Jmethod.body = None; _ } | None -> ()))
-            preds
-      end
-    end
-    (* else: unregistered component — path invalid *)
-  end
-  else
-    match Dispatch.classify st.program m with
-    | Dispatch.Clinit ->
-      (* no dataflow crosses a <clinit>; only reachability matters, and
-         remaining static-field taints resolve off-path *)
-      let ok, _ = Clinit_search.clinit_reachable st.engine st.manifest m in
-      if ok then begin
-        Ssg.add_entry st.ssg m;
-        st.ssg.Ssg.reachable <- true
-      end
-    | Dispatch.Lifecycle -> ()  (* handled above *)
-    | Dispatch.Basic ->
-      List.iter
-        (fun (cs : Basic_search.call_site) ->
-           guard_path cs.caller (fun () ->
-               Ssg.add_edge st.ssg
-                 (Ssg.Call { caller = cs.caller; site = cs.site; callee = m });
-               let t = fresh_taints () in
-               List.iter
-                 (fun r ->
-                    match r with
-                    | R_param i ->
-                      (match List.nth_opt cs.invoke.Expr.args i with
-                       | Some (Value.Local l) -> taint_local t l.Value.id
-                       | Some (Value.Const _) | None -> ())
-                    | R_param_field (i, f) ->
-                      (match List.nth_opt cs.invoke.Expr.args i with
-                       | Some (Value.Local l) -> taint_field t l.Value.id f
-                       | Some (Value.Const _) | None -> ())
-                    | R_this ->
-                      (match cs.invoke.Expr.base with
-                       | Some b -> taint_local t b.Value.id
-                       | None -> ())
-                    | R_this_field f ->
-                      (match cs.invoke.Expr.base with
-                       | Some b -> taint_field t b.Value.id f
-                       | None -> ())
-                    | R_intent (i, key) ->
-                      (match List.nth_opt cs.invoke.Expr.args i with
-                       | Some (Value.Local l) -> taint_intent t l.Value.id key
-                       | Some (Value.Const _) | None -> ()))
-                 res;
-               push cs.caller (cs.site - 1) t))
-        (Basic_search.callers st.engine m)
-    | Dispatch.Advanced ->
-      List.iter
-        (fun (ac : Object_taint.advanced_caller) ->
-           guard_path ac.caller (fun () ->
-               Ssg.add_edge st.ssg
-                 (Ssg.Async
-                    { caller = ac.caller; ctor_site = ac.obj_site;
-                      ctor_local = ac.obj_local; callee = m; chain = ac.chain;
-                      ending = ac.ending });
-               (* this-side residuals map onto the constructor object in the
-                  chain head; the whole head body is rescanned since fields
-                  may be written anywhere before the callback fires *)
-               let this_fields =
-                 List.filter_map
-                   (function R_this_field f -> Some f | _ -> None)
-                   res
-               in
-               let this_res = List.exists (function R_this -> true | _ -> false) res in
-               (match Program.find_method st.program ac.caller with
-                | Some { Jmethod.body = Some body; _ } ->
-                  let t = fresh_taints () in
-                  List.iter (fun f -> taint_field t ac.obj_local f) this_fields;
-                  if this_res then taint_local t ac.obj_local;
-                  if not (is_empty t) then push ac.caller (Array.length body - 1) t
-                  else if method_reachable st w.w_path ac.caller then
-                    st.ssg.Ssg.reachable <- true
-                | Some { Jmethod.body = None; _ } | None -> ());
-               (* parameter residuals map at an app-level ending call *)
-               (match ac.ending_invoke with
-                | Some iv ->
-                  let t = fresh_taints () in
-                  List.iter
-                    (fun r ->
-                       match r with
-                       | R_param i ->
-                         (match List.nth_opt iv.Expr.args i with
-                          | Some (Value.Local l) -> taint_local t l.Value.id
-                          | Some (Value.Const _) | None -> ())
-                       | R_param_field (i, f) ->
-                         (match List.nth_opt iv.Expr.args i with
-                          | Some (Value.Local l) -> taint_field t l.Value.id f
-                          | Some (Value.Const _) | None -> ())
-                       | R_this | R_this_field _ | R_intent _ -> ())
-                    res;
-                  if not (is_empty t) then
-                    push ac.ending_in (ac.ending_site - 1) t
-                | None ->
-                  (* framework ending: callee params are framework inputs *)
-                  ())))
-        (Object_taint.advanced_callers st.engine st.loops m)
 
 (** Resolve still-untainted static fields by adding their classes'
     [<clinit>] methods to the SSG's static track (off-path static
     initializers, Sec. V-A). *)
-let add_off_path_clinits st =
+let add_off_path_clinits (ctx : Context.t) =
   List.iter
     (fun (f : Jsig.field) ->
-       match Program.find_class st.program f.Jsig.fcls with
+       match Program.find_class ctx.program f.Jsig.fcls with
        | Some c ->
          (match Jclass.clinit c with
-          | Some clinit -> Ssg.add_static_track st.ssg clinit.Jmethod.msig
+          | Some clinit -> Ssg.add_static_track ctx.ssg clinit.Jmethod.msig
           | None -> ())
        | None -> ())
-    st.ssg.Ssg.global_static_taints
+    ctx.ssg.Ssg.global_static_taints
 
-(** Slice one sink API call occurrence, producing its SSG. *)
-let slice ~engine ~manifest ~loops ~reach_cache ~reach_total ~reach_cached
-    ?(cfg = default_config) ~(sink : Sinks.t) ~sink_meth ~sink_site () =
-  let program = Bytesearch.Engine.program engine in
+(** Slice one sink API call occurrence, producing its SSG and the typed
+    budget outcome. *)
+let slice ~(shared : Context.shared) ?budget ~(sink : Sinks.t) ~sink_meth
+    ~sink_site () =
   let ssg = Ssg.create ~sink ~sink_meth ~sink_site in
-  let st =
-    { engine; program; manifest; loops; cfg; ssg; reach_cache; reach_total;
-      reach_cached; work_count = 0 }
-  in
+  let ctx = Context.create ?budget shared ~ssg in
+  let program = ctx.Context.program in
   (match Program.find_method program sink_meth with
    | Some { Jmethod.body = Some body; _ } when sink_site < Array.length body ->
      let stmt = body.(sink_site) in
-     record st sink_meth sink_site stmt;
+     record ctx sink_meth sink_site stmt;
      let t = fresh_taints () in
      (match Stmt.invoke stmt with
       | Some iv ->
@@ -731,17 +704,17 @@ let slice ~engine ~manifest ~loops ~reach_cache ~reach_total ~reach_cached
        { w_meth = sink_meth; w_from = sink_site - 1; w_taints = t;
          w_path = []; w_depth = 0 }
        queue;
-     while not (Queue.is_empty queue) do
+     while not (Queue.is_empty queue) && not (Context.out_of_time ctx) do
        let w = Queue.pop queue in
        match Program.find_method program w.w_meth with
        | Some { Jmethod.body = Some body; _ } ->
          let res =
-           scan st ~path:(w.w_meth :: w.w_path) ~cdepth:0 w.w_meth body
+           scan ctx ~path:(w.w_meth :: w.w_path) ~cdepth:0 w.w_meth body
              ~from_idx:w.w_from w.w_taints
          in
-         continue_to_callers st queue w res
+         continue_to_callers ctx queue w res
        | Some { Jmethod.body = None; _ } | None -> ()
      done;
-     add_off_path_clinits st
+     add_off_path_clinits ctx
    | Some { Jmethod.body = None; _ } | Some _ | None -> ());
-  ssg
+  (ssg, Context.outcome ctx)

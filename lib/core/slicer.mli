@@ -9,30 +9,22 @@
     extras (keyed like fields) and static fields (a global set).  Contained
     methods — constructors writing tainted fields, and calls whose return
     value is tainted — are analysed by recursive sub-slices whose residual
-    taints are mapped back to the call site. *)
+    taints are mapped back to the call site.
 
-type config = {
-  max_depth : int;            (** inter-procedural backtracking depth *)
-  max_work : int;             (** total work items per sink *)
-  max_contained_depth : int;  (** contained-method sub-slice recursion *)
-}
+    Caller queries go through the {!Resolver} broker; state, caches and the
+    per-sink budget live in the {!Context}. *)
 
-val default_config : config
-
-(** Slice one sink API call occurrence, producing its SSG.  The
-    [reach_cache] (with its hit counters) is shared across the sinks of one
-    app — it implements the sink-API-call caching of Sec. IV-F; [loops]
-    accumulates the dead-loop statistics. *)
+(** Slice one sink API call occurrence, producing its SSG and the typed
+    budget outcome.  [shared] carries the app-wide state of the sink group —
+    the engine, the sink-API-call reachability cache with its counters
+    (Sec. IV-F), the loop statistics and the trace sink; [budget] (default
+    {!Context.default_budget}) bounds this one slice, and exhausting it
+    yields a [Partial] outcome instead of silent truncation. *)
 val slice :
-  engine:Bytesearch.Engine.t ->
-  manifest:Manifest.App_manifest.t ->
-  loops:Loopdetect.stats ->
-  reach_cache:(string, bool) Hashtbl.t ->
-  reach_total:int ref ->
-  reach_cached:int ref ->
-  ?cfg:config ->
+  shared:Context.shared ->
+  ?budget:Context.budget ->
   sink:Framework.Sinks.t ->
   sink_meth:Ir.Jsig.meth ->
   sink_site:int ->
   unit ->
-  Ssg.t
+  Ssg.t * Context.outcome

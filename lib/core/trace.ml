@@ -1,0 +1,148 @@
+(** Structured trace events for the caller-resolution broker.
+
+    Every {!Resolver.callers} resolution emits one event describing the
+    strategy that ran, the query it issued, how many caller records came
+    back, how many engine searches it cost (and how many of those were
+    served by the Sec. IV-F command cache), and the wall-clock cost.  The
+    sink is pluggable: {!log_sink} (the default) forwards to [Log.debug],
+    {!Ring.sink} records into a bounded in-memory buffer the CLI dumps as
+    JSON ([--trace out.json]) and the bench aggregates into per-strategy
+    latency columns. *)
+
+type event = {
+  strategy : string;   (** basic | advanced | clinit | icc | lifecycle *)
+  query : string;      (** human-readable query / callee description *)
+  hits : int;          (** caller records resolved *)
+  searches : int;      (** engine search commands issued *)
+  cached : int;        (** of which served from the command cache *)
+  elapsed_us : float;  (** wall-clock resolution cost *)
+}
+
+type sink = event -> unit
+
+let null (_ : event) = ()
+
+let log_sink ev =
+  Log.debug (fun l ->
+      l "resolve[%s] %s: %d callers, %d searches (%d cached), %.1fus"
+        ev.strategy ev.query ev.hits ev.searches ev.cached ev.elapsed_us)
+
+(* -- JSON rendering (hand-rolled: no json dependency) ---------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let event_to_json ev =
+  Printf.sprintf
+    "{\"strategy\":\"%s\",\"query\":\"%s\",\"hits\":%d,\"searches\":%d,\
+     \"cached\":%d,\"elapsed_us\":%.1f}"
+    (json_escape ev.strategy) (json_escape ev.query) ev.hits ev.searches
+    ev.cached ev.elapsed_us
+
+(* -- Ring buffer ----------------------------------------------------- *)
+
+module Ring = struct
+  type t = {
+    buf : event option array;
+    lock : Mutex.t;
+    mutable next : int;     (* total events ever recorded *)
+  }
+
+  let create ?(capacity = 4096) () =
+    { buf = Array.make (max 1 capacity) None; lock = Mutex.create ();
+      next = 0 }
+
+  let with_lock t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let sink t ev =
+    with_lock t (fun () ->
+        t.buf.(t.next mod Array.length t.buf) <- Some ev;
+        t.next <- t.next + 1)
+
+  let length t =
+    with_lock t (fun () -> min t.next (Array.length t.buf))
+
+  let recorded t = with_lock t (fun () -> t.next)
+
+  (** Buffered events, oldest first (older events beyond the capacity have
+      been overwritten). *)
+  let events t =
+    with_lock t (fun () ->
+        let cap = Array.length t.buf in
+        let n = min t.next cap in
+        let first = if t.next <= cap then 0 else t.next mod cap in
+        List.init n (fun i ->
+            match t.buf.((first + i) mod cap) with
+            | Some ev -> ev
+            | None -> assert false))
+
+  let to_json t =
+    let evs = events t in
+    let b = Buffer.create 1024 in
+    Buffer.add_string b
+      (Printf.sprintf "{\"recorded\":%d,\"events\":[" (recorded t));
+    List.iteri
+      (fun i ev ->
+         if i > 0 then Buffer.add_char b ',';
+         Buffer.add_string b (event_to_json ev))
+      evs;
+    Buffer.add_string b "]}";
+    Buffer.contents b
+
+  let write_json t path =
+    let oc = open_out path in
+    output_string oc (to_json t);
+    output_char oc '\n';
+    close_out oc
+end
+
+(* -- Aggregation ------------------------------------------------------ *)
+
+type agg = {
+  a_count : int;
+  a_hits : int;
+  a_searches : int;
+  a_cached : int;
+  a_total_us : float;
+  a_max_us : float;
+}
+
+(** Per-strategy aggregation of a trace, sorted by strategy name — the
+    bench prints these as latency columns. *)
+let aggregate evs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+       let a =
+         Option.value
+           (Hashtbl.find_opt tbl ev.strategy)
+           ~default:{ a_count = 0; a_hits = 0; a_searches = 0; a_cached = 0;
+                      a_total_us = 0.0; a_max_us = 0.0 }
+       in
+       Hashtbl.replace tbl ev.strategy
+         { a_count = a.a_count + 1;
+           a_hits = a.a_hits + ev.hits;
+           a_searches = a.a_searches + ev.searches;
+           a_cached = a.a_cached + ev.cached;
+           a_total_us = a.a_total_us +. ev.elapsed_us;
+           a_max_us = Float.max a.a_max_us ev.elapsed_us })
+    evs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let mean_us a =
+  if a.a_count = 0 then 0.0 else a.a_total_us /. float_of_int a.a_count

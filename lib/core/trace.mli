@@ -1,0 +1,63 @@
+(** Structured trace events for the caller-resolution broker.
+
+    Every {!Resolver.callers} resolution emits one event through a pluggable
+    sink: the strategy that ran, the query it issued, the number of caller
+    records returned, the engine searches it cost (split into cache hits and
+    misses) and the elapsed wall clock.  {!log_sink} (the default) forwards
+    to [Log.debug]; {!Ring} buffers events in memory for the CLI's
+    [--trace out.json] dump and the bench's per-strategy latency columns.
+
+    Under [--jobs N] the search counters are read from the shared engine, so
+    a concurrent domain's searches can leak into another event's delta; the
+    trace is an observability aid, not part of the deterministic results. *)
+
+type event = {
+  strategy : string;   (** basic | advanced | clinit | icc | lifecycle *)
+  query : string;      (** human-readable query / callee description *)
+  hits : int;          (** caller records resolved *)
+  searches : int;      (** engine search commands issued *)
+  cached : int;        (** of which served from the command cache *)
+  elapsed_us : float;  (** wall-clock resolution cost *)
+}
+
+type sink = event -> unit
+
+val null : sink
+val log_sink : sink
+val event_to_json : event -> string
+
+(** Mutex-guarded bounded buffer: safe to share across domains; keeps the
+    most recent [capacity] events. *)
+module Ring : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val sink : t -> sink
+
+  (** Events currently buffered (oldest first). *)
+  val events : t -> event list
+
+  (** Number of buffered events ([<= capacity]). *)
+  val length : t -> int
+
+  (** Total events ever recorded (may exceed {!length}). *)
+  val recorded : t -> int
+
+  val to_json : t -> string
+  val write_json : t -> string -> unit
+end
+
+(** Per-strategy totals for the bench's latency columns. *)
+type agg = {
+  a_count : int;
+  a_hits : int;
+  a_searches : int;
+  a_cached : int;
+  a_total_us : float;
+  a_max_us : float;
+}
+
+(** Aggregate events per strategy, sorted by strategy name. *)
+val aggregate : event list -> (string * agg) list
+
+val mean_us : agg -> float

@@ -4,15 +4,16 @@
 
 let csv_header =
   "app,tool,seconds,timed_out,errored,sink_calls,size_stmts,size_mb,insecure,\
-   search_cache_rate,sink_cache_rate,loops,cross_backward_loops,parallelism"
+   search_cache_rate,sink_cache_rate,loops,cross_backward_loops,\
+   partial_sinks,parallelism"
 
 let csv_row (m : Runner.measurement) =
-  Printf.sprintf "%s,%s,%.6f,%b,%b,%d,%d,%.2f,%d,%.4f,%.4f,%d,%d,%d"
+  Printf.sprintf "%s,%s,%.6f,%b,%b,%d,%d,%.2f,%d,%.4f,%.4f,%d,%d,%d,%d"
     m.app
     (Runner.tool_name m.tool)
     m.seconds m.timed_out m.errored m.sink_calls m.size_stmts m.size_mb
     m.insecure m.search_cache_rate m.sink_cache_rate m.loops
-    m.cross_backward_loops m.parallelism
+    m.cross_backward_loops m.partial_sinks m.parallelism
 
 (** Write all measurements of a corpus run to [path]. *)
 let write_csv path (ms : Runner.measurement list) =
@@ -31,7 +32,7 @@ let parse_row line =
   match String.split_on_char ',' line with
   | [ app; tool; seconds; timed_out; errored; sink_calls; size_stmts; size_mb;
       insecure; search_cache_rate; sink_cache_rate; loops; cross;
-      parallelism ] ->
+      partial_sinks; parallelism ] ->
     Some
       { Runner.app;
         tool =
@@ -50,5 +51,6 @@ let parse_row line =
         sink_cache_rate = float_of_string sink_cache_rate;
         loops = int_of_string loops;
         cross_backward_loops = int_of_string cross;
+        partial_sinks = int_of_string partial_sinks;
         parallelism = int_of_string parallelism }
   | _ -> None

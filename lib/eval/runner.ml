@@ -25,6 +25,8 @@ type measurement = {
   sink_cache_rate : float;    (** BackDroid only *)
   loops : int;                (** BackDroid only: dead loops detected *)
   cross_backward_loops : int;
+  partial_sinks : int;
+      (** BackDroid only: sink slices that exhausted their budget *)
   parallelism : int;       (** worker-pool size the measurement ran under *)
 }
 
@@ -58,6 +60,7 @@ let run_backdroid ?(cfg = Backdroid.Driver.default_config) (app : G.app) =
       cross_backward_loops =
         Backdroid.Loopdetect.get s.Backdroid.Driver.loops
           Backdroid.Loopdetect.Cross_backward;
+      partial_sinks = s.Backdroid.Driver.partial_sinks;
       parallelism = cfg.Backdroid.Driver.jobs },
     r )
 
@@ -91,6 +94,7 @@ let run_amandroid ?(cfg = Baseline.Amandroid.default_config) ~timeout_s
       sink_cache_rate = 0.0;
       loops = 0;
       cross_backward_loops = 0;
+      partial_sinks = 0;
       parallelism = 1 },
     r )
 
@@ -120,4 +124,5 @@ let run_flowdroid_cg ?(cfg = Baseline.Flowdroid_cg.default_config) ~timeout_s
     sink_cache_rate = 0.0;
     loops = 0;
     cross_backward_loops = 0;
+    partial_sinks = 0;
     parallelism = 1 }

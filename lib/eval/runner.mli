@@ -19,6 +19,8 @@ type measurement = {
   sink_cache_rate : float;
   loops : int;
   cross_backward_loops : int;
+  partial_sinks : int;
+      (** BackDroid only: sink slices that exhausted their budget *)
   parallelism : int;    (** worker-pool size the measurement ran under *)
 }
 val time : (unit -> 'a) -> 'a * float

@@ -10,11 +10,17 @@
     scheduling-independent, which the jobs=1-vs-jobs=N determinism guarantee
     relies on. *)
 
+type category_stat = {
+  mutable c_total : int;
+  mutable c_cached : int;
+  mutable c_compute_us : float;
+      (** accumulated wall-clock cost of the misses (the computes) *)
+}
+
 type 'hit stats = {
   mutable total : int;
   mutable cached : int;
-  per_category : (Query.category, int * int) Hashtbl.t;
-      (** category -> (total, cached) *)
+  per_category : (Query.category, category_stat) Hashtbl.t;
 }
 
 type 'hit t = {
@@ -28,15 +34,25 @@ let create () =
     stats = { total = 0; cached = 0; per_category = Hashtbl.create 8 };
     lock = Mutex.create () }
 
+let cat_stat t cat =
+  match Hashtbl.find_opt t.stats.per_category cat with
+  | Some c -> c
+  | None ->
+    let c = { c_total = 0; c_cached = 0; c_compute_us = 0.0 } in
+    Hashtbl.replace t.stats.per_category cat c;
+    c
+
 let bump t cat ~was_cached =
   let s = t.stats in
   s.total <- s.total + 1;
   if was_cached then s.cached <- s.cached + 1;
-  let tot, cch = Option.value ~default:(0, 0) (Hashtbl.find_opt s.per_category cat) in
-  Hashtbl.replace s.per_category cat
-    (tot + 1, if was_cached then cch + 1 else cch)
+  let c = cat_stat t cat in
+  c.c_total <- c.c_total + 1;
+  if was_cached then c.c_cached <- c.c_cached + 1
 
-(** Look up or compute the result of [query], recording statistics. *)
+(** Look up or compute the result of [query], recording statistics (misses
+    additionally record the compute's wall-clock cost against their
+    category). *)
 let find_or_add t query compute =
   let key = Query.to_command query in
   let cat = Query.category query in
@@ -48,7 +64,11 @@ let find_or_add t query compute =
         hits
       | None ->
         bump t cat ~was_cached:false;
+        let t0 = Unix.gettimeofday () in
         let hits = compute () in
+        let c = cat_stat t cat in
+        c.c_compute_us <-
+          c.c_compute_us +. ((Unix.gettimeofday () -. t0) *. 1e6);
         Hashtbl.replace t.table key hits;
         hits)
 
@@ -67,5 +87,13 @@ let cached_searches t = with_lock t (fun () -> t.stats.cached)
 
 let category_stats t =
   with_lock t (fun () ->
-      Hashtbl.fold (fun cat (tot, cch) acc -> (cat, tot, cch) :: acc)
+      Hashtbl.fold
+        (fun cat c acc -> (cat, c.c_total, c.c_cached) :: acc)
+        t.stats.per_category [])
+
+(** Per-category accumulated compute cost (µs spent on cache misses). *)
+let category_timings t =
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun cat c acc -> (cat, c.c_compute_us) :: acc)
         t.stats.per_category [])

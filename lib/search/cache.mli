@@ -26,3 +26,7 @@ val cache_rate : 'a t -> float
 val total_searches : 'a t -> int
 val cached_searches : 'a t -> int
 val category_stats : 'a t -> (Query.category * int * int) list
+
+(** Per-category accumulated compute cost: µs spent computing this
+    category's cache misses (hits cost nothing). *)
+val category_timings : 'a t -> (Query.category * float) list

@@ -47,3 +47,7 @@ val cached_searches : t -> int
 
 (** Per-category totals: (category, total searches, cache hits). *)
 val category_stats : t -> (Query.category * int * int) list
+
+(** Per-category accumulated compute cost: µs spent computing this
+    category's cache misses (hits cost nothing). *)
+val category_timings : t -> (Query.category * float) list

@@ -50,7 +50,7 @@ let test_dispatch () =
   let p = sample_program () in
   let check name expected m =
     Alcotest.(check string) name expected
-      (Backdroid.Dispatch.to_string (Backdroid.Dispatch.classify p m))
+      (Backdroid.Resolver.strategy_to_string (Backdroid.Resolver.classify p m))
   in
   check "static method -> basic" "basic" (msig "d.Util" "stat");
   check "private method -> basic" "basic" (msig "d.MainAct" "helper");

@@ -1,0 +1,267 @@
+(* Direct unit tests for the Resolver broker: the clinit class-use strategy
+   (Sec. IV-C) and the two-time ICC strategy (Sec. IV-D) exercised through
+   the uniform [Resolver.callers] API, the per-sink budget's typed [Partial]
+   outcomes, and the structured trace ring/aggregation. *)
+
+open Ir
+module B = Builder
+module Api = Framework.Api
+module Context = Backdroid.Context
+module Resolver = Backdroid.Resolver
+module Trace = Backdroid.Trace
+
+let plain_ctor ~cls ~super =
+  B.constructor ~cls (fun mb ->
+      B.invoke mb ~base:(B.this mb) ~kind:Expr.Special
+        ~callee:(Jsig.meth ~cls:super ~name:"<init>" ~params:[] ~ret:Types.Void)
+        ~args:[] ())
+
+(** Build a full analysis context over hand-built classes: engine, manifest,
+    shared state and a throwaway SSG. *)
+let ctx_of ?trace ?budget classes components =
+  let p = Program.of_classes (Framework.Stubs.classes () @ classes) in
+  let engine = Bytesearch.Engine.create (Dex.Dexfile.of_program p) in
+  let manifest = Manifest.App_manifest.make ~package:"rz" ~components in
+  let shared = Context.shared ?trace ~engine ~manifest () in
+  let sink_meth = Jsig.meth ~cls:"rz.X" ~name:"x" ~params:[] ~ret:Types.Void in
+  Context.create ?budget shared
+    ~ssg:(Backdroid.Ssg.create ~sink:Framework.Sinks.cipher ~sink_meth ~sink_site:0)
+
+(* --- Sec. IV-C through the broker: recursive class-use search --- *)
+
+let holder_cls = "rz.Holder"
+
+let holder =
+  Jclass.make holder_cls
+    ~methods:
+      [ B.clinit ~cls:holder_cls (fun mb -> ignore (B.const_str mb "seed"));
+        B.method_ ~access:B.static_access ~cls:holder_cls ~name:"get"
+          ~params:[] ~ret:Types.Void (fun _ -> ()) ]
+
+let activity ~uses_holder =
+  Jclass.make ~super:(Some "android.app.Activity") "rz.Act"
+    ~methods:
+      [ plain_ctor ~cls:"rz.Act" ~super:"android.app.Activity";
+        B.method_ ~cls:"rz.Act" ~name:"onCreate" ~params:[ Api.bundle_t ]
+          ~ret:Types.Void (fun mb ->
+            if uses_holder then
+              B.call_static mb
+                ~callee:
+                  (Jsig.meth ~cls:holder_cls ~name:"get" ~params:[]
+                     ~ret:Types.Void)
+                ~args:[]) ]
+
+let clinit_meth =
+  Jsig.meth ~cls:holder_cls ~name:"<clinit>" ~params:[] ~ret:Types.Void
+
+let act_component = Manifest.Component.make ~kind:Manifest.Component.Activity "rz.Act"
+
+let test_clinit_reachable () =
+  let ctx = ctx_of [ holder; activity ~uses_holder:true ] [ act_component ] in
+  let r = Resolver.callers ctx clinit_meth in
+  Alcotest.(check string) "clinit strategy selected" "clinit"
+    (Resolver.strategy_to_string r.Resolver.strategy);
+  Alcotest.(check bool) "entry through class use from rz.Act" true
+    r.Resolver.entry;
+  Alcotest.(check bool) "complete: reachability only, no dataflow" true
+    r.Resolver.complete;
+  Alcotest.(check int) "no caller continuations for <clinit>" 0
+    (List.length r.Resolver.callers)
+
+let test_clinit_unreachable () =
+  let ctx = ctx_of [ holder; activity ~uses_holder:false ] [ act_component ] in
+  let r = Resolver.callers ctx clinit_meth in
+  Alcotest.(check string) "clinit strategy selected" "clinit"
+    (Resolver.strategy_to_string r.Resolver.strategy);
+  Alcotest.(check bool) "unused class: not an entry" false r.Resolver.entry;
+  Alcotest.(check bool) "unused class: flow does not complete" false
+    r.Resolver.complete
+
+(* --- Sec. IV-D through the broker: the two-time ICC search --- *)
+
+let svc_cls = "rz.Svc"
+
+let svc =
+  Jclass.make ~super:(Some "android.app.Service") svc_cls
+    ~methods:
+      [ plain_ctor ~cls:svc_cls ~super:"android.app.Service";
+        B.method_ ~cls:svc_cls ~name:"onStartCommand"
+          ~params:[ Api.intent_t; Types.Int; Types.Int ] ~ret:Types.Int
+          (fun mb -> B.return_val mb (Value.Const (Value.Int_c 1))) ]
+
+let launcher =
+  Jclass.make ~super:(Some "android.app.Activity") "rz.Launcher"
+    ~methods:
+      [ plain_ctor ~cls:"rz.Launcher" ~super:"android.app.Activity";
+        B.method_ ~cls:"rz.Launcher" ~name:"onCreate" ~params:[ Api.bundle_t ]
+          ~ret:Types.Void (fun mb ->
+            let cls_c = B.const_class mb svc_cls in
+            let intent =
+              B.new_obj mb "android.content.Intent"
+                ~ctor_params:[ Api.context_t; Types.Object "java.lang.Class" ]
+                ~args:[ Value.Local (B.this mb); Value.Local cls_c ]
+            in
+            B.invoke mb ~base:(B.this mb) ~kind:Expr.Virtual
+              ~callee:Api.context_start_service ~args:[ Value.Local intent ] ()) ]
+
+let on_start_command =
+  Jsig.meth ~cls:svc_cls ~name:"onStartCommand"
+    ~params:[ Api.intent_t; Types.Int; Types.Int ] ~ret:Types.Int
+
+let intent_demand =
+  { Resolver.has_intent = true; has_this = false; this_fields = [] }
+
+let test_icc_resolution () =
+  let ctx =
+    ctx_of [ svc; launcher ]
+      [ Manifest.Component.make ~kind:Manifest.Component.Service svc_cls;
+        Manifest.Component.make ~kind:Manifest.Component.Activity "rz.Launcher" ]
+  in
+  let r = Resolver.callers ~demand:intent_demand ctx on_start_command in
+  Alcotest.(check string) "intent demand selects the ICC strategy" "icc"
+    (Resolver.strategy_to_string r.Resolver.strategy);
+  match r.Resolver.callers with
+  | [ c ] ->
+    Alcotest.(check string) "launch site found by the two-time merge"
+      "rz.Launcher" c.Resolver.c_meth.Jsig.cls;
+    (match c.Resolver.c_edge with
+     | Backdroid.Ssg.Icc { handler; _ } ->
+       Alcotest.(check string) "edge targets the handler" svc_cls
+         handler.Jsig.cls
+     | _ -> Alcotest.fail "expected an Icc edge");
+    (match c.Resolver.c_bind with
+     | Resolver.Bind_intent { intent_local; _ } ->
+       Alcotest.(check bool) "Intent local captured for re-keying" true
+         (intent_local <> "")
+     | _ -> Alcotest.fail "expected a Bind_intent mapping")
+  | l ->
+    Alcotest.fail (Printf.sprintf "expected 1 icc caller, got %d" (List.length l))
+
+let test_icc_unregistered () =
+  let ctx =
+    ctx_of [ svc; launcher ]
+      [ Manifest.Component.make ~kind:Manifest.Component.Activity "rz.Launcher" ]
+  in
+  let r = Resolver.callers ~demand:intent_demand ctx on_start_command in
+  Alcotest.(check string) "still the ICC strategy" "icc"
+    (Resolver.strategy_to_string r.Resolver.strategy);
+  Alcotest.(check int) "unregistered service yields no launch sites" 0
+    (List.length r.Resolver.callers);
+  Alcotest.(check bool) "and no entry/complete" false
+    (r.Resolver.entry || r.Resolver.complete)
+
+(* --- the per-sink budget: typed Partial outcomes + trace --- *)
+
+let pathological_app =
+  lazy
+    (Appgen.Generator.generate
+       { Appgen.Generator.default_config with
+         Appgen.Generator.seed = 11;
+         name = "com.budget.deep";
+         filler_classes = 2;
+         plants =
+           [ { Appgen.Generator.shape = Appgen.Shape.Static_chain;
+               sink = Framework.Sinks.cipher; insecure = true } ] })
+
+let slice_with ~budget ~trace =
+  let app = Lazy.force pathological_app in
+  let engine = Bytesearch.Engine.create app.Appgen.Generator.dex in
+  let shared =
+    Context.shared ~trace ~engine ~manifest:app.Appgen.Generator.manifest ()
+  in
+  match
+    Backdroid.Driver.initial_sink_search
+      ~cfg:Backdroid.Driver.default_config engine
+  with
+  | (sink, sink_meth, sink_site) :: _ ->
+    snd (Backdroid.Slicer.slice ~shared ~budget ~sink ~sink_meth ~sink_site ())
+  | [] -> Alcotest.fail "generated app has no sink occurrence"
+
+let test_budget_work_exhaustion () =
+  let ring = Trace.Ring.create () in
+  let outcome =
+    slice_with
+      ~budget:{ Context.default_budget with Context.max_work = 0 }
+      ~trace:(Trace.Ring.sink ring)
+  in
+  (match outcome with
+   | Context.Partial limits ->
+     Alcotest.(check bool) "work limit named in the outcome" true
+       (List.mem Context.Work limits)
+   | Context.Complete -> Alcotest.fail "expected a Partial outcome");
+  Alcotest.(check string) "outcome renders its limits" "partial(work)"
+    (Context.outcome_to_string outcome);
+  Alcotest.(check bool) "resolutions were traced before exhaustion" true
+    (Trace.Ring.recorded ring > 0);
+  let json = Trace.Ring.to_json ring in
+  Alcotest.(check bool) "trace dump is non-empty JSON" true
+    (String.length json > 2
+     && String.sub json 0 1 = "{"
+     && Trace.Ring.length ring > 0)
+
+let test_budget_deadline () =
+  let outcome =
+    slice_with
+      ~budget:
+        { Context.default_budget with Context.time_limit_ms = Some 0.0 }
+      ~trace:Trace.null
+  in
+  match outcome with
+  | Context.Partial [ Context.Deadline ] -> ()
+  | o ->
+    Alcotest.fail
+      (Printf.sprintf "expected partial(deadline), got %s"
+         (Context.outcome_to_string o))
+
+let test_unbudgeted_complete () =
+  let outcome = slice_with ~budget:Context.default_budget ~trace:Trace.null in
+  Alcotest.(check string) "default budget completes the slice" "complete"
+    (Context.outcome_to_string outcome)
+
+(* --- trace ring + aggregation --- *)
+
+let ev ?(strategy = "basic") elapsed_us =
+  { Trace.strategy; query = "q"; hits = 1; searches = 2; cached = 1;
+    elapsed_us }
+
+let test_ring_wraparound () =
+  let r = Trace.Ring.create ~capacity:2 () in
+  let sink = Trace.Ring.sink r in
+  sink (ev 1.0);
+  sink (ev 2.0);
+  sink (ev 3.0);
+  Alcotest.(check int) "capacity bounds the buffer" 2 (Trace.Ring.length r);
+  Alcotest.(check int) "recorded counts every event" 3 (Trace.Ring.recorded r);
+  Alcotest.(check (list (float 1e-9))) "oldest first, oldest dropped"
+    [ 2.0; 3.0 ]
+    (List.map (fun (e : Trace.event) -> e.Trace.elapsed_us)
+       (Trace.Ring.events r))
+
+let test_aggregate () =
+  let events =
+    [ ev 10.0; ev 20.0; ev ~strategy:"icc" 5.0 ]
+  in
+  match Trace.aggregate events with
+  | [ ("basic", b); ("icc", i) ] ->
+    Alcotest.(check int) "basic count" 2 b.Trace.a_count;
+    Alcotest.(check int) "basic searches summed" 4 b.Trace.a_searches;
+    Alcotest.(check (float 1e-9)) "basic mean" 15.0 (Trace.mean_us b);
+    Alcotest.(check (float 1e-9)) "basic max" 20.0 b.Trace.a_max_us;
+    Alcotest.(check int) "icc cached summed" 1 i.Trace.a_cached
+  | l ->
+    Alcotest.fail
+      (Printf.sprintf "expected 2 strategies, got %d" (List.length l))
+
+let cases =
+  [ Alcotest.test_case "clinit reachable via class use" `Quick test_clinit_reachable;
+    Alcotest.test_case "clinit unreachable when unused" `Quick test_clinit_unreachable;
+    Alcotest.test_case "icc resolution with intent demand" `Quick test_icc_resolution;
+    Alcotest.test_case "icc unregistered component" `Quick test_icc_unregistered;
+    Alcotest.test_case "work budget yields partial + trace" `Quick
+      test_budget_work_exhaustion;
+    Alcotest.test_case "deadline budget yields partial" `Quick test_budget_deadline;
+    Alcotest.test_case "default budget completes" `Quick test_unbudgeted_complete;
+    Alcotest.test_case "trace ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "trace aggregation" `Quick test_aggregate ]
+
+let suites = [ "resolver", cases ]
