@@ -10,7 +10,7 @@
 
    Usage: dune exec bench/main.exe
             [-- --quick | --micro-only | --experiments-only | --speedup-only
-               | --trace-only | --smoke | --jobs N]
+               | --trace-only | --search-only | --smoke | --jobs N]
 
    --jobs N sets the worker-pool width for the per-app experiment fan-out
    and the parallel/speedup benchmark (default: all cores but one).
@@ -46,7 +46,7 @@ let micro_tests () =
   let indexed_engine = Bytesearch.Engine.create medium.G.dex in
   let scan_engine = Bytesearch.Engine.create ~indexed:false medium.G.dex in
   let sink_query =
-    Bytesearch.Query.Invocation
+    Bytesearch.Query.invocation
       (Dex.Descriptor.meth_desc Framework.Api.cipher_get_instance)
   in
   [ (* Table I: corpus/app generation *)
@@ -219,6 +219,179 @@ let run_trace_profile ~app =
          total cached us)
     (List.sort compare (Bytesearch.Engine.category_stats engine))
 
+(* ------------------------------------------------------------------ *)
+(* search-core: GC-aware comparison of the three engine modes (grep-style
+   scan, lazy postings, eager postings) over one query per category.  The
+   run asserts that all modes return identical hits, prints a table with
+   Gc.quick_stat deltas and per-category index-build latency, and writes
+   the same data as machine-readable BENCH_search.json for the CI
+   bench-smoke artifact. *)
+
+type search_mode_result = {
+  sm_mode : string;
+  sm_build_us : float;        (** engine construction *)
+  sm_query_us : float;        (** all uncached queries, summed *)
+  sm_minor_words : float;     (** Gc minor_words allocated during the run *)
+  sm_major_collections : int; (** Gc major collections during the run *)
+  sm_top_heap_words : int;    (** peak heap after the run *)
+  sm_categories_built : int;
+  sm_hits : int;
+  sm_fingerprint : int;       (** order-independent hit digest *)
+  sm_index_build : (string * float) list;  (** per-category build µs *)
+}
+
+(** One query per query kind, derived from the fixture program so most of
+    them actually hit. *)
+let search_core_queries program =
+  let module Q = Bytesearch.Query in
+  let app_classes = Ir.Program.app_classes program in
+  let cls_desc =
+    match app_classes with
+    | c :: _ -> Dex.Descriptor.class_desc c.Ir.Jclass.name
+    | [] -> "Lcom/bench/Nothing;"
+  in
+  let field_queries =
+    match
+      List.find_map
+        (fun (c : Ir.Jclass.t) ->
+           match c.Ir.Jclass.fields with f :: _ -> Some f | [] -> None)
+        app_classes
+    with
+    | Some f ->
+      let d = Dex.Descriptor.field_desc f in
+      [ Q.field_access d; Q.static_field_access d ]
+    | None -> []
+  in
+  [ Q.invocation (Dex.Descriptor.meth_desc Framework.Api.cipher_get_instance);
+    Q.new_instance cls_desc;
+    Q.const_class cls_desc;
+    Q.const_string "AES";
+    Q.class_use cls_desc;
+    Q.raw "move-result-object" ]
+  @ field_queries
+
+let measure_search_mode ~name ~queries mk =
+  Gc.compact ();
+  let s0 = Gc.quick_stat () in
+  (* quick_stat's minor_words only advances at minor collections;
+     Gc.minor_words reads the live allocation pointer *)
+  let mw0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let engine = mk () in
+  let t1 = Unix.gettimeofday () in
+  let fp = ref 0 and hits = ref 0 in
+  List.iter
+    (fun q ->
+       List.iter
+         (fun (h : Bytesearch.Engine.hit) ->
+            incr hits;
+            fp := !fp lxor Hashtbl.hash (h.line_no, h.text))
+         (Bytesearch.Engine.run_uncached engine q))
+    queries;
+  let t2 = Unix.gettimeofday () in
+  let mw1 = Gc.minor_words () in
+  let s1 = Gc.quick_stat () in
+  { sm_mode = name;
+    sm_build_us = (t1 -. t0) *. 1e6;
+    sm_query_us = (t2 -. t1) *. 1e6;
+    sm_minor_words = mw1 -. mw0;
+    sm_major_collections = s1.Gc.major_collections - s0.Gc.major_collections;
+    sm_top_heap_words = s1.Gc.top_heap_words;
+    sm_categories_built = Bytesearch.Engine.built_categories engine;
+    sm_hits = !hits;
+    sm_fingerprint = !fp;
+    sm_index_build = Bytesearch.Engine.index_build_timings engine }
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let search_json_of_results ~lines ~queries ~identical results =
+  let mode_json r =
+    let build =
+      String.concat ", "
+        (List.map
+           (fun (cat, us) ->
+              Printf.sprintf "\"%s\": %.1f" (json_escape cat) us)
+           r.sm_index_build)
+    in
+    Printf.sprintf
+      "    {\"mode\": \"%s\", \"build_us\": %.1f, \"query_us\": %.1f, \
+       \"minor_words\": %.0f, \"major_collections\": %d, \
+       \"top_heap_words\": %d, \"categories_built\": %d, \"hits\": %d, \
+       \"index_build_us\": {%s}}"
+      (json_escape r.sm_mode) r.sm_build_us r.sm_query_us r.sm_minor_words
+      r.sm_major_collections r.sm_top_heap_words r.sm_categories_built
+      r.sm_hits build
+  in
+  Printf.sprintf
+    "{\n  \"fixture\": {\"lines\": %d, \"queries\": %d},\n\
+    \  \"identical_hits\": %b,\n\
+    \  \"modes\": [\n%s\n  ]\n}\n"
+    lines queries identical
+    (String.concat ",\n" (List.map mode_json results))
+
+let run_search_core ~app ~json_path =
+  print_endline "\n== search-core: scan vs lazy vs eager postings (GC-aware) ==";
+  let queries = search_core_queries app.G.program in
+  let dex = app.G.dex in
+  let results =
+    [ measure_search_mode ~name:"scan" ~queries (fun () ->
+          Bytesearch.Engine.create ~indexed:false dex);
+      measure_search_mode ~name:"lazy" ~queries (fun () ->
+          Bytesearch.Engine.create dex);
+      measure_search_mode ~name:"eager" ~queries (fun () ->
+          Bytesearch.Engine.create ~eager:true dex) ]
+  in
+  let identical =
+    match results with
+    | r :: rest ->
+      List.for_all
+        (fun r' ->
+           r'.sm_fingerprint = r.sm_fingerprint && r'.sm_hits = r.sm_hits)
+        rest
+    | [] -> true
+  in
+  Printf.printf "  %-6s %10s %10s %12s %6s %12s %5s %6s\n" "mode" "build"
+    "queries" "minor-words" "majGC" "top-heap-w" "cats" "hits";
+  List.iter
+    (fun r ->
+       Printf.printf "  %-6s %8.1fus %8.1fus %12.0f %6d %12d %3d/7 %6d\n"
+         r.sm_mode r.sm_build_us r.sm_query_us r.sm_minor_words
+         r.sm_major_collections r.sm_top_heap_words r.sm_categories_built
+         r.sm_hits)
+    results;
+  (match List.find_opt (fun r -> r.sm_mode = "eager") results with
+   | Some r when r.sm_index_build <> [] ->
+     print_endline "  -- per-category postings build (eager) --";
+     List.iter
+       (fun (cat, us) -> Printf.printf "  %-16s %9.1fus\n" cat us)
+       r.sm_index_build
+   | Some _ | None -> ());
+  Printf.printf "  identical hits across modes: %b\n" identical;
+  if not identical then begin
+    prerr_endline "search-core: modes returned different hits";
+    exit 1
+  end;
+  let json =
+    search_json_of_results ~lines:(Dex.Dexfile.line_count dex)
+      ~queries:(List.length queries) ~identical results
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote %s\n" json_path
+
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
@@ -244,6 +417,7 @@ let () =
   if has "--smoke" then begin
     (* CI smoke mode: tiny corpus, no micro-benchmarks *)
     run_trace_profile ~app:(Lazy.force small);
+    run_search_core ~app:(Lazy.force small) ~json_path:"BENCH_search.json";
     let opts =
       { Evalharness.Experiments.default_opts with
         Evalharness.Experiments.scale = 0.15;
@@ -258,11 +432,15 @@ let () =
   else begin
     let only =
       has "--micro-only" || has "--experiments-only" || has "--speedup-only"
-      || has "--trace-only"
+      || has "--trace-only" || has "--search-only"
     in
     if (not only) || has "--micro-only" then run_micro ();
     if (not only) || has "--trace-only" then
       run_trace_profile ~app:(Lazy.force (if quick then small else medium));
+    if (not only) || has "--search-only" then
+      run_search_core
+        ~app:(Lazy.force (if quick then small else medium))
+        ~json_path:"BENCH_search.json";
     if (not only) || has "--speedup-only" then run_speedup ~jobs;
     if (not only) || has "--experiments-only" then begin
       print_endline

@@ -143,8 +143,16 @@ let analyze_cmd =
       & info [ "subclass-aware" ]
           ~doc:"Hierarchy-aware initial sink search (fixes the Sec. VI-C FNs).")
   in
-  let run seed size_mb plants insecure dump_ssg subclass_aware jobs verbose
-      trace_file time_limit_ms =
+  let eager_index_t =
+    Arg.(
+      value & flag
+      & info [ "eager-index" ]
+          ~doc:
+            "Build all search postings categories at engine construction \
+             instead of lazily on first query of each category.")
+  in
+  let run seed size_mb plants insecure dump_ssg subclass_aware eager_index jobs
+      verbose trace_file time_limit_ms =
     setup_logs verbose;
     let app = make_app ~seed ~size_mb ~plants ~insecure in
     let ring =
@@ -155,6 +163,7 @@ let analyze_cmd =
     let cfg =
       { Backdroid.Driver.default_config with
         Backdroid.Driver.subclass_aware_initial_search = subclass_aware;
+        eager_index;
         jobs;
         budget =
           { Backdroid.Context.default_budget with
@@ -189,12 +198,13 @@ let analyze_cmd =
     let s = r.Backdroid.Driver.stats in
     Printf.printf
       "stats: %d searches (%.1f%% cached), %d SSG nodes, %d SSG edges, %d \
-       loops, %d partial sinks\n"
+       loops, %d partial sinks, %d/7 index categories built\n"
       s.Backdroid.Driver.searches_total
       (100.0 *. s.Backdroid.Driver.search_cache_rate)
       s.Backdroid.Driver.ssg_nodes s.Backdroid.Driver.ssg_edges
       (Backdroid.Loopdetect.total s.Backdroid.Driver.loops)
-      s.Backdroid.Driver.partial_sinks;
+      s.Backdroid.Driver.partial_sinks
+      s.Backdroid.Driver.index_categories_built;
     match trace_file, ring with
     | Some path, Some ring ->
       Backdroid.Trace.Ring.write_json ring path;
@@ -206,7 +216,8 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Run BackDroid on a generated app")
     Term.(
       const run $ seed_t $ size_t $ shapes_t $ insecure_t $ dump_ssg
-      $ subclass_aware $ jobs_t $ verbose_t $ trace_t $ time_limit_t)
+      $ subclass_aware $ eager_index_t $ jobs_t $ verbose_t $ trace_t
+      $ time_limit_t)
 
 (* --- compare --- *)
 

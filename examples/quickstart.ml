@@ -164,4 +164,6 @@ let () =
     r.Backdroid.Driver.reports;
   let s = r.Backdroid.Driver.stats in
   Printf.printf "searches: %d (%.0f%% cached)\n" s.Backdroid.Driver.searches_total
-    (100.0 *. s.Backdroid.Driver.search_cache_rate)
+    (100.0 *. s.Backdroid.Driver.search_cache_rate);
+  Printf.printf "index: %d/7 postings categories built (lazy mode)\n"
+    s.Backdroid.Driver.index_categories_built

@@ -56,15 +56,18 @@ let callers engine (callee : Jsig.meth) =
   let seen = Hashtbl.create 8 in
   List.iter
     (fun search_cls ->
-       let dex_sig = Sigformat.to_dex_meth_on_class callee search_cls in
-       let hits = Bytesearch.Engine.run engine (Bytesearch.Query.Invocation dex_sig) in
+       let dex_sig = Sigformat.to_dex_meth_on_class_sym callee search_cls in
+       let hits =
+         Bytesearch.Engine.run engine (Bytesearch.Query.invocation_sym dex_sig)
+       in
        Log.debug (fun m ->
-           m "basic search %s -> %d invocation hits" dex_sig (List.length hits));
+           m "basic search %s -> %d invocation hits" (Sym.to_string dex_sig)
+             (List.length hits));
        List.iter
          (fun (h : Bytesearch.Engine.hit) ->
             List.iter
               (fun cs ->
-                 let key = (Jsig.meth_to_string cs.caller, cs.site) in
+                 let key = (Sym.id (Jsig.meth_sym cs.caller), cs.site) in
                  if not (Hashtbl.mem seen key) then begin
                    Hashtbl.replace seen key ();
                    sites := cs :: !sites

@@ -11,8 +11,8 @@ open Ir
 
 (** Classes whose instruction lines mention [cls] (excluding [cls] itself). *)
 let using_classes engine cls =
-  let desc = Sigformat.to_dex_class cls in
-  let hits = Bytesearch.Engine.run engine (Bytesearch.Query.Class_use desc) in
+  let desc = Sigformat.to_dex_class_sym cls in
+  let hits = Bytesearch.Engine.run engine (Bytesearch.Query.class_use_sym desc) in
   List.sort_uniq String.compare
     (List.filter_map
        (fun (h : Bytesearch.Engine.hit) ->

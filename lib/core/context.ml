@@ -46,7 +46,7 @@ type shared = {
   program : Ir.Program.t;
   manifest : Manifest.App_manifest.t;
   loops : Loopdetect.stats;
-  reach_cache : (string, bool) Hashtbl.t;
+  reach_cache : (int, bool) Hashtbl.t;  (* keyed by [Sym.id (Jsig.meth_sym m)] *)
   reach_total : int ref;
   reach_cached : int ref;
   trace : Trace.sink;
@@ -65,7 +65,7 @@ type t = {
   program : Ir.Program.t;
   manifest : Manifest.App_manifest.t;
   loops : Loopdetect.stats;
-  reach_cache : (string, bool) Hashtbl.t;
+  reach_cache : (int, bool) Hashtbl.t;  (* keyed by [Sym.id (Jsig.meth_sym m)] *)
   reach_total : int ref;
   reach_cached : int ref;
   trace : Trace.sink;

@@ -33,7 +33,7 @@ type shared = {
   program : Ir.Program.t;
   manifest : Manifest.App_manifest.t;
   loops : Loopdetect.stats;
-  reach_cache : (string, bool) Hashtbl.t;
+  reach_cache : (int, bool) Hashtbl.t;  (* keyed by [Sym.id (Jsig.meth_sym m)] *)
   reach_total : int ref;
   reach_cached : int ref;
   trace : Trace.sink;
@@ -52,7 +52,7 @@ type t = {
   program : Ir.Program.t;
   manifest : Manifest.App_manifest.t;
   loops : Loopdetect.stats;
-  reach_cache : (string, bool) Hashtbl.t;
+  reach_cache : (int, bool) Hashtbl.t;  (* keyed by [Sym.id (Jsig.meth_sym m)] *)
   reach_total : int ref;
   reach_cached : int ref;
   trace : Trace.sink;

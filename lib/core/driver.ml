@@ -25,8 +25,12 @@ type config = {
       (** de-reflect constant Class.forName/getMethod/invoke triples before
           the analysis (the Sec. VII extension; off by default) *)
   indexed_search : bool;
-      (** search via the preprocessing-time inverted index (default); off =
-          grep-style full scans per query, like the paper's prototype *)
+      (** search via per-category postings (default); off = grep-style full
+          scans per query, like the paper's prototype *)
+  eager_index : bool;
+      (** build all postings categories at engine construction (sharded over
+          the pool) instead of lazily on first query of each category; kept
+          for the ablation benchmark *)
   jobs : int;
       (** per-sink parallelism: sink call sites are grouped by containing
           method and the groups analysed on a domain pool of this size
@@ -47,6 +51,7 @@ let default_config =
     subclass_aware_initial_search = false;
     resolve_reflection = false;
     indexed_search = true;
+    eager_index = false;
     jobs = 1;
     budget = Context.default_budget;
     trace = Trace.log_sink;
@@ -77,6 +82,9 @@ type stats = {
   ssg_edges : int;
   partial_sinks : int;
       (** sink slices that exhausted their budget (typed [Partial]) *)
+  index_categories_built : int;
+      (** postings categories the engine built (0-7); lazy mode builds only
+          the categories the analysis actually queried *)
 }
 
 type result = {
@@ -107,13 +115,13 @@ let initial_sink_search ~cfg engine =
   let search (sink : Sinks.t) (msig : Jsig.meth) =
     let hits =
       Bytesearch.Engine.run engine
-        (Bytesearch.Query.Invocation (Sigformat.to_dex_meth msig))
+        (Bytesearch.Query.invocation_sym (Sigformat.to_dex_meth_sym msig))
     in
     List.iter
       (fun (h : Bytesearch.Engine.hit) ->
          match h.stmt_idx with
          | Some idx ->
-           let key = (Jsig.meth_to_string h.owner, idx) in
+           let key = (Sym.id (Jsig.meth_sym h.owner), idx) in
            if not (Hashtbl.mem seen key) then begin
              Hashtbl.replace seen key ();
              occ := (sink, h.owner, idx) :: !occ
@@ -158,7 +166,7 @@ let group_by_method occurrences =
   let order = ref [] in
   List.iteri
     (fun i ((_, meth, _) as occ) ->
-       let key = Jsig.meth_to_string meth in
+       let key = Sym.id (Jsig.meth_sym meth) in
        match Hashtbl.find_opt tbl key with
        | Some cell -> cell := (i, occ) :: !cell
        | None ->
@@ -245,7 +253,8 @@ let analyze ?(cfg = default_config) ?pool ~(dex : Dex.Dexfile.t)
       else dex
     in
     let engine =
-      Bytesearch.Engine.create ~indexed:cfg.indexed_search ~pool dex
+      Bytesearch.Engine.create ~indexed:cfg.indexed_search
+        ~eager:cfg.eager_index ~pool dex
     in
     let occurrences = initial_sink_search ~cfg engine in
     let groups = Array.of_list (group_by_method occurrences) in
@@ -282,7 +291,8 @@ let analyze ?(cfg = default_config) ?pool ~(dex : Dex.Dexfile.t)
         loops;
         ssg_nodes = !ssg_nodes;
         ssg_edges = !ssg_edges;
-        partial_sinks = !partial_sinks }
+        partial_sinks = !partial_sinks;
+        index_categories_built = Bytesearch.Engine.built_categories engine }
     in
     { reports; stats }
   in

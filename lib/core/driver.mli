@@ -18,6 +18,9 @@ type config = {
   subclass_aware_initial_search : bool;
   resolve_reflection : bool;
   indexed_search : bool;
+  eager_index : bool;
+      (** build all postings categories at engine construction instead of
+          lazily on first query of each category (default false) *)
   jobs : int;
       (** per-sink parallelism: sink call sites are grouped by containing
           method and the groups analysed on a domain pool of this size
@@ -56,6 +59,9 @@ type stats = {
   ssg_edges : int;
   partial_sinks : int;
       (** sink slices that exhausted their budget (typed [Partial]) *)
+  index_categories_built : int;
+      (** postings categories the engine built (0-7); lazy mode builds only
+          the categories the analysis actually queried *)
 }
 type result = { reports : sink_report list; stats : stats; }
 

@@ -29,7 +29,7 @@ let icc_call_queries () =
             let msig =
               Jsig.meth ~cls ~name ~params:[ Types.intent ] ~ret:Types.Void
             in
-            Bytesearch.Query.Invocation (Sigformat.to_dex_meth msig))
+            Bytesearch.Query.invocation_sym (Sigformat.to_dex_meth_sym msig))
          icc_receiver_classes)
     icc_call_subsigs
 
@@ -43,12 +43,13 @@ let search_icc_calls engine =
 let search_icc_params engine ~(component : Manifest.Component.t) =
   let explicit =
     Bytesearch.Engine.run engine
-      (Bytesearch.Query.Const_class (Sigformat.to_dex_class component.cls))
+      (Bytesearch.Query.const_class_sym
+         (Sigformat.to_dex_class_sym component.cls))
   in
   let implicit =
     List.concat_map
       (fun action ->
-         Bytesearch.Engine.run engine (Bytesearch.Query.Const_string action))
+         Bytesearch.Engine.run engine (Bytesearch.Query.const_string action))
       component.actions
   in
   explicit @ implicit
@@ -63,12 +64,12 @@ let callers engine ~(component : Manifest.Component.t) =
   let param_methods = Hashtbl.create 8 in
   List.iter
     (fun (h : Bytesearch.Engine.hit) ->
-       Hashtbl.replace param_methods (Jsig.meth_to_string h.owner) ())
+       Hashtbl.replace param_methods (Sym.id (Jsig.meth_sym h.owner)) ())
     param_hits;
   let merged =
     List.filter
       (fun (h : Bytesearch.Engine.hit) ->
-         Hashtbl.mem param_methods (Jsig.meth_to_string h.owner))
+         Hashtbl.mem param_methods (Sym.id (Jsig.meth_sym h.owner)))
       call_hits
   in
   Log.debug (fun m ->

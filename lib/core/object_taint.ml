@@ -46,7 +46,7 @@ let indicator_types program cls subsig =
 type state = {
   program : Program.t;
   callee : Jsig.meth;
-  callee_subsig : string;
+  callee_subsig : Sym.t;  (** interned sub-signature of the searched callee *)
   indicators : string list;
   loops : Loopdetect.stats;
   cfg : config;
@@ -149,7 +149,9 @@ and handle_invoke st ~head ~obj_local ~obj_site ~chain ~meth ~site ~is_tainted
   else if
     (* ending (a): app-level call with the callee's own sub-signature on the
        tainted receiver — super-class and interface dispatch *)
-    receiver_tainted && String.equal (Jsig.sub_signature iv.callee) st.callee_subsig
+    (* interned: the per-invoke sub-signature render of the old string
+       comparison is gone from this hot path *)
+    receiver_tainted && Sym.equal (Jsig.subsig_sym iv.callee) st.callee_subsig
   then begin
     record_ending st ~head ~obj_local ~obj_site ~chain ~ending_in:meth ~site iv
       ~app_level:true;
@@ -247,7 +249,7 @@ let advanced_callers ?(cfg = default_config) engine loops (callee : Jsig.meth) =
   let program = Bytesearch.Engine.program engine in
   let subsig = Jsig.sub_signature callee in
   let st =
-    { program; callee; callee_subsig = subsig;
+    { program; callee; callee_subsig = Jsig.subsig_sym callee;
       indicators = indicator_types program callee.cls subsig;
       loops; cfg; steps = 0; found = [] }
   in
@@ -283,9 +285,9 @@ let advanced_callers ?(cfg = default_config) engine loops (callee : Jsig.meth) =
   in
   List.iter
     (fun (ctor : Jmethod.t) ->
-       let dex_sig = Sigformat.to_dex_meth ctor.Jmethod.msig in
+       let dex_sig = Sigformat.to_dex_meth_sym ctor.Jmethod.msig in
        let hits =
-         Bytesearch.Engine.run engine (Bytesearch.Query.Invocation dex_sig)
+         Bytesearch.Engine.run engine (Bytesearch.Query.invocation_sym dex_sig)
        in
        List.iter (fun h -> start_from_site h ctor) hits)
     ctors;

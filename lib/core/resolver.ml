@@ -202,45 +202,45 @@ let callers ?demand ctx (m : Jsig.meth) =
   match demand with
   | None ->
     if Lifecycle_search.is_entry program ctx.Context.manifest m then
-      traced ctx Lifecycle (Jsig.meth_to_string m) (fun () ->
+      traced ctx Lifecycle (Sym.to_string (Jsig.meth_sym m)) (fun () ->
           resolution Lifecycle ~entry:true ~complete:true [])
     else begin
       match classify program m with
       | Lifecycle ->
         (* a lifecycle handler of an unregistered component: deactivated *)
-        traced ctx Lifecycle (Jsig.meth_to_string m) (fun () ->
+        traced ctx Lifecycle (Sym.to_string (Jsig.meth_sym m)) (fun () ->
             resolution Lifecycle [])
       | Clinit ->
-        traced ctx Clinit (Sigformat.to_dex_class m.Jsig.cls) (fun () ->
+        traced ctx Clinit (Sym.to_string (Sigformat.to_dex_class_sym m.Jsig.cls)) (fun () ->
             clinit_resolution ctx m)
       | Basic ->
-        traced ctx Basic (Sigformat.to_dex_meth m) (fun () ->
+        traced ctx Basic (Sym.to_string (Sigformat.to_dex_meth_sym m)) (fun () ->
             resolution Basic (basic_records ctx m))
       | Advanced ->
-        traced ctx Advanced (Sigformat.to_dex_meth m) (fun () ->
+        traced ctx Advanced (Sym.to_string (Sigformat.to_dex_meth_sym m)) (fun () ->
             resolution Advanced (advanced_records ctx m))
       | Icc -> assert false  (* classify never selects Icc *)
     end
   | Some d ->
     if d.has_intent && Lifecycle_search.is_lifecycle_handler program m then
       (* ICC boundary: the residual data lives in the launching Intent *)
-      traced ctx Icc (Sigformat.to_dex_class m.Jsig.cls) (fun () ->
+      traced ctx Icc (Sym.to_string (Sigformat.to_dex_class_sym m.Jsig.cls)) (fun () ->
           resolution Icc (icc_records ctx m))
     else if Lifecycle_search.is_lifecycle_handler program m then
-      traced ctx Lifecycle (Jsig.meth_to_string m) (fun () ->
+      traced ctx Lifecycle (Sym.to_string (Jsig.meth_sym m)) (fun () ->
           lifecycle_resolution ctx d m)
     else begin
       match classify program m with
       | Clinit ->
         (* no dataflow crosses a <clinit>; only reachability matters, and
            remaining static-field taints resolve off-path *)
-        traced ctx Clinit (Sigformat.to_dex_class m.Jsig.cls) (fun () ->
+        traced ctx Clinit (Sym.to_string (Sigformat.to_dex_class_sym m.Jsig.cls)) (fun () ->
             clinit_resolution ctx m)
       | Basic ->
-        traced ctx Basic (Sigformat.to_dex_meth m) (fun () ->
+        traced ctx Basic (Sym.to_string (Sigformat.to_dex_meth_sym m)) (fun () ->
             resolution Basic (basic_records ctx m))
       | Advanced ->
-        traced ctx Advanced (Sigformat.to_dex_meth m) (fun () ->
+        traced ctx Advanced (Sym.to_string (Sigformat.to_dex_meth_sym m)) (fun () ->
             resolution Advanced (advanced_records ctx m))
       | Lifecycle | Icc -> assert false  (* handled above / never classified *)
     end

@@ -19,3 +19,13 @@ let of_dex_class = Dex.Descriptor.class_of_desc
     for child-class searches). *)
 let to_dex_meth_on_class (m : Ir.Jsig.meth) cls =
   Dex.Descriptor.meth_desc { m with Ir.Jsig.cls }
+
+(* Interned variants: memoized step-1 translations.  A signature is rendered
+   once per process; query construction from these is allocation-free and
+   yields the same [Sym.t] the disassembler attached to matching lines. *)
+let to_dex_meth_sym = Dex.Descriptor.meth_desc_sym
+let to_dex_field_sym = Dex.Descriptor.field_desc_sym
+let to_dex_class_sym = Dex.Descriptor.class_desc_sym
+
+let to_dex_meth_on_class_sym (m : Ir.Jsig.meth) cls =
+  Dex.Descriptor.meth_desc_sym { m with Ir.Jsig.cls }

@@ -397,7 +397,7 @@ and locate_static_writers (ctx : Context.t) ~path ~cdepth f =
   ignore cdepth;
   let hits =
     Bytesearch.Engine.run ctx.engine
-      (Bytesearch.Query.Static_field_access (Sigformat.to_dex_field f))
+      (Bytesearch.Query.static_field_access_sym (Sigformat.to_dex_field_sym f))
   in
   List.iter
     (fun (h : Bytesearch.Engine.hit) ->
@@ -481,7 +481,7 @@ type work = {
     forward analysis can replay them.  [depth] is [List.length path], carried
     as an int. *)
 let rec method_reachable (ctx : Context.t) ~depth path (m : Jsig.meth) =
-  let key = Jsig.meth_to_string m in
+  let key = Sym.id (Jsig.meth_sym m) in
   incr ctx.reach_total;
   match Hashtbl.find_opt ctx.reach_cache key with
   | Some r ->

@@ -1,0 +1,37 @@
+(** Compact struct-of-arrays hit arena over a disassembled dex plaintext.
+
+    One slot per instruction line (a line with an enclosing method); slots
+    are in line order.  Per-category search postings index into this arena
+    with plain ints, and hit records are materialised from a slot only when
+    a query returns it — the arena replaces the per-line boxed hit records
+    the old eager index allocated up front. *)
+
+(** Category codes stored in {!t.cat}. *)
+val cat_invoke : int
+val cat_new_instance : int
+val cat_const_class : int
+val cat_const_string : int
+val cat_field : int
+val cat_static_field : int
+
+(** Marks a slot whose line has no searchable operand. *)
+val cat_none : int
+
+type t = {
+  line_idx : int array;  (** slot -> index into the dexfile line array *)
+  stmt_idx : int array;  (** slot -> IR statement index; [-1] = none *)
+  owner_id : int array;  (** slot -> index into [owners] / [owner_cls] *)
+  cat : int array;       (** slot -> category code; {!cat_none} = unkeyed *)
+  sym : int array;       (** slot -> [Sym.id] of the operand; [-1] = unkeyed *)
+  owners : Ir.Jsig.meth array;  (** unique enclosing methods *)
+  owner_cls : string array;     (** enclosing class, parallel to [owners] *)
+}
+
+(** Number of slots. *)
+val length : t -> int
+
+(** Category code and operand [Sym.id] of a disassembler key. *)
+val key_code : Disasm.key -> int * int
+
+(** Build the arena in one pass over the disassembled lines. *)
+val of_lines : Disasm.line array -> t

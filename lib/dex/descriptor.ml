@@ -90,6 +90,25 @@ let meth_of_desc s =
        in
        Ir.Jsig.meth ~cls ~name ~params:(params 0 []) ~ret:(type_of_desc ret_s))
 
+(* ------------------------------------------------------------------ *)
+(* Interned descriptors: each distinct signature is rendered once and its
+   string hash-consed into the process-wide symbol table, so the search
+   engine's query construction, cache keys and postings lookups are integer
+   operations.  The disassembler interns through these same memos, which is
+   what makes a query signature and the indexed operand it must match the
+   *same* symbol. *)
+
+let class_desc_sym =
+  Sym.memo ~size:1024 ~hash:Hashtbl.hash ~equal:String.equal class_desc
+
+let meth_desc_sym =
+  Sym.memo ~size:1024 ~hash:Ir.Jsig.Meth_key.hash ~equal:Ir.Jsig.Meth_key.equal
+    meth_desc
+
+let field_desc_sym =
+  Sym.memo ~size:256 ~hash:Ir.Jsig.Field_key.hash
+    ~equal:Ir.Jsig.Field_key.equal field_desc
+
 let field_of_desc s =
   let fail () = invalid_arg (Printf.sprintf "Descriptor.field_of_desc: %S" s) in
   match String.index_opt s '.' with

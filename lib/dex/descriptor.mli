@@ -23,3 +23,12 @@ val field_desc : Ir.Jsig.field -> string
 (** Parse a dexdump method signature back into IR form (step 3 of Fig. 3). *)
 val meth_of_desc : string -> Ir.Jsig.meth
 val field_of_desc : string -> Ir.Jsig.field
+
+(** Interned (hash-consed) descriptors — memoized renderings of
+    {!class_desc}, {!meth_desc} and {!field_desc}.  Disassembly and query
+    construction intern through the same memos, so a search signature and
+    the indexed operand it matches are the same [Sym.t]. *)
+val class_desc_sym : string -> Sym.t
+
+val meth_desc_sym : Ir.Jsig.meth -> Sym.t
+val field_desc_sym : Ir.Jsig.field -> Sym.t

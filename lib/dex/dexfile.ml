@@ -1,13 +1,17 @@
 (** A disassembled (and, if multidex, merged) dex file: the flat array of
     plaintext lines that the bytecode search engine scans, each line tagged
-    with its enclosing method. *)
+    with its enclosing method, plus the compact hit {!Arena} the engine's
+    per-category postings index into. *)
 
 type t = {
   lines : Disasm.line array;
+  arena : Arena.t;
   program : Ir.Program.t;
 }
 
-let of_program p = { lines = Array.of_list (Disasm.program_lines p); program = p }
+let of_lines lines program = { lines; arena = Arena.of_lines lines; program }
+
+let of_program p = of_lines (Array.of_list (Disasm.program_lines p)) p
 
 (** Emulate multidex: disassemble each classesN.dex partition separately and
     merge the plaintexts, as BackDroid's preprocessing step does. *)
@@ -20,7 +24,7 @@ let of_partitions p partitions =
          | Some _ | None -> [])
       part
   in
-  { lines = Array.of_list (List.concat_map part_lines partitions); program = p }
+  of_lines (Array.of_list (List.concat_map part_lines partitions)) p
 
 let line_count t = Array.length t.lines
 

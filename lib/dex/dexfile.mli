@@ -1,8 +1,14 @@
 (** A disassembled (and, if multidex, merged) dex file: the flat array of
     plaintext lines that the bytecode search engine scans, each line tagged
-    with its enclosing method. *)
+    with its enclosing method, plus the compact hit {!Arena} the engine's
+    per-category postings index into. *)
 
-type t = { lines : Disasm.line array; program : Ir.Program.t; }
+type t = {
+  lines : Disasm.line array;
+  arena : Arena.t;
+  program : Ir.Program.t;
+}
+
 val of_program : Ir.Program.t -> t
 
 (** Emulate multidex: disassemble each classesN.dex partition separately and

@@ -1,15 +1,37 @@
 (** The "dexdump" of the pipeline: renders IR method bodies into
     dexdump-format plaintext instruction lines.  BackDroid's on-the-fly
-    bytecode search is a text search over exactly this output. *)
+    bytecode search is a text search over exactly this output.
+
+    Each instruction line additionally carries a pre-classified, interned
+    {!key}: the searchable operand (callee signature, class descriptor,
+    field signature or quoted string literal) hash-consed at disassembly
+    time.  The search engine's postings are built from these keys with no
+    text re-parsing, and because queries intern through the same
+    [Descriptor] memos, an indexed operand and the query that matches it are
+    the same [Sym.t]. *)
+
+(** The searchable operand of an instruction line, interned at disassembly
+    time.  Mirrors the operand-extraction rules of the text search: the
+    classified operand is exactly the text after the line's last [", "]. *)
+type key =
+  | K_invoke of Sym.t        (** [invoke-*]: dexdump callee signature *)
+  | K_new_instance of Sym.t  (** [new-instance]: class descriptor *)
+  | K_const_class of Sym.t   (** [const-class]: class descriptor *)
+  | K_const_string of Sym.t  (** [const-string]: the quoted literal *)
+  | K_field of Sym.t         (** [iget]/[iput]: field signature *)
+  | K_static_field of Sym.t  (** [sget]/[sput]: field signature *)
+  | K_none                   (** header or unsearchable instruction *)
 
 type line = {
   text : string;
   owner : Ir.Jsig.meth option;  (** enclosing method for instruction lines *)
   owner_cls : string option;
   stmt_idx : int option;        (** IR statement index for diagnostics *)
+  key : key;                    (** interned searchable operand *)
 }
 
-let header text owner_cls = { text; owner = None; owner_cls; stmt_idx = None }
+let header text owner_cls =
+  { text; owner = None; owner_cls; stmt_idx = None; key = K_none }
 
 let binop_mnemonic = function
   | Ir.Expr.Add -> "add-int" | Sub -> "sub-int" | Mul -> "mul-int"
@@ -49,25 +71,37 @@ let value_reg rm = function
      | Long_c i -> Printf.sprintf "#long %Ld" i
      | Float_c f | Double_c f -> Printf.sprintf "#float %f" f
      | Str_c s -> Printf.sprintf "%S" s
-     | Class_c cl -> Descriptor.class_desc cl)
+     | Class_c cl -> Sym.to_string (Descriptor.class_desc_sym cl))
+
+(* Interned operand renderings: the interned string is spliced into the line
+   text, so the symbol and the text share memory. *)
+let meth_op m = Sym.to_string (Descriptor.meth_desc_sym m)
+let class_op c = Sym.to_string (Descriptor.class_desc_sym c)
+let field_op f = Sym.to_string (Descriptor.field_desc_sym f)
 
 let invoke_line rm (iv : Ir.Expr.invoke) =
   let regs =
     (match iv.base with Some b -> [ reg rm b ] | None -> [])
     @ List.map (value_reg rm) iv.args
   in
-  Printf.sprintf "%s {%s}, %s" (invoke_mnemonic iv.kind)
-    (String.concat ", " regs)
-    (Descriptor.meth_desc iv.callee)
+  let callee = Descriptor.meth_desc_sym iv.callee in
+  ( Printf.sprintf "%s {%s}, %s" (invoke_mnemonic iv.kind)
+      (String.concat ", " regs)
+      (Sym.to_string callee),
+    K_invoke callee )
 
 let stmt_lines rm idx (st : Ir.Stmt.t) =
-  let one text = [ text ] in
+  let one text = [ (text, K_none) ] in
   ignore idx;
   match st with
   | Assign (l, Imm (Const (Str_c s))) ->
-    one (Printf.sprintf "const-string %s, %S" (reg rm l) s)
+    let lit = Sym.intern (Printf.sprintf "%S" s) in
+    [ ( Printf.sprintf "const-string %s, %s" (reg rm l) (Sym.to_string lit),
+        K_const_string lit ) ]
   | Assign (l, Imm (Const (Class_c c))) ->
-    one (Printf.sprintf "const-class %s, %s" (reg rm l) (Descriptor.class_desc c))
+    let cls = Descriptor.class_desc_sym c in
+    [ ( Printf.sprintf "const-class %s, %s" (reg rm l) (Sym.to_string cls),
+        K_const_class cls ) ]
   | Assign (l, Imm (Const (Int_c i))) ->
     one (Printf.sprintf "const/16 %s, #int %d" (reg rm l) i)
   | Assign (l, Imm (Const Null)) ->
@@ -84,14 +118,16 @@ let stmt_lines rm idx (st : Ir.Stmt.t) =
     one (Printf.sprintf "%s %s, %s, %s" (binop_mnemonic op) (reg rm l)
            (value_reg rm a) (value_reg rm b))
   | Assign (l, Cast (t, v)) ->
-    [ Printf.sprintf "move-object %s, %s" (reg rm l) (value_reg rm v);
-      Printf.sprintf "check-cast %s, %s" (reg rm l) (Descriptor.type_desc t) ]
+    [ (Printf.sprintf "move-object %s, %s" (reg rm l) (value_reg rm v), K_none);
+      ( Printf.sprintf "check-cast %s, %s" (reg rm l) (Descriptor.type_desc t),
+        K_none ) ]
   | Assign (l, Invoke iv) ->
     [ invoke_line rm iv;
-      Printf.sprintf "move-result-object %s" (reg rm l) ]
+      (Printf.sprintf "move-result-object %s" (reg rm l), K_none) ]
   | Assign (l, New c) ->
-    one (Printf.sprintf "new-instance %s, %s" (reg rm l)
-           (Descriptor.class_desc c))
+    let cls = Descriptor.class_desc_sym c in
+    [ ( Printf.sprintf "new-instance %s, %s" (reg rm l) (Sym.to_string cls),
+        K_new_instance cls ) ]
   | Assign (l, New_array (t, n)) ->
     one (Printf.sprintf "new-array %s, %s, [%s" (reg rm l) (value_reg rm n)
            (Descriptor.type_desc t))
@@ -99,11 +135,14 @@ let stmt_lines rm idx (st : Ir.Stmt.t) =
     one (Printf.sprintf "aget-object %s, %s, %s" (reg rm l) (reg rm a)
            (value_reg rm i))
   | Assign (l, Instance_get (o, f)) ->
-    one (Printf.sprintf "iget-object %s, %s, %s" (reg rm l) (reg rm o)
-           (Descriptor.field_desc f))
+    let fld = Descriptor.field_desc_sym f in
+    [ ( Printf.sprintf "iget-object %s, %s, %s" (reg rm l) (reg rm o)
+          (Sym.to_string fld),
+        K_field fld ) ]
   | Assign (l, Static_get f) ->
-    one (Printf.sprintf "sget-object %s, %s" (reg rm l)
-           (Descriptor.field_desc f))
+    let fld = Descriptor.field_desc_sym f in
+    [ ( Printf.sprintf "sget-object %s, %s" (reg rm l) (Sym.to_string fld),
+        K_static_field fld ) ]
   | Assign (l, Phi ls) ->
     one (Printf.sprintf ".phi %s = (%s)" (reg rm l)
            (String.concat ", " (List.map (reg rm) ls)))
@@ -114,15 +153,19 @@ let stmt_lines rm idx (st : Ir.Stmt.t) =
   | Assign (l, Length v) ->
     one (Printf.sprintf "array-length %s, %s" (reg rm l) (value_reg rm v))
   | Instance_put (o, f, v) ->
-    one (Printf.sprintf "iput-object %s, %s, %s" (value_reg rm v) (reg rm o)
-           (Descriptor.field_desc f))
+    let fld = Descriptor.field_desc_sym f in
+    [ ( Printf.sprintf "iput-object %s, %s, %s" (value_reg rm v) (reg rm o)
+          (Sym.to_string fld),
+        K_field fld ) ]
   | Static_put (f, v) ->
-    one (Printf.sprintf "sput-object %s, %s" (value_reg rm v)
-           (Descriptor.field_desc f))
+    let fld = Descriptor.field_desc_sym f in
+    [ ( Printf.sprintf "sput-object %s, %s" (value_reg rm v)
+          (Sym.to_string fld),
+        K_static_field fld ) ]
   | Array_put (a, i, v) ->
     one (Printf.sprintf "aput-object %s, %s, %s" (value_reg rm v) (reg rm a)
            (value_reg rm i))
-  | Invoke iv -> one (invoke_line rm iv)
+  | Invoke iv -> [ invoke_line rm iv ]
   | Return (Some v) -> one (Printf.sprintf "return-object %s" (value_reg rm v))
   | Return None -> one "return-void"
   | If (op, a, b, target) ->
@@ -136,7 +179,7 @@ let method_lines (cls : Ir.Jclass.t) (m : Ir.Jmethod.t) =
   let msig = m.msig in
   let head =
     header
-      (Printf.sprintf "  method %s" (Descriptor.meth_desc msig))
+      (Printf.sprintf "  method %s" (meth_op msig))
       (Some cls.name)
   in
   match m.body with
@@ -147,11 +190,11 @@ let method_lines (cls : Ir.Jclass.t) (m : Ir.Jmethod.t) =
     Array.iteri
       (fun i st ->
          List.iter
-           (fun text ->
+           (fun (text, key) ->
               buf :=
                 { text = Printf.sprintf "    %04x: %s" i text;
                   owner = Some msig; owner_cls = Some cls.name;
-                  stmt_idx = Some i }
+                  stmt_idx = Some i; key }
                 :: !buf)
            (stmt_lines rm i st))
       body;
@@ -159,21 +202,20 @@ let method_lines (cls : Ir.Jclass.t) (m : Ir.Jmethod.t) =
 
 let class_lines (c : Ir.Jclass.t) =
   let head =
-    [ header (Printf.sprintf "Class descriptor : '%s'" (Descriptor.class_desc c.name))
+    [ header (Printf.sprintf "Class descriptor : '%s'" (class_op c.name))
         (Some c.name);
       header
         (Printf.sprintf "  Superclass : '%s'"
-           (match c.super with Some s -> Descriptor.class_desc s | None -> "-"))
+           (match c.super with Some s -> class_op s | None -> "-"))
         (Some c.name) ]
     @ List.map
         (fun i ->
-           header (Printf.sprintf "  Interface : '%s'" (Descriptor.class_desc i))
+           header (Printf.sprintf "  Interface : '%s'" (class_op i))
              (Some c.name))
         c.interfaces
     @ List.map
         (fun f ->
-           header (Printf.sprintf "  field %s" (Descriptor.field_desc f))
-             (Some c.name))
+           header (Printf.sprintf "  field %s" (field_op f)) (Some c.name))
         c.fields
   in
   head @ List.concat_map (method_lines c) c.methods

@@ -1,13 +1,35 @@
 (** The "dexdump" of the pipeline: renders IR method bodies into
     dexdump-format plaintext instruction lines.  BackDroid's on-the-fly
-    bytecode search is a text search over exactly this output. *)
+    bytecode search is a text search over exactly this output.
+
+    Each instruction line carries a pre-classified, interned {!key}: the
+    searchable operand (callee signature, class descriptor, field signature
+    or quoted string literal), hash-consed at disassembly time.  Search
+    postings are built from these keys with no text re-parsing; queries
+    intern through the same [Descriptor] memos, so an indexed operand and
+    the query that must match it are the same [Sym.t]. *)
+
+(** The searchable operand of an instruction line.  Mirrors the
+    operand-extraction rule of the text search (the operand is the text
+    after the line's last [", "]), but is computed from the IR, so operands
+    containing [", "] — e.g. string literals — are classified correctly. *)
+type key =
+  | K_invoke of Sym.t        (** [invoke-*]: dexdump callee signature *)
+  | K_new_instance of Sym.t  (** [new-instance]: class descriptor *)
+  | K_const_class of Sym.t   (** [const-class]: class descriptor *)
+  | K_const_string of Sym.t  (** [const-string]: the quoted literal *)
+  | K_field of Sym.t         (** [iget]/[iput]: field signature *)
+  | K_static_field of Sym.t  (** [sget]/[sput]: field signature *)
+  | K_none                   (** header or unsearchable instruction *)
 
 type line = {
   text : string;
   owner : Ir.Jsig.meth option;
   owner_cls : string option;
   stmt_idx : int option;
+  key : key;
 }
+
 val header : string -> string option -> line
 val binop_mnemonic : Ir.Expr.binop -> string
 val invoke_mnemonic : Ir.Expr.invoke_kind -> string
@@ -16,8 +38,10 @@ val invoke_mnemonic : Ir.Expr.invoke_kind -> string
 type regmap = { tbl : (string, int) Hashtbl.t; mutable next : int; }
 val reg : regmap -> Ir.Value.local -> string
 val value_reg : regmap -> Ir.Value.t -> string
-val invoke_line : regmap -> Ir.Expr.invoke -> string
-val stmt_lines : regmap -> 'a -> Ir.Stmt.t -> string list
+
+(** Rendered instruction text paired with its interned searchable operand. *)
+val invoke_line : regmap -> Ir.Expr.invoke -> string * key
+val stmt_lines : regmap -> 'a -> Ir.Stmt.t -> (string * key) list
 val method_lines : Ir.Jclass.t -> Ir.Jmethod.t -> line list
 val class_lines : Ir.Jclass.t -> line list
 

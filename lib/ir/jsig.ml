@@ -89,6 +89,17 @@ end
 
 module Meth_tbl = Hashtbl.Make (Meth_key)
 
+(** Interned full signature: [Sym.id (meth_sym m)] is an O(1) dedup key for
+    a method, and [Sym.to_string] returns {!meth_to_string}'s output without
+    re-rendering it.  Memoized process-wide, domain-safe. *)
+let meth_sym =
+  Sym.memo ~size:1024 ~hash:Meth_key.hash ~equal:Meth_key.equal meth_to_string
+
+(** Interned sub-signature: the overriding-relation comparisons of the
+    forward object taint reduce to integer equality on this symbol. *)
+let subsig_sym =
+  Sym.memo ~size:1024 ~hash:Meth_key.hash ~equal:Meth_key.equal sub_signature
+
 module Field_key = struct
   type t = field
   let equal = field_equal

@@ -33,6 +33,14 @@ val field_to_string : field -> string
 (** Parse a Soot-format method signature produced by {!meth_to_string}.
     Raises [Invalid_argument] on malformed input. *)
 val meth_of_string : string -> meth
+
+(** Interned full signature (memoized {!meth_to_string}): [Sym.id] of the
+    result is an O(1) dedup key, [Sym.to_string] the rendered signature. *)
+val meth_sym : meth -> Sym.t
+
+(** Interned sub-signature (memoized {!sub_signature}): overriding-relation
+    checks become integer equality. *)
+val subsig_sym : meth -> Sym.t
 val pp_meth : Format.formatter -> meth -> unit
 val pp_field : Format.formatter -> field -> unit
 module Meth_key :

@@ -52,6 +52,15 @@ let create ~jobs =
     List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
+(** A pool stays active until {!shutdown}.  Long-lived consumers that hold a
+    pool for optional sharding (e.g. lazy index builds) check this and fall
+    back to sequential work once the pool is gone. *)
+let is_active t =
+  Mutex.lock t.mutex;
+  let active = not t.closed in
+  Mutex.unlock t.mutex;
+  active
+
 let shutdown t =
   Mutex.lock t.mutex;
   t.closed <- true;

@@ -21,6 +21,11 @@ val create : jobs:int -> t
 
 val jobs : t -> int
 
+(** [true] until {!shutdown}.  Long-lived consumers that hold a pool for
+    optional sharding (e.g. lazy index builds) check this and fall back to
+    sequential work once the pool is gone. *)
+val is_active : t -> bool
+
 (** Signal the workers to exit and join them.  Idempotent.  Outstanding
     batches must have completed. *)
 val shutdown : t -> unit

@@ -1,8 +1,10 @@
 (** Search-command caching (implementation enhancement 1, Sec. IV-F).
 
-    Keys are the rendered raw command strings; the cache also keeps the
-    per-category and aggregate counters the paper reports (average cache rate
-    23.39%, min 2.97%, max 88.95%).
+    Keys are the typed queries themselves — symbol payloads make query
+    hashing and equality integer operations, so a cache probe renders no
+    command string.  The cache also keeps the per-category and aggregate
+    counters the paper reports (average cache rate 23.39%, min 2.97%, max
+    88.95%).
 
     A single mutex serializes the table and the counters, and is held across
     the compute of a miss so that concurrent domains racing on the same key
@@ -23,14 +25,20 @@ type 'hit stats = {
   per_category : (Query.category, category_stat) Hashtbl.t;
 }
 
+module Query_tbl = Hashtbl.Make (struct
+    type t = Query.t
+    let equal = Query.equal
+    let hash = Query.hash
+  end)
+
 type 'hit t = {
-  table : (string, 'hit list) Hashtbl.t;
+  table : 'hit list Query_tbl.t;
   stats : 'hit stats;
   lock : Mutex.t;
 }
 
 let create () =
-  { table = Hashtbl.create 256;
+  { table = Query_tbl.create 256;
     stats = { total = 0; cached = 0; per_category = Hashtbl.create 8 };
     lock = Mutex.create () }
 
@@ -54,11 +62,10 @@ let bump t cat ~was_cached =
     additionally record the compute's wall-clock cost against their
     category). *)
 let find_or_add t query compute =
-  let key = Query.to_command query in
   let cat = Query.category query in
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () ->
-      match Hashtbl.find_opt t.table key with
+      match Query_tbl.find_opt t.table query with
       | Some hits ->
         bump t cat ~was_cached:true;
         hits
@@ -69,7 +76,7 @@ let find_or_add t query compute =
         let c = cat_stat t cat in
         c.c_compute_us <-
           c.c_compute_us +. ((Unix.gettimeofday () -. t0) *. 1e6);
-        Hashtbl.replace t.table key hits;
+        Query_tbl.replace t.table query hits;
         hits)
 
 let with_lock t f =

@@ -1,8 +1,10 @@
 (** Search-command caching (implementation enhancement 1, Sec. IV-F).
 
-    Keys are the rendered raw command strings; the cache also keeps the
-    per-category and aggregate counters the paper reports (average cache rate
-    23.39%, min 2.97%, max 88.95%).
+    Keys are the typed queries themselves — symbol payloads make query
+    hashing and equality integer operations, so a cache probe renders no
+    command string.  The cache also keeps the per-category and aggregate
+    counters the paper reports (average cache rate 23.39%, min 2.97%, max
+    88.95%).
 
     The cache is safe under concurrent use from multiple domains: lookups,
     inserts and counter updates are serialized by an internal mutex, and

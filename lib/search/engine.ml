@@ -1,6 +1,30 @@
-(** The bytecode search engine: executes typed queries as substring scans
-    over the dexdump plaintext, returning hits mapped back to their enclosing
-    methods, with command-level caching. *)
+(** The bytecode search engine: executes typed queries over the dexdump
+    plaintext, returning hits mapped back to their enclosing methods, with
+    query-level caching.
+
+    Indexed mode answers queries from per-category postings: for each of the
+    seven searchable categories, a hashtable from operand symbol id to a
+    sorted int array of slots in the dexfile's hit {!Dex.Arena}.  Postings
+    are built from the interned operand keys the disassembler attached to
+    each line — no text re-parsing — and hit records are materialised only
+    for slots a query actually returns.
+
+    By default each category's postings build lazily on the first query of
+    that category (double-checked under a build mutex), so an analysis that
+    never issues, say, a [Const_class] query never pays for that table.
+    Eager mode ([eager:true], kept for ablation and for front-loading the
+    cost) builds all seven at construction time, sharded over a
+    {!Parallel.Pool.t} when one is given.
+
+    Lazy builds are deliberately sequential even when the engine holds a
+    pool: a lazy build can trigger inside a pool task (the per-sink fan-out)
+    while the cache and build mutexes are held, and sharding the build over
+    the same pool would let the builder's help-drain pop a foreign task that
+    re-enters those mutexes on the builder's own thread.  Eager create-time
+    builds shard safely — no task that could touch this engine's locks
+    exists before [create] returns.  The arena makes the sequential build a
+    single pass over unboxed int arrays, so laziness, not sharding, is where
+    the time goes. *)
 
 type hit = {
   line_no : int;
@@ -10,35 +34,42 @@ type hit = {
   stmt_idx : int option;
 }
 
-(** Inverted indexes over the dexdump plaintext, built in one preprocessing
-    pass (the moral equivalent of `grep` building its own cache).  The
-    un-indexed mode scans every line per query, like shelling out to grep —
-    kept for the search-cost ablation benchmark.
+(* Engine category indices.  0-3 coincide with the arena's category codes;
+   field_ops is the union of instance and static field accesses (an
+   [Field_access] query must see sget/sput lines too). *)
+let cat_invocations = 0
+let cat_new_instances = 1
+let cat_const_classes = 2
+let cat_const_strings = 3
+let cat_field_ops = 4
+let cat_static_field_ops = 5
+let cat_class_tokens = 6
+let n_categories = 7
 
-    Buckets are finalized to ascending line order once at construction time,
-    so lookups are allocation-free table reads.  Construction can be sharded
-    over a {!Parallel.Pool.t}: each domain indexes a contiguous slice of the
-    plaintext into domain-local tables, and the ordered merge reproduces the
-    sequential bucket contents exactly. *)
-type index = {
-  invocations : (string, hit list) Hashtbl.t;   (** dex sig -> invoke lines *)
-  new_instances : (string, hit list) Hashtbl.t; (** class desc -> lines *)
-  const_classes : (string, hit list) Hashtbl.t;
-  const_strings : (string, hit list) Hashtbl.t; (** quoted literal -> lines *)
-  field_ops : (string, hit list) Hashtbl.t;     (** field sig -> iget/iput/... *)
-  static_field_ops : (string, hit list) Hashtbl.t;
-  class_tokens : (string, hit list) Hashtbl.t;  (** class desc -> any line *)
-}
+let category_name = function
+  | 0 -> "invocations"
+  | 1 -> "new_instances"
+  | 2 -> "const_classes"
+  | 3 -> "const_strings"
+  | 4 -> "field_ops"
+  | 5 -> "static_field_ops"
+  | 6 -> "class_tokens"
+  | _ -> invalid_arg "Engine.category_name"
+
+(** Postings for one category: operand [Sym.id] -> strictly ascending slots
+    in the hit arena. *)
+type postings = (int, int array) Hashtbl.t
 
 type t = {
   dex : Dex.Dexfile.t;
   cache : hit Cache.t;
-  index : index option;
+  pool : Parallel.Pool.t option;  (** used only by eager create-time builds *)
+  indexed : bool;
+  eager : bool;
+  tables : postings option Atomic.t array;  (** one slot per category *)
+  build_us : float array;  (** per-category build cost, set under the lock *)
+  build_lock : Mutex.t;
 }
-
-let push tbl key hit =
-  let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
-  Hashtbl.replace tbl key (hit :: prev)
 
 (* the instruction text starts after "    %04x: " *)
 let opcode_rest text =
@@ -46,21 +77,6 @@ let opcode_rest text =
   | Some colon when colon + 2 <= String.length text ->
     Some (String.sub text (colon + 2) (String.length text - colon - 2))
   | Some _ | None -> None
-
-let last_operand rest =
-  (* operand after the last ", " *)
-  let rec find i best =
-    if i + 1 >= String.length rest then best
-    else if rest.[i] = ',' && rest.[i + 1] = ' ' then find (i + 1) (Some (i + 2))
-    else find (i + 1) best
-  in
-  match find 0 None with
-  | Some start -> Some (String.sub rest start (String.length rest - start))
-  | None -> None
-
-let starts_with ~prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
 
 (** Class-descriptor tokens ([Lcom/foo/Bar;]) occurring in a line. *)
 let class_tokens_of text =
@@ -82,107 +98,139 @@ let class_tokens_of text =
   in
   List.sort_uniq String.compare (go 0 [])
 
-let empty_index () =
-  { invocations = Hashtbl.create 1024;
-    new_instances = Hashtbl.create 256;
-    const_classes = Hashtbl.create 64;
-    const_strings = Hashtbl.create 256;
-    field_ops = Hashtbl.create 256;
-    static_field_ops = Hashtbl.create 128;
-    class_tokens = Hashtbl.create 1024 }
+(* ------------------------------------------------------------------ *)
+(* Postings construction                                               *)
 
-(* Index lines[lo, hi).  Buckets come out in descending line order (prepend);
-   finalization or the sharded merge restores ascending order. *)
-let index_range (dex : Dex.Dexfile.t) ~lo ~hi =
-  let idx = empty_index () in
-  let lines = dex.Dex.Dexfile.lines in
-  for line_no = lo to hi - 1 do
-    let line : Dex.Disasm.line = lines.(line_no) in
-    match line.owner with
-    | None -> ()
-    | Some owner ->
-      let hit =
-        { line_no; text = line.text; owner;
-          owner_cls = Option.value ~default:"" line.owner_cls;
-          stmt_idx = line.stmt_idx }
-      in
-      (match opcode_rest line.text with
-       | None -> ()
-       | Some rest ->
-         (match last_operand rest with
-          | Some operand ->
-            if starts_with ~prefix:"invoke-" rest then
-              push idx.invocations operand hit
-            else if starts_with ~prefix:"new-instance" rest then
-              push idx.new_instances operand hit
-            else if starts_with ~prefix:"const-class" rest then
-              push idx.const_classes operand hit
-            else if starts_with ~prefix:"const-string" rest then
-              push idx.const_strings operand hit
-            else if starts_with ~prefix:"iget" rest
-                    || starts_with ~prefix:"iput" rest then
-              push idx.field_ops operand hit
-            else if starts_with ~prefix:"sget" rest
-                    || starts_with ~prefix:"sput" rest then begin
-              push idx.field_ops operand hit;
-              push idx.static_field_ops operand hit
-            end
-          | None -> ());
-         List.iter
-           (fun tok -> push idx.class_tokens tok hit)
-           (class_tokens_of rest))
+(* Accumulate [slot] into [key]'s bucket: one table probe on the common
+   (key already present) path.  Buckets come out in descending slot order;
+   finalization reverses them. *)
+let accumulate tbl key slot =
+  match Hashtbl.find_opt tbl key with
+  | Some bucket -> bucket := slot :: !bucket
+  | None -> Hashtbl.add tbl key (ref [ slot ])
+
+(* Build one category's raw buckets over arena slots [lo, hi).  Categories
+   0-5 are single passes over the arena's unboxed category/symbol arrays;
+   class tokens are the one category that still parses line text (tokens can
+   occur anywhere in a line, including inside string literals), which is
+   exactly why building it lazily pays. *)
+let shard_build (dex : Dex.Dexfile.t) c ~lo ~hi =
+  let a : Dex.Arena.t = dex.arena in
+  let tbl : (int, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  if c = cat_class_tokens then
+    for slot = lo to hi - 1 do
+      let text = dex.lines.(a.line_idx.(slot)).Dex.Disasm.text in
+      match opcode_rest text with
+      | None -> ()
+      | Some rest ->
+        List.iter
+          (fun tok -> accumulate tbl (Sym.id (Sym.intern tok)) slot)
+          (class_tokens_of rest)
+    done
+  else begin
+    let member =
+      if c = cat_field_ops then fun k ->
+        k = Dex.Arena.cat_field || k = Dex.Arena.cat_static_field
+      else if c = cat_static_field_ops then fun k ->
+        k = Dex.Arena.cat_static_field
+      else fun k -> k = c
+    in
+    for slot = lo to hi - 1 do
+      if member a.cat.(slot) then accumulate tbl a.sym.(slot) slot
+    done
+  end;
+  tbl
+
+(* Every finalized bucket must be strictly ascending in slot order — the
+   invariant lookups (and the jobs=1 vs jobs=N determinism guarantee) rely
+   on.  Shards are merged in slice order, so this also checks the merge. *)
+let check_sorted arr =
+  for i = 1 to Array.length arr - 1 do
+    assert (arr.(i - 1) < arr.(i))
   done;
-  idx
+  arr
 
-let index_tables idx =
-  [ idx.invocations; idx.new_instances; idx.const_classes; idx.const_strings;
-    idx.field_ops; idx.static_field_ops; idx.class_tokens ]
+let finalize_shard tbl : postings =
+  let p = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
+  Hashtbl.iter
+    (fun key bucket ->
+       Hashtbl.replace p key
+         (check_sorted (Array.of_list (List.rev !bucket))))
+    tbl;
+  p
 
-(* Reverse every bucket once so lookups are allocation-free table reads. *)
-let finalize_index idx =
+(* Shards arrive in slice order with descending buckets; appending the
+   reversed buckets reproduces the sequential ascending order exactly. *)
+let merge_shards shards : postings =
+  let acc : (int, int list ref) Hashtbl.t = Hashtbl.create 1024 in
   List.iter
-    (fun tbl -> Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) tbl)
-    (index_tables idx);
-  idx
-
-(* Append [src]'s buckets (descending within the shard) to [dst]'s finalized
-   (ascending) buckets.  Shards are merged in slice order, so concatenation
-   reproduces the single-pass ascending bucket contents byte for byte. *)
-let merge_shard_into dst src =
-  List.iter2
-    (fun dtbl stbl ->
+    (fun tbl ->
        Hashtbl.iter
          (fun key bucket ->
-            let prev = Option.value ~default:[] (Hashtbl.find_opt dtbl key) in
-            Hashtbl.replace dtbl key (prev @ List.rev bucket))
-         stbl)
-    (index_tables dst) (index_tables src)
+            match Hashtbl.find_opt acc key with
+            | Some prev -> prev := !prev @ List.rev !bucket
+            | None -> Hashtbl.add acc key (ref (List.rev !bucket)))
+         tbl)
+    shards;
+  let p = Hashtbl.create (max 16 (Hashtbl.length acc)) in
+  Hashtbl.iter
+    (fun key slots ->
+       Hashtbl.replace p key (check_sorted (Array.of_list !slots)))
+    acc;
+  p
 
 (* Shards below this size are not worth the merge traffic. *)
-let min_shard_lines = 2048
+let min_shard_slots = 2048
 
-let build_index ?pool (dex : Dex.Dexfile.t) =
-  let n = Array.length dex.Dex.Dexfile.lines in
+let build_postings ?pool dex c =
+  let n = Dex.Arena.length dex.Dex.Dexfile.arena in
   match pool with
   | Some pool
-    when Parallel.Pool.jobs pool > 1 && n >= 2 * min_shard_lines ->
+    when Parallel.Pool.is_active pool
+         && Parallel.Pool.jobs pool > 1
+         && n >= 2 * min_shard_slots ->
     let chunks =
-      min (Parallel.Pool.jobs pool) (max 1 (n / min_shard_lines))
+      min (Parallel.Pool.jobs pool) (max 1 (n / min_shard_slots))
     in
-    let shards =
-      Parallel.Pool.parallel_ranges pool ~chunks ~n (fun ~lo ~hi ->
-          index_range dex ~lo ~hi)
-    in
-    let idx = empty_index () in
-    List.iter (merge_shard_into idx) shards;
-    idx
-  | Some _ | None -> finalize_index (index_range dex ~lo:0 ~hi:n)
+    merge_shards
+      (Parallel.Pool.parallel_ranges pool ~chunks ~n (fun ~lo ~hi ->
+           shard_build dex c ~lo ~hi))
+  | Some _ | None -> finalize_shard (shard_build dex c ~lo:0 ~hi:n)
 
-let create ?(indexed = true) ?pool dex =
-  { dex; cache = Cache.create ();
-    index = (if indexed then Some (build_index ?pool dex) else None) }
+(* Double-checked lazy build.  [pool] is passed only from eager create-time
+   builds; lazy builds run sequentially (see the module comment). *)
+let ensure_category ?pool t c =
+  match Atomic.get t.tables.(c) with
+  | Some p -> p
+  | None ->
+    Mutex.lock t.build_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.build_lock) (fun () ->
+        match Atomic.get t.tables.(c) with
+        | Some p -> p
+        | None ->
+          let t0 = Unix.gettimeofday () in
+          let p = build_postings ?pool t.dex c in
+          t.build_us.(c) <- (Unix.gettimeofday () -. t0) *. 1e6;
+          Atomic.set t.tables.(c) (Some p);
+          p)
+
+let create ?(indexed = true) ?(eager = false) ?pool dex =
+  let t =
+    { dex; cache = Cache.create (); pool; indexed; eager = indexed && eager;
+      tables = Array.init n_categories (fun _ -> Atomic.make None);
+      build_us = Array.make n_categories 0.0;
+      build_lock = Mutex.create () }
+  in
+  if t.eager then
+    for c = 0 to n_categories - 1 do
+      ignore (ensure_category ?pool t c)
+    done;
+  t
 
 let program t = t.dex.Dex.Dexfile.program
+
+(* ------------------------------------------------------------------ *)
+(* Scan mode                                                           *)
 
 (* Naive-but-tight substring check; patterns are short and lines are short,
    so this outperforms building a full-text index for our corpus sizes.  The
@@ -209,7 +257,9 @@ let contains ~pat s =
   end
 
 let starts_with_opcode ~prefixes text =
-  (* instruction lines look like "    0004: invoke-virtual {...}, ..." *)
+  (* instruction lines look like "    0004: invoke-virtual {...}, ..."; the
+     opcode prefix check runs at an offset, which stdlib
+     [String.starts_with] cannot do, hence the one explicit [String.sub] *)
   match String.index_opt text ':' with
   | None -> false
   | Some colon ->
@@ -240,58 +290,107 @@ let scan t ~prefixes ~pat ~filter =
     t.dex.Dex.Dexfile.lines;
   List.rev !acc
 
-(* Buckets were finalized to ascending line order at build time, so a lookup
-   is a single allocation-free table read. *)
-let indexed_lookup idx (q : Query.t) =
-  let get tbl key = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
-  match q with
-  | Query.Invocation sig_ -> Some (get idx.invocations sig_)
-  | Query.New_instance cls -> Some (get idx.new_instances cls)
-  | Query.Const_class cls -> Some (get idx.const_classes cls)
-  | Query.Const_string s -> Some (get idx.const_strings (Printf.sprintf "%S" s))
-  | Query.Field_access fld -> Some (get idx.field_ops fld)
-  | Query.Static_field_access fld -> Some (get idx.static_field_ops fld)
-  | Query.Class_use cls ->
-    let subject = Dex.Descriptor.class_of_desc cls in
-    Some
-      (List.filter
-         (fun h -> not (String.equal h.owner_cls subject))
-         (get idx.class_tokens cls))
-  | Query.Raw _ -> None  (* free-form searches always scan *)
-
 let scan_uncached t (q : Query.t) =
   match q with
-  | Invocation sig_ ->
-    scan t ~prefixes:[ "invoke-" ] ~pat:(", " ^ sig_) ~filter:(fun _ -> true)
-  | New_instance cls ->
-    scan t ~prefixes:[ "new-instance" ] ~pat:(", " ^ cls) ~filter:(fun _ -> true)
-  | Const_class cls ->
-    scan t ~prefixes:[ "const-class" ] ~pat:(", " ^ cls) ~filter:(fun _ -> true)
+  | Invocation s ->
+    scan t ~prefixes:[ "invoke-" ] ~pat:(", " ^ Sym.to_string s)
+      ~filter:(fun _ -> true)
+  | New_instance s ->
+    scan t ~prefixes:[ "new-instance" ] ~pat:(", " ^ Sym.to_string s)
+      ~filter:(fun _ -> true)
+  | Const_class s ->
+    scan t ~prefixes:[ "const-class" ] ~pat:(", " ^ Sym.to_string s)
+      ~filter:(fun _ -> true)
   | Const_string s ->
-    scan t ~prefixes:[ "const-string" ] ~pat:(Printf.sprintf "%S" s)
+    (* the payload is already the quoted literal *)
+    scan t ~prefixes:[ "const-string" ] ~pat:(Sym.to_string s)
       ~filter:(fun _ -> true)
-  | Field_access fld ->
-    scan t ~prefixes:[ "iget"; "iput"; "sget"; "sput" ] ~pat:(", " ^ fld)
+  | Field_access s ->
+    scan t ~prefixes:[ "iget"; "iput"; "sget"; "sput" ]
+      ~pat:(", " ^ Sym.to_string s) ~filter:(fun _ -> true)
+  | Static_field_access s ->
+    scan t ~prefixes:[ "sget"; "sput" ] ~pat:(", " ^ Sym.to_string s)
       ~filter:(fun _ -> true)
-  | Static_field_access fld ->
-    scan t ~prefixes:[ "sget"; "sput" ] ~pat:(", " ^ fld)
-      ~filter:(fun _ -> true)
-  | Class_use cls ->
+  | Class_use s ->
+    let cls = Sym.to_string s in
     let subject = Dex.Descriptor.class_of_desc cls in
     scan t ~prefixes:[] ~pat:cls
       ~filter:(fun h -> not (String.equal h.owner_cls subject))
   | Raw pat -> scan t ~prefixes:[] ~pat ~filter:(fun _ -> true)
 
-let run_uncached t q =
-  match t.index with
-  | Some idx ->
-    (match indexed_lookup idx q with
-     | Some hits -> hits
-     | None -> scan_uncached t q)
-  | None -> scan_uncached t q
+(* ------------------------------------------------------------------ *)
+(* Indexed mode                                                        *)
 
-(** Execute a query, consulting the command cache first. *)
+let query_category : Query.t -> int option = function
+  | Invocation _ -> Some cat_invocations
+  | New_instance _ -> Some cat_new_instances
+  | Const_class _ -> Some cat_const_classes
+  | Const_string _ -> Some cat_const_strings
+  | Field_access _ -> Some cat_field_ops
+  | Static_field_access _ -> Some cat_static_field_ops
+  | Class_use _ -> Some cat_class_tokens
+  | Raw _ -> None  (* free-form searches always scan *)
+
+(* Hits are materialised per returned slot — the postings themselves hold
+   only ints. *)
+let hit_of_slot t slot =
+  let a : Dex.Arena.t = t.dex.Dex.Dexfile.arena in
+  let line_no = a.line_idx.(slot) in
+  let oid = a.owner_id.(slot) in
+  { line_no;
+    text = t.dex.Dex.Dexfile.lines.(line_no).Dex.Disasm.text;
+    owner = a.owners.(oid);
+    owner_cls = a.owner_cls.(oid);
+    stmt_idx = (let s = a.stmt_idx.(slot) in if s < 0 then None else Some s) }
+
+let hits_of_sym t p sym =
+  match Hashtbl.find_opt p (Sym.id sym) with
+  | None -> []
+  | Some slots ->
+    Array.fold_right (fun slot acc -> hit_of_slot t slot :: acc) slots []
+
+let indexed_lookup t c (q : Query.t) =
+  let p = ensure_category t c in
+  match q with
+  | Invocation s | New_instance s | Const_class s | Const_string s
+  | Field_access s | Static_field_access s -> hits_of_sym t p s
+  | Class_use s ->
+    let subject = Dex.Descriptor.class_of_desc (Sym.to_string s) in
+    List.filter
+      (fun h -> not (String.equal h.owner_cls subject))
+      (hits_of_sym t p s)
+  | Raw _ -> assert false  (* query_category returned None *)
+
+let run_uncached t q =
+  if not t.indexed then scan_uncached t q
+  else
+    match query_category q with
+    | Some c -> indexed_lookup t c q
+    | None -> scan_uncached t q
+
+(** Execute a query, consulting the query cache first. *)
 let run t q = Cache.find_or_add t.cache q (fun () -> run_uncached t q)
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let index_mode t =
+  if not t.indexed then "scan" else if t.eager then "eager" else "lazy"
+
+let built_categories t =
+  Array.fold_left
+    (fun n slot -> if Atomic.get slot <> None then n + 1 else n)
+    0 t.tables
+
+let index_build_timings t =
+  Mutex.lock t.build_lock;
+  let timings = ref [] in
+  for c = n_categories - 1 downto 0 do
+    if Atomic.get t.tables.(c) <> None then
+      timings := (category_name c, t.build_us.(c)) :: !timings
+  done;
+  Mutex.unlock t.build_lock;
+  !timings
 
 let cache_rate t = Cache.cache_rate t.cache
 let total_searches t = Cache.total_searches t.cache

@@ -1,13 +1,24 @@
 (** The bytecode search engine: executes typed queries over the dexdump
     plaintext, returning hits mapped back to their enclosing methods, with
-    command-level caching (Sec. IV-F).
+    query-level caching (Sec. IV-F).
 
-    Two execution modes exist: the default inverted index is built once at
-    preprocessing time and answers queries in O(1); the un-indexed mode scans
-    every line per query, like the paper's prototype shelling out to grep —
-    kept for the search-cost ablation benchmark. *)
+    Three execution modes:
+    - {b lazy indexed} (default): per-category postings — operand symbol id
+      to sorted int-array of slots in the dexfile's hit {!Dex.Arena} — each
+      built on the first query of that category, double-checked under a
+      build mutex.  Categories never queried are never built.
+    - {b eager indexed} ([eager:true]): all seven categories built at
+      construction, sharded over a {!Parallel.Pool.t} when one is given.
+      Kept for ablation and for front-loading the cost.
+    - {b scan} ([indexed:false]): every query scans every line, like the
+      paper's prototype shelling out to grep — the search-cost ablation
+      baseline.
 
-(** One matching plaintext line. *)
+    All three return identical hits for every query (the property tests
+    check this), so mode choice is purely a performance decision. *)
+
+(** One matching plaintext line, materialised from an arena slot only when a
+    query returns it. *)
 type hit = {
   line_no : int;              (** position in the merged dex plaintext *)
   text : string;              (** the raw matching line *)
@@ -20,24 +31,41 @@ type hit = {
 type t
 
 (** Build an engine over a disassembled app.  [indexed] (default true)
-    selects the inverted-index mode.  [pool] shards index construction
-    across the pool's domains (per-domain slices of the plaintext indexed
-    into domain-local tables, then merged in slice order); the resulting
-    index is identical to the sequential build.  Queries against the engine
-    are safe from multiple domains: the command cache is mutex-guarded and
-    hit/miss counters are scheduling-independent. *)
-val create : ?indexed:bool -> ?pool:Parallel.Pool.t -> Dex.Dexfile.t -> t
+    selects the postings-backed mode; [eager] (default false) builds all
+    postings categories up front instead of on first use.  [pool] shards
+    eager construction across the pool's domains (per-domain slices of the
+    hit arena built into domain-local tables, then merged in slice order);
+    the resulting postings are identical to the sequential build.  Lazy
+    builds are always sequential — they can trigger inside pool tasks, where
+    sharding over the same pool could re-enter the engine's locks (see
+    engine.ml).  Queries against the engine are safe from multiple domains:
+    the query cache is mutex-guarded and hit/miss counters are
+    scheduling-independent. *)
+val create :
+  ?indexed:bool -> ?eager:bool -> ?pool:Parallel.Pool.t -> Dex.Dexfile.t -> t
 
 (** The program the engine's dexfile was disassembled from — the "program
     analysis space" paired with this "bytecode search space". *)
 val program : t -> Ir.Program.t
 
-(** Execute a query, consulting the command cache first. *)
+(** Execute a query, consulting the query cache first. *)
 val run : t -> Query.t -> hit list
 
-(** Execute a query bypassing the command cache (used by the ablation
-    benchmarks to measure raw query cost). *)
+(** Execute a query bypassing the query cache (used by the ablation
+    benchmarks to measure raw query cost).  Still builds lazy postings on
+    first use. *)
 val run_uncached : t -> Query.t -> hit list
+
+(** ["scan"], ["lazy"] or ["eager"]. *)
+val index_mode : t -> string
+
+(** Number of postings categories built so far (0-7).  Lazy engines build
+    strictly fewer than eager ones unless every category was queried. *)
+val built_categories : t -> int
+
+(** Per-category postings build cost: [(category name, µs)] for each
+    category built so far, in category order. *)
+val index_build_timings : t -> (string * float) list
 
 (** Fraction of search commands served from the cache, in [0, 1]. *)
 val cache_rate : t -> float

@@ -1,0 +1,112 @@
+(** Hash-consed interned symbols.  See the interface for the contract.
+
+    Layout: ids are dense ints; the id → string store is a spine of chunks
+    of doubling size (chunk [k] holds [first_chunk * 2^k] slots), each
+    published with [Atomic.set] after its strings are written under the
+    intern mutex.  Readers never lock: [Atomic.get] on the chunk pointer is
+    the acquire that makes the string writes visible, so {!to_string} is
+    safe from any domain that legitimately holds a symbol. *)
+
+type t = int
+
+let first_chunk_bits = 10
+let first_chunk = 1 lsl first_chunk_bits (* 1024 *)
+let spine_len = 32
+
+(* chunk k covers ids [first_chunk * (2^k - 1), first_chunk * (2^(k+1) - 1)) *)
+let spine : string array option Atomic.t array =
+  Array.init spine_len (fun _ -> Atomic.make None)
+
+let lock = Mutex.create ()
+let table : (string, int) Hashtbl.t = Hashtbl.create 4096
+let next = ref 0
+
+(* Decompose an id into (chunk, offset).  Shifting the biased id into the
+   first-chunk range makes the chunk index a log2. *)
+let locate id =
+  let biased = id + first_chunk in
+  (* position of the highest set bit of [biased], minus first_chunk_bits *)
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  let chunk = log2 biased 0 - first_chunk_bits in
+  let offset = biased - (first_chunk lsl chunk) in
+  (chunk, offset)
+
+let to_string id =
+  let chunk, offset = locate id in
+  match Atomic.get spine.(chunk) with
+  | Some a -> Array.unsafe_get a offset
+  | None -> invalid_arg "Sym.to_string: unknown symbol"
+
+let intern s =
+  Mutex.lock lock;
+  match Hashtbl.find_opt table s with
+  | Some id ->
+    Mutex.unlock lock;
+    id
+  | None ->
+    let id = !next in
+    let chunk, offset = locate id in
+    let arr =
+      match Atomic.get spine.(chunk) with
+      | Some a -> a
+      | None ->
+        let a = Array.make (first_chunk lsl chunk) "" in
+        (* writes to [a] below race with nothing: the chunk is published
+           (and hence readable) only via this Atomic.set *)
+        Atomic.set spine.(chunk) (Some a);
+        a
+    in
+    arr.(offset) <- s;
+    (* republish so the slot write is ordered before any reader's acquire *)
+    Atomic.set spine.(chunk) (Some arr);
+    Hashtbl.replace table s id;
+    incr next;
+    Mutex.unlock lock;
+    id
+
+let find s =
+  Mutex.lock lock;
+  let r = Hashtbl.find_opt table s in
+  Mutex.unlock lock;
+  r
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (a : t) = a
+let id (a : t) = a
+
+let interned () =
+  Mutex.lock lock;
+  let n = !next in
+  Mutex.unlock lock;
+  n
+
+let memo (type a) ?(size = 256) ~(hash : a -> int) ~(equal : a -> a -> bool)
+    (render : a -> string) =
+  let module H = Hashtbl.Make (struct
+    type t = a
+    let hash = hash
+    let equal = equal
+  end) in
+  let tbl = H.create size in
+  let mlock = Mutex.create () in
+  fun x ->
+    Mutex.lock mlock;
+    match H.find_opt tbl x with
+    | Some s ->
+      Mutex.unlock mlock;
+      s
+    | None ->
+      let r =
+        match render x with
+        | s -> Ok (intern s)
+        | exception e -> Error e
+      in
+      (match r with
+       | Ok s ->
+         H.replace tbl x s;
+         Mutex.unlock mlock;
+         s
+       | Error e ->
+         Mutex.unlock mlock;
+         raise e)

@@ -1,0 +1,57 @@
+(** Hash-consed interned symbols (the "symbolized search core" substrate).
+
+    A {!t} is an integer handle for a string interned exactly once per
+    process: two symbols are equal iff their strings are equal, so equality
+    and hashing are O(1) integer operations with no per-comparison
+    allocation.  The search engine keys its postings and its command cache
+    on symbols; the disassembler interns every class descriptor, method
+    signature and field signature it renders, so the analysis hot loops
+    never rebuild or re-hash signature strings.
+
+    The table is domain-safe: {!intern} serializes writers behind a mutex,
+    while {!to_string} is a lock-free read (the id → string store is a
+    pre-sized spine of atomically published chunks, so a symbol received
+    from another domain always resolves). *)
+
+type t
+
+(** Intern [s], returning its unique symbol.  O(1) amortized; takes the
+    table lock. *)
+val intern : string -> t
+
+(** The symbol of [s] if it was already interned (no insertion). *)
+val find : string -> t option
+
+(** The interned string.  Lock-free; physically the same string for every
+    call on the same symbol. *)
+val to_string : t -> string
+
+(** O(1) integer equality. *)
+val equal : t -> t -> bool
+
+(** Total order on symbol ids — interning order, NOT lexicographic.  Never
+    use it for user-visible ordering (ids depend on scheduling when several
+    domains intern concurrently). *)
+val compare : t -> t -> int
+
+(** O(1) integer hash. *)
+val hash : t -> int
+
+(** The raw id, a small dense non-negative int (usable as a table key). *)
+val id : t -> int
+
+(** Number of symbols interned so far, process-wide. *)
+val interned : unit -> int
+
+(** [memo ~hash ~equal render] is a domain-safe memoized [fun x ->
+    intern (render x)]: each distinct key renders (and allocates) its
+    string exactly once, after which lookups cost one table probe.  Used to
+    symbolize signature rendering ([Jsig.meth] → dexdump signature) in the
+    query hot path. *)
+val memo :
+  ?size:int ->
+  hash:('a -> int) ->
+  equal:('a -> 'a -> bool) ->
+  ('a -> string) ->
+  'a ->
+  t

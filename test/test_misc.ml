@@ -132,8 +132,8 @@ let query_commands_injective =
     (fun (a, b) ->
        let open Bytesearch.Query in
        a = b
-       || (to_command (Invocation a) <> to_command (Invocation b)
-           && to_command (Const_string a) <> to_command (Const_string b)))
+       || (to_command (invocation a) <> to_command (invocation b)
+           && to_command (const_string a) <> to_command (const_string b)))
 
 let histogram_total =
   QCheck.Test.make ~name:"histogram buckets sum to the sample count" ~count:100

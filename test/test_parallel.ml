@@ -129,11 +129,11 @@ let test_sharded_index () =
   Pool.with_pool ~jobs:test_jobs (fun pool ->
       let par_engine = Bytesearch.Engine.create ~pool app.G.dex in
       let queries =
-        [ Bytesearch.Query.Invocation
+        [ Bytesearch.Query.invocation
             (Dex.Descriptor.meth_desc Framework.Api.cipher_get_instance);
-          Bytesearch.Query.Invocation
+          Bytesearch.Query.invocation
             (Dex.Descriptor.meth_desc Framework.Api.ssl_set_hostname_verifier);
-          Bytesearch.Query.Const_string "AES";
+          Bytesearch.Query.const_string "AES";
           Bytesearch.Query.Raw "invoke-static" ]
       in
       List.iter
@@ -145,6 +145,81 @@ let test_sharded_index () =
              ("identical hits for " ^ Bytesearch.Query.to_command q)
              (fp seq_engine) (fp par_engine))
         queries)
+
+(* ------------------------------------------------------------------ *)
+(* Property: every query kind returns identical hits under unindexed scan,
+   lazy postings and eager postings, with and without a worker pool.  The
+   query set is exhaustive over the fixture: one invocation query per app
+   method, one class-shaped query per app class per kind, one field query
+   per field per kind, plus const-string and raw probes (including strings
+   containing ", " — the operand-split edge the postings index must not
+   mis-key). *)
+
+let test_mode_equivalence () =
+  let app = fixture_app ~filler:12 ~seed:17 () in
+  let module Q = Bytesearch.Query in
+  let module E = Bytesearch.Engine in
+  let classes = Ir.Program.app_classes app.G.program in
+  let class_descs =
+    List.map (fun (c : Ir.Jclass.t) -> Dex.Descriptor.class_desc c.Ir.Jclass.name)
+      classes
+  in
+  let meth_descs =
+    List.concat_map
+      (fun (c : Ir.Jclass.t) ->
+         List.map
+           (fun (m : Ir.Jmethod.t) -> Dex.Descriptor.meth_desc m.Ir.Jmethod.msig)
+           c.Ir.Jclass.methods)
+      classes
+  in
+  let field_descs =
+    List.concat_map
+      (fun (c : Ir.Jclass.t) -> List.map Dex.Descriptor.field_desc c.Ir.Jclass.fields)
+      classes
+  in
+  let strings = [ "AES"; "a, b"; "\"quoted\""; "no-such-literal" ] in
+  let raws = [ "invoke-static"; "const-string"; "no-such-opcode" ] in
+  let queries =
+    List.map Q.invocation meth_descs
+    @ List.concat_map
+        (fun d -> [ Q.new_instance d; Q.const_class d; Q.class_use d ])
+        class_descs
+    @ List.concat_map
+        (fun d -> [ Q.field_access d; Q.static_field_access d ])
+        field_descs
+    @ List.map Q.const_string strings
+    @ List.map Q.raw raws
+  in
+  let scan = E.create ~indexed:false app.G.dex in
+  let lazy_seq = E.create app.G.dex in
+  let eager_seq = E.create ~eager:true app.G.dex in
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      let lazy_pool = E.create ~pool app.G.dex in
+      let eager_pool = E.create ~eager:true ~pool app.G.dex in
+      let engines =
+        [ ("lazy/jobs=1", lazy_seq); ("eager/jobs=1", eager_seq);
+          ("lazy/jobs=4", lazy_pool); ("eager/jobs=4", eager_pool) ]
+      in
+      Alcotest.(check bool) "non-trivial query set" true
+        (List.length queries > 50);
+      List.iter
+        (fun q ->
+           let expect =
+             List.map hit_fingerprint (E.run_uncached scan q)
+           in
+           List.iter
+             (fun (name, e) ->
+                Alcotest.(check (list string))
+                  (Printf.sprintf "%s agrees with scan on %s" name
+                     (Q.to_command q))
+                  expect
+                  (List.map hit_fingerprint (E.run_uncached e q)))
+             engines)
+        queries;
+      Alcotest.(check int) "eager built every category" 7
+        (E.built_categories eager_pool);
+      Alcotest.(check int) "lazy built every queried category" 7
+        (E.built_categories lazy_pool))
 
 (* ------------------------------------------------------------------ *)
 (* Determinism: Driver.analyze                                         *)
@@ -238,6 +313,8 @@ let cases =
     Alcotest.test_case "nested batches" `Quick test_nested_map;
     Alcotest.test_case "sharded index == sequential index" `Quick
       test_sharded_index;
+    Alcotest.test_case "scan == lazy == eager at jobs=1 and jobs=4" `Quick
+      test_mode_equivalence;
     Alcotest.test_case "driver: jobs=1 == jobs=4" `Quick
       test_driver_determinism;
     Alcotest.test_case "corpus: jobs=1 == jobs=4" `Slow

@@ -48,7 +48,7 @@ let fixture () =
 
 let test_invocation_search () =
   let e, callee, _ = fixture () in
-  let hits = E.run e (Q.Invocation (Dex.Descriptor.meth_desc callee)) in
+  let hits = E.run e (Q.invocation (Dex.Descriptor.meth_desc callee)) in
   let owners =
     List.map (fun (h : E.hit) -> h.owner.Jsig.cls) hits |> List.sort_uniq compare
   in
@@ -56,17 +56,17 @@ let test_invocation_search () =
 
 let test_field_search () =
   let e, _, fld = fixture () in
-  let hits = E.run e (Q.Static_field_access (Dex.Descriptor.field_desc fld)) in
+  let hits = E.run e (Q.static_field_access (Dex.Descriptor.field_desc fld)) in
   Alcotest.(check int) "sput in clinit + sget in read" 2 (List.length hits)
 
 let test_const_string_search () =
   let e, _, _ = fixture () in
-  let hits = E.run e (Q.Const_string "AES") in
+  let hits = E.run e (Q.const_string "AES") in
   Alcotest.(check int) "one per caller" 2 (List.length hits)
 
 let test_class_use_excludes_self () =
   let e, _, _ = fixture () in
-  let hits = E.run e (Q.Class_use "Ls/Cfg;") in
+  let hits = E.run e (Q.class_use "Ls/Cfg;") in
   let owners =
     List.map (fun (h : E.hit) -> h.owner_cls) hits |> List.sort_uniq compare
   in
@@ -75,11 +75,11 @@ let test_class_use_excludes_self () =
 let test_no_hits () =
   let e, _, _ = fixture () in
   Alcotest.(check int) "absent signature finds nothing" 0
-    (List.length (E.run e (Q.Invocation "Lno/Such;.m:()V")))
+    (List.length (E.run e (Q.invocation "Lno/Such;.m:()V")))
 
 let test_cache_hits () =
   let e, callee, _ = fixture () in
-  let q = Q.Invocation (Dex.Descriptor.meth_desc callee) in
+  let q = Q.invocation (Dex.Descriptor.meth_desc callee) in
   ignore (E.run e q);
   ignore (E.run e q);
   ignore (E.run e q);
@@ -89,9 +89,9 @@ let test_cache_hits () =
 
 let test_cache_categories () =
   let e, callee, fld = fixture () in
-  ignore (E.run e (Q.Invocation (Dex.Descriptor.meth_desc callee)));
-  ignore (E.run e (Q.Static_field_access (Dex.Descriptor.field_desc fld)));
-  ignore (E.run e (Q.Class_use "Ls/Cfg;"));
+  ignore (E.run e (Q.invocation (Dex.Descriptor.meth_desc callee)));
+  ignore (E.run e (Q.static_field_access (Dex.Descriptor.field_desc fld)));
+  ignore (E.run e (Q.class_use "Ls/Cfg;"));
   let cats = E.category_stats e |> List.map (fun (c, _, _) -> c) in
   Alcotest.(check bool) "caller category present" true
     (List.mem Q.Cat_caller cats);
@@ -102,8 +102,8 @@ let test_command_rendering () =
   Alcotest.(check bool) "commands are distinct cache keys" true
     (not
        (String.equal
-          (Q.to_command (Q.Invocation "La;.m:()V"))
-          (Q.to_command (Q.New_instance "La;.m:()V"))))
+          (Q.to_command (Q.invocation "La;.m:()V"))
+          (Q.to_command (Q.new_instance "La;.m:()V"))))
 
 (* property: searching for a generated static callee always finds the call
    the builder emitted *)
@@ -134,7 +134,7 @@ let search_finds_planted =
          E.create
            (Dex.Dexfile.of_program (Ir.Program.of_classes [ caller; callee_cls ]))
        in
-       List.length (E.run e (Q.Invocation (Dex.Descriptor.meth_desc callee))) = 1)
+       List.length (E.run e (Q.invocation (Dex.Descriptor.meth_desc callee))) = 1)
 
 let unit_cases =
   [ Alcotest.test_case "invocation search" `Quick test_invocation_search;

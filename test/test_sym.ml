@@ -1,0 +1,123 @@
+(* Tests for the hash-consed symbol table: intern/equality/round-trip over
+   descriptor-shaped strings (inner classes, arrays, primitive signatures),
+   the descriptor symbolizers, and concurrent interning from multiple
+   domains. *)
+
+let descriptor_edge_cases =
+  [ "Lcom/connectsdk/service/NetcastTVService$1;";   (* anonymous inner *)
+    "Lcom/example/Outer$Inner$Deeper;";
+    "[Ljava/lang/String;";                           (* object array *)
+    "[[I";                                           (* nested primitive array *)
+    "I"; "Z"; "J"; "V";                              (* bare primitives *)
+    "Lc/A;.m:(ILjava/lang/String;[B)V";              (* method descriptor *)
+    "Lc/A;.f:Ljava/util/Map;";                       (* field descriptor *)
+    "";                                              (* degenerate: empty *)
+    "\"a, b\"" ]                                     (* quoted const-string *)
+
+let test_round_trip () =
+  List.iter
+    (fun s ->
+       let sym = Sym.intern s in
+       Alcotest.(check string) ("round-trips " ^ s) s (Sym.to_string sym))
+    descriptor_edge_cases
+
+let test_equality_is_identity () =
+  List.iter
+    (fun s ->
+       let a = Sym.intern s in
+       (* force a fresh string with equal contents *)
+       let b = Sym.intern (String.init (String.length s) (String.get s)) in
+       Alcotest.(check bool) ("same symbol for " ^ s) true (Sym.equal a b);
+       Alcotest.(check int) "same id" (Sym.id a) (Sym.id b);
+       Alcotest.(check int) "same hash" (Sym.hash a) (Sym.hash b);
+       Alcotest.(check bool) "to_string is physically shared" true
+         (Sym.to_string a == Sym.to_string b))
+    descriptor_edge_cases;
+  let a = Sym.intern "La;" and b = Sym.intern "Lb;" in
+  Alcotest.(check bool) "distinct strings, distinct symbols" false
+    (Sym.equal a b)
+
+let test_find () =
+  let s = "Ltest/find/Probe$1;" in
+  Alcotest.(check bool) "absent before intern" true (Sym.find s = None);
+  let sym = Sym.intern s in
+  Alcotest.(check bool) "found after intern" true (Sym.find s = Some sym)
+
+let test_interned_monotone () =
+  let before = Sym.interned () in
+  ignore (Sym.intern "Ltest/monotone/Fresh;");
+  let after = Sym.interned () in
+  Alcotest.(check bool) "fresh intern grows the table" true (after > before);
+  ignore (Sym.intern "Ltest/monotone/Fresh;");
+  Alcotest.(check int) "re-intern does not" after (Sym.interned ())
+
+(* The descriptor symbolizers agree with their string-rendering originals
+   and intern to the same symbol as a direct intern of the rendering. *)
+let test_descriptor_syms () =
+  let open Ir in
+  let m =
+    Jsig.meth ~cls:"com.example.Outer$Inner" ~name:"run"
+      ~params:[ Types.Int; Types.Array Types.string_ ] ~ret:Types.Void
+  in
+  let f = Jsig.field ~cls:"com.example.Cfg" ~name:"SPEC" ~ty:Types.string_ in
+  Alcotest.(check string) "meth_desc_sym renders meth_desc"
+    (Dex.Descriptor.meth_desc m)
+    (Sym.to_string (Dex.Descriptor.meth_desc_sym m));
+  Alcotest.(check string) "field_desc_sym renders field_desc"
+    (Dex.Descriptor.field_desc f)
+    (Sym.to_string (Dex.Descriptor.field_desc_sym f));
+  Alcotest.(check string) "class_desc_sym renders class_desc"
+    (Dex.Descriptor.class_desc "com.example.Outer$Inner")
+    (Sym.to_string (Dex.Descriptor.class_desc_sym "com.example.Outer$Inner"));
+  Alcotest.(check bool) "memoized symbol == direct intern" true
+    (Sym.equal
+       (Dex.Descriptor.meth_desc_sym m)
+       (Sym.intern (Dex.Descriptor.meth_desc m)));
+  Alcotest.(check bool) "subsig memo is stable" true
+    (Sym.equal (Jsig.subsig_sym m) (Jsig.subsig_sym { m with cls = "other.C" }))
+
+(* Concurrent interning: several domains intern overlapping string sets;
+   every domain must observe the same id for the same string, and
+   to_string must resolve symbols interned by other domains. *)
+let test_concurrent_intern () =
+  let n_domains = 4 and n_strings = 500 in
+  let name i = Printf.sprintf "Ltest/conc/C%03d$%d;" (i mod n_strings) (i mod 7) in
+  let worker d =
+    Array.init (n_strings * 2) (fun i ->
+        (* overlapping but domain-skewed interning order *)
+        let s = name (i + (d * 13)) in
+        let sym = Sym.intern s in
+        (s, Sym.id sym))
+  in
+  let domains =
+    List.init n_domains (fun d -> Domain.spawn (fun () -> worker d))
+  in
+  let results = List.map Domain.join domains in
+  (* same string -> same id, across all domains *)
+  let ids = Hashtbl.create 1024 in
+  List.iter
+    (Array.iter (fun (s, id) ->
+         match Hashtbl.find_opt ids s with
+         | None -> Hashtbl.replace ids s id
+         | Some id' ->
+           Alcotest.(check int) ("consistent id for " ^ s) id' id))
+    results;
+  (* symbols interned elsewhere resolve here, to the right string *)
+  Hashtbl.iter
+    (fun s id ->
+       Alcotest.(check string) "cross-domain to_string" s
+         (Sym.to_string (Option.get (Sym.find s)));
+       Alcotest.(check int) "find agrees on id" id
+         (Sym.id (Option.get (Sym.find s))))
+    ids
+
+let cases =
+  [ Alcotest.test_case "descriptor round-trip" `Quick test_round_trip;
+    Alcotest.test_case "equality is identity" `Quick test_equality_is_identity;
+    Alcotest.test_case "find: no insertion" `Quick test_find;
+    Alcotest.test_case "interned count monotone" `Quick test_interned_monotone;
+    Alcotest.test_case "descriptor symbolizers" `Quick test_descriptor_syms;
+    Alcotest.test_case "concurrent interning across domains" `Quick
+      test_concurrent_intern ]
+
+let suites = [ "sym", cases ]
