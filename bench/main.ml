@@ -10,7 +10,8 @@
 
    Usage: dune exec bench/main.exe
             [-- --quick | --micro-only | --experiments-only | --speedup-only
-               | --trace-only | --search-only | --smoke | --jobs N]
+               | --trace-only | --search-only | --obs-overhead | --smoke
+               | --jobs N]
 
    --jobs N sets the worker-pool width for the per-app experiment fan-out
    and the parallel/speedup benchmark (default: all cores but one).
@@ -302,21 +303,103 @@ let measure_search_mode ~name ~queries mk =
     sm_fingerprint = !fp;
     sm_index_build = Bytesearch.Engine.index_build_timings engine }
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-       match c with
-       | '"' -> Buffer.add_string b "\\\""
-       | '\\' -> Buffer.add_string b "\\\\"
-       | '\n' -> Buffer.add_string b "\\n"
-       | c when Char.code c < 0x20 ->
-         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Obs.Jsonf.escape
 
-let search_json_of_results ~lines ~queries ~identical results =
+(* ------------------------------------------------------------------ *)
+(* obs-overhead: the telemetry layer's hot-path cost.  The same analysis
+   runs with every sink off (Obs.disable: span sites cost one Atomic.get,
+   metric sites one more) and then with the default span recorder plus
+   metrics on; the margin between the two is the instrumentation overhead.
+   Goal: < 2% with sinks on, ~0 with them off. *)
+
+type obs_overhead = {
+  oo_disabled_us : float;   (** mean analyze time, all recording off *)
+  oo_metrics_us : float;    (** metrics shards on, no span sink (default) *)
+  oo_enabled_us : float;    (** span recorder + metrics on ([--profile]) *)
+  oo_overhead_pct : float;  (** default state vs off — the production cost *)
+  oo_profile_overhead_pct : float;  (** full recording vs off *)
+  oo_spans : int;           (** spans recorded per instrumented run *)
+}
+
+let run_obs_overhead ~app =
+  print_endline "\n== obs-overhead: analyze with telemetry off vs on ==";
+  let analyze () =
+    ignore
+      (Backdroid.Driver.analyze ~dex:app.G.dex ~manifest:app.G.manifest ())
+  in
+  (* Interleaved best-of-batches: the three states take turns batch by
+     batch, so heap growth and clock drift hit all of them equally; each
+     state keeps its minimum batch mean (jitter only ever adds). *)
+  let reps = 25 and batches = 4 in
+  let time_batch () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do analyze () done;
+    (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int reps
+  in
+  let recorder = Obs.Span.Recorder.create () in
+  let t_off = ref Float.infinity
+  and t_metrics = ref Float.infinity
+  and t_on = ref Float.infinity in
+  analyze ();  (* warmup *)
+  for _ = 1 to batches do
+    Obs.disable ();
+    t_off := Float.min !t_off (time_batch ());
+    Obs.enable_metrics ();
+    t_metrics := Float.min !t_metrics (time_batch ());
+    Obs.Span.Recorder.install recorder;
+    t_on := Float.min !t_on (time_batch ());
+    Obs.Span.set_sink None
+  done;
+  let t_off = !t_off and t_metrics = !t_metrics and t_on = !t_on in
+  let spans = Obs.Span.Recorder.spans recorder in
+  let r =
+    { oo_disabled_us = t_off;
+      oo_metrics_us = t_metrics;
+      oo_enabled_us = t_on;
+      oo_overhead_pct = 100.0 *. (t_metrics -. t_off) /. t_off;
+      oo_profile_overhead_pct = 100.0 *. (t_on -. t_off) /. t_off;
+      oo_spans = List.length spans / (reps * batches);
+    }
+  in
+  Printf.printf "  %-42s %10.1f us\n" "analyze, telemetry off" r.oo_disabled_us;
+  Printf.printf "  %-42s %10.1f us\n" "analyze, metrics shards (default state)"
+    r.oo_metrics_us;
+  Printf.printf "  %-42s %10.1f us\n"
+    (Printf.sprintf "analyze, + span recorder (%d spans)" r.oo_spans)
+    r.oo_enabled_us;
+  Printf.printf "  %-42s %9.2f %%  (goal: < 2%%)\n" "default-state overhead"
+    r.oo_overhead_pct;
+  Printf.printf "  %-42s %9.2f %%\n" "full recording overhead"
+    r.oo_profile_overhead_pct;
+  (r, spans)
+
+(* Exporter smoke: the recorded spans must render to a Chrome stream whose
+   B/E events pair up per (pid, tid) under strictly monotonic ts, and the
+   renderer's output must parse back to the same events. *)
+let check_obs_exporter spans =
+  let events = Obs.Chrome.events_of_spans spans in
+  (match Obs.Chrome.validate events with
+   | Ok () -> ()
+   | Error e ->
+     Printf.eprintf "obs exporter: invalid event stream: %s\n" e;
+     exit 1);
+  if not (Obs.Chrome.round_trips events) then begin
+    prerr_endline "obs exporter: render/parse round-trip mismatch";
+    exit 1
+  end;
+  Printf.printf "  exporter round-trip: ok (%d events)\n" (List.length events)
+
+let obs_overhead_json r =
+  Printf.sprintf
+    "{%s, %s, %s, %s, %s, %s}"
+    (Obs.Jsonf.num_field "disabled_us" r.oo_disabled_us)
+    (Obs.Jsonf.num_field "metrics_us" r.oo_metrics_us)
+    (Obs.Jsonf.num_field "enabled_us" r.oo_enabled_us)
+    (Obs.Jsonf.num_field ~dec:2 "overhead_pct" r.oo_overhead_pct)
+    (Obs.Jsonf.num_field ~dec:2 "profile_overhead_pct" r.oo_profile_overhead_pct)
+    (Obs.Jsonf.int_field "spans" r.oo_spans)
+
+let search_json_of_results ?obs ~lines ~queries ~identical results =
   let mode_json r =
     let build =
       String.concat ", "
@@ -336,12 +419,15 @@ let search_json_of_results ~lines ~queries ~identical results =
   in
   Printf.sprintf
     "{\n  \"fixture\": {\"lines\": %d, \"queries\": %d},\n\
-    \  \"identical_hits\": %b,\n\
+    \  \"identical_hits\": %b,\n%s\
     \  \"modes\": [\n%s\n  ]\n}\n"
     lines queries identical
+    (match obs with
+     | Some r -> Printf.sprintf "  \"obs_overhead\": %s,\n" (obs_overhead_json r)
+     | None -> "")
     (String.concat ",\n" (List.map mode_json results))
 
-let run_search_core ~app ~json_path =
+let run_search_core ?obs ~app ~json_path () =
   print_endline "\n== search-core: scan vs lazy vs eager postings (GC-aware) ==";
   let queries = search_core_queries app.G.program in
   let dex = app.G.dex in
@@ -384,12 +470,10 @@ let run_search_core ~app ~json_path =
     exit 1
   end;
   let json =
-    search_json_of_results ~lines:(Dex.Dexfile.line_count dex)
+    search_json_of_results ?obs ~lines:(Dex.Dexfile.line_count dex)
       ~queries:(List.length queries) ~identical results
   in
-  let oc = open_out json_path in
-  output_string oc json;
-  close_out oc;
+  Obs.Io.write_string json_path json;
   Printf.printf "  wrote %s\n" json_path
 
 let () =
@@ -417,7 +501,10 @@ let () =
   if has "--smoke" then begin
     (* CI smoke mode: tiny corpus, no micro-benchmarks *)
     run_trace_profile ~app:(Lazy.force small);
-    run_search_core ~app:(Lazy.force small) ~json_path:"BENCH_search.json";
+    let obs, obs_spans = run_obs_overhead ~app:(Lazy.force small) in
+    check_obs_exporter obs_spans;
+    run_search_core ~obs ~app:(Lazy.force small)
+      ~json_path:"BENCH_search.json" ();
     let opts =
       { Evalharness.Experiments.default_opts with
         Evalharness.Experiments.scale = 0.15;
@@ -432,15 +519,25 @@ let () =
   else begin
     let only =
       has "--micro-only" || has "--experiments-only" || has "--speedup-only"
-      || has "--trace-only" || has "--search-only"
+      || has "--trace-only" || has "--search-only" || has "--obs-overhead"
     in
     if (not only) || has "--micro-only" then run_micro ();
     if (not only) || has "--trace-only" then
       run_trace_profile ~app:(Lazy.force (if quick then small else medium));
+    let obs =
+      if (not only) || has "--obs-overhead" || has "--search-only" then begin
+        let obs, obs_spans =
+          run_obs_overhead ~app:(Lazy.force (if quick then small else medium))
+        in
+        check_obs_exporter obs_spans;
+        Some obs
+      end
+      else None
+    in
     if (not only) || has "--search-only" then
-      run_search_core
+      run_search_core ?obs
         ~app:(Lazy.force (if quick then small else medium))
-        ~json_path:"BENCH_search.json";
+        ~json_path:"BENCH_search.json" ();
     if (not only) || has "--speedup-only" then run_speedup ~jobs;
     if (not only) || has "--experiments-only" then begin
       print_endline

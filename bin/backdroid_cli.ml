@@ -114,6 +114,57 @@ let generate_cmd =
   Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic app")
     Term.(const run $ seed_t $ size_t $ shapes_t $ insecure_t $ dump_dex)
 
+(* --- observability surface --- *)
+
+let profile_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Record hierarchical spans for the whole run and export them as \
+           Chrome trace-event JSON to $(docv) (open in chrome://tracing or \
+           Perfetto).  Also prints a per-phase self-time summary.")
+
+let metrics_t =
+  Arg.(
+    value & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Print the merged counter/histogram snapshot after the run \
+           (default: a table on stdout); with $(docv), write it as JSON \
+           instead.")
+
+(* Install the span recorder when [--profile] asks for one; metrics record
+   by default (they are integer bumps on per-domain shards). *)
+let setup_obs ~profile =
+  match profile with
+  | None -> None
+  | Some _ ->
+    let rec_ = Obs.Span.Recorder.create () in
+    Obs.Span.Recorder.install rec_;
+    Some rec_
+
+let finish_obs ~profile ~metrics ~app_name recorder =
+  (match profile, recorder with
+   | Some path, Some rec_ ->
+     Obs.Span.set_sink None;
+     let spans = Obs.Span.Recorder.spans rec_ in
+     let n = Obs.Chrome.write ~pid_names:[ (0, app_name) ] path spans in
+     Printf.printf "profile: %d spans (%d events) -> %s%s\n"
+       (List.length spans) n path
+       (let d = Obs.Span.Recorder.dropped rec_ in
+        if d > 0 then Printf.sprintf " (%d dropped)" d else "");
+     print_string (Obs.Summary.render (Obs.Summary.compute spans))
+   | _ -> ());
+  match metrics with
+  | None -> ()
+  | Some "-" ->
+    print_string "metrics:\n";
+    print_string (Obs.Metrics.render_table (Obs.Metrics.snapshot ()))
+  | Some path ->
+    Obs.Metrics.write_json path (Obs.Metrics.snapshot ());
+    Printf.printf "metrics -> %s\n" path
+
 (* --- analyze --- *)
 
 let analyze_cmd =
@@ -152,8 +203,9 @@ let analyze_cmd =
              instead of lazily on first query of each category.")
   in
   let run seed size_mb plants insecure dump_ssg subclass_aware eager_index jobs
-      verbose trace_file time_limit_ms =
+      verbose trace_file time_limit_ms profile metrics =
     setup_logs verbose;
+    let recorder = setup_obs ~profile in
     let app = make_app ~seed ~size_mb ~plants ~insecure in
     let ring =
       match trace_file with
@@ -205,19 +257,20 @@ let analyze_cmd =
       (Backdroid.Loopdetect.total s.Backdroid.Driver.loops)
       s.Backdroid.Driver.partial_sinks
       s.Backdroid.Driver.index_categories_built;
-    match trace_file, ring with
-    | Some path, Some ring ->
-      Backdroid.Trace.Ring.write_json ring path;
-      Printf.printf "trace: %d resolutions recorded -> %s\n"
-        (Backdroid.Trace.Ring.recorded ring)
-        path
-    | _ -> ()
+    (match trace_file, ring with
+     | Some path, Some ring ->
+       Backdroid.Trace.Ring.write_json ring path;
+       Printf.printf "trace: %d resolutions recorded -> %s\n"
+         (Backdroid.Trace.Ring.recorded ring)
+         path
+     | _ -> ());
+    finish_obs ~profile ~metrics ~app_name:app.G.name recorder
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Run BackDroid on a generated app")
     Term.(
       const run $ seed_t $ size_t $ shapes_t $ insecure_t $ dump_ssg
       $ subclass_aware $ eager_index_t $ jobs_t $ verbose_t $ trace_t
-      $ time_limit_t)
+      $ time_limit_t $ profile_t $ metrics_t)
 
 (* --- compare --- *)
 

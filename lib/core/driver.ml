@@ -176,7 +176,16 @@ let group_by_method occurrences =
     occurrences;
   List.rev_map (fun key -> List.rev !(Hashtbl.find tbl key)) !order
 
+let m_sink_calls = Obs.Metrics.counter "driver.sink_calls"
+let m_ssg_nodes = Obs.Metrics.counter "driver.ssg_nodes"
+let m_ssg_edges = Obs.Metrics.counter "driver.ssg_edges"
+let m_sink_cache_lookups = Obs.Metrics.counter "driver.sink_cache.lookups"
+let m_sink_cache_hits = Obs.Metrics.counter "driver.sink_cache.hits"
+
 let analyze_group ~cfg ~engine ~manifest group =
+  Obs.Span.with_span ~cat:"analyze" ~name:"sink-group"
+    ~attrs:[ ("sites", Obs.Span.Int (List.length group)) ]
+  @@ fun () ->
   let shared = Context.shared ~trace:cfg.trace ~engine ~manifest () in
   let program = shared.Context.program in
   (* the group's slot in the sink-API-call cache (one key per group) *)
@@ -245,18 +254,25 @@ let analyze_group ~cfg ~engine ~manifest group =
 let analyze ?(cfg = default_config) ?pool ~(dex : Dex.Dexfile.t)
     ~(manifest : Manifest.App_manifest.t) () =
   let run pool =
+    Obs.Span.with_span ~cat:"app" ~name:"analyze" @@ fun () ->
     let dex =
-      if cfg.resolve_reflection then begin
-        let program', rewrites = Reflection.transform dex.Dex.Dexfile.program in
-        if rewrites = 0 then dex else Dex.Dexfile.of_program program'
-      end
+      if cfg.resolve_reflection then
+        Obs.Span.with_span ~cat:"app" ~name:"reflection" (fun () ->
+            let program', rewrites =
+              Reflection.transform dex.Dex.Dexfile.program
+            in
+            if rewrites = 0 then dex else Dex.Dexfile.of_program program')
       else dex
     in
     let engine =
-      Bytesearch.Engine.create ~indexed:cfg.indexed_search
-        ~eager:cfg.eager_index ~pool dex
+      Obs.Span.with_span ~cat:"app" ~name:"engine-create" (fun () ->
+          Bytesearch.Engine.create ~indexed:cfg.indexed_search
+            ~eager:cfg.eager_index ~pool dex)
     in
-    let occurrences = initial_sink_search ~cfg engine in
+    let occurrences =
+      Obs.Span.with_span ~cat:"app" ~name:"initial-search" (fun () ->
+          initial_sink_search ~cfg engine)
+    in
     let groups = Array.of_list (group_by_method occurrences) in
     let outs =
       Parallel.Pool.parallel_map pool
@@ -294,6 +310,11 @@ let analyze ?(cfg = default_config) ?pool ~(dex : Dex.Dexfile.t)
         partial_sinks = !partial_sinks;
         index_categories_built = Bytesearch.Engine.built_categories engine }
     in
+    Obs.Metrics.add m_sink_calls stats.sink_calls;
+    Obs.Metrics.add m_ssg_nodes stats.ssg_nodes;
+    Obs.Metrics.add m_ssg_edges stats.ssg_edges;
+    Obs.Metrics.add m_sink_cache_lookups stats.sink_cache_lookups;
+    Obs.Metrics.add m_sink_cache_hits stats.sink_cache_hits;
     { reports; stats }
   in
   match pool with

@@ -249,7 +249,10 @@ let eval_and_continue ctx ~visited ~meth ~this_fact ~arg_facts =
 (** Run the forward analysis over one SSG.  Returns the dataflow fact of the
     sink's tracked parameter (Unknown when the traversal cannot resolve
     it). *)
+let m_steps = Obs.Metrics.counter "forward.steps"
+
 let run ?(cfg = default_config) program (ssg : Ssg.t) =
+  Obs.Span.with_span ~cat:"forward" ~name:"propagate" @@ fun () ->
   let ctx =
     { program; ssg; statics = Hashtbl.create 16; cfg; steps = 0;
       sink_fact = None }
@@ -277,4 +280,5 @@ let run ?(cfg = default_config) program (ssg : Ssg.t) =
          eval_and_continue ctx ~visited:[ entry ] ~meth:entry
            ~this_fact:(Facts.new_obj entry.Jsig.cls) ~arg_facts:[])
     ssg.Ssg.entry_methods;
+  Obs.Metrics.add m_steps ctx.steps;
   Option.value ~default:Facts.Unknown ctx.sink_fact

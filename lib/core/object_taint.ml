@@ -32,6 +32,8 @@ type config = {
 
 let default_config = { max_endings = 16; max_steps = 4000; max_return_hops = 2 }
 
+let m_steps = Obs.Metrics.counter "taint.steps"
+
 (** Supertypes of [cls] (classes and interfaces, app or system) that declare
     [subsig] — the "interface class type" indicators of Sec. IV-B. *)
 let indicator_types program cls subsig =
@@ -246,6 +248,12 @@ let rec follow_return st ~escapee ~hops =
     search each of the callee class's constructors, then run forward object
     taint from every allocation site. *)
 let advanced_callers ?(cfg = default_config) engine loops (callee : Jsig.meth) =
+  let attrs =
+    if Obs.Span.enabled () then
+      [ ("callee", Obs.Span.Str (Sym.to_string (Jsig.meth_sym callee))) ]
+    else []
+  in
+  Obs.Span.with_span ~cat:"slice" ~name:"object-taint" ~attrs @@ fun () ->
   let program = Bytesearch.Engine.program engine in
   let subsig = Jsig.sub_signature callee in
   let st =
@@ -291,4 +299,5 @@ let advanced_callers ?(cfg = default_config) engine loops (callee : Jsig.meth) =
        in
        List.iter (fun h -> start_from_site h ctor) hits)
     ctors;
+  Obs.Metrics.add m_steps st.steps;
   List.rev st.found

@@ -167,20 +167,42 @@ let lifecycle_resolution ctx (d : demand) (m : Jsig.meth) =
 (* ------------------------------------------------------------------ *)
 (* Tracing                                                             *)
 
+(* Resolution counters, one per strategy, registered up front so the
+   metrics snapshot lists all five even when a strategy never ran. *)
+let m_resolutions =
+  List.map
+    (fun s ->
+       (s, Obs.Metrics.counter ("resolve." ^ strategy_to_string s)))
+    [ Basic; Advanced; Clinit; Lifecycle; Icc ]
+
+let m_callers = Obs.Metrics.counter "resolve.callers"
+
+(* One resolution = one [Trace.event] through the context sink (the
+   [--trace] surface, shape unchanged) and one "resolve" span carrying the
+   same fields as attributes (the [--profile] surface). *)
 let traced ctx strategy query f =
   let engine = ctx.Context.engine in
   let s0 = Bytesearch.Engine.total_searches engine in
   let c0 = Bytesearch.Engine.cached_searches engine in
+  let span0 = Obs.Span.start () in
   let t0 = Unix.gettimeofday () in
   let r = f () in
   let elapsed_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+  let hits = List.length r.callers in
+  let searches = Bytesearch.Engine.total_searches engine - s0 in
+  let cached = Bytesearch.Engine.cached_searches engine - c0 in
+  Obs.Metrics.incr (List.assoc strategy m_resolutions);
+  Obs.Metrics.add m_callers hits;
+  if Obs.Span.pending span0 then
+    Obs.Span.emit ~cat:"resolve" ~name:(strategy_to_string strategy)
+      ~attrs:[ ("query", Obs.Span.Str query);
+               ("hits", Obs.Span.Int hits);
+               ("searches", Obs.Span.Int searches);
+               ("cached", Obs.Span.Int cached) ]
+      span0;
   ctx.Context.trace
     { Trace.strategy = strategy_to_string strategy;
-      query;
-      hits = List.length r.callers;
-      searches = Bytesearch.Engine.total_searches engine - s0;
-      cached = Bytesearch.Engine.cached_searches engine - c0;
-      elapsed_us };
+      query; hits; searches; cached; elapsed_us };
   r
 
 (* ------------------------------------------------------------------ *)

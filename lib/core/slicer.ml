@@ -681,10 +681,22 @@ let add_off_path_clinits (ctx : Context.t) =
        | None -> ())
     ctx.ssg.Ssg.global_static_taints
 
+let m_slices = Obs.Metrics.counter "slice.sinks"
+let m_partial = Obs.Metrics.counter "slice.partial"
+let m_work = Obs.Metrics.histogram "slice.work_items"
+
+let m_exhaustions =
+  List.map
+    (fun e ->
+       (e, Obs.Metrics.counter
+             ("budget.exhausted." ^ Context.exhaustion_to_string e)))
+    [ Context.Work; Context.Depth; Context.Deadline ]
+
 (** Slice one sink API call occurrence, producing its SSG and the typed
     budget outcome. *)
 let slice ~(shared : Context.shared) ?budget ~(sink : Sinks.t) ~sink_meth
     ~sink_site () =
+  let span0 = Obs.Span.start () in
   let ssg = Ssg.create ~sink ~sink_meth ~sink_site in
   let ctx = Context.create ?budget shared ~ssg in
   let program = ctx.Context.program in
@@ -717,4 +729,23 @@ let slice ~(shared : Context.shared) ?budget ~(sink : Sinks.t) ~sink_meth
      done;
      add_off_path_clinits ctx
    | Some { Jmethod.body = None; _ } | Some _ | None -> ());
-  (ssg, Context.outcome ctx)
+  let outcome = Context.outcome ctx in
+  Obs.Metrics.incr m_slices;
+  Obs.Metrics.observe m_work (float_of_int ctx.Context.work_count);
+  (match outcome with
+   | Context.Complete -> ()
+   | Context.Partial exs ->
+     Obs.Metrics.incr m_partial;
+     List.iter
+       (fun e ->
+          match List.assoc_opt e m_exhaustions with
+          | Some c -> Obs.Metrics.incr c
+          | None -> ())
+       exs);
+  if Obs.Span.pending span0 then
+    Obs.Span.emit ~cat:"slice" ~name:"sink"
+      ~attrs:[ ("sink", Obs.Span.Str (Sym.to_string (Jsig.meth_sym sink_meth)));
+               ("work", Obs.Span.Int ctx.Context.work_count);
+               ("outcome", Obs.Span.Str (Context.outcome_to_string outcome)) ]
+      span0;
+  (ssg, outcome)

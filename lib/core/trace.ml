@@ -27,29 +27,15 @@ let log_sink ev =
       l "resolve[%s] %s: %d callers, %d searches (%d cached), %.1fus"
         ev.strategy ev.query ev.hits ev.searches ev.cached ev.elapsed_us)
 
-(* -- JSON rendering (hand-rolled: no json dependency) ---------------- *)
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-       match c with
-       | '"' -> Buffer.add_string b "\\\""
-       | '\\' -> Buffer.add_string b "\\\\"
-       | '\n' -> Buffer.add_string b "\\n"
-       | '\t' -> Buffer.add_string b "\\t"
-       | c when Char.code c < 0x20 ->
-         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* -- JSON rendering (shared helpers: no json dependency) -------------- *)
 
 let event_to_json ev =
   Printf.sprintf
     "{\"strategy\":\"%s\",\"query\":\"%s\",\"hits\":%d,\"searches\":%d,\
-     \"cached\":%d,\"elapsed_us\":%.1f}"
-    (json_escape ev.strategy) (json_escape ev.query) ev.hits ev.searches
-    ev.cached ev.elapsed_us
+     \"cached\":%d,\"elapsed_us\":%s}"
+    (Obs.Jsonf.escape ev.strategy) (Obs.Jsonf.escape ev.query) ev.hits
+    ev.searches ev.cached
+    (Obs.Jsonf.number ev.elapsed_us)
 
 (* -- Ring buffer ----------------------------------------------------- *)
 
@@ -103,11 +89,9 @@ module Ring = struct
     Buffer.add_string b "]}";
     Buffer.contents b
 
-  let write_json t path =
-    let oc = open_out path in
-    output_string oc (to_json t);
-    output_char oc '\n';
-    close_out oc
+  (* [Obs.Io.with_file_out] closes the fd even if rendering or the write
+     raises — the bare open_out/close_out pair here used to leak it. *)
+  let write_json t path = Obs.Io.write_string path (to_json t)
 end
 
 (* -- Aggregation ------------------------------------------------------ *)

@@ -9,9 +9,20 @@ type t = {
   program : Ir.Program.t;
 }
 
-let of_lines lines program = { lines; arena = Arena.of_lines lines; program }
+let of_lines lines program =
+  let arena =
+    Obs.Span.with_span ~cat:"dex" ~name:"arena"
+      ~attrs:[ ("lines", Obs.Span.Int (Array.length lines)) ]
+      (fun () -> Arena.of_lines lines)
+  in
+  { lines; arena; program }
 
-let of_program p = of_lines (Array.of_list (Disasm.program_lines p)) p
+let of_program p =
+  let lines =
+    Obs.Span.with_span ~cat:"dex" ~name:"disasm" (fun () ->
+        Array.of_list (Disasm.program_lines p))
+  in
+  of_lines lines p
 
 (** Emulate multidex: disassemble each classesN.dex partition separately and
     merge the plaintexts, as BackDroid's preprocessing step does. *)

@@ -45,7 +45,27 @@ let run_corpus ?(progress = fun _ -> ()) opts =
   let n = List.length configs in
   let progress_lock = Mutex.create () in
   let started = Atomic.make 0 in
-  let run_one (cfg : G.config) =
+  let completed = Atomic.make 0 in
+  let t_start = Unix.gettimeofday () in
+  (* Completion heartbeat: elapsed time plus a naive remaining-time estimate
+     from the mean per-app cost so far.  Serialized by [progress_lock] with
+     the start lines. *)
+  let heartbeat () =
+    let d = 1 + Atomic.fetch_and_add completed 1 in
+    let elapsed = Unix.gettimeofday () -. t_start in
+    let eta = elapsed /. float_of_int d *. float_of_int (n - d) in
+    Mutex.lock progress_lock;
+    progress
+      (Printf.sprintf "[%d/%d done] %.1fs elapsed, ~%.1fs remaining" d n
+         elapsed eta);
+    Mutex.unlock progress_lock
+  in
+  (* [i + 1] is the app's stable logical pid in the exported trace (pid 0 is
+     the driver process); spans recorded while an app is analysed carry it
+     regardless of which pool domain ran the task. *)
+  let run_one (i, (cfg : G.config)) =
+    Obs.Span.with_pid (i + 1) @@ fun () ->
+    Obs.Span.with_span ~cat:"corpus" ~name:cfg.G.name @@ fun () ->
     let k = 1 + Atomic.fetch_and_add started 1 in
     Mutex.lock progress_lock;
     progress (Printf.sprintf "[%d/%d] %s" k n cfg.G.name);
@@ -57,11 +77,13 @@ let run_corpus ?(progress = fun _ -> ()) opts =
       Runner.run_flowdroid_cg ~timeout_s:opts.flowdroid_timeout_s app
     in
     let stamp m = { m with Runner.parallelism = opts.jobs } in
+    heartbeat ();
     (stamp m_bd, stamp m_am, stamp m_fd)
   in
   let results =
     Parallel.Pool.with_pool ~jobs:opts.jobs (fun pool ->
-        Parallel.Pool.parallel_map_list pool run_one configs)
+        Parallel.Pool.parallel_map_list pool run_one
+          (List.mapi (fun i cfg -> (i, cfg)) configs))
   in
   { backdroid = List.map (fun (m, _, _) -> m) results;
     amandroid = List.map (fun (_, m, _) -> m) results;

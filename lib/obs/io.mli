@@ -1,0 +1,9 @@
+(** Exception-safe file output for artifact writers. *)
+
+(** [with_file_out path f] opens [path] for writing, runs [f] on the
+    channel, and closes the channel whether [f] returns or raises. *)
+val with_file_out : string -> (out_channel -> 'a) -> 'a
+
+(** [write_string path s] writes [s] (newline-terminated) to [path],
+    closing the channel also on exception. *)
+val write_string : string -> string -> unit

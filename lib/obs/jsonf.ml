@@ -1,0 +1,43 @@
+(** Shared JSON fragment helpers for every hand-rolled writer in the tree
+    (trace rings, Chrome traces, metrics snapshots, bench artifacts).
+
+    The one rule that earns this module its existence: floats are clamped to
+    finite values before rendering.  [Printf "%f"] happily prints [inf] and
+    [nan], neither of which is valid JSON — a single non-finite elapsed time
+    used to poison a whole trace file. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** Clamp a float to a finite value: [nan -> 0.], [±inf -> ±max_float]. *)
+let clamp f =
+  if Float.is_nan f then 0.0
+  else if f = Float.infinity then Float.max_float
+  else if f = Float.neg_infinity then -.Float.max_float
+  else f
+
+(** Render a float as a JSON number with [dec] decimals (default 1),
+    clamping non-finite inputs first. *)
+let number ?(dec = 1) f = Printf.sprintf "%.*f" dec (clamp f)
+
+(** ["key": "escaped value"] *)
+let str_field k v = Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)
+
+(** ["key": n] *)
+let int_field k n = Printf.sprintf "\"%s\":%d" (escape k) n
+
+(** ["key": x.y], clamped *)
+let num_field ?dec k f =
+  Printf.sprintf "\"%s\":%s" (escape k) (number ?dec f)

@@ -1,0 +1,16 @@
+(** Shared JSON fragment helpers for the tree's hand-rolled writers (no json
+    dependency).  All float rendering clamps non-finite values first —
+    [Printf "%f"] prints [inf]/[nan], which is not valid JSON. *)
+
+(** JSON string-escape (quotes, backslashes, control characters). *)
+val escape : string -> string
+
+(** [nan -> 0.], [±inf -> ±max_float], finite floats unchanged. *)
+val clamp : float -> float
+
+(** Finite-clamped float as a JSON number with [dec] decimals (default 1). *)
+val number : ?dec:int -> float -> string
+
+val str_field : string -> string -> string
+val int_field : string -> int -> string
+val num_field : ?dec:int -> string -> float -> string

@@ -1,0 +1,55 @@
+(** Process-wide registry of named counters and log-scale histograms,
+    sharded per domain and merged deterministically.
+
+    Register handles once at module toplevel; recording touches only the
+    calling domain's shard (no mutex, no atomic RMW).  The merged counter
+    values and histogram bucket counts are integer sums across shards, so
+    they are independent of how the work was scheduled — identical at
+    [--jobs 1] and [--jobs N] whenever the underlying workload is.
+    Snapshot/reset while the instrumented workload is quiescent. *)
+
+type counter
+type histogram
+
+(** Interned registration (idempotent per name; a name keeps its kind). *)
+val counter : string -> counter
+
+val histogram : string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+(** Record a sample into log-2 buckets: bucket [k >= 1] covers
+    [2^(k-1), 2^k); bucket 0 covers values below 1 (and non-finite). *)
+val observe : histogram -> float -> unit
+
+(** Recording is on by default; [set_enabled false] makes every recording
+    call a single [Atomic.get] no-op (the [Obs.disabled] bench mode). *)
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+type histo = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (int * int) list;
+      (** (bucket exponent, count), non-zero only, ascending *)
+}
+
+type snapshot = {
+  counters : (string * int) list;      (** sorted by name *)
+  histograms : (string * histo) list;  (** sorted by name *)
+}
+
+(** Merge all shards into one deterministic snapshot. *)
+val snapshot : unit -> snapshot
+
+(** Zero every metric in every shard. *)
+val reset : unit -> unit
+
+val bucket_label : int -> string
+val render_table : snapshot -> string
+val render_json : snapshot -> string
+val write_json : string -> snapshot -> unit

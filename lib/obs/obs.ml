@@ -1,0 +1,28 @@
+(** The telemetry layer: hierarchical {!Span}s with a lock-free-per-domain
+    default recorder, a sharded deterministic {!Metrics} registry,
+    {!Chrome} trace-event export, a per-phase self-time {!Summary}, and the
+    shared {!Jsonf}/{!Io} helpers every artifact writer goes through.
+
+    Everything is off-by-default-cheap: with no span sink installed and
+    metrics disabled ({!disable}), the instrumentation costs one
+    [Atomic.get] per call site — the bench's [--obs-overhead] section
+    measures exactly this margin. *)
+
+module Jsonf = Jsonf
+module Io = Io
+module Span = Span
+module Metrics = Metrics
+module Chrome = Chrome
+module Summary = Summary
+
+(** Turn all recording off: removes the span sink and disables metrics. *)
+let disable () =
+  Span.set_sink None;
+  Metrics.set_enabled false
+
+(** (Re-)enable metrics recording.  Span recording turns on by installing a
+    sink ([Span.Recorder.install]). *)
+let enable_metrics () = Metrics.set_enabled true
+
+(** [true] when nothing records: no span sink and metrics disabled. *)
+let disabled () = (not (Span.enabled ())) && not (Metrics.enabled ())

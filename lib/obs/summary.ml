@@ -1,0 +1,109 @@
+(** Fold recorded spans into a per-phase self-time profile: for every
+    (category, name) pair, how many spans ran, their total (inclusive)
+    time, their *self* time (inclusive minus direct children — where the
+    wall clock actually went), and the single slowest instance.
+
+    Nesting is rebuilt per (pid, tid) with the same laminar stack sweep the
+    Chrome exporter uses; a span's direct children are subtracted from its
+    self time exactly once (a child's own children are the child's
+    problem). *)
+
+type row = {
+  r_cat : string;
+  r_name : string;
+  r_count : int;
+  r_total_us : float;   (** inclusive *)
+  r_self_us : float;    (** exclusive of direct children *)
+  r_max_us : float;     (** slowest single span, inclusive *)
+}
+
+(* Self time per span within one thread: sort enclosing-first, run a stack
+   of (span, direct-children-time cell); pushing a span charges its
+   inclusive duration to its direct parent's cell. *)
+let thread_self_times spans k =
+  let spans =
+    List.sort
+      (fun (a : Span.span) (b : Span.span) ->
+         match Float.compare a.t0_us b.t0_us with
+         | 0 -> Float.compare b.t1_us a.t1_us
+         | c -> c)
+      spans
+  in
+  let stack = ref [] in
+  let pop (s, children) = k s (Span.duration_us s -. !children) in
+  let contains (outer : Span.span) (inner : Span.span) =
+    inner.Span.t0_us >= outer.Span.t0_us
+    && inner.Span.t1_us <= outer.Span.t1_us
+  in
+  List.iter
+    (fun (s : Span.span) ->
+       let rec unwind () =
+         match !stack with
+         | ((top, _) as frame) :: rest when not (contains top s) ->
+           pop frame;
+           stack := rest;
+           unwind ()
+         | _ -> ()
+       in
+       unwind ();
+       (match !stack with
+        | (_, children) :: _ -> children := !children +. Span.duration_us s
+        | [] -> ());
+       stack := (s, ref 0.0) :: !stack)
+    spans;
+  List.iter pop !stack
+
+let compute spans =
+  let groups : (int * int, Span.span list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Span.span) ->
+       let key = (s.Span.pid, s.Span.tid) in
+       match Hashtbl.find_opt groups key with
+       | Some cell -> cell := s :: !cell
+       | None -> Hashtbl.add groups key (ref [ s ]))
+    spans;
+  let rows : (string * string, row ref) Hashtbl.t = Hashtbl.create 16 in
+  let record (s : Span.span) self_us =
+    let key = (s.Span.cat, s.Span.name) in
+    let dur = Span.duration_us s in
+    match Hashtbl.find_opt rows key with
+    | Some r ->
+      r :=
+        { !r with
+          r_count = !r.r_count + 1;
+          r_total_us = !r.r_total_us +. dur;
+          r_self_us = !r.r_self_us +. self_us;
+          r_max_us = Float.max !r.r_max_us dur }
+    | None ->
+      Hashtbl.add rows key
+        (ref
+           { r_cat = s.Span.cat; r_name = s.Span.name; r_count = 1;
+             r_total_us = dur; r_self_us = self_us; r_max_us = dur })
+  in
+  Hashtbl.iter (fun _ cell -> thread_self_times !cell record) groups;
+  Hashtbl.fold (fun _ r acc -> !r :: acc) rows []
+  |> List.sort (fun a b ->
+      match Float.compare b.r_self_us a.r_self_us with
+      | 0 -> compare (a.r_cat, a.r_name) (b.r_cat, b.r_name)
+      | c -> c)
+
+let us_pretty us =
+  if us >= 1e6 then Printf.sprintf "%8.2f s " (us /. 1e6)
+  else if us >= 1e3 then Printf.sprintf "%8.2f ms" (us /. 1e3)
+  else Printf.sprintf "%8.1f us" us
+
+let render rows =
+  let b = Buffer.create 1024 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let total_self = List.fold_left (fun a r -> a +. r.r_self_us) 0.0 rows in
+  bpf "  %-28s %6s %11s %11s %11s %6s\n" "phase (cat/name)" "count" "self"
+    "total" "max" "self%";
+  List.iter
+    (fun r ->
+       bpf "  %-28s %6d %11s %11s %11s %5.1f%%\n"
+         (r.r_cat ^ "/" ^ r.r_name)
+         r.r_count (us_pretty r.r_self_us) (us_pretty r.r_total_us)
+         (us_pretty r.r_max_us)
+         (if total_self > 0.0 then 100.0 *. r.r_self_us /. total_self else 0.0))
+    rows;
+  Buffer.contents b

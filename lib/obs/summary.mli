@@ -1,0 +1,15 @@
+(** Per-phase self-time profile folded from recorded spans: for each
+    (category, name), count, inclusive total, self time (total minus direct
+    children) and the slowest single instance.  Rows sort by self time. *)
+
+type row = {
+  r_cat : string;
+  r_name : string;
+  r_count : int;
+  r_total_us : float;
+  r_self_us : float;
+  r_max_us : float;
+}
+
+val compute : Span.span list -> row list
+val render : row list -> string

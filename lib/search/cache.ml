@@ -12,6 +12,10 @@
     scheduling-independent, which the jobs=1-vs-jobs=N determinism guarantee
     relies on. *)
 
+let m_hits = Obs.Metrics.counter "search.cache.hits"
+let m_misses = Obs.Metrics.counter "search.cache.misses"
+let m_compute_us = Obs.Metrics.histogram "search.compute_us"
+
 type category_stat = {
   mutable c_total : int;
   mutable c_cached : int;
@@ -68,14 +72,17 @@ let find_or_add t query compute =
       match Query_tbl.find_opt t.table query with
       | Some hits ->
         bump t cat ~was_cached:true;
+        Obs.Metrics.incr m_hits;
         hits
       | None ->
         bump t cat ~was_cached:false;
+        Obs.Metrics.incr m_misses;
         let t0 = Unix.gettimeofday () in
         let hits = compute () in
+        let elapsed_us = (Unix.gettimeofday () -. t0) *. 1e6 in
         let c = cat_stat t cat in
-        c.c_compute_us <-
-          c.c_compute_us +. ((Unix.gettimeofday () -. t0) *. 1e6);
+        c.c_compute_us <- c.c_compute_us +. elapsed_us;
+        Obs.Metrics.observe m_compute_us elapsed_us;
         Query_tbl.replace t.table query hits;
         hits)
 

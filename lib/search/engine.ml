@@ -197,6 +197,16 @@ let build_postings ?pool dex c =
            shard_build dex c ~lo ~hi))
   | Some _ | None -> finalize_shard (shard_build dex c ~lo:0 ~hi:n)
 
+let m_builds = Obs.Metrics.counter "search.postings.builds"
+let m_slots = Obs.Metrics.counter "search.postings.slots"
+let m_bytes = Obs.Metrics.counter "search.postings.bytes"
+
+(* Rough live size of one postings table: per key a bucket entry plus a boxed
+   int array of slots (header + one word per slot). *)
+let postings_bytes (p : postings) =
+  let word = Sys.word_size / 8 in
+  Hashtbl.fold (fun _ slots acc -> acc + ((4 + Array.length slots) * word)) p 0
+
 (* Double-checked lazy build.  [pool] is passed only from eager create-time
    builds; lazy builds run sequentially (see the module comment). *)
 let ensure_category ?pool t c =
@@ -208,9 +218,18 @@ let ensure_category ?pool t c =
         match Atomic.get t.tables.(c) with
         | Some p -> p
         | None ->
+          let span0 = Obs.Span.start () in
           let t0 = Unix.gettimeofday () in
           let p = build_postings ?pool t.dex c in
           t.build_us.(c) <- (Unix.gettimeofday () -. t0) *. 1e6;
+          let slots = Hashtbl.fold (fun _ s acc -> acc + Array.length s) p 0 in
+          Obs.Metrics.incr m_builds;
+          Obs.Metrics.add m_slots slots;
+          Obs.Metrics.add m_bytes (postings_bytes p);
+          Obs.Span.emit ~cat:"search" ~name:("build:" ^ category_name c)
+            ~attrs:[ ("keys", Obs.Span.Int (Hashtbl.length p));
+                     ("slots", Obs.Span.Int slots) ]
+            span0;
           Atomic.set t.tables.(c) (Some p);
           p)
 

@@ -5,4 +5,5 @@ let () =
      @ Test_manifest.suites @ Test_appgen.suites @ Test_shapes.suites
      @ Test_baseline.suites @ Test_core_units.suites @ Test_eval.suites
      @ Test_robustness.suites @ Test_searches_deep.suites
-     @ Test_resolver.suites @ Test_misc.suites @ Test_parallel.suites)
+     @ Test_resolver.suites @ Test_misc.suites @ Test_parallel.suites
+     @ Test_obs.suites)
