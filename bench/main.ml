@@ -10,8 +10,8 @@
 
    Usage: dune exec bench/main.exe
             [-- --quick | --micro-only | --experiments-only | --speedup-only
-               | --trace-only | --search-only | --obs-overhead | --smoke
-               | --jobs N]
+               | --trace-only | --search-only | --obs-overhead | --snapshot
+               | --smoke | --jobs N]
 
    --jobs N sets the worker-pool width for the per-app experiment fan-out
    and the parallel/speedup benchmark (default: all cores but one).
@@ -329,8 +329,12 @@ let run_obs_overhead ~app =
   in
   (* Interleaved best-of-batches: the three states take turns batch by
      batch, so heap growth and clock drift hit all of them equally; each
-     state keeps its minimum batch mean (jitter only ever adds). *)
-  let reps = 25 and batches = 4 in
+     state keeps its minimum batch mean (jitter only ever adds).  The order
+     of the states rotates each batch — with a fixed order, a periodic
+     disturbance (GC major slice, frequency step) always lands on the same
+     state and biases the margin, which is exactly the failure mode that
+     once inflated the committed overhead number to ~29%. *)
+  let reps = 25 and batches = 6 in
   let time_batch () =
     let t0 = Unix.gettimeofday () in
     for _ = 1 to reps do analyze () done;
@@ -340,16 +344,28 @@ let run_obs_overhead ~app =
   let t_off = ref Float.infinity
   and t_metrics = ref Float.infinity
   and t_on = ref Float.infinity in
+  let states =
+    [| (fun () ->
+          Obs.disable ();
+          t_off := Float.min !t_off (time_batch ()));
+       (fun () ->
+          Obs.disable ();
+          Obs.enable_metrics ();
+          t_metrics := Float.min !t_metrics (time_batch ()));
+       (fun () ->
+          Obs.enable_metrics ();
+          Obs.Span.Recorder.install recorder;
+          t_on := Float.min !t_on (time_batch ());
+          Obs.Span.set_sink None) |]
+  in
   analyze ();  (* warmup *)
-  for _ = 1 to batches do
-    Obs.disable ();
-    t_off := Float.min !t_off (time_batch ());
-    Obs.enable_metrics ();
-    t_metrics := Float.min !t_metrics (time_batch ());
-    Obs.Span.Recorder.install recorder;
-    t_on := Float.min !t_on (time_batch ());
-    Obs.Span.set_sink None
+  for b = 0 to batches - 1 do
+    for k = 0 to 2 do
+      states.((b + k) mod 3) ()
+    done
   done;
+  Obs.disable ();
+  Obs.enable_metrics ();
   let t_off = !t_off and t_metrics = !t_metrics and t_on = !t_on in
   let spans = Obs.Span.Recorder.spans recorder in
   let r =
@@ -399,7 +415,125 @@ let obs_overhead_json r =
     (Obs.Jsonf.num_field ~dec:2 "profile_overhead_pct" r.oo_profile_overhead_pct)
     (Obs.Jsonf.int_field "spans" r.oo_spans)
 
-let search_json_of_results ?obs ~lines ~queries ~identical results =
+(* ------------------------------------------------------------------ *)
+(* snapshot: cold-vs-warm preprocessing.  Cold = disassemble the program
+   and build every postings category; warm = map the saved snapshot back.
+   Both sides then run the search-core query set uncached, asserting
+   identical hits, with Gc minor-word deltas alongside the latencies. *)
+
+type snapshot_bench = {
+  sb_file_bytes : int;
+  sb_cold_us : float;         (** disassembly + eager index build *)
+  sb_warm_us : float;         (** snapshot load (mmap + validation) *)
+  sb_speedup : float;
+  sb_cold_minor_words : float;
+  sb_warm_minor_words : float;
+  sb_cold_query_us : float;
+  sb_warm_query_us : float;
+  sb_identical : bool;
+}
+
+let run_queries engine queries =
+  let fp = ref 0 and hits = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun q ->
+       List.iter
+         (fun (h : Bytesearch.Engine.hit) ->
+            incr hits;
+            fp := !fp lxor Hashtbl.hash (h.line_no, h.text))
+         (Bytesearch.Engine.run_uncached engine q))
+    queries;
+  ((Unix.gettimeofday () -. t0) *. 1e6, !hits, !fp)
+
+let run_snapshot_bench ~app =
+  print_endline "\n== snapshot: cold preprocess vs warm (mmap) start ==";
+  let program = app.G.program in
+  let queries = search_core_queries program in
+  let path = Filename.temp_file "backdroid_snapshot" ".bdix" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let best = 3 in
+  (* cold: disassembly + all seven postings categories *)
+  let cold_us = ref Float.infinity and cold_mw = ref Float.infinity in
+  let cold_engine = ref None in
+  for _ = 1 to best do
+    Gc.compact ();
+    let mw0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let dex = Dex.Dexfile.of_program program in
+    let e = Bytesearch.Engine.create ~eager:true dex in
+    cold_us := Float.min !cold_us ((Unix.gettimeofday () -. t0) *. 1e6);
+    cold_mw := Float.min !cold_mw (Gc.minor_words () -. mw0);
+    cold_engine := Some e
+  done;
+  let cold_engine = Option.get !cold_engine in
+  let file_bytes = Store.Snapshot.save ~path cold_engine in
+  (* warm: map the snapshot back *)
+  let warm_us = ref Float.infinity and warm_mw = ref Float.infinity in
+  let warm_engine = ref None in
+  for _ = 1 to best do
+    Gc.compact ();
+    let mw0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    (match Store.Snapshot.load ~path ~program with
+     | Ok e -> warm_engine := Some e
+     | Error e ->
+       Printf.eprintf "snapshot bench: load failed: %s\n"
+         (Store.Codec.error_to_string e);
+       exit 1);
+    warm_us := Float.min !warm_us ((Unix.gettimeofday () -. t0) *. 1e6);
+    warm_mw := Float.min !warm_mw (Gc.minor_words () -. mw0)
+  done;
+  let warm_engine = Option.get !warm_engine in
+  let cold_q, cold_hits, cold_fp = run_queries cold_engine queries in
+  let warm_q, warm_hits, warm_fp = run_queries warm_engine queries in
+  let r =
+    { sb_file_bytes = file_bytes;
+      sb_cold_us = !cold_us;
+      sb_warm_us = !warm_us;
+      sb_speedup = !cold_us /. !warm_us;
+      sb_cold_minor_words = !cold_mw;
+      sb_warm_minor_words = !warm_mw;
+      sb_cold_query_us = cold_q;
+      sb_warm_query_us = warm_q;
+      sb_identical = cold_hits = warm_hits && cold_fp = warm_fp }
+  in
+  Printf.printf "  %-42s %10d bytes\n" "snapshot file" r.sb_file_bytes;
+  Printf.printf "  %-42s %10.1f us\n" "cold preprocess (disassemble + index)"
+    r.sb_cold_us;
+  Printf.printf "  %-42s %10.1f us\n" "warm preprocess (snapshot load)"
+    r.sb_warm_us;
+  Printf.printf "  %-42s %9.1fx  (goal: >= 5x)\n" "warm-start speedup"
+    r.sb_speedup;
+  Printf.printf "  %-42s %10.0f\n" "cold minor words" r.sb_cold_minor_words;
+  Printf.printf "  %-42s %10.0f\n" "warm minor words" r.sb_warm_minor_words;
+  Printf.printf "  %-42s %10.1f us\n" "queries, cold engine" r.sb_cold_query_us;
+  Printf.printf "  %-42s %10.1f us\n" "queries, warm engine" r.sb_warm_query_us;
+  Printf.printf "  identical hits cold vs warm: %b\n" r.sb_identical;
+  if not r.sb_identical then begin
+    prerr_endline "snapshot bench: warm engine returned different hits";
+    exit 1
+  end;
+  if r.sb_speedup < 5.0 then
+    Printf.eprintf
+      "snapshot bench: warning: warm-start speedup %.1fx below the 5x goal\n"
+      r.sb_speedup;
+  r
+
+let snapshot_json r =
+  Printf.sprintf "{%s, %s, %s, %s, %s, %s, %s, %s, \"identical_hits\": %b}"
+    (Obs.Jsonf.int_field "file_bytes" r.sb_file_bytes)
+    (Obs.Jsonf.num_field "cold_preprocess_us" r.sb_cold_us)
+    (Obs.Jsonf.num_field "warm_preprocess_us" r.sb_warm_us)
+    (Obs.Jsonf.num_field ~dec:2 "speedup" r.sb_speedup)
+    (Obs.Jsonf.num_field "cold_minor_words" r.sb_cold_minor_words)
+    (Obs.Jsonf.num_field "warm_minor_words" r.sb_warm_minor_words)
+    (Obs.Jsonf.num_field "cold_query_us" r.sb_cold_query_us)
+    (Obs.Jsonf.num_field "warm_query_us" r.sb_warm_query_us)
+    r.sb_identical
+
+let search_json_of_results ?obs ?snapshot ~lines ~queries ~identical results =
   let mode_json r =
     let build =
       String.concat ", "
@@ -419,25 +553,44 @@ let search_json_of_results ?obs ~lines ~queries ~identical results =
   in
   Printf.sprintf
     "{\n  \"fixture\": {\"lines\": %d, \"queries\": %d},\n\
-    \  \"identical_hits\": %b,\n%s\
+    \  \"identical_hits\": %b,\n%s%s\
     \  \"modes\": [\n%s\n  ]\n}\n"
     lines queries identical
     (match obs with
      | Some r -> Printf.sprintf "  \"obs_overhead\": %s,\n" (obs_overhead_json r)
      | None -> "")
+    (match snapshot with
+     | Some r -> Printf.sprintf "  \"snapshot\": %s,\n" (snapshot_json r)
+     | None -> "")
     (String.concat ",\n" (List.map mode_json results))
 
-let run_search_core ?obs ~app ~json_path () =
-  print_endline "\n== search-core: scan vs lazy vs eager postings (GC-aware) ==";
+let run_search_core ?obs ?snapshot ~app ~json_path () =
+  print_endline
+    "\n== search-core: scan vs lazy vs eager vs snapshot (GC-aware) ==";
   let queries = search_core_queries app.G.program in
   let dex = app.G.dex in
+  (* the snapshot mode maps a pre-saved file; its "build" cost is the load *)
+  let snap_path = Filename.temp_file "backdroid_search" ".bdix" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove snap_path with Sys_error _ -> ())
+  @@ fun () ->
+  ignore (Store.Snapshot.save ~path:snap_path (Bytesearch.Engine.create dex));
   let results =
     [ measure_search_mode ~name:"scan" ~queries (fun () ->
           Bytesearch.Engine.create ~indexed:false dex);
       measure_search_mode ~name:"lazy" ~queries (fun () ->
           Bytesearch.Engine.create dex);
       measure_search_mode ~name:"eager" ~queries (fun () ->
-          Bytesearch.Engine.create ~eager:true dex) ]
+          Bytesearch.Engine.create ~eager:true dex);
+      measure_search_mode ~name:"snapshot" ~queries (fun () ->
+          match
+            Store.Snapshot.load ~path:snap_path ~program:app.G.program
+          with
+          | Ok e -> e
+          | Error e ->
+            Printf.eprintf "search-core: snapshot load failed: %s\n"
+              (Store.Codec.error_to_string e);
+            exit 1) ]
   in
   let identical =
     match results with
@@ -470,7 +623,7 @@ let run_search_core ?obs ~app ~json_path () =
     exit 1
   end;
   let json =
-    search_json_of_results ?obs ~lines:(Dex.Dexfile.line_count dex)
+    search_json_of_results ?obs ?snapshot ~lines:(Dex.Dexfile.line_count dex)
       ~queries:(List.length queries) ~identical results
   in
   Obs.Io.write_string json_path json;
@@ -503,7 +656,30 @@ let () =
     run_trace_profile ~app:(Lazy.force small);
     let obs, obs_spans = run_obs_overhead ~app:(Lazy.force small) in
     check_obs_exporter obs_spans;
-    run_search_core ~obs ~app:(Lazy.force small)
+    (* the committed README claims <2% default-state overhead; a recomputed
+       number an order of magnitude past that means the hot path (or this
+       harness) regressed, so fail the smoke run *)
+    if obs.oo_overhead_pct > 10.0 then begin
+      Printf.eprintf
+        "obs-overhead: recomputed default-state overhead %.2f%% is far \
+         beyond the committed <2%% claim\n"
+        obs.oo_overhead_pct;
+      exit 1
+    end;
+    (* the medium fixture, not small: the warm-start speedup is the claim
+       under test and the fixed per-load validation floor (strings, owner
+       parsing) dilutes it on tiny apps *)
+    let snapshot = run_snapshot_bench ~app:(Lazy.force medium) in
+    (* identical hits are asserted inside run_snapshot_bench; the 5x goal
+       is a warning there (timings are machine-dependent), but a warm start
+       that is not even 2x faster means the load path regressed *)
+    if snapshot.sb_speedup < 2.0 then begin
+      Printf.eprintf
+        "snapshot: warm start only %.1fx faster than cold preprocess\n"
+        snapshot.sb_speedup;
+      exit 1
+    end;
+    run_search_core ~obs ~snapshot ~app:(Lazy.force small)
       ~json_path:"BENCH_search.json" ();
     let opts =
       { Evalharness.Experiments.default_opts with
@@ -520,6 +696,7 @@ let () =
     let only =
       has "--micro-only" || has "--experiments-only" || has "--speedup-only"
       || has "--trace-only" || has "--search-only" || has "--obs-overhead"
+      || has "--snapshot"
     in
     if (not only) || has "--micro-only" then run_micro ();
     if (not only) || has "--trace-only" then
@@ -534,8 +711,15 @@ let () =
       end
       else None
     in
+    let snapshot =
+      if (not only) || has "--snapshot" || has "--search-only" then
+        Some
+          (run_snapshot_bench
+             ~app:(Lazy.force (if quick then small else medium)))
+      else None
+    in
     if (not only) || has "--search-only" then
-      run_search_core ?obs
+      run_search_core ?obs ?snapshot
         ~app:(Lazy.force (if quick then small else medium))
         ~json_path:"BENCH_search.json" ();
     if (not only) || has "--speedup-only" then run_speedup ~jobs;

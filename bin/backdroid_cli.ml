@@ -74,13 +74,13 @@ let insecure_t =
     value & flag
     & info [ "insecure" ] ~doc:"Plant insecure parameter values (default secure).")
 
-let make_app ~seed ~size_mb ~plants ~insecure =
+let make_app ?(build_dex = true) ~seed ~size_mb ~plants ~insecure () =
   let plants =
     List.map
       (fun (shape, sink) -> { G.shape; sink; insecure })
       (if plants = [] then [ Shape.Direct, Sinks.cipher ] else plants)
   in
-  G.generate
+  G.generate ~build_dex
     { G.default_config with
       G.seed;
       name = Printf.sprintf "com.cli.app%d" seed;
@@ -96,7 +96,7 @@ let generate_cmd =
     Arg.(value & flag & info [ "dump-dex" ] ~doc:"Print the dexdump plaintext.")
   in
   let run seed size_mb plants insecure dump_dex =
-    let app = make_app ~seed ~size_mb ~plants ~insecure in
+    let app = make_app ~seed ~size_mb ~plants ~insecure () in
     Printf.printf "app %s: %d classes, %d methods, %d stmts, %d dex lines\n"
       app.G.name
       (Ir.Program.class_count app.G.program)
@@ -202,11 +202,65 @@ let analyze_cmd =
             "Build all search postings categories at engine construction \
              instead of lazily on first query of each category.")
   in
+  let save_index_t =
+    Arg.(
+      value & opt ~vopt:(Some "auto") (some string) None
+      & info [ "save-index" ] ~docv:"PATH"
+          ~doc:
+            "Serialize the preprocessing snapshot (symbol table, dexdump \
+             lines, hit arena, all postings) to $(docv) after building it; \
+             without a value, an auto path derived from the app id and \
+             snapshot format version in the current directory.")
+  in
+  let load_index_t =
+    Arg.(
+      value & opt ~vopt:(Some "auto") (some string) None
+      & info [ "load-index" ] ~docv:"PATH"
+          ~doc:
+            "Warm start: map the preprocessing snapshot at $(docv) (or the \
+             auto path, without a value) instead of disassembling and \
+             indexing; the analysis output is identical to a cold run.")
+  in
   let run seed size_mb plants insecure dump_ssg subclass_aware eager_index jobs
-      verbose trace_file time_limit_ms profile metrics =
+      verbose trace_file time_limit_ms save_index load_index profile metrics =
     setup_logs verbose;
     let recorder = setup_obs ~profile in
-    let app = make_app ~seed ~size_mb ~plants ~insecure in
+    let app =
+      make_app ~build_dex:(load_index = None) ~seed ~size_mb ~plants ~insecure
+        ()
+    in
+    let index_path = function
+      | "auto" -> Store.Snapshot.default_path ~dir:"." ~app_id:app.G.name
+      | p -> p
+    in
+    let engine =
+      match load_index with
+      | None -> None
+      | Some p ->
+        let path = index_path p in
+        (match Store.Snapshot.load ~path ~program:app.G.program with
+         | Ok e ->
+           Printf.printf "index: loaded %s\n" path;
+           Some e
+         | Error err ->
+           Printf.eprintf "error: cannot load index %s: %s\n" path
+             (Store.Codec.error_to_string err);
+           exit 1)
+    in
+    let engine =
+      match save_index with
+      | None -> engine
+      | Some p ->
+        let path = index_path p in
+        let e =
+          match engine with
+          | Some e -> e
+          | None -> Bytesearch.Engine.create app.G.dex
+        in
+        let bytes = Store.Snapshot.save ~path e in
+        Printf.printf "index: saved %s (%d bytes)\n" path bytes;
+        Some e
+    in
     let ring =
       match trace_file with
       | Some _ -> Some (Backdroid.Trace.Ring.create ())
@@ -226,7 +280,10 @@ let analyze_cmd =
            | None -> Backdroid.Trace.log_sink) }
     in
     let t0 = Unix.gettimeofday () in
-    let r = Backdroid.Driver.analyze ~cfg ~dex:app.G.dex ~manifest:app.G.manifest () in
+    let r =
+      Backdroid.Driver.analyze ~cfg ?engine ~dex:app.G.dex
+        ~manifest:app.G.manifest ()
+    in
     let dt = Unix.gettimeofday () -. t0 in
     Printf.printf "analyzed %s in %.3fs: %d sink calls\n" app.G.name dt
       r.Backdroid.Driver.stats.Backdroid.Driver.sink_calls;
@@ -270,7 +327,7 @@ let analyze_cmd =
     Term.(
       const run $ seed_t $ size_t $ shapes_t $ insecure_t $ dump_ssg
       $ subclass_aware $ eager_index_t $ jobs_t $ verbose_t $ trace_t
-      $ time_limit_t $ profile_t $ metrics_t)
+      $ time_limit_t $ save_index_t $ load_index_t $ profile_t $ metrics_t)
 
 (* --- compare --- *)
 
@@ -282,7 +339,7 @@ let compare_cmd =
           ~doc:"Baseline timeout (stands in for the paper's 300 minutes).")
   in
   let run seed size_mb plants insecure timeout_s =
-    let app = make_app ~seed ~size_mb ~plants ~insecure in
+    let app = make_app ~seed ~size_mb ~plants ~insecure () in
     let bd, _ = Evalharness.Runner.run_backdroid app in
     let am, _ = Evalharness.Runner.run_amandroid ~timeout_s app in
     Printf.printf "%-14s %-10s %-10s %-8s\n" "tool" "time(s)" "insecure" "status";
@@ -312,7 +369,16 @@ let experiments_cmd =
       value & opt (some int) None
       & info [ "count" ] ~docv:"N" ~doc:"Corpus size (default 144).")
   in
-  let run quick count jobs =
+  let snapshot_dir_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "snapshot-dir" ] ~docv:"DIR"
+          ~doc:
+            "Warm-cache mode: save each app's preprocessing snapshot into \
+             $(docv) on first encounter and map it back on the next run, \
+             skipping disassembly and index construction.")
+  in
+  let run quick count jobs snapshot_dir =
     let opts =
       if quick then
         { Evalharness.Experiments.default_opts with
@@ -325,12 +391,12 @@ let experiments_cmd =
       | Some c -> { opts with Evalharness.Experiments.count = c }
       | None -> opts
     in
-    let opts = { opts with Evalharness.Experiments.jobs } in
+    let opts = { opts with Evalharness.Experiments.jobs; snapshot_dir } in
     Evalharness.Experiments.run_all ~opts ()
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ quick $ count_t $ jobs_t)
+    Term.(const run $ quick $ count_t $ jobs_t $ snapshot_dir_t)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

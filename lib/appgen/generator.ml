@@ -62,7 +62,7 @@ let package_of_name name =
     name;
   Buffer.contents b
 
-let generate (cfg : config) =
+let generate ?(build_dex = true) (cfg : config) =
   let rng = Rng.create cfg.seed in
   let pkg = package_of_name cfg.name in
   (* shared-util plants form one group behind a common hub class; all other
@@ -116,7 +116,8 @@ let generate (cfg : config) =
   in
   let manifest = Manifest.App_manifest.make ~package:pkg ~components in
   let dex =
-    if cfg.multidex then begin
+    if not build_dex then Dex.Dexfile.empty program
+    else if cfg.multidex then begin
       (* split app classes into classes.dex / classes2.dex style partitions *)
       let app_names =
         List.filter_map

@@ -33,7 +33,11 @@ type app = {
 
 (** Sanitise an app name into a Java package fragment. *)
 val package_of_name : string -> string
-val generate : config -> app
+
+(** Generate the app.  [build_dex:false] skips disassembly and leaves
+    {!app.dex} as {!Dex.Dexfile.empty} — the warm-start path, where a
+    snapshot load is about to supply the lines, arena and postings. *)
+val generate : ?build_dex:bool -> config -> app
 
 (** Approximate on-disk size in "MB" for reporting, from our calibration of
     statements per megabyte (see {!Corpus.stmts_per_mb}). *)

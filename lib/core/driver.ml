@@ -250,24 +250,47 @@ let analyze_group ~cfg ~engine ~manifest group =
     g_partial = !partial }
 
 (** Analyze one app.  [pool] (otherwise created from [cfg.jobs]) drives the
-    sharded index build and the per-sink-group fan-out. *)
-let analyze ?(cfg = default_config) ?pool ~(dex : Dex.Dexfile.t)
+    sharded index build and the per-sink-group fan-out.  [engine] is a
+    premade engine (a snapshot warm start); its dexfile takes the place of
+    [dex] — unless the reflection transform rewrites call sites, which
+    invalidates any prebuilt index, so the engine is discarded (with a
+    warning) and the rewritten program is indexed cold. *)
+let analyze ?(cfg = default_config) ?pool ?engine ~(dex : Dex.Dexfile.t)
     ~(manifest : Manifest.App_manifest.t) () =
   let run pool =
     Obs.Span.with_span ~cat:"app" ~name:"analyze" @@ fun () ->
+    let premade = ref engine in
+    let dex =
+      match engine with
+      | Some e -> Bytesearch.Engine.dexfile e
+      | None -> dex
+    in
     let dex =
       if cfg.resolve_reflection then
         Obs.Span.with_span ~cat:"app" ~name:"reflection" (fun () ->
             let program', rewrites =
               Reflection.transform dex.Dex.Dexfile.program
             in
-            if rewrites = 0 then dex else Dex.Dexfile.of_program program')
+            if rewrites = 0 then dex
+            else begin
+              (match !premade with
+               | Some _ ->
+                 Log.warn (fun m ->
+                     m "reflection rewrote %d sites; discarding preloaded \
+                        index, rebuilding cold" rewrites);
+                 premade := None
+               | None -> ());
+              Dex.Dexfile.of_program program'
+            end)
       else dex
     in
     let engine =
-      Obs.Span.with_span ~cat:"app" ~name:"engine-create" (fun () ->
-          Bytesearch.Engine.create ~indexed:cfg.indexed_search
-            ~eager:cfg.eager_index ~pool dex)
+      match !premade with
+      | Some e -> e
+      | None ->
+        Obs.Span.with_span ~cat:"app" ~name:"engine-create" (fun () ->
+            Bytesearch.Engine.create ~indexed:cfg.indexed_search
+              ~eager:cfg.eager_index ~pool dex)
     in
     let occurrences =
       Obs.Span.with_span ~cat:"app" ~name:"initial-search" (fun () ->

@@ -82,8 +82,14 @@ val initial_sink_search :
 (** Analyze one app.  [pool] reuses an existing domain pool for the sharded
     index build and the per-sink-group fan-out; without it a fresh pool of
     [cfg.jobs] is created for the call (so [cfg.jobs = 1] is exactly the
-    sequential path). *)
+    sequential path).  [engine] supplies a premade search engine (a
+    snapshot warm start): its dexfile replaces [dex] and no index is built —
+    unless [cfg.resolve_reflection] actually rewrites call sites, which
+    invalidates any prebuilt index, so the engine is discarded (with a
+    logged warning) and the rewritten program is indexed cold.  Warm and
+    cold runs produce identical results. *)
 val analyze :
   ?cfg:config ->
   ?pool:Parallel.Pool.t ->
+  ?engine:Bytesearch.Engine.t ->
   dex:Dex.Dexfile.t -> manifest:Manifest.App_manifest.t -> unit -> result

@@ -4,14 +4,14 @@
     slot records the line's position, IR statement index, owner and — when
     the disassembler classified the line — the interned searchable operand
     and its category.  The search engine's per-category postings are sorted
-    int arrays of slots, and a hit record is materialised from a slot only
+    int vectors of slots, and a hit record is materialised from a slot only
     when a query actually returns it.
 
-    The unboxed int arrays replace the per-hit records the old eager index
-    allocated for every instruction line up front: seven hashtables of
-    boxed [hit list] buckets become a handful of flat arrays shared by all
+    The unboxed off-heap columns replace the per-hit records the old eager
+    index allocated for every instruction line up front: seven hashtables of
+    boxed [hit list] buckets become a handful of flat vectors shared by all
     categories, which both shrinks the live heap and stops the GC from
-    tracing a pointer per indexed line. *)
+    tracing (or even seeing) a word per indexed line. *)
 
 (* Category codes for [cat]; [-1] marks an unclassified slot. *)
 let cat_invoke = 0
@@ -23,16 +23,16 @@ let cat_static_field = 5
 let cat_none = -1
 
 type t = {
-  line_idx : int array;  (** slot -> index into the dexfile line array *)
-  stmt_idx : int array;  (** slot -> IR statement index; [-1] = none *)
-  owner_id : int array;  (** slot -> index into [owners] / [owner_cls] *)
-  cat : int array;       (** slot -> category code; [cat_none] = unkeyed *)
-  sym : int array;       (** slot -> [Sym.id] of the operand; [-1] = unkeyed *)
+  line_idx : Ivec.t;  (** slot -> index into the dexfile line array *)
+  stmt_idx : Ivec.t;  (** slot -> IR statement index; [-1] = none *)
+  owner_id : Ivec.t;  (** slot -> index into [owners] / [owner_cls] *)
+  cat : Ivec.t;       (** slot -> category code; [cat_none] = unkeyed *)
+  sym : Ivec.t;       (** slot -> [Sym.id] of the operand; [-1] = unkeyed *)
   owners : Ir.Jsig.meth array;      (** unique enclosing methods *)
   owner_cls : string array;         (** enclosing class, parallel to [owners] *)
 }
 
-let length t = Array.length t.line_idx
+let length t = Ivec.length t.line_idx
 
 let key_code : Disasm.key -> int * int = function
   | K_invoke s -> (cat_invoke, Sym.id s)
@@ -49,11 +49,11 @@ let of_lines (lines : Disasm.line array) =
     (fun (l : Disasm.line) -> if l.owner <> None then incr n_slots)
     lines;
   let n = !n_slots in
-  let line_idx = Array.make n 0 in
-  let stmt_idx = Array.make n (-1) in
-  let owner_id = Array.make n 0 in
-  let cat = Array.make n cat_none in
-  let sym = Array.make n (-1) in
+  let line_idx = Ivec.create n in
+  let stmt_idx = Ivec.create n in
+  let owner_id = Ivec.create n in
+  let cat = Ivec.create n in
+  let sym = Ivec.create n in
   let owner_tbl : int Ir.Jsig.Meth_tbl.t = Ir.Jsig.Meth_tbl.create 256 in
   let owners = ref [] and owner_cls = ref [] and n_owners = ref 0 in
   let slot = ref 0 in
@@ -64,9 +64,9 @@ let of_lines (lines : Disasm.line array) =
        | Some owner ->
          let s = !slot in
          incr slot;
-         line_idx.(s) <- i;
-         stmt_idx.(s) <- Option.value ~default:(-1) l.stmt_idx;
-         owner_id.(s) <-
+         Ivec.set line_idx s i;
+         Ivec.set stmt_idx s (Option.value ~default:(-1) l.stmt_idx);
+         Ivec.set owner_id s
            (match Ir.Jsig.Meth_tbl.find_opt owner_tbl owner with
             | Some id -> id
             | None ->
@@ -77,8 +77,8 @@ let of_lines (lines : Disasm.line array) =
               owner_cls := Option.value ~default:"" l.owner_cls :: !owner_cls;
               id);
          let c, sy = key_code l.key in
-         cat.(s) <- c;
-         sym.(s) <- sy)
+         Ivec.set cat s c;
+         Ivec.set sym s sy)
     lines;
   { line_idx; stmt_idx; owner_id; cat; sym;
     owners = Array.of_list (List.rev !owners);

@@ -4,7 +4,11 @@
     are in line order.  Per-category search postings index into this arena
     with plain ints, and hit records are materialised from a slot only when
     a query returns it — the arena replaces the per-line boxed hit records
-    the old eager index allocated up front. *)
+    the old eager index allocated up front.
+
+    The int columns are {!Ivec.t}s: the payload lives off the OCaml heap,
+    invisible to the GC, and a snapshot load can alias them to mmapped file
+    sections instead of rebuilding them. *)
 
 (** Category codes stored in {!t.cat}. *)
 val cat_invoke : int
@@ -18,11 +22,11 @@ val cat_static_field : int
 val cat_none : int
 
 type t = {
-  line_idx : int array;  (** slot -> index into the dexfile line array *)
-  stmt_idx : int array;  (** slot -> IR statement index; [-1] = none *)
-  owner_id : int array;  (** slot -> index into [owners] / [owner_cls] *)
-  cat : int array;       (** slot -> category code; {!cat_none} = unkeyed *)
-  sym : int array;       (** slot -> [Sym.id] of the operand; [-1] = unkeyed *)
+  line_idx : Ivec.t;  (** slot -> index into the dexfile line array *)
+  stmt_idx : Ivec.t;  (** slot -> IR statement index; [-1] = none *)
+  owner_id : Ivec.t;  (** slot -> index into [owners] / [owner_cls] *)
+  cat : Ivec.t;       (** slot -> category code; {!cat_none} = unkeyed *)
+  sym : Ivec.t;       (** slot -> [Sym.id] of the operand; [-1] = unkeyed *)
   owners : Ir.Jsig.meth array;  (** unique enclosing methods *)
   owner_cls : string array;     (** enclosing class, parallel to [owners] *)
 }

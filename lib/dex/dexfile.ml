@@ -17,6 +17,11 @@ let of_lines lines program =
   in
   { lines; arena; program }
 
+(** A dexfile with no plaintext: the placeholder a warm start installs
+    before a snapshot load supplies the real lines and arena, so app
+    generation can skip disassembly entirely. *)
+let empty p = { lines = [||]; arena = Arena.of_lines [||]; program = p }
+
 let of_program p =
   let lines =
     Obs.Span.with_span ~cat:"dex" ~name:"disasm" (fun () ->

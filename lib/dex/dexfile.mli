@@ -11,6 +11,11 @@ type t = {
 
 val of_program : Ir.Program.t -> t
 
+(** A dexfile with no plaintext lines and an empty arena.  Warm starts use
+    it as the generation-time placeholder when the real lines and arena are
+    about to be mapped from a snapshot instead of disassembled. *)
+val empty : Ir.Program.t -> t
+
 (** Emulate multidex: disassemble each classesN.dex partition separately and
     merge the plaintexts, as BackDroid's preprocessing step does. *)
 val of_partitions : Ir.Program.t -> string list list -> t

@@ -28,10 +28,23 @@ type line = {
   owner_cls : string option;
   stmt_idx : int option;        (** IR statement index for diagnostics *)
   key : key;                    (** interned searchable operand *)
+  tokens : Sym.t array option;
+      (** distinct class-descriptor tokens of the line, sorted by symbol id;
+          [None] = not computed (headers, snapshot-loaded lines) *)
 }
 
 let header text owner_cls =
-  { text; owner = None; owner_cls; stmt_idx = None; key = K_none }
+  { text; owner = None; owner_cls; stmt_idx = None; key = K_none;
+    tokens = None }
+
+(* Keyed lines render class tokens only inside their operand (the text
+   before the final ", " is mnemonics and registers), so the memoized
+   operand tokenization covers them; unkeyed instruction lines (check-cast,
+   new-array, …) tokenize their own text once, here, at render time. *)
+let line_tokens ~text = function
+  | K_invoke s | K_new_instance s | K_const_class s | K_const_string s
+  | K_field s | K_static_field s -> Tokens.of_operand s
+  | K_none -> Tokens.of_string text
 
 let binop_mnemonic = function
   | Ir.Expr.Add -> "add-int" | Sub -> "sub-int" | Mul -> "mul-int"
@@ -194,7 +207,8 @@ let method_lines (cls : Ir.Jclass.t) (m : Ir.Jmethod.t) =
               buf :=
                 { text = Printf.sprintf "    %04x: %s" i text;
                   owner = Some msig; owner_cls = Some cls.name;
-                  stmt_idx = Some i; key }
+                  stmt_idx = Some i; key;
+                  tokens = Some (line_tokens ~text key) }
                 :: !buf)
            (stmt_lines rm i st))
       body;

@@ -28,6 +28,11 @@ type line = {
   owner_cls : string option;
   stmt_idx : int option;
   key : key;
+  tokens : Sym.t array option;
+      (** distinct class-descriptor tokens of the line, sorted by symbol
+          id, attached at render time ({!Tokens}); [None] = not computed
+          (headers, snapshot-loaded lines — consumers re-tokenize
+          {!line.text} via {!Tokens.of_string}) *)
 }
 
 val header : string -> string option -> line

@@ -1,0 +1,18 @@
+(** Class-descriptor token extraction: the [Lcom/foo/Bar;] occurrences of a
+    dexdump line.  The disassembler attaches each instruction line's token
+    set at render time ({!Disasm.line.tokens}), so the search engine's
+    class-tokens postings build is a pure pass over precomputed symbol
+    arrays — no line is ever re-tokenized per build. *)
+
+(** Apply [f] to every token occurrence of [s] in order, interning each. *)
+val iter : string -> (Sym.t -> unit) -> unit
+
+(** Distinct tokens of [s], sorted by symbol id.  Token-free strings share
+    one empty array. *)
+val of_string : string -> Sym.t array
+
+(** Memoized {!of_string} of an interned operand: each distinct operand
+    symbol tokenizes once per process.  Keyed instruction lines render
+    their tokens only inside the operand (everything before the final
+    [", "] is mnemonics and registers), so this covers them exactly. *)
+val of_operand : Sym.t -> Sym.t array

@@ -18,11 +18,14 @@ type opts = {
   flowdroid_timeout_s : float;  (** stands in for the 5-hour Fig. 1 timeout *)
   seed : int;
   jobs : int;           (** per-app fan-out width (1 = sequential) *)
+  snapshot_dir : string option;
+      (** warm-cache mode: per-app preprocessing snapshots ([.bdix]) are
+          saved here on first encounter and reused on the next run *)
 }
 
 let default_opts =
   { scale = 1.0; count = 144; timeout_s = 0.3; flowdroid_timeout_s = 0.3;
-    seed = 42; jobs = 1 }
+    seed = 42; jobs = 1; snapshot_dir = None }
 
 let minutes_per_second opts = 300.0 /. opts.timeout_s
 
@@ -63,6 +66,32 @@ let run_corpus ?(progress = fun _ -> ()) opts =
   (* [i + 1] is the app's stable logical pid in the exported trace (pid 0 is
      the driver process); spans recorded while an app is analysed carry it
      regardless of which pool domain ran the task. *)
+  (* Warm-cache mode: with [opts.snapshot_dir], each app's preprocessing
+     snapshot is saved on first encounter and mapped back on the next —
+     generation then skips disassembly ([build_dex:false]) and analysis runs
+     on the snapshot engine.  Snapshots are per-app files, so pool domains
+     never contend for one; a damaged file rebuilds cold with a warning. *)
+  let prepare (cfg : G.config) =
+    match opts.snapshot_dir with
+    | None -> (G.generate cfg, None)
+    | Some dir ->
+      let path = Store.Snapshot.default_path ~dir ~app_id:cfg.G.name in
+      if Sys.file_exists path then begin
+        let app = G.generate ~build_dex:false cfg in
+        match Store.Snapshot.load ~path ~program:app.G.program with
+        | Ok engine -> (app, Some engine)
+        | Error e ->
+          Printf.eprintf "warning: snapshot %s: %s; rebuilding cold\n%!" path
+            (Store.Codec.error_to_string e);
+          (G.generate cfg, None)
+      end
+      else begin
+        let app = G.generate cfg in
+        let engine = Bytesearch.Engine.create app.G.dex in
+        ignore (Store.Snapshot.save ~path engine);
+        (app, Some engine)
+      end
+  in
   let run_one (i, (cfg : G.config)) =
     Obs.Span.with_pid (i + 1) @@ fun () ->
     Obs.Span.with_span ~cat:"corpus" ~name:cfg.G.name @@ fun () ->
@@ -70,8 +99,8 @@ let run_corpus ?(progress = fun _ -> ()) opts =
     Mutex.lock progress_lock;
     progress (Printf.sprintf "[%d/%d] %s" k n cfg.G.name);
     Mutex.unlock progress_lock;
-    let app = G.generate cfg in
-    let m_bd, _ = Runner.run_backdroid app in
+    let app, engine = prepare cfg in
+    let m_bd, _ = Runner.run_backdroid ?engine app in
     let m_am, _ = Runner.run_amandroid ~timeout_s:opts.timeout_s app in
     let m_fd =
       Runner.run_flowdroid_cg ~timeout_s:opts.flowdroid_timeout_s app

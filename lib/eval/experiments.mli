@@ -17,6 +17,11 @@ type opts = {
   flowdroid_timeout_s : float;
   seed : int;
   jobs : int;   (** per-app fan-out width (1 = sequential) *)
+  snapshot_dir : string option;
+      (** warm-cache mode: per-app preprocessing snapshots ([.bdix]) are
+          saved here on first encounter and reused on the next run — apps
+          with a snapshot skip disassembly and index construction entirely
+          (a damaged snapshot logs a warning and rebuilds cold) *)
 }
 val default_opts : opts
 val minutes_per_second : opts -> float

@@ -37,10 +37,12 @@ let time f =
 
 let mb_of app = G.size_mb ~stmts_per_mb:Appgen.Corpus.stmts_per_mb app
 
-let run_backdroid ?(cfg = Backdroid.Driver.default_config) (app : G.app) =
+let run_backdroid ?(cfg = Backdroid.Driver.default_config) ?engine
+    (app : G.app) =
   let r, secs =
     time (fun () ->
-        Backdroid.Driver.analyze ~cfg ~dex:app.G.dex ~manifest:app.G.manifest ())
+        Backdroid.Driver.analyze ~cfg ?engine ~dex:app.G.dex
+          ~manifest:app.G.manifest ())
   in
   let s = r.Backdroid.Driver.stats in
   ( { app = app.G.name;

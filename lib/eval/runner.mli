@@ -25,8 +25,13 @@ type measurement = {
 }
 val time : (unit -> 'a) -> 'a * float
 val mb_of : G.app -> float
+
+(** [engine] is a snapshot-loaded search engine (see
+    {!Store.Snapshot.load}): analysis skips disassembly-dependent index
+    construction and runs warm. *)
 val run_backdroid :
   ?cfg:Backdroid.Driver.config ->
+  ?engine:Bytesearch.Engine.t ->
   G.app -> measurement * Backdroid.Driver.result
 val run_amandroid :
   ?cfg:Baseline.Amandroid.config ->

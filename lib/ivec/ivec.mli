@@ -1,0 +1,37 @@
+(** Flat int vectors backed by [Bigarray]: the payload lives outside the
+    OCaml heap, so the GC neither traces nor copies it.  The hit arena's
+    columns and the search engine's packed postings are [Ivec.t]s, which is
+    what lets a snapshot load map them straight from a file ([Unix.map_file]
+    yields exactly this type) instead of rebuilding them on the heap.
+
+    The type is exposed transparently so producers that already hold a
+    bigarray (an mmapped section, say) need no copy. *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** [create n] is an uninitialised off-heap vector of [n] ints. *)
+val create : int -> t
+
+(** [make n x] is [create n] filled with [x]. *)
+val make : int -> int -> t
+
+val length : t -> int
+
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+(** Unchecked access — callers must guarantee [0 <= i < length]. *)
+val unsafe_get : t -> int -> int
+
+val of_array : int array -> t
+val to_array : t -> int array
+
+(** [iteri f v] applies [f i v.(i)] in index order. *)
+val iteri : (int -> int -> unit) -> t -> unit
+
+(** Structural equality on lengths and elements. *)
+val equal : t -> t -> bool
+
+(** [find_sorted v x] is the index of [x] in the strictly ascending vector
+    [v], or [-1] when absent (binary search, no allocation). *)
+val find_sorted : t -> int -> int

@@ -3,11 +3,15 @@
     query-level caching.
 
     Indexed mode answers queries from per-category postings: for each of the
-    seven searchable categories, a hashtable from operand symbol id to a
-    sorted int array of slots in the dexfile's hit {!Dex.Arena}.  Postings
-    are built from the interned operand keys the disassembler attached to
-    each line — no text re-parsing — and hit records are materialised only
-    for slots a query actually returns.
+    seven searchable categories, a packed CSR triple — ascending operand
+    symbol ids, offsets, and slot runs into the dexfile's hit {!Dex.Arena},
+    all off-heap {!Ivec.t}s.  Postings are built from the interned operand
+    keys the disassembler attached to each line — no text re-parsing — and
+    hit records are materialised only for slots a query actually returns.
+    The packed layout is deterministic (keys sorted by symbol id, slots in
+    arena order), so a sharded build, a sequential build and a snapshot load
+    produce byte-identical tables; {!export_packed}/{!create_packed} are the
+    snapshot subsystem's serialization boundary.
 
     By default each category's postings build lazily on the first query of
     that category (double-checked under a build mutex), so an analysis that
@@ -23,8 +27,8 @@
     re-enters those mutexes on the builder's own thread.  Eager create-time
     builds shard safely — no task that could touch this engine's locks
     exists before [create] returns.  The arena makes the sequential build a
-    single pass over unboxed int arrays, so laziness, not sharding, is where
-    the time goes. *)
+    single pass over unboxed int vectors, so laziness, not sharding, is
+    where the time goes. *)
 
 type hit = {
   line_no : int;
@@ -56,9 +60,22 @@ let category_name = function
   | 6 -> "class_tokens"
   | _ -> invalid_arg "Engine.category_name"
 
-(** Postings for one category: operand [Sym.id] -> strictly ascending slots
-    in the hit arena. *)
-type postings = (int, int array) Hashtbl.t
+module Packed = struct
+  (** One category's postings in CSR form: [keys] is the strictly ascending
+      operand symbol ids, [slots.(offsets.(k) .. offsets.(k+1)-1)] the
+      strictly ascending arena slots of key [k].  All three vectors live off
+      the OCaml heap; a snapshot load aliases them to mmapped file
+      sections. *)
+  type t = { keys : Ivec.t; offsets : Ivec.t; slots : Ivec.t }
+
+  let n_slots t = Ivec.length t.slots
+  let n_keys t = Ivec.length t.keys
+
+  let bytes t =
+    (Ivec.length t.keys + Ivec.length t.offsets + Ivec.length t.slots) * 8
+end
+
+type postings = Packed.t
 
 type t = {
   dex : Dex.Dexfile.t;
@@ -66,146 +83,185 @@ type t = {
   pool : Parallel.Pool.t option;  (** used only by eager create-time builds *)
   indexed : bool;
   eager : bool;
+  loaded : bool;                  (** postings installed by a snapshot load *)
   tables : postings option Atomic.t array;  (** one slot per category *)
   build_us : float array;  (** per-category build cost, set under the lock *)
   build_lock : Mutex.t;
 }
 
-(* the instruction text starts after "    %04x: " *)
-let opcode_rest text =
-  match String.index_opt text ':' with
-  | Some colon when colon + 2 <= String.length text ->
-    Some (String.sub text (colon + 2) (String.length text - colon - 2))
-  | Some _ | None -> None
-
-(** Class-descriptor tokens ([Lcom/foo/Bar;]) occurring in a line. *)
-let class_tokens_of text =
-  let n = String.length text in
-  let ok c =
-    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
-    || c = '/' || c = '_' || c = '$'
-  in
-  let rec go i acc =
-    if i >= n then acc
-    else if text.[i] = 'L' && (i = 0 || not (ok text.[i - 1])) then begin
-      let rec scan j = if j < n && ok text.[j] then scan (j + 1) else j in
-      let j = scan (i + 1) in
-      if j < n && text.[j] = ';' && j > i + 1 then
-        go (j + 1) (String.sub text i (j - i + 1) :: acc)
-      else go (i + 1) acc
-    end
-    else go (i + 1) acc
-  in
-  List.sort_uniq String.compare (go 0 [])
-
 (* ------------------------------------------------------------------ *)
 (* Postings construction                                               *)
 
-(* Accumulate [slot] into [key]'s bucket: one table probe on the common
-   (key already present) path.  Buckets come out in descending slot order;
-   finalization reverses them. *)
-let accumulate tbl key slot =
-  match Hashtbl.find_opt tbl key with
-  | Some bucket -> bucket := slot :: !bucket
-  | None -> Hashtbl.add tbl key (ref [ slot ])
+(* A deterministic two-pass counting sort over arena slots.  Round 1 counts
+   postings per operand sym id (per shard when pooled); the sequential merge
+   lays out the CSR keys/offsets and per-shard write cursors; round 2
+   writes each shard's slots into its disjoint region.  Slots ascend within
+   a shard and shard regions follow slice order, so every key's run is
+   strictly ascending, and the packed bytes — keys ascending by sym id,
+   slots in arena order — are identical for sequential, sharded and
+   snapshot-loaded builds.  No per-posting allocation: the old bucket lists
+   (a cons per posting plus a hashtable probe per slot) made invocations,
+   the densest category, several times slower than the sparse ones. *)
 
-(* Build one category's raw buckets over arena slots [lo, hi).  Categories
-   0-5 are single passes over the arena's unboxed category/symbol arrays;
-   class tokens are the one category that still parses line text (tokens can
-   occur anywhere in a line, including inside string literals), which is
-   exactly why building it lazily pays. *)
-let shard_build (dex : Dex.Dexfile.t) c ~lo ~hi =
+(* Growable dense counter indexed by sym id; [maxk] bounds the occupied
+   prefix the merge walks.  Growth matters only for class tokens, which can
+   meet token symbols beyond the arena's operand ids. *)
+type counts = { mutable c : int array; mutable maxk : int }
+
+let counts_create () =
+  { c = Array.make (max 64 (Sym.interned ())) 0; maxk = -1 }
+
+let counts_bump cnt k =
+  if k >= Array.length cnt.c then begin
+    let nb = Array.make (max (k + 1) (2 * Array.length cnt.c)) 0 in
+    Array.blit cnt.c 0 nb 0 (Array.length cnt.c);
+    cnt.c <- nb
+  end;
+  if k > cnt.maxk then cnt.maxk <- k;
+  Array.unsafe_set cnt.c k (Array.unsafe_get cnt.c k + 1)
+
+let cat_member c =
+  if c = cat_field_ops then fun k ->
+    k = Dex.Arena.cat_field || k = Dex.Arena.cat_static_field
+  else if c = cat_static_field_ops then fun k -> k = Dex.Arena.cat_static_field
+  else fun k -> k = c
+
+(* The class-tokens passes read each line's render-time token array; lines
+   without one (snapshot-loaded dexfiles) re-tokenize their text on first
+   touch, cached per slot so round 2 reuses round 1's work. *)
+let slot_tokens (dex : Dex.Dexfile.t) slot fallback =
+  let li = Ivec.unsafe_get dex.arena.Dex.Arena.line_idx slot in
+  match dex.lines.(li).Dex.Disasm.tokens with
+  | Some toks -> toks
+  | None ->
+    (match Hashtbl.find_opt fallback slot with
+     | Some toks -> toks
+     | None ->
+       let toks = Dex.Tokens.of_string dex.lines.(li).Dex.Disasm.text in
+       Hashtbl.add fallback slot toks;
+       toks)
+
+let shard_count (dex : Dex.Dexfile.t) c ~lo ~hi =
   let a : Dex.Arena.t = dex.arena in
-  let tbl : (int, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  let cnt = counts_create () in
+  let fallback : (int, Sym.t array) Hashtbl.t = Hashtbl.create 8 in
   if c = cat_class_tokens then
     for slot = lo to hi - 1 do
-      let text = dex.lines.(a.line_idx.(slot)).Dex.Disasm.text in
-      match opcode_rest text with
-      | None -> ()
-      | Some rest ->
-        List.iter
-          (fun tok -> accumulate tbl (Sym.id (Sym.intern tok)) slot)
-          (class_tokens_of rest)
+      Array.iter
+        (fun tok -> counts_bump cnt (Sym.id tok))
+        (slot_tokens dex slot fallback)
     done
   else begin
-    let member =
-      if c = cat_field_ops then fun k ->
-        k = Dex.Arena.cat_field || k = Dex.Arena.cat_static_field
-      else if c = cat_static_field_ops then fun k ->
-        k = Dex.Arena.cat_static_field
-      else fun k -> k = c
-    in
+    let member = cat_member c in
     for slot = lo to hi - 1 do
-      if member a.cat.(slot) then accumulate tbl a.sym.(slot) slot
+      if member (Ivec.unsafe_get a.cat slot) then
+        counts_bump cnt (Ivec.unsafe_get a.sym slot)
     done
   end;
-  tbl
+  (cnt, fallback)
 
-(* Every finalized bucket must be strictly ascending in slot order — the
-   invariant lookups (and the jobs=1 vs jobs=N determinism guarantee) rely
-   on.  Shards are merged in slice order, so this also checks the merge. *)
-let check_sorted arr =
-  for i = 1 to Array.length arr - 1 do
-    assert (arr.(i - 1) < arr.(i))
-  done;
-  arr
-
-let finalize_shard tbl : postings =
-  let p = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
-  Hashtbl.iter
-    (fun key bucket ->
-       Hashtbl.replace p key
-         (check_sorted (Array.of_list (List.rev !bucket))))
-    tbl;
-  p
-
-(* Shards arrive in slice order with descending buckets; appending the
-   reversed buckets reproduces the sequential ascending order exactly. *)
-let merge_shards shards : postings =
-  let acc : (int, int list ref) Hashtbl.t = Hashtbl.create 1024 in
-  List.iter
-    (fun tbl ->
-       Hashtbl.iter
-         (fun key bucket ->
-            match Hashtbl.find_opt acc key with
-            | Some prev -> prev := !prev @ List.rev !bucket
-            | None -> Hashtbl.add acc key (ref (List.rev !bucket)))
-         tbl)
-    shards;
-  let p = Hashtbl.create (max 16 (Hashtbl.length acc)) in
-  Hashtbl.iter
-    (fun key slots ->
-       Hashtbl.replace p key (check_sorted (Array.of_list !slots)))
-    acc;
-  p
+(* [cursor.(k)] is this shard's next write position for key [k] (absolute
+   into [slots]); fills advance it monotonically. *)
+let shard_fill (dex : Dex.Dexfile.t) c ~lo ~hi ~cursor ~slots fallback =
+  let a : Dex.Arena.t = dex.arena in
+  let put k slot =
+    let p = Array.unsafe_get cursor k in
+    Ivec.set slots p slot;
+    Array.unsafe_set cursor k (p + 1)
+  in
+  if c = cat_class_tokens then
+    for slot = lo to hi - 1 do
+      Array.iter
+        (fun tok -> put (Sym.id tok) slot)
+        (slot_tokens dex slot fallback)
+    done
+  else begin
+    let member = cat_member c in
+    for slot = lo to hi - 1 do
+      if member (Ivec.unsafe_get a.cat slot) then
+        put (Ivec.unsafe_get a.sym slot) slot
+    done
+  end
 
 (* Shards below this size are not worth the merge traffic. *)
 let min_shard_slots = 2048
 
 let build_postings ?pool dex c =
   let n = Dex.Arena.length dex.Dex.Dexfile.arena in
-  match pool with
-  | Some pool
-    when Parallel.Pool.is_active pool
-         && Parallel.Pool.jobs pool > 1
-         && n >= 2 * min_shard_slots ->
-    let chunks =
+  let chunks =
+    match pool with
+    | Some pool
+      when Parallel.Pool.is_active pool
+           && Parallel.Pool.jobs pool > 1
+           && n >= 2 * min_shard_slots ->
       min (Parallel.Pool.jobs pool) (max 1 (n / min_shard_slots))
-    in
-    merge_shards
-      (Parallel.Pool.parallel_ranges pool ~chunks ~n (fun ~lo ~hi ->
-           shard_build dex c ~lo ~hi))
-  | Some _ | None -> finalize_shard (shard_build dex c ~lo:0 ~hi:n)
+    | Some _ | None -> 1
+  in
+  let ranges =
+    Array.init chunks (fun i ->
+        (i * n / chunks, (i + 1) * n / chunks))
+  in
+  let map f args =
+    match pool with
+    | Some pool when chunks > 1 -> Parallel.Pool.parallel_map pool f args
+    | Some _ | None -> Array.map f args
+  in
+  (* round 1: per-shard counts *)
+  let counted =
+    map (fun (lo, hi) -> shard_count dex c ~lo ~hi) ranges
+  in
+  let maxk = Array.fold_left (fun m (cnt, _) -> max m cnt.maxk) (-1) counted in
+  let total = Array.make (maxk + 1) 0 in
+  Array.iter
+    (fun (cnt, _) ->
+       for k = 0 to cnt.maxk do
+         total.(k) <- total.(k) + Array.unsafe_get cnt.c k
+       done)
+    counted;
+  (* CSR layout: keys ascending by sym id, offsets from the running total *)
+  let nk = ref 0 in
+  for k = 0 to maxk do
+    if total.(k) > 0 then incr nk
+  done;
+  let keys_v = Ivec.create !nk in
+  let offsets = Ivec.create (!nk + 1) in
+  Ivec.set offsets 0 0;
+  (* [running.(k)]: absolute write position of key [k]'s next unwritten
+     slot; starts at the key's offset, advanced per shard below *)
+  let running = Array.make (maxk + 1) 0 in
+  let ki = ref 0 and pos = ref 0 in
+  for k = 0 to maxk do
+    if total.(k) > 0 then begin
+      Ivec.set keys_v !ki k;
+      running.(k) <- !pos;
+      pos := !pos + total.(k);
+      Ivec.set offsets (!ki + 1) !pos;
+      incr ki
+    end
+  done;
+  let slots = Ivec.create !pos in
+  (* round 2: each shard writes its disjoint region per key *)
+  let fills =
+    Array.mapi
+      (fun i (lo, hi) ->
+         let cnt, fallback = counted.(i) in
+         let cursor = Array.copy running in
+         for k = 0 to cnt.maxk do
+           running.(k) <- running.(k) + Array.unsafe_get cnt.c k
+         done;
+         (lo, hi, cursor, fallback))
+      ranges
+  in
+  ignore
+    (map
+       (fun (lo, hi, cursor, fallback) ->
+          shard_fill dex c ~lo ~hi ~cursor ~slots fallback)
+       fills);
+  { Packed.keys = keys_v; offsets; slots }
 
 let m_builds = Obs.Metrics.counter "search.postings.builds"
 let m_slots = Obs.Metrics.counter "search.postings.slots"
 let m_bytes = Obs.Metrics.counter "search.postings.bytes"
-
-(* Rough live size of one postings table: per key a bucket entry plus a boxed
-   int array of slots (header + one word per slot). *)
-let postings_bytes (p : postings) =
-  let word = Sys.word_size / 8 in
-  Hashtbl.fold (fun _ slots acc -> acc + ((4 + Array.length slots) * word)) p 0
 
 (* Double-checked lazy build.  [pool] is passed only from eager create-time
    builds; lazy builds run sequentially (see the module comment). *)
@@ -222,13 +278,12 @@ let ensure_category ?pool t c =
           let t0 = Unix.gettimeofday () in
           let p = build_postings ?pool t.dex c in
           t.build_us.(c) <- (Unix.gettimeofday () -. t0) *. 1e6;
-          let slots = Hashtbl.fold (fun _ s acc -> acc + Array.length s) p 0 in
           Obs.Metrics.incr m_builds;
-          Obs.Metrics.add m_slots slots;
-          Obs.Metrics.add m_bytes (postings_bytes p);
+          Obs.Metrics.add m_slots (Packed.n_slots p);
+          Obs.Metrics.add m_bytes (Packed.bytes p);
           Obs.Span.emit ~cat:"search" ~name:("build:" ^ category_name c)
-            ~attrs:[ ("keys", Obs.Span.Int (Hashtbl.length p));
-                     ("slots", Obs.Span.Int slots) ]
+            ~attrs:[ ("keys", Obs.Span.Int (Packed.n_keys p));
+                     ("slots", Obs.Span.Int (Packed.n_slots p)) ]
             span0;
           Atomic.set t.tables.(c) (Some p);
           p)
@@ -236,6 +291,7 @@ let ensure_category ?pool t c =
 let create ?(indexed = true) ?(eager = false) ?pool dex =
   let t =
     { dex; cache = Cache.create (); pool; indexed; eager = indexed && eager;
+      loaded = false;
       tables = Array.init n_categories (fun _ -> Atomic.make None);
       build_us = Array.make n_categories 0.0;
       build_lock = Mutex.create () }
@@ -246,7 +302,25 @@ let create ?(indexed = true) ?(eager = false) ?pool dex =
     done;
   t
 
+(** All seven categories in packed form, building any not yet built — the
+    snapshot subsystem's save-side view of the index. *)
+let export_packed t =
+  Array.init n_categories (fun c -> ensure_category ?pool:t.pool t c)
+
+(** An engine whose postings were installed wholesale (a snapshot load)
+    rather than built from the arena.  Queries behave exactly as in indexed
+    mode; {!index_mode} reports ["snapshot"]. *)
+let create_packed dex tables =
+  if Array.length tables <> n_categories then
+    invalid_arg "Engine.create_packed: expected one table per category";
+  { dex; cache = Cache.create (); pool = None; indexed = true; eager = false;
+    loaded = true;
+    tables = Array.map (fun p -> Atomic.make (Some p)) tables;
+    build_us = Array.make n_categories 0.0;
+    build_lock = Mutex.create () }
+
 let program t = t.dex.Dex.Dexfile.program
+let dexfile t = t.dex
 
 (* ------------------------------------------------------------------ *)
 (* Scan mode                                                           *)
@@ -354,19 +428,26 @@ let query_category : Query.t -> int option = function
    only ints. *)
 let hit_of_slot t slot =
   let a : Dex.Arena.t = t.dex.Dex.Dexfile.arena in
-  let line_no = a.line_idx.(slot) in
-  let oid = a.owner_id.(slot) in
+  let line_no = Ivec.get a.line_idx slot in
+  let oid = Ivec.get a.owner_id slot in
   { line_no;
     text = t.dex.Dex.Dexfile.lines.(line_no).Dex.Disasm.text;
     owner = a.owners.(oid);
     owner_cls = a.owner_cls.(oid);
-    stmt_idx = (let s = a.stmt_idx.(slot) in if s < 0 then None else Some s) }
+    stmt_idx =
+      (let s = Ivec.get a.stmt_idx slot in if s < 0 then None else Some s) }
 
-let hits_of_sym t p sym =
-  match Hashtbl.find_opt p (Sym.id sym) with
-  | None -> []
-  | Some slots ->
-    Array.fold_right (fun slot acc -> hit_of_slot t slot :: acc) slots []
+let hits_of_sym t (p : postings) sym =
+  match Ivec.find_sorted p.Packed.keys (Sym.id sym) with
+  | -1 -> []
+  | k ->
+    let lo = Ivec.get p.Packed.offsets k
+    and hi = Ivec.get p.Packed.offsets (k + 1) in
+    let acc = ref [] in
+    for i = hi - 1 downto lo do
+      acc := hit_of_slot t (Ivec.get p.Packed.slots i) :: !acc
+    done;
+    !acc
 
 let indexed_lookup t c (q : Query.t) =
   let p = ensure_category t c in
@@ -394,7 +475,10 @@ let run t q = Cache.find_or_add t.cache q (fun () -> run_uncached t q)
 (* Introspection                                                       *)
 
 let index_mode t =
-  if not t.indexed then "scan" else if t.eager then "eager" else "lazy"
+  if not t.indexed then "scan"
+  else if t.loaded then "snapshot"
+  else if t.eager then "eager"
+  else "lazy"
 
 let built_categories t =
   Array.fold_left

@@ -30,6 +30,23 @@ type hit = {
 
 type t
 
+(** One category's postings in packed CSR form — the serialization boundary
+    between the engine and the snapshot store.  [keys] holds the strictly
+    ascending operand symbol ids; the slots of [keys.(k)] are
+    [slots.(offsets.(k)) .. slots.(offsets.(k+1)-1)], strictly ascending in
+    arena order.  All three vectors are off-heap {!Ivec.t}s, and the layout
+    is deterministic: sequential, pool-sharded and snapshot-loaded builds of
+    the same arena are byte-identical. *)
+module Packed : sig
+  type t = { keys : Ivec.t; offsets : Ivec.t; slots : Ivec.t }
+
+  val n_slots : t -> int
+  val n_keys : t -> int
+
+  (** Payload size of the three vectors, in bytes. *)
+  val bytes : t -> int
+end
+
 (** Build an engine over a disassembled app.  [indexed] (default true)
     selects the postings-backed mode; [eager] (default false) builds all
     postings categories up front instead of on first use.  [pool] shards
@@ -44,9 +61,23 @@ type t
 val create :
   ?indexed:bool -> ?eager:bool -> ?pool:Parallel.Pool.t -> Dex.Dexfile.t -> t
 
+(** All seven categories in packed form, in category order, building any not
+    yet built (sharded over the engine's pool when it has one) — the
+    snapshot save path. *)
+val export_packed : t -> Packed.t array
+
+(** An indexed engine whose postings are installed wholesale — the snapshot
+    load path.  The array must hold one table per category, in category
+    order.  {!index_mode} reports ["snapshot"]. *)
+val create_packed : Dex.Dexfile.t -> Packed.t array -> t
+
 (** The program the engine's dexfile was disassembled from — the "program
     analysis space" paired with this "bytecode search space". *)
 val program : t -> Ir.Program.t
+
+(** The dexfile the engine searches (the snapshot save path serializes its
+    lines and arena alongside the packed postings). *)
+val dexfile : t -> Dex.Dexfile.t
 
 (** Execute a query, consulting the query cache first. *)
 val run : t -> Query.t -> hit list
@@ -56,7 +87,7 @@ val run : t -> Query.t -> hit list
     first use. *)
 val run_uncached : t -> Query.t -> hit list
 
-(** ["scan"], ["lazy"] or ["eager"]. *)
+(** ["scan"], ["lazy"], ["eager"] or ["snapshot"]. *)
 val index_mode : t -> string
 
 (** Number of postings categories built so far (0-7).  Lazy engines build

@@ -1,0 +1,341 @@
+module Engine = Bytesearch.Engine
+module Packed = Engine.Packed
+
+let ( let* ) = Result.bind
+
+(* Section ids.  Per-line owner/stmt sections are deliberately absent: the
+   arena already records owner and statement index for every instruction
+   line, and header lines have neither, so load reconstructs line metadata
+   from the arena columns. *)
+let sec_meta = 1
+let sec_sym_offsets = 2
+let sec_sym_blob = 3
+let sec_line_offsets = 4
+let sec_line_blob = 5
+let sec_owner_offsets = 9
+let sec_owner_blob = 10
+let sec_cls_offsets = 11
+let sec_cls_blob = 12
+let sec_line_idx = 13
+let sec_stmt_idx = 14
+let sec_owner_id = 15
+let sec_cat = 16
+let sec_sym = 17
+let sec_keys c = 20 + (3 * c)
+let sec_offsets c = 21 + (3 * c)
+let sec_slots c = 22 + (3 * c)
+let n_categories = 7
+
+let m_save_files = Obs.Metrics.counter "store.save.files"
+let m_save_bytes = Obs.Metrics.counter "store.save.bytes"
+let m_load_files = Obs.Metrics.counter "store.load.files"
+let m_load_bytes = Obs.Metrics.counter "store.load.bytes_mapped"
+let m_load_remapped = Obs.Metrics.counter "store.load.remapped"
+
+let default_path ~dir ~app_id =
+  let sane =
+    String.map
+      (fun ch ->
+         match ch with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> ch
+         | _ -> '_')
+      app_id
+  in
+  Filename.concat dir
+    (Printf.sprintf "%s.v%d.bdix" sane Codec.format_version)
+
+(* -- String arrays as (offsets, blob) section pairs ------------------- *)
+
+let add_strings w ~off_id ~blob_id (a : string array) =
+  let n = Array.length a in
+  let offs = Array.make (n + 1) 0 in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    offs.(i) <- !total;
+    total := !total + String.length a.(i)
+  done;
+  offs.(n) <- !total;
+  let buf = Buffer.create (max 16 !total) in
+  Array.iter (Buffer.add_string buf) a;
+  Codec.add_ints w ~id:off_id offs;
+  Codec.add_blob w ~id:blob_id (Buffer.contents buf)
+
+let load_strings r ~off_id ~blob_id ~count ~what =
+  let* offs = Codec.map_ivec r ~id:off_id in
+  let* blob = Codec.read_blob r ~id:blob_id in
+  if Ivec.length offs <> count + 1 then
+    Error (Codec.Corrupt (Printf.sprintf "%s: offsets length mismatch" what))
+  else if count >= 0 && Ivec.get offs 0 <> 0 then
+    Error (Codec.Corrupt (Printf.sprintf "%s: offsets do not start at 0" what))
+  else begin
+    let ok = ref true in
+    for i = 0 to count - 1 do
+      if Ivec.get offs (i + 1) < Ivec.get offs i then ok := false
+    done;
+    if (not !ok) || Ivec.get offs count <> String.length blob then
+      Error
+        (Codec.Corrupt
+           (Printf.sprintf "%s: offsets inconsistent with blob" what))
+    else
+      Ok
+        (Array.init count (fun i ->
+             let lo = Ivec.get offs i in
+             String.sub blob lo (Ivec.get offs (i + 1) - lo)))
+  end
+
+(* -- Save ------------------------------------------------------------- *)
+
+let save ~path engine =
+  let span0 = Obs.Span.start () in
+  let dex = Engine.dexfile engine in
+  let packed = Engine.export_packed engine in
+  let arena = dex.Dex.Dexfile.arena in
+  let lines = dex.Dex.Dexfile.lines in
+  let syms = Sym.dump () in
+  let w = Codec.writer () in
+  Codec.add_ints w ~id:sec_meta
+    [| Array.length lines; Dex.Arena.length arena;
+       Array.length arena.Dex.Arena.owners; Array.length syms |];
+  add_strings w ~off_id:sec_sym_offsets ~blob_id:sec_sym_blob syms;
+  add_strings w ~off_id:sec_line_offsets ~blob_id:sec_line_blob
+    (Array.map (fun l -> l.Dex.Disasm.text) lines);
+  add_strings w ~off_id:sec_owner_offsets ~blob_id:sec_owner_blob
+    (Array.map Ir.Jsig.meth_to_string arena.Dex.Arena.owners);
+  add_strings w ~off_id:sec_cls_offsets ~blob_id:sec_cls_blob
+    arena.Dex.Arena.owner_cls;
+  Codec.add_ivec w ~id:sec_line_idx arena.Dex.Arena.line_idx;
+  Codec.add_ivec w ~id:sec_stmt_idx arena.Dex.Arena.stmt_idx;
+  Codec.add_ivec w ~id:sec_owner_id arena.Dex.Arena.owner_id;
+  Codec.add_ivec w ~id:sec_cat arena.Dex.Arena.cat;
+  Codec.add_ivec w ~id:sec_sym arena.Dex.Arena.sym;
+  Array.iteri
+    (fun c (p : Packed.t) ->
+       Codec.add_ivec w ~id:(sec_keys c) p.Packed.keys;
+       Codec.add_ivec w ~id:(sec_offsets c) p.Packed.offsets;
+       Codec.add_ivec w ~id:(sec_slots c) p.Packed.slots)
+    packed;
+  let bytes = Codec.write_file w ~path in
+  Obs.Metrics.incr m_save_files;
+  Obs.Metrics.add m_save_bytes bytes;
+  Obs.Span.emit ~cat:"store" ~name:"store:save"
+    ~attrs:
+      [ ("path", Obs.Span.Str path); ("bytes", Obs.Span.Int bytes);
+        ("syms", Obs.Span.Int (Array.length syms)) ]
+    span0;
+  bytes
+
+(* -- Load ------------------------------------------------------------- *)
+
+(* Validate one category's CSR geometry against the snapshot's own symbol
+   and slot counts (symbol ids here are still snapshot ids). *)
+let check_packed ~n_syms ~n_slots c (p : Packed.t) =
+  let nk = Ivec.length p.Packed.keys in
+  let bad what =
+    Error (Codec.Corrupt (Printf.sprintf "postings %d: %s" c what))
+  in
+  if Ivec.length p.Packed.offsets <> nk + 1 then bad "offsets length"
+  else if Ivec.get p.Packed.offsets 0 <> 0 then bad "offsets start"
+  else if Ivec.get p.Packed.offsets nk <> Ivec.length p.Packed.slots then
+    bad "offsets end"
+  else begin
+    let ok = ref true in
+    for k = 0 to nk - 1 do
+      let key = Ivec.get p.Packed.keys k in
+      if key < 0 || key >= n_syms then ok := false;
+      if k > 0 && Ivec.get p.Packed.keys (k - 1) >= key then ok := false;
+      if Ivec.get p.Packed.offsets (k + 1) < Ivec.get p.Packed.offsets k then
+        ok := false
+    done;
+    if not !ok then bad "keys/offsets not ascending or out of range"
+    else begin
+      let ok = ref true in
+      for i = 0 to Ivec.length p.Packed.slots - 1 do
+        let s = Ivec.get p.Packed.slots i in
+        if s < 0 || s >= n_slots then ok := false
+      done;
+      if !ok then Ok () else bad "slot out of range"
+    end
+  end
+
+(* Rebuild one category's postings with live symbol ids: re-key each entry
+   through [live_of_snap], then re-sort key order (slot lists are unchanged
+   and stay ascending).  Fresh ivecs — the mapped originals are dropped. *)
+let remap_packed live_of_snap (p : Packed.t) =
+  let nk = Ivec.length p.Packed.keys in
+  let newkey =
+    Array.init nk (fun k -> live_of_snap.(Ivec.get p.Packed.keys k))
+  in
+  let order = Array.init nk Fun.id in
+  Array.sort (fun a b -> compare newkey.(a) newkey.(b)) order;
+  let keys = Ivec.create nk in
+  let offsets = Ivec.create (nk + 1) in
+  let slots = Ivec.create (Ivec.length p.Packed.slots) in
+  let pos = ref 0 in
+  Ivec.set offsets 0 0;
+  Array.iteri
+    (fun i k ->
+       Ivec.set keys i newkey.(k);
+       let lo = Ivec.get p.Packed.offsets k in
+       let hi = Ivec.get p.Packed.offsets (k + 1) in
+       for j = lo to hi - 1 do
+         Ivec.set slots !pos (Ivec.get p.Packed.slots j);
+         incr pos
+       done;
+       Ivec.set offsets (i + 1) !pos)
+    order;
+  { Packed.keys; offsets; slots }
+
+let rec result_each f = function
+  | [] -> Ok ()
+  | x :: tl ->
+    let* () = f x in
+    result_each f tl
+
+let load ~path ~program =
+  let span0 = Obs.Span.start () in
+  let* r = Codec.read_file ~path in
+  let finish res =
+    Codec.close r;
+    (match res with
+     | Ok engine ->
+       Obs.Metrics.incr m_load_files;
+       Obs.Metrics.add m_load_bytes (Codec.size r);
+       Obs.Span.emit ~cat:"store" ~name:"store:load"
+         ~attrs:
+           [ ("path", Obs.Span.Str path);
+             ("bytes", Obs.Span.Int (Codec.size r));
+             ("mode", Obs.Span.Str (Engine.index_mode engine)) ]
+         span0
+     | Error _ -> ());
+    res
+  in
+  finish
+    (let* meta = Codec.map_ivec r ~id:sec_meta in
+     if Ivec.length meta <> 4 then Error (Codec.Corrupt "meta length")
+     else begin
+       let n_lines = Ivec.get meta 0 in
+       let n_slots = Ivec.get meta 1 in
+       let n_owners = Ivec.get meta 2 in
+       let n_syms = Ivec.get meta 3 in
+       if n_lines < 0 || n_slots < 0 || n_owners < 0 || n_syms < 0 then
+         Error (Codec.Corrupt "negative count in meta")
+       else
+         let* syms =
+           load_strings r ~off_id:sec_sym_offsets ~blob_id:sec_sym_blob
+             ~count:n_syms ~what:"symbol table"
+         in
+         let* texts =
+           load_strings r ~off_id:sec_line_offsets ~blob_id:sec_line_blob
+             ~count:n_lines ~what:"line texts"
+         in
+         let* owner_strs =
+           load_strings r ~off_id:sec_owner_offsets ~blob_id:sec_owner_blob
+             ~count:n_owners ~what:"owners"
+         in
+         let* owner_cls =
+           load_strings r ~off_id:sec_cls_offsets ~blob_id:sec_cls_blob
+             ~count:n_owners ~what:"owner classes"
+         in
+         let* owners =
+           try Ok (Array.map Ir.Jsig.meth_of_string owner_strs)
+           with Invalid_argument m -> Error (Codec.Corrupt m)
+         in
+         let* line_idx = Codec.map_ivec r ~id:sec_line_idx in
+         let* stmt_idx = Codec.map_ivec r ~id:sec_stmt_idx in
+         let* owner_id = Codec.map_ivec r ~id:sec_owner_id in
+         let* cat = Codec.map_ivec r ~id:sec_cat in
+         let* sym = Codec.map_ivec r ~id:sec_sym in
+         let* () =
+           result_each
+             (fun (v, what) ->
+                if Ivec.length v = n_slots then Ok ()
+                else
+                  Error
+                    (Codec.Corrupt
+                       (Printf.sprintf "arena %s: length mismatch" what)))
+             [ (line_idx, "line_idx"); (stmt_idx, "stmt_idx");
+               (owner_id, "owner_id"); (cat, "cat"); (sym, "sym") ]
+         in
+         let* () =
+           (* range-check the arena before anything dereferences it *)
+           let ok = ref true in
+           for i = 0 to n_slots - 1 do
+             let li = Ivec.get line_idx i in
+             let oi = Ivec.get owner_id i in
+             let c = Ivec.get cat i in
+             let s = Ivec.get sym i in
+             if li < 0 || li >= n_lines then ok := false;
+             if oi < 0 || oi >= n_owners then ok := false;
+             if c < -1 || c >= n_categories - 1 then ok := false;
+             if s < -1 || s >= n_syms then ok := false
+           done;
+           if !ok then Ok ()
+           else Error (Codec.Corrupt "arena column value out of range")
+         in
+         let* packed_snap =
+           let rec go c acc =
+             if c = n_categories then Ok (Array.of_list (List.rev acc))
+             else
+               let* keys = Codec.map_ivec r ~id:(sec_keys c) in
+               let* offsets = Codec.map_ivec r ~id:(sec_offsets c) in
+               let* slots = Codec.map_ivec r ~id:(sec_slots c) in
+               let p = { Packed.keys; offsets; slots } in
+               let* () = check_packed ~n_syms ~n_slots c p in
+               go (c + 1) (p :: acc)
+           in
+           go 0 []
+         in
+         (* Re-intern the snapshot's symbol table; ids are stable when the
+            live table evolved identically (the common warm start). *)
+         let live_of_snap =
+           Array.map (fun s -> Sym.id (Sym.intern s)) syms
+         in
+         let identity =
+           let ok = ref true in
+           Array.iteri (fun i l -> if i <> l then ok := false) live_of_snap;
+           !ok
+         in
+         let packed =
+           if identity then packed_snap
+           else Array.map (remap_packed live_of_snap) packed_snap
+         in
+         if not identity then begin
+           (* private (copy-on-write) mapping: rewriting in place never
+              touches the file *)
+           Obs.Metrics.incr m_load_remapped;
+           for i = 0 to n_slots - 1 do
+             let s = Ivec.get sym i in
+             if s >= 0 then Ivec.set sym i live_of_snap.(s)
+           done
+         end;
+         (* scatter arena rows to per-line metadata first so each line
+            record is allocated exactly once *)
+         let owner_of_line = Array.make n_lines (-1) in
+         let stmt_of_line = Array.make n_lines (-1) in
+         for i = 0 to n_slots - 1 do
+           let li = Ivec.get line_idx i in
+           owner_of_line.(li) <- Ivec.get owner_id i;
+           stmt_of_line.(li) <- Ivec.get stmt_idx i
+         done;
+         let lines =
+           Array.init n_lines (fun li ->
+               let oi = owner_of_line.(li) in
+               if oi < 0 then
+                 { Dex.Disasm.text = texts.(li); owner = None;
+                   owner_cls = None; stmt_idx = None;
+                   key = Dex.Disasm.K_none; tokens = None }
+               else
+                 let si = stmt_of_line.(li) in
+                 { Dex.Disasm.text = texts.(li);
+                   owner = Some owners.(oi);
+                   owner_cls = Some owner_cls.(oi);
+                   stmt_idx = (if si >= 0 then Some si else None);
+                   key = Dex.Disasm.K_none; tokens = None })
+         in
+         let arena =
+           { Dex.Arena.line_idx; stmt_idx; owner_id; cat; sym; owners;
+             owner_cls }
+         in
+         let dex = { Dex.Dexfile.lines; arena; program } in
+         Ok (Engine.create_packed dex packed)
+     end)

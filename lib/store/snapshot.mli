@@ -1,0 +1,42 @@
+(** Persistent preprocessing snapshots (warm-start store).
+
+    A snapshot captures everything the preprocessing phase computes from a
+    program — the interned symbol table, the disassembled plaintext lines,
+    the hit {!Dex.Arena} and all seven per-category search postings — in one
+    {!Codec} container, so a warm start maps it back instead of
+    disassembling and indexing again.  Int-array payloads load as mmapped
+    {!Ivec.t}s: they live off the OCaml heap, so the warm path also carries
+    less GC pressure than a cold build.
+
+    Symbol ids are snapshot-stable.  Save writes the whole live symbol
+    table; load re-interns its strings in id order.  In the common case
+    (fresh process, same pipeline) this reproduces identical ids and the
+    mapped vectors are used as-is; otherwise load rewrites the arena's sym
+    column in place (the mappings are private, copy-on-write) and permutes
+    the postings to live ids, so a warm engine always returns hits
+    byte-identical to a cold one.
+
+    Loaded plaintext lines carry [K_none]/no tokens (the postings that
+    needed them are already built), which only matters if a snapshot
+    dexfile were re-indexed from scratch — it never is. *)
+
+(** [default_path ~dir ~app_id] is the conventional snapshot location:
+    [dir]/[sanitized app_id].v[format_version].bdix.  The version is baked
+    into the name so a format bump cold-starts instead of failing the
+    version check. *)
+val default_path : dir:string -> app_id:string -> string
+
+(** Serialize [engine]'s symbol table, dexfile lines, arena and all seven
+    postings categories (building any not yet built) to [path], atomically.
+    Returns the file size in bytes. *)
+val save : path:string -> Bytesearch.Engine.t -> int
+
+(** Map the snapshot at [path] back into a ready engine over [program]
+    (which supplies the analysis-side IR; the snapshot supplies everything
+    search-side).  Validates structure fully before use — a damaged file
+    yields a typed {!Codec.error}, never a crash or a silently wrong
+    engine. *)
+val load :
+  path:string ->
+  program:Ir.Program.t ->
+  (Bytesearch.Engine.t, Codec.error) result

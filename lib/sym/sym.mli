@@ -40,8 +40,18 @@ val hash : t -> int
 (** The raw id, a small dense non-negative int (usable as a table key). *)
 val id : t -> int
 
+(** The symbol with raw id [i].  [i] must be an id previously returned by
+    {!id} (or below {!interned}); anything else makes {!to_string} raise. *)
+val unsafe_of_id : int -> t
+
 (** Number of symbols interned so far, process-wide. *)
 val interned : unit -> int
+
+(** The interned strings of every symbol so far, indexed by id.  Snapshot
+    save writes this whole table; loading re-interns the strings in id
+    order, which re-creates identical ids in a process whose table evolved
+    the same way (and yields a remap table otherwise). *)
+val dump : unit -> string array
 
 (** [memo ~hash ~equal render] is a domain-safe memoized [fun x ->
     intern (render x)]: each distinct key renders (and allocates) its

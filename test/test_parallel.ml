@@ -148,7 +148,8 @@ let test_sharded_index () =
 
 (* ------------------------------------------------------------------ *)
 (* Property: every query kind returns identical hits under unindexed scan,
-   lazy postings and eager postings, with and without a worker pool.  The
+   lazy postings, eager postings and a mapped snapshot of the eager index,
+   with and without a worker pool.  The
    query set is exhaustive over the fixture: one invocation query per app
    method, one class-shaped query per app class per kind, one field query
    per field per kind, plus const-string and raw probes (including strings
@@ -193,12 +194,27 @@ let test_mode_equivalence () =
   let scan = E.create ~indexed:false app.G.dex in
   let lazy_seq = E.create app.G.dex in
   let eager_seq = E.create ~eager:true app.G.dex in
+  (* the fourth mode: save the eager engine's index and map it back *)
+  let snap_path = Filename.temp_file "backdroid_modeequiv" ".bdix" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove snap_path with Sys_error _ -> ())
+  @@ fun () ->
+  ignore (Store.Snapshot.save ~path:snap_path eager_seq);
+  let load_snapshot () =
+    match Store.Snapshot.load ~path:snap_path ~program:app.G.program with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "snapshot load: %s" (Store.Codec.error_to_string e)
+  in
+  let snap_seq = load_snapshot () in
   Pool.with_pool ~jobs:test_jobs (fun pool ->
       let lazy_pool = E.create ~pool app.G.dex in
       let eager_pool = E.create ~eager:true ~pool app.G.dex in
+      let snap_pool = load_snapshot () in
       let engines =
         [ ("lazy/jobs=1", lazy_seq); ("eager/jobs=1", eager_seq);
-          ("lazy/jobs=4", lazy_pool); ("eager/jobs=4", eager_pool) ]
+          ("snapshot/jobs=1", snap_seq);
+          ("lazy/jobs=4", lazy_pool); ("eager/jobs=4", eager_pool);
+          ("snapshot/jobs=4", snap_pool) ]
       in
       Alcotest.(check bool) "non-trivial query set" true
         (List.length queries > 50);
@@ -219,7 +235,9 @@ let test_mode_equivalence () =
       Alcotest.(check int) "eager built every category" 7
         (E.built_categories eager_pool);
       Alcotest.(check int) "lazy built every queried category" 7
-        (E.built_categories lazy_pool))
+        (E.built_categories lazy_pool);
+      Alcotest.(check int) "snapshot loaded every category" 7
+        (E.built_categories snap_pool))
 
 (* ------------------------------------------------------------------ *)
 (* Determinism: Driver.analyze                                         *)
@@ -313,8 +331,8 @@ let cases =
     Alcotest.test_case "nested batches" `Quick test_nested_map;
     Alcotest.test_case "sharded index == sequential index" `Quick
       test_sharded_index;
-    Alcotest.test_case "scan == lazy == eager at jobs=1 and jobs=4" `Quick
-      test_mode_equivalence;
+    Alcotest.test_case "scan == lazy == eager == snapshot at jobs=1 and jobs=4"
+      `Quick test_mode_equivalence;
     Alcotest.test_case "driver: jobs=1 == jobs=4" `Quick
       test_driver_determinism;
     Alcotest.test_case "corpus: jobs=1 == jobs=4" `Slow

@@ -1,0 +1,179 @@
+(* Tests for the persistent preprocessing snapshot (lib/store): corrupted
+   files must come back as typed errors (never a crash or a wrong engine),
+   save -> load -> save must be byte-identical, and an analysis run on a
+   loaded engine must produce the same report as a cold one. *)
+
+module G = Appgen.Generator
+module E = Bytesearch.Engine
+module Driver = Backdroid.Driver
+
+let fixture_app ?(seed = 41) ?(filler = 8) () =
+  let rng = Appgen.Rng.create (seed * 131) in
+  let plants =
+    List.init 4 (fun _ -> Appgen.Corpus.random_plant rng ~insecure_p:0.5)
+  in
+  G.generate
+    { G.default_config with
+      G.seed;
+      name = Printf.sprintf "com.test.store%d" seed;
+      filler_classes = filler;
+      plants }
+
+let with_snapshot f =
+  let app = fixture_app () in
+  let path = Filename.temp_file "backdroid_store" ".bdix" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let engine = E.create ~eager:true app.G.dex in
+  let bytes = Store.Snapshot.save ~path engine in
+  Alcotest.(check bool) "snapshot is non-trivial" true (bytes > 1024);
+  f ~app ~path
+
+let read_all path =
+  let ic = In_channel.open_bin path in
+  Fun.protect ~finally:(fun () -> In_channel.close ic) (fun () ->
+      In_channel.input_all ic)
+
+let write_all path s =
+  let oc = Out_channel.open_bin path in
+  Fun.protect ~finally:(fun () -> Out_channel.close oc) (fun () ->
+      Out_channel.output_string oc s)
+
+(* Patch a copy of the file and re-seal the checksum, so structural checks
+   are exercised rather than masked by [Bad_checksum]. *)
+let reseal b =
+  let total = Bytes.length b in
+  Bytes.set_int64_le b Store.Codec.checksum_offset
+    (Store.Codec.fnv1a64 ~pos:Store.Codec.header_len
+       ~len:(total - Store.Codec.header_len) b);
+  b
+
+let error_t =
+  Alcotest.testable
+    (fun fmt e ->
+       Format.pp_print_string fmt (Store.Codec.error_to_string e))
+    (fun a b ->
+       match (a, b) with
+       | Store.Codec.Corrupt _, Store.Codec.Corrupt _ -> true
+       | a, b -> a = b)
+
+let check_load_error ~app ~path name expect =
+  match Store.Snapshot.load ~path ~program:app.G.program with
+  | Ok _ -> Alcotest.failf "%s: load unexpectedly succeeded" name
+  | Error e -> Alcotest.check error_t name expect e
+
+let test_rejects_corruption () =
+  with_snapshot @@ fun ~app ~path ->
+  let original = read_all path in
+  let mutate f =
+    let b = Bytes.of_string original in
+    f b;
+    write_all path (Bytes.to_string b)
+  in
+  (* a short header *)
+  write_all path (String.sub original 0 10);
+  check_load_error ~app ~path "10-byte file" Store.Codec.Truncated;
+  (* cut mid-payload: the recorded length no longer matches *)
+  write_all path (String.sub original 0 (String.length original / 2));
+  check_load_error ~app ~path "half a file" Store.Codec.Truncated;
+  (* wrong magic *)
+  mutate (fun b -> Bytes.set b 0 'X');
+  check_load_error ~app ~path "bad magic" Store.Codec.Bad_magic;
+  (* future format version, checksum resealed so only the version differs *)
+  mutate (fun b ->
+      Bytes.set_int32_le b 8 99l;
+      ignore (reseal b));
+  check_load_error ~app ~path "future version" (Store.Codec.Bad_version 99);
+  (* one flipped payload byte fails the checksum *)
+  mutate (fun b ->
+      let i = String.length original - 5 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40)));
+  check_load_error ~app ~path "flipped payload byte" Store.Codec.Bad_checksum;
+  (* a flipped byte inside the stored checksum itself *)
+  mutate (fun b ->
+      let i = Store.Codec.checksum_offset + 2 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01)));
+  check_load_error ~app ~path "flipped checksum byte" Store.Codec.Bad_checksum;
+  (* grow a count in the meta section: every downstream length check must
+     fire as Corrupt, not a crash.  The meta section is written first, so
+     directory entry 0 points at it; its payload is four 8-byte counts. *)
+  let meta_off =
+    let b = Bytes.of_string original in
+    let id = Int64.to_int (Bytes.get_int64_le b Store.Codec.header_len) in
+    Alcotest.(check int) "directory entry 0 is the meta section" 1 id;
+    Int64.to_int (Bytes.get_int64_le b (Store.Codec.header_len + 8))
+  in
+  List.iteri
+    (fun field name ->
+       mutate (fun b ->
+           let o = meta_off + (8 * field) in
+           Bytes.set_int64_le b o
+             (Int64.add (Bytes.get_int64_le b o) 7L);
+           ignore (reseal b));
+       check_load_error ~app ~path
+         (Printf.sprintf "inflated %s count" name)
+         (Store.Codec.Corrupt ""))
+    [ "line"; "slot"; "owner"; "symbol" ];
+  (* restore and prove the fixture itself still loads *)
+  write_all path original;
+  match Store.Snapshot.load ~path ~program:app.G.program with
+  | Ok e ->
+    Alcotest.(check string) "restored file loads" "snapshot" (E.index_mode e)
+  | Error e ->
+    Alcotest.failf "restored file: %s" (Store.Codec.error_to_string e)
+
+let test_roundtrip_identical () =
+  with_snapshot @@ fun ~app ~path ->
+  let engine =
+    match Store.Snapshot.load ~path ~program:app.G.program with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "load: %s" (Store.Codec.error_to_string e)
+  in
+  let path2 = Filename.temp_file "backdroid_store2" ".bdix" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path2 with Sys_error _ -> ())
+  @@ fun () ->
+  ignore (Store.Snapshot.save ~path:path2 engine);
+  Alcotest.(check bool) "save -> load -> save is byte-identical" true
+    (read_all path = read_all path2)
+
+let report_fingerprint (r : Driver.sink_report) =
+  Printf.sprintf "%s@%s:%d reachable=%b fact=%s verdict=%s"
+    (Framework.Sinks.kind_to_string r.sink.Framework.Sinks.kind)
+    (Ir.Jsig.meth_to_string r.meth)
+    r.site r.reachable
+    (Backdroid.Facts.to_string r.fact)
+    (Backdroid.Detectors.verdict_to_string r.verdict)
+
+let test_warm_analyze_equals_cold () =
+  with_snapshot @@ fun ~app ~path ->
+  let cold = Driver.analyze ~dex:app.G.dex ~manifest:app.G.manifest () in
+  let engine =
+    match Store.Snapshot.load ~path ~program:app.G.program with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "load: %s" (Store.Codec.error_to_string e)
+  in
+  let warm = Driver.analyze ~engine ~dex:app.G.dex ~manifest:app.G.manifest () in
+  Alcotest.(check bool) "fixture has sink calls" true
+    (cold.Driver.stats.Driver.sink_calls > 0);
+  Alcotest.(check (list string)) "warm report == cold report"
+    (List.map report_fingerprint cold.Driver.reports)
+    (List.map report_fingerprint warm.Driver.reports)
+
+let test_default_path () =
+  let p = Store.Snapshot.default_path ~dir:"/tmp" ~app_id:"com.a/b c" in
+  Alcotest.(check string) "sanitized and versioned"
+    (Printf.sprintf "/tmp/com.a_b_c.v%d.bdix" Store.Codec.format_version)
+    p
+
+let cases =
+  [ Alcotest.test_case "corrupted snapshots fail as typed errors" `Quick
+      test_rejects_corruption;
+    Alcotest.test_case "save -> load -> save is byte-identical" `Quick
+      test_roundtrip_identical;
+    Alcotest.test_case "warm analyze == cold analyze" `Quick
+      test_warm_analyze_equals_cold;
+    Alcotest.test_case "default snapshot path" `Quick test_default_path ]
+
+let suites = [ "store.snapshot", cases ]
