@@ -11,7 +11,10 @@
    Usage: dune exec bench/main.exe
             [-- --quick | --micro-only | --experiments-only | --speedup-only
                | --trace-only | --search-only | --obs-overhead | --snapshot
-               | --smoke | --jobs N]
+               | --smoke | --quantiles | --jobs N]
+
+   --quantiles adds per-query uncached latency quantiles (p50/p90/p99 per
+   engine mode) to the search-core table and BENCH_search.json.
 
    --jobs N sets the worker-pool width for the per-app experiment fan-out
    and the parallel/speedup benchmark (default: all cores but one).
@@ -239,6 +242,8 @@ type search_mode_result = {
   sm_hits : int;
   sm_fingerprint : int;       (** order-independent hit digest *)
   sm_index_build : (string * float) list;  (** per-category build µs *)
+  sm_quantiles : (float * float * float) option;
+      (** p50/p90/p99 of per-query uncached latency, µs ([--quantiles]) *)
 }
 
 (** One query per query kind, derived from the fixture program so most of
@@ -271,7 +276,32 @@ let search_core_queries program =
     Q.raw "move-result-object" ]
   @ field_queries
 
-let measure_search_mode ~name ~queries mk =
+(* Nearest-rank quantile over a sorted sample array. *)
+let quantile sorted q =
+  let n = Array.length sorted in
+  let rank = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) rank))
+
+(* Per-query uncached latency distribution: [reps] passes over the query
+   set, one sample per (rep, query).  The engine's query cache is bypassed
+   (run_uncached), so every sample pays the real lookup. *)
+let query_quantiles engine queries =
+  let reps = 30 in
+  let samples = Array.make (reps * List.length queries) 0.0 in
+  let i = ref 0 in
+  for _ = 1 to reps do
+    List.iter
+      (fun q ->
+         let t0 = Unix.gettimeofday () in
+         ignore (Bytesearch.Engine.run_uncached engine q);
+         samples.(!i) <- (Unix.gettimeofday () -. t0) *. 1e6;
+         incr i)
+      queries
+  done;
+  Array.sort compare samples;
+  (quantile samples 0.50, quantile samples 0.90, quantile samples 0.99)
+
+let measure_search_mode ?(quantiles = false) ~name ~queries mk =
   Gc.compact ();
   let s0 = Gc.quick_stat () in
   (* quick_stat's minor_words only advances at minor collections;
@@ -292,6 +322,7 @@ let measure_search_mode ~name ~queries mk =
   let t2 = Unix.gettimeofday () in
   let mw1 = Gc.minor_words () in
   let s1 = Gc.quick_stat () in
+  let qs = if quantiles then Some (query_quantiles engine queries) else None in
   { sm_mode = name;
     sm_build_us = (t1 -. t0) *. 1e6;
     sm_query_us = (t2 -. t1) *. 1e6;
@@ -301,7 +332,8 @@ let measure_search_mode ~name ~queries mk =
     sm_categories_built = Bytesearch.Engine.built_categories engine;
     sm_hits = !hits;
     sm_fingerprint = !fp;
-    sm_index_build = Bytesearch.Engine.index_build_timings engine }
+    sm_index_build = Bytesearch.Engine.index_build_timings engine;
+    sm_quantiles = qs }
 
 let json_escape = Obs.Jsonf.escape
 
@@ -422,14 +454,19 @@ let obs_overhead_json r =
    identical hits, with Gc minor-word deltas alongside the latencies. *)
 
 type snapshot_bench = {
-  sb_file_bytes : int;
+  sb_file_bytes : int;        (** v2 (packed postings) file size *)
+  sb_v1_file_bytes : int;     (** same engine saved at the v1 flat layout *)
+  sb_postings_cold_bytes : int;  (** flat postings footprint (cold engine) *)
+  sb_postings_warm_bytes : int;  (** coded postings footprint (warm engine) *)
   sb_cold_us : float;         (** disassembly + eager index build *)
   sb_warm_us : float;         (** snapshot load (mmap + validation) *)
+  sb_prefault_us : float;     (** snapshot load with --prefault *)
   sb_speedup : float;
   sb_cold_minor_words : float;
   sb_warm_minor_words : float;
   sb_cold_query_us : float;
   sb_warm_query_us : float;
+  sb_prefault_query_us : float;  (** queries on the prefaulted engine *)
   sb_identical : bool;
 }
 
@@ -469,47 +506,82 @@ let run_snapshot_bench ~app =
   done;
   let cold_engine = Option.get !cold_engine in
   let file_bytes = Store.Snapshot.save ~path cold_engine in
-  (* warm: map the snapshot back *)
-  let warm_us = ref Float.infinity and warm_mw = ref Float.infinity in
-  let warm_engine = ref None in
-  for _ = 1 to best do
-    Gc.compact ();
-    let mw0 = Gc.minor_words () in
-    let t0 = Unix.gettimeofday () in
-    (match Store.Snapshot.load ~path ~program with
-     | Ok e -> warm_engine := Some e
-     | Error e ->
-       Printf.eprintf "snapshot bench: load failed: %s\n"
-         (Store.Codec.error_to_string e);
-       exit 1);
-    warm_us := Float.min !warm_us ((Unix.gettimeofday () -. t0) *. 1e6);
-    warm_mw := Float.min !warm_mw (Gc.minor_words () -. mw0)
-  done;
-  let warm_engine = Option.get !warm_engine in
+  (* the same engine at the legacy flat-postings layout, for the on-disk
+     shrink ratio *)
+  let v1_path = Filename.temp_file "backdroid_snapshot_v1" ".bdix" in
+  let v1_bytes =
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove v1_path with Sys_error _ -> ())
+      (fun () ->
+         Store.Snapshot.save ~format_version:1 ~path:v1_path cold_engine)
+  in
+  (* warm: map the snapshot back, with and without prefault *)
+  let load_best ~prefault =
+    let us = ref Float.infinity and mw = ref Float.infinity in
+    let engine = ref None in
+    for _ = 1 to best do
+      Gc.compact ();
+      let mw0 = Gc.minor_words () in
+      let t0 = Unix.gettimeofday () in
+      (match Store.Snapshot.load ~prefault ~path program with
+       | Ok e -> engine := Some e
+       | Error e ->
+         Printf.eprintf "snapshot bench: load failed: %s\n"
+           (Store.Codec.error_to_string e);
+         exit 1);
+      us := Float.min !us ((Unix.gettimeofday () -. t0) *. 1e6);
+      mw := Float.min !mw (Gc.minor_words () -. mw0)
+    done;
+    (Option.get !engine, !us, !mw)
+  in
+  let warm_engine, warm_us, warm_mw = load_best ~prefault:false in
+  let pf_engine, pf_us, _ = load_best ~prefault:true in
   let cold_q, cold_hits, cold_fp = run_queries cold_engine queries in
   let warm_q, warm_hits, warm_fp = run_queries warm_engine queries in
+  let pf_q, pf_hits, pf_fp = run_queries pf_engine queries in
   let r =
     { sb_file_bytes = file_bytes;
+      sb_v1_file_bytes = v1_bytes;
+      sb_postings_cold_bytes = Bytesearch.Engine.postings_footprint cold_engine;
+      sb_postings_warm_bytes = Bytesearch.Engine.postings_footprint warm_engine;
       sb_cold_us = !cold_us;
-      sb_warm_us = !warm_us;
-      sb_speedup = !cold_us /. !warm_us;
+      sb_warm_us = warm_us;
+      sb_prefault_us = pf_us;
+      sb_speedup = !cold_us /. warm_us;
       sb_cold_minor_words = !cold_mw;
-      sb_warm_minor_words = !warm_mw;
+      sb_warm_minor_words = warm_mw;
       sb_cold_query_us = cold_q;
       sb_warm_query_us = warm_q;
-      sb_identical = cold_hits = warm_hits && cold_fp = warm_fp }
+      sb_prefault_query_us = pf_q;
+      sb_identical =
+        cold_hits = warm_hits && cold_fp = warm_fp && cold_hits = pf_hits
+        && cold_fp = pf_fp }
   in
-  Printf.printf "  %-42s %10d bytes\n" "snapshot file" r.sb_file_bytes;
+  Printf.printf "  %-42s %10d bytes\n" "snapshot file (v2, packed postings)"
+    r.sb_file_bytes;
+  Printf.printf "  %-42s %10d bytes\n" "snapshot file (v1 flat layout)"
+    r.sb_v1_file_bytes;
+  Printf.printf "  %-42s %9.2fx  (v1 bytes / v2 bytes)" "on-disk shrink"
+    (float_of_int r.sb_v1_file_bytes /. float_of_int r.sb_file_bytes);
+  Printf.printf "\n  %-42s %10d -> %d bytes (%.2fx)\n"
+    "postings footprint, flat -> coded" r.sb_postings_cold_bytes
+    r.sb_postings_warm_bytes
+    (float_of_int r.sb_postings_cold_bytes
+     /. float_of_int (max 1 r.sb_postings_warm_bytes));
   Printf.printf "  %-42s %10.1f us\n" "cold preprocess (disassemble + index)"
     r.sb_cold_us;
   Printf.printf "  %-42s %10.1f us\n" "warm preprocess (snapshot load)"
     r.sb_warm_us;
+  Printf.printf "  %-42s %10.1f us\n" "warm preprocess (load + prefault)"
+    r.sb_prefault_us;
   Printf.printf "  %-42s %9.1fx  (goal: >= 5x)\n" "warm-start speedup"
     r.sb_speedup;
   Printf.printf "  %-42s %10.0f\n" "cold minor words" r.sb_cold_minor_words;
   Printf.printf "  %-42s %10.0f\n" "warm minor words" r.sb_warm_minor_words;
   Printf.printf "  %-42s %10.1f us\n" "queries, cold engine" r.sb_cold_query_us;
   Printf.printf "  %-42s %10.1f us\n" "queries, warm engine" r.sb_warm_query_us;
+  Printf.printf "  %-42s %10.1f us  (goal: <= cold)\n"
+    "queries, warm engine (prefaulted)" r.sb_prefault_query_us;
   Printf.printf "  identical hits cold vs warm: %b\n" r.sb_identical;
   if not r.sb_identical then begin
     prerr_endline "snapshot bench: warm engine returned different hits";
@@ -519,18 +591,30 @@ let run_snapshot_bench ~app =
     Printf.eprintf
       "snapshot bench: warning: warm-start speedup %.1fx below the 5x goal\n"
       r.sb_speedup;
+  if r.sb_prefault_query_us > r.sb_cold_query_us then
+    Printf.eprintf
+      "snapshot bench: warning: prefaulted warm queries (%.1fus) slower \
+       than cold (%.1fus)\n"
+      r.sb_prefault_query_us r.sb_cold_query_us;
   r
 
 let snapshot_json r =
-  Printf.sprintf "{%s, %s, %s, %s, %s, %s, %s, %s, \"identical_hits\": %b}"
+  Printf.sprintf
+    "{%s, %s, %s, %s, %s, %s, %s, %s, %s, %s, %s, %s, %s, \
+     \"identical_hits\": %b}"
     (Obs.Jsonf.int_field "file_bytes" r.sb_file_bytes)
+    (Obs.Jsonf.int_field "v1_file_bytes" r.sb_v1_file_bytes)
+    (Obs.Jsonf.int_field "postings_cold_bytes" r.sb_postings_cold_bytes)
+    (Obs.Jsonf.int_field "postings_warm_bytes" r.sb_postings_warm_bytes)
     (Obs.Jsonf.num_field "cold_preprocess_us" r.sb_cold_us)
     (Obs.Jsonf.num_field "warm_preprocess_us" r.sb_warm_us)
+    (Obs.Jsonf.num_field "prefault_preprocess_us" r.sb_prefault_us)
     (Obs.Jsonf.num_field ~dec:2 "speedup" r.sb_speedup)
     (Obs.Jsonf.num_field "cold_minor_words" r.sb_cold_minor_words)
     (Obs.Jsonf.num_field "warm_minor_words" r.sb_warm_minor_words)
     (Obs.Jsonf.num_field "cold_query_us" r.sb_cold_query_us)
     (Obs.Jsonf.num_field "warm_query_us" r.sb_warm_query_us)
+    (Obs.Jsonf.num_field "prefault_query_us" r.sb_prefault_query_us)
     r.sb_identical
 
 let search_json_of_results ?obs ?snapshot ~lines ~queries ~identical results =
@@ -542,14 +626,23 @@ let search_json_of_results ?obs ?snapshot ~lines ~queries ~identical results =
               Printf.sprintf "\"%s\": %.1f" (json_escape cat) us)
            r.sm_index_build)
     in
+    let quantiles =
+      match r.sm_quantiles with
+      | None -> ""
+      | Some (p50, p90, p99) ->
+        Printf.sprintf
+          ", \"query_quantiles_us\": {\"p50\": %.1f, \"p90\": %.1f, \
+           \"p99\": %.1f}"
+          p50 p90 p99
+    in
     Printf.sprintf
       "    {\"mode\": \"%s\", \"build_us\": %.1f, \"query_us\": %.1f, \
        \"minor_words\": %.0f, \"major_collections\": %d, \
        \"top_heap_words\": %d, \"categories_built\": %d, \"hits\": %d, \
-       \"index_build_us\": {%s}}"
+       \"index_build_us\": {%s}%s}"
       (json_escape r.sm_mode) r.sm_build_us r.sm_query_us r.sm_minor_words
       r.sm_major_collections r.sm_top_heap_words r.sm_categories_built
-      r.sm_hits build
+      r.sm_hits build quantiles
   in
   Printf.sprintf
     "{\n  \"fixture\": {\"lines\": %d, \"queries\": %d},\n\
@@ -564,7 +657,7 @@ let search_json_of_results ?obs ?snapshot ~lines ~queries ~identical results =
      | None -> "")
     (String.concat ",\n" (List.map mode_json results))
 
-let run_search_core ?obs ?snapshot ~app ~json_path () =
+let run_search_core ?obs ?snapshot ?(quantiles = false) ~app ~json_path () =
   print_endline
     "\n== search-core: scan vs lazy vs eager vs snapshot (GC-aware) ==";
   let queries = search_core_queries app.G.program in
@@ -576,15 +669,15 @@ let run_search_core ?obs ?snapshot ~app ~json_path () =
   @@ fun () ->
   ignore (Store.Snapshot.save ~path:snap_path (Bytesearch.Engine.create dex));
   let results =
-    [ measure_search_mode ~name:"scan" ~queries (fun () ->
+    [ measure_search_mode ~quantiles ~name:"scan" ~queries (fun () ->
           Bytesearch.Engine.create ~indexed:false dex);
-      measure_search_mode ~name:"lazy" ~queries (fun () ->
+      measure_search_mode ~quantiles ~name:"lazy" ~queries (fun () ->
           Bytesearch.Engine.create dex);
-      measure_search_mode ~name:"eager" ~queries (fun () ->
+      measure_search_mode ~quantiles ~name:"eager" ~queries (fun () ->
           Bytesearch.Engine.create ~eager:true dex);
-      measure_search_mode ~name:"snapshot" ~queries (fun () ->
+      measure_search_mode ~quantiles ~name:"snapshot" ~queries (fun () ->
           match
-            Store.Snapshot.load ~path:snap_path ~program:app.G.program
+            Store.Snapshot.load ~prefault:true ~path:snap_path app.G.program
           with
           | Ok e -> e
           | Error e ->
@@ -610,6 +703,18 @@ let run_search_core ?obs ?snapshot ~app ~json_path () =
          r.sm_major_collections r.sm_top_heap_words r.sm_categories_built
          r.sm_hits)
     results;
+  if quantiles then begin
+    print_endline "  -- per-query uncached latency quantiles --";
+    Printf.printf "  %-6s %10s %10s %10s\n" "mode" "p50" "p90" "p99";
+    List.iter
+      (fun r ->
+         match r.sm_quantiles with
+         | Some (p50, p90, p99) ->
+           Printf.printf "  %-6s %8.1fus %8.1fus %8.1fus\n" r.sm_mode p50 p90
+             p99
+         | None -> ())
+      results
+  end;
   (match List.find_opt (fun r -> r.sm_mode = "eager") results with
    | Some r when r.sm_index_build <> [] ->
      print_endline "  -- per-category postings build (eager) --";
@@ -641,6 +746,7 @@ let () =
     max 1 (find args)
   in
   let quick = has "--quick" in
+  let quantiles = has "--quantiles" in
   let opts =
     if quick then
       { Evalharness.Experiments.default_opts with
@@ -679,7 +785,7 @@ let () =
         snapshot.sb_speedup;
       exit 1
     end;
-    run_search_core ~obs ~snapshot ~app:(Lazy.force small)
+    run_search_core ~obs ~snapshot ~quantiles ~app:(Lazy.force small)
       ~json_path:"BENCH_search.json" ();
     let opts =
       { Evalharness.Experiments.default_opts with
@@ -719,7 +825,7 @@ let () =
       else None
     in
     if (not only) || has "--search-only" then
-      run_search_core ?obs ?snapshot
+      run_search_core ?obs ?snapshot ~quantiles
         ~app:(Lazy.force (if quick then small else medium))
         ~json_path:"BENCH_search.json" ();
     if (not only) || has "--speedup-only" then run_speedup ~jobs;

@@ -221,8 +221,19 @@ let analyze_cmd =
              auto path, without a value) instead of disassembling and \
              indexing; the analysis output is identical to a cold run.")
   in
+  let prefault_t =
+    Arg.(
+      value & flag
+      & info [ "prefault" ]
+          ~doc:
+            "With $(b,--load-index): touch every page of the mapped hot \
+             sections (postings, hit arena, line texts) right after \
+             validation, so the first queries never stall on page faults.  \
+             Results are identical either way.")
+  in
   let run seed size_mb plants insecure dump_ssg subclass_aware eager_index jobs
-      verbose trace_file time_limit_ms save_index load_index profile metrics =
+      verbose trace_file time_limit_ms save_index load_index prefault profile
+      metrics =
     setup_logs verbose;
     let recorder = setup_obs ~profile in
     let app =
@@ -238,7 +249,7 @@ let analyze_cmd =
       | None -> None
       | Some p ->
         let path = index_path p in
-        (match Store.Snapshot.load ~path ~program:app.G.program with
+        (match Store.Snapshot.load ~prefault ~path app.G.program with
          | Ok e ->
            Printf.printf "index: loaded %s\n" path;
            Some e
@@ -327,7 +338,8 @@ let analyze_cmd =
     Term.(
       const run $ seed_t $ size_t $ shapes_t $ insecure_t $ dump_ssg
       $ subclass_aware $ eager_index_t $ jobs_t $ verbose_t $ trace_t
-      $ time_limit_t $ save_index_t $ load_index_t $ profile_t $ metrics_t)
+      $ time_limit_t $ save_index_t $ load_index_t $ prefault_t $ profile_t
+      $ metrics_t)
 
 (* --- compare --- *)
 

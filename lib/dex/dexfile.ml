@@ -7,6 +7,9 @@ type t = {
   lines : Disasm.line array;
   arena : Arena.t;
   program : Ir.Program.t;
+  texts : Textstore.t option;
+      (** off-heap line texts of a snapshot-loaded dexfile; [None] when the
+          lines were disassembled in-process and carry their own strings *)
 }
 
 let of_lines lines program =
@@ -15,12 +18,19 @@ let of_lines lines program =
       ~attrs:[ ("lines", Obs.Span.Int (Array.length lines)) ]
       (fun () -> Arena.of_lines lines)
   in
-  { lines; arena; program }
+  { lines; arena; program; texts = None }
+
+(** A dexfile whose line texts live in an off-heap {!Textstore} (a snapshot
+    load).  Line records start at {!Textstore.pending} and materialise
+    lazily through {!line_text}. *)
+let of_store lines arena program texts =
+  { lines; arena; program; texts = Some texts }
 
 (** A dexfile with no plaintext: the placeholder a warm start installs
     before a snapshot load supplies the real lines and arena, so app
     generation can skip disassembly entirely. *)
-let empty p = { lines = [||]; arena = Arena.of_lines [||]; program = p }
+let empty p =
+  { lines = [||]; arena = Arena.of_lines [||]; program = p; texts = None }
 
 let of_program p =
   let lines =
@@ -44,11 +54,25 @@ let of_partitions p partitions =
 
 let line_count t = Array.length t.lines
 
+(* Lazy, idempotent materialization: a racing domain writes an equal string
+   (same store bytes), so either winner is correct. *)
+let line_text t i =
+  let l = t.lines.(i) in
+  let s = l.Disasm.text in
+  if s != Textstore.pending then s
+  else
+    match t.texts with
+    | None -> s
+    | Some store ->
+      let s = Textstore.get store i in
+      l.Disasm.text <- s;
+      s
+
 let to_string t =
   let buf = Buffer.create (64 * Array.length t.lines) in
-  Array.iter
-    (fun (l : Disasm.line) ->
-       Buffer.add_string buf l.text;
+  Array.iteri
+    (fun i _ ->
+       Buffer.add_string buf (line_text t i);
        Buffer.add_char buf '\n')
     t.lines;
   Buffer.contents buf

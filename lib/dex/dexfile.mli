@@ -7,9 +7,21 @@ type t = {
   lines : Disasm.line array;
   arena : Arena.t;
   program : Ir.Program.t;
+  texts : Textstore.t option;
+      (** off-heap line texts of a snapshot-loaded dexfile; [None] when the
+          lines were disassembled in-process and carry their own strings.
+          When present, read texts through {!line_text} (or the store's
+          allocation-free predicates), never [lines.(i).text] directly. *)
 }
 
 val of_program : Ir.Program.t -> t
+
+(** A dexfile whose line texts live in an off-heap {!Textstore} (the
+    snapshot load path).  The line records must carry
+    {!Textstore.pending} as their text; {!line_text} materialises and
+    caches real strings on demand. *)
+val of_store :
+  Disasm.line array -> Arena.t -> Ir.Program.t -> Textstore.t -> t
 
 (** A dexfile with no plaintext lines and an empty arena.  Warm starts use
     it as the generation-time placeholder when the real lines and arena are
@@ -20,4 +32,10 @@ val empty : Ir.Program.t -> t
     merge the plaintexts, as BackDroid's preprocessing step does. *)
 val of_partitions : Ir.Program.t -> string list list -> t
 val line_count : t -> int
+
+(** The text of line [i], materialising (and caching) it from the off-heap
+    store when the dexfile came from a snapshot.  Safe from multiple
+    domains: racing writers install equal strings. *)
+val line_text : t -> int -> string
+
 val to_string : t -> string

@@ -23,7 +23,10 @@ type key =
   | K_none                   (** header or unsearchable instruction *)
 
 type line = {
-  text : string;
+  mutable text : string;
+      (** snapshot-loaded lines start as {!Textstore.pending} and are
+          materialised from the off-heap store on first access (via
+          [Dexfile.line_text]); disassembled lines carry real text *)
   owner : Ir.Jsig.meth option;  (** enclosing method for instruction lines *)
   owner_cls : string option;
   stmt_idx : int option;        (** IR statement index for diagnostics *)

@@ -23,7 +23,10 @@ type key =
   | K_none                   (** header or unsearchable instruction *)
 
 type line = {
-  text : string;
+  mutable text : string;
+      (** snapshot-loaded lines start as {!Textstore.pending} and are
+          materialised lazily via [Dexfile.line_text]; disassembled lines
+          carry real text *)
   owner : Ir.Jsig.meth option;
   owner_cls : string option;
   stmt_idx : int option;

@@ -1,0 +1,52 @@
+(** Off-heap line texts: the snapshot-loaded dexfile's plaintext lines as
+    (offset, length) views into the mmapped text-blob section, instead of
+    one heap string per line materialised at load time.
+
+    The residual text scan (free-form [Raw] queries against a snapshot
+    engine) matches directly against the blob with the allocation-free
+    predicates below; a line's string is materialised only when a hit
+    actually returns it, and is then cached on the line record (see
+    [Dexfile.line_text]), so repeated hits pay the [String] allocation
+    once. *)
+
+type t
+
+(** The placeholder installed in [Disasm.line.text] for lines whose text
+    still lives only in the store.  A unique string instance — test with
+    [==], never [=]. *)
+val pending : string
+
+(** [create ~blob ~offs] views line [i] as bytes
+    [offs.(i) .. offs.(i+1) - 1] of [blob].  Raises [Invalid_argument] if
+    the offsets are not ascending from 0 to [Bvec.length blob]. *)
+val create : blob:Bvec.t -> offs:Ivec.t -> t
+
+(** Number of lines. *)
+val count : t -> int
+
+(** Byte length of line [i]. *)
+val length_at : t -> int -> int
+
+(** Materialise line [i] as a fresh string. *)
+val get : t -> int -> string
+
+(** Position of the first [c] in line [i] (relative to the line start), or
+    [-1].  Allocation-free. *)
+val index_char : t -> int -> char -> int
+
+(** Whether line [i] carries [prefix] at byte [pos].  Allocation-free. *)
+val starts_with : t -> int -> pos:int -> prefix:string -> bool
+
+(** Whether line [i] contains [pat] as a substring.  Allocation-free. *)
+val contains : t -> int -> pat:string -> bool
+
+(** [iter_matches t ~pat f] calls [f i] for every line [i] containing
+    [pat], ascending, each such line once.  One Boyer–Moore–Horspool pass
+    over the whole blob (not a loop per line), so cost scales with
+    [blob / |pat|] rather than [blob] — the residual scan's bulk path.  An
+    empty [pat] matches every line; a match straddling a line boundary
+    matches neither line. *)
+val iter_matches : t -> pat:string -> (int -> unit) -> unit
+
+(** Touch every page of the blob and offsets (see {!Bvec.prefault}). *)
+val prefault : t -> int

@@ -78,7 +78,7 @@ let run_corpus ?(progress = fun _ -> ()) opts =
       let path = Store.Snapshot.default_path ~dir ~app_id:cfg.G.name in
       if Sys.file_exists path then begin
         let app = G.generate ~build_dex:false cfg in
-        match Store.Snapshot.load ~path ~program:app.G.program with
+        match Store.Snapshot.load ~path app.G.program with
         | Ok engine -> (app, Some engine)
         | Error e ->
           Printf.eprintf "warning: snapshot %s: %s; rebuilding cold\n%!" path

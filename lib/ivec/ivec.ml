@@ -34,6 +34,20 @@ let equal a b =
   let rec go i = i >= length a || (unsafe_get a i = unsafe_get b i && go (i + 1)) in
   go 0
 
+(* one element per 4 KiB page: an int element is 8 bytes *)
+let words_per_page = 512
+
+let prefault v =
+  let n = length v in
+  let acc = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    acc := !acc lxor unsafe_get v !i;
+    i := !i + words_per_page
+  done;
+  if n > 0 then acc := !acc lxor unsafe_get v (n - 1);
+  !acc
+
 let find_sorted v x =
   let rec bs lo hi =
     if lo >= hi then -1

@@ -35,3 +35,11 @@ val equal : t -> t -> bool
 (** [find_sorted v x] is the index of [x] in the strictly ascending vector
     [v], or [-1] when absent (binary search, no allocation). *)
 val find_sorted : t -> int -> int
+
+(** [prefault v] touches one element per page (4 KiB stride) in order,
+    forcing the kernel to populate page-table entries for a lazily mapped
+    vector up front instead of on the first query that walks it.  Returns a
+    value dependent on the elements read so the traversal cannot be
+    optimised away. *)
+val prefault : t -> int
+

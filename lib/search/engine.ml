@@ -62,17 +62,83 @@ let category_name = function
 
 module Packed = struct
   (** One category's postings in CSR form: [keys] is the strictly ascending
-      operand symbol ids, [slots.(offsets.(k) .. offsets.(k+1)-1)] the
-      strictly ascending arena slots of key [k].  All three vectors live off
-      the OCaml heap; a snapshot load aliases them to mmapped file
-      sections. *)
-  type t = { keys : Ivec.t; offsets : Ivec.t; slots : Ivec.t }
+      operand symbol ids; key [k]'s slots are strictly ascending arena
+      slots.  Two bodies share the shape:
 
-  let n_slots t = Ivec.length t.slots
+      - [Flat slots]: [offsets] are slot indices and key [k]'s run is
+        [slots.(offsets.(k) .. offsets.(k+1)-1)] — what in-process builds
+        produce and what v1 snapshots map.
+      - [Coded data]: [offsets] are byte offsets into [data], each run
+        compressed by {!Postcodec} (varint deltas for sparse keys, bitmap
+        words for dense ones) and decoded on demand by {!iter_key} — what
+        v2 snapshots map, several times smaller on disk and walked
+        sequentially instead of 8 bytes per slot.
+
+      All vectors live off the OCaml heap; a snapshot load aliases them to
+      mmapped file sections. *)
+  type body = Flat of Ivec.t | Coded of Bvec.t
+
+  type t = { keys : Ivec.t; offsets : Ivec.t; body : body }
+
   let n_keys t = Ivec.length t.keys
 
+  (** Slot count of key index [k] — O(1) for both bodies (the coded run
+      leads with its count), which is what lets the query planner order
+      lookups rarest-first without decoding anything. *)
+  let count t k =
+    match t.body with
+    | Flat _ -> Ivec.get t.offsets (k + 1) - Ivec.get t.offsets k
+    | Coded b -> Postcodec.count b ~pos:(Ivec.get t.offsets k)
+
+  (** Apply [f] to each slot of key index [k], ascending. *)
+  let iter_key t k f =
+    match t.body with
+    | Flat slots ->
+      let hi = Ivec.get t.offsets (k + 1) in
+      for i = Ivec.get t.offsets k to hi - 1 do
+        f (Ivec.unsafe_get slots i)
+      done
+    | Coded b -> Postcodec.iter b ~pos:(Ivec.get t.offsets k) f
+
+  let n_slots t =
+    match t.body with
+    | Flat slots -> Ivec.length slots
+    | Coded _ ->
+      let total = ref 0 in
+      for k = 0 to n_keys t - 1 do
+        total := !total + count t k
+      done;
+      !total
+
+  (** In-memory footprint in bytes (mapped or heap-side). *)
   let bytes t =
-    (Ivec.length t.keys + Ivec.length t.offsets + Ivec.length t.slots) * 8
+    ((Ivec.length t.keys + Ivec.length t.offsets) * 8)
+    + (match t.body with
+       | Flat slots -> Ivec.length slots * 8
+       | Coded b -> Bvec.length b)
+
+  (** Decode to a [Flat] body (identity when already flat) — the symbol-id
+      remap path and v1 saves need random-access slot vectors. *)
+  let to_flat t =
+    match t.body with
+    | Flat _ -> t
+    | Coded _ ->
+      let nk = n_keys t in
+      let offsets = Ivec.create (nk + 1) in
+      Ivec.set offsets 0 0;
+      let total = ref 0 in
+      for k = 0 to nk - 1 do
+        total := !total + count t k;
+        Ivec.set offsets (k + 1) !total
+      done;
+      let slots = Ivec.create !total in
+      let pos = ref 0 in
+      for k = 0 to nk - 1 do
+        iter_key t k (fun slot ->
+            Ivec.set slots !pos slot;
+            incr pos)
+      done;
+      { keys = t.keys; offsets; body = Flat slots }
 end
 
 type postings = Packed.t
@@ -137,7 +203,7 @@ let slot_tokens (dex : Dex.Dexfile.t) slot fallback =
     (match Hashtbl.find_opt fallback slot with
      | Some toks -> toks
      | None ->
-       let toks = Dex.Tokens.of_string dex.lines.(li).Dex.Disasm.text in
+       let toks = Dex.Tokens.of_string (Dex.Dexfile.line_text dex li) in
        Hashtbl.add fallback slot toks;
        toks)
 
@@ -257,7 +323,7 @@ let build_postings ?pool dex c =
        (fun (lo, hi, cursor, fallback) ->
           shard_fill dex c ~lo ~hi ~cursor ~slots fallback)
        fills);
-  { Packed.keys = keys_v; offsets; slots }
+  { Packed.keys = keys_v; offsets; body = Packed.Flat slots }
 
 let m_builds = Obs.Metrics.counter "search.postings.builds"
 let m_slots = Obs.Metrics.counter "search.postings.slots"
@@ -363,36 +429,70 @@ let starts_with_opcode ~prefixes text =
          && String.sub text rest_start (String.length p) = p)
       prefixes
 
+(* Store-side opcode prefix check: mirrors [starts_with_opcode] but reads
+   the mapped blob with no line materialization at all. *)
+let store_starts_with_opcode store i ~prefixes =
+  match Dex.Textstore.index_char store i ':' with
+  | -1 -> false
+  | colon ->
+    let rest_start = colon + 2 in
+    List.exists
+      (fun p -> Dex.Textstore.starts_with store i ~pos:rest_start ~prefix:p)
+      prefixes
+
 let scan t ~prefixes ~pat ~filter =
   let acc = ref [] in
-  Array.iteri
-    (fun i (line : Dex.Disasm.line) ->
-       match line.owner with
-       | None -> ()
-       | Some owner ->
-         if (prefixes = [] || starts_with_opcode ~prefixes line.text)
-            && contains ~pat line.text
-         then begin
-           let h =
-             { line_no = i; text = line.text; owner;
-               owner_cls = Option.value ~default:"" line.owner_cls;
-               stmt_idx = line.stmt_idx }
-           in
-           if filter h then acc := h :: !acc
-         end)
-    t.dex.Dex.Dexfile.lines;
+  let emit i (line : Dex.Disasm.line) owner =
+    let h =
+      { line_no = i; text = Dex.Dexfile.line_text t.dex i; owner;
+        owner_cls = Option.value ~default:"" line.owner_cls;
+        stmt_idx = line.stmt_idx }
+    in
+    if filter h then acc := h :: !acc
+  in
+  (match t.dex.Dex.Dexfile.texts with
+   | Some store ->
+     (* snapshot-loaded dexfile: one skip-search pass over the mapped blob
+        finds the candidate lines (allocating nothing), then the rare
+        matches pay the opcode-prefix check and hit materialization *)
+     let lines = t.dex.Dex.Dexfile.lines in
+     Dex.Textstore.iter_matches store ~pat (fun i ->
+         let line = lines.(i) in
+         match line.Dex.Disasm.owner with
+         | None -> ()
+         | Some owner ->
+           if prefixes = [] || store_starts_with_opcode store i ~prefixes
+           then emit i line owner)
+   | None ->
+     Array.iteri
+       (fun i (line : Dex.Disasm.line) ->
+          match line.owner with
+          | None -> ()
+          | Some owner ->
+            if (prefixes = [] || starts_with_opcode ~prefixes line.text)
+               && contains ~pat line.text
+            then emit i line owner)
+       t.dex.Dex.Dexfile.lines);
   List.rev !acc
+
+(* Operand patterns are the symbol's text behind a ", " separator.  The
+   rendering is interned once per distinct symbol via [Sym.memo] — the old
+   per-query [", " ^ Sym.to_string s] re-allocated the pattern under every
+   cache miss, which the scan path (and the residual scans of snapshot
+   engines) pays for on each uncached query. *)
+let comma_pat =
+  Sym.memo ~hash:Sym.hash ~equal:Sym.equal (fun s -> ", " ^ Sym.to_string s)
 
 let scan_uncached t (q : Query.t) =
   match q with
   | Invocation s ->
-    scan t ~prefixes:[ "invoke-" ] ~pat:(", " ^ Sym.to_string s)
+    scan t ~prefixes:[ "invoke-" ] ~pat:(Sym.to_string (comma_pat s))
       ~filter:(fun _ -> true)
   | New_instance s ->
-    scan t ~prefixes:[ "new-instance" ] ~pat:(", " ^ Sym.to_string s)
+    scan t ~prefixes:[ "new-instance" ] ~pat:(Sym.to_string (comma_pat s))
       ~filter:(fun _ -> true)
   | Const_class s ->
-    scan t ~prefixes:[ "const-class" ] ~pat:(", " ^ Sym.to_string s)
+    scan t ~prefixes:[ "const-class" ] ~pat:(Sym.to_string (comma_pat s))
       ~filter:(fun _ -> true)
   | Const_string s ->
     (* the payload is already the quoted literal *)
@@ -400,9 +500,9 @@ let scan_uncached t (q : Query.t) =
       ~filter:(fun _ -> true)
   | Field_access s ->
     scan t ~prefixes:[ "iget"; "iput"; "sget"; "sput" ]
-      ~pat:(", " ^ Sym.to_string s) ~filter:(fun _ -> true)
+      ~pat:(Sym.to_string (comma_pat s)) ~filter:(fun _ -> true)
   | Static_field_access s ->
-    scan t ~prefixes:[ "sget"; "sput" ] ~pat:(", " ^ Sym.to_string s)
+    scan t ~prefixes:[ "sget"; "sput" ] ~pat:(Sym.to_string (comma_pat s))
       ~filter:(fun _ -> true)
   | Class_use s ->
     let cls = Sym.to_string s in
@@ -431,7 +531,7 @@ let hit_of_slot t slot =
   let line_no = Ivec.get a.line_idx slot in
   let oid = Ivec.get a.owner_id slot in
   { line_no;
-    text = t.dex.Dex.Dexfile.lines.(line_no).Dex.Disasm.text;
+    text = Dex.Dexfile.line_text t.dex line_no;
     owner = a.owners.(oid);
     owner_cls = a.owner_cls.(oid);
     stmt_idx =
@@ -441,13 +541,9 @@ let hits_of_sym t (p : postings) sym =
   match Ivec.find_sorted p.Packed.keys (Sym.id sym) with
   | -1 -> []
   | k ->
-    let lo = Ivec.get p.Packed.offsets k
-    and hi = Ivec.get p.Packed.offsets (k + 1) in
     let acc = ref [] in
-    for i = hi - 1 downto lo do
-      acc := hit_of_slot t (Ivec.get p.Packed.slots i) :: !acc
-    done;
-    !acc
+    Packed.iter_key p k (fun slot -> acc := hit_of_slot t slot :: !acc);
+    List.rev !acc
 
 let indexed_lookup t c (q : Query.t) =
   let p = ensure_category t c in
@@ -472,6 +568,103 @@ let run_uncached t q =
 let run t q = Cache.find_or_add t.cache q (fun () -> run_uncached t q)
 
 (* ------------------------------------------------------------------ *)
+(* Rarest-first query planner                                          *)
+
+module Meth_tbl = Ir.Jsig.Meth_tbl
+
+let m_conj = Obs.Metrics.counter "search.plan.conjunctions"
+let m_conj_shortcircuit = Obs.Metrics.counter "search.plan.shortcircuits"
+
+let query_sym : Query.t -> Sym.t option = function
+  | Invocation s | New_instance s | Const_class s | Const_string s
+  | Field_access s | Static_field_access s | Class_use s -> Some s
+  | Raw _ -> None
+
+(* Planning estimate: the postings slot count of the query's key — O(1)
+   off the packed count headers, no decode, no hit materialization.  [Raw]
+   queries (and every query on a scan-mode engine) cost a full text scan,
+   which dwarfs any postings walk, so they sort last. *)
+let postings_count t (q : Query.t) =
+  match query_category q, query_sym q with
+  | Some c, Some s when t.indexed ->
+    let p = ensure_category t c in
+    (match Ivec.find_sorted p.Packed.keys (Sym.id s) with
+     | -1 -> 0
+     | k -> Packed.count p k)
+  | _ -> max_int
+
+(* The owner methods with at least one hit for [q].  On indexed engines
+   this walks the query's packed run and dedupes owner ids — no hit
+   records, no line text; on scan engines it falls back to the hits. *)
+let owners_of_query t (q : Query.t) =
+  let tbl : unit Meth_tbl.t = Meth_tbl.create 64 in
+  let a : Dex.Arena.t = t.dex.Dex.Dexfile.arena in
+  let add_slot keep_cls slot =
+    let oid = Ivec.get a.owner_id slot in
+    if keep_cls a.owner_cls.(oid) then
+      Meth_tbl.replace tbl a.owners.(oid) ()
+  in
+  (match query_category q, query_sym q with
+   | Some c, Some s when t.indexed ->
+     let p = ensure_category t c in
+     (match Ivec.find_sorted p.Packed.keys (Sym.id s) with
+      | -1 -> ()
+      | k ->
+        let keep_cls =
+          match q with
+          | Class_use s ->
+            let subject = Dex.Descriptor.class_of_desc (Sym.to_string s) in
+            fun cls -> not (String.equal cls subject)
+          | _ -> fun _ -> true
+        in
+        Packed.iter_key p k (add_slot keep_cls))
+   | _ ->
+     List.iter (fun h -> Meth_tbl.replace tbl h.owner ()) (run t q));
+  tbl
+
+(** [run_conj t (primary :: conjuncts)] is [run t primary] restricted to
+    hits whose enclosing method also matches {e every} conjunct — "methods
+    that invoke [X] and reference [Y]".  The result is independent of
+    evaluation order, so the planner is free to evaluate conjuncts in
+    ascending postings-count order (rarest first) and to stop at the first
+    empty intersection without touching the remaining — usually densest —
+    postings lists, or the primary itself. *)
+let run_conj t = function
+  | [] -> []
+  | [ q ] -> run t q
+  | primary :: conjuncts ->
+    Obs.Metrics.incr m_conj;
+    let ordered =
+      List.stable_sort
+        (fun a b -> compare (postings_count t a) (postings_count t b))
+        conjuncts
+    in
+    let rec intersect surviving = function
+      | [] -> surviving
+      | q :: rest ->
+        let own = owners_of_query t q in
+        let surviving =
+          match surviving with
+          | None -> own
+          | Some prev ->
+            let keep = Meth_tbl.create (Meth_tbl.length own) in
+            Meth_tbl.iter
+              (fun m () -> if Meth_tbl.mem prev m then Meth_tbl.replace keep m ())
+              own;
+            keep
+        in
+        if Meth_tbl.length surviving = 0 then begin
+          Obs.Metrics.incr m_conj_shortcircuit;
+          None
+        end
+        else intersect (Some surviving) rest
+    in
+    (match intersect None ordered with
+     | None -> []
+     | Some surviving ->
+       List.filter (fun h -> Meth_tbl.mem surviving h.owner) (run t primary))
+
+(* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)
 
 let index_mode t =
@@ -483,6 +676,16 @@ let index_mode t =
 let built_categories t =
   Array.fold_left
     (fun n slot -> if Atomic.get slot <> None then n + 1 else n)
+    0 t.tables
+
+(* Bytes held by the postings built so far (mapped or heap-side) — what the
+   bench reports to compare v1 flat-slot and v2 packed footprints. *)
+let postings_footprint t =
+  Array.fold_left
+    (fun n slot ->
+       match Atomic.get slot with
+       | None -> n
+       | Some p -> n + Packed.bytes p)
     0 t.tables
 
 let index_build_timings t =

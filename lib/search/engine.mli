@@ -32,19 +32,32 @@ type t
 
 (** One category's postings in packed CSR form — the serialization boundary
     between the engine and the snapshot store.  [keys] holds the strictly
-    ascending operand symbol ids; the slots of [keys.(k)] are
-    [slots.(offsets.(k)) .. slots.(offsets.(k+1)-1)], strictly ascending in
-    arena order.  All three vectors are off-heap {!Ivec.t}s, and the layout
-    is deterministic: sequential, pool-sharded and snapshot-loaded builds of
+    ascending operand symbol ids; key [k]'s slots are strictly ascending in
+    arena order.  Two bodies share the shape: [Flat] random-access slot
+    vectors (in-process builds, v1 snapshots) and [Coded] per-key compressed
+    runs — varint deltas or bitmap words, see {!Postcodec} — decoded on
+    demand (v2 snapshots).  All vectors are off-heap; the flat layout is
+    deterministic: sequential, pool-sharded and snapshot-loaded builds of
     the same arena are byte-identical. *)
 module Packed : sig
-  type t = { keys : Ivec.t; offsets : Ivec.t; slots : Ivec.t }
+  type body = Flat of Ivec.t | Coded of Bvec.t
+
+  type t = { keys : Ivec.t; offsets : Ivec.t; body : body }
 
   val n_slots : t -> int
   val n_keys : t -> int
 
-  (** Payload size of the three vectors, in bytes. *)
+  (** Slot count of key index [k] — O(1) for both bodies. *)
+  val count : t -> int -> int
+
+  (** Apply [f] to each slot of key index [k], ascending. *)
+  val iter_key : t -> int -> (int -> unit) -> unit
+
+  (** Payload size in bytes (mapped or heap-side). *)
   val bytes : t -> int
+
+  (** Decode to a [Flat] body; identity when already flat. *)
+  val to_flat : t -> t
 end
 
 (** Build an engine over a disassembled app.  [indexed] (default true)
@@ -87,12 +100,26 @@ val run : t -> Query.t -> hit list
     first use. *)
 val run_uncached : t -> Query.t -> hit list
 
+(** [run_conj t (primary :: conjuncts)] is [run t primary] restricted to
+    hits whose enclosing method also matches every conjunct — "methods that
+    invoke [X] and reference [Y]".  The result is order-independent; the
+    planner evaluates conjuncts rarest-first (ascending O(1) postings
+    count, [Raw] and scan-mode queries last) and short-circuits to [[]] on
+    the first empty owner intersection, skipping the denser lists and the
+    primary itself.  [run_conj t []] is [[]]; [run_conj t [q]] is
+    [run t q]. *)
+val run_conj : t -> Query.t list -> hit list
+
 (** ["scan"], ["lazy"], ["eager"] or ["snapshot"]. *)
 val index_mode : t -> string
 
 (** Number of postings categories built so far (0-7).  Lazy engines build
     strictly fewer than eager ones unless every category was queried. *)
 val built_categories : t -> int
+
+(** Bytes held by the postings built so far (mapped or heap-side) — lets
+    the bench compare v1 flat-slot and v2 packed footprints. *)
+val postings_footprint : t -> int
 
 (** Per-category postings build cost: [(category name, µs)] for each
     category built so far, in category order. *)

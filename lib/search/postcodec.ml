@@ -1,0 +1,201 @@
+(* See postcodec.mli for the wire format.  Encoding is deterministic — the
+   varint-vs-bitmap choice is a pure function of the run — so snapshot
+   save -> load -> save stays byte-identical. *)
+
+let tag_varint = 0
+let tag_bitmap = 1
+
+(* -- varints (LEB128, low 7 bits first) ------------------------------- *)
+
+let put_varint buf n =
+  let n = ref n in
+  while !n >= 0x80 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!n land 0x7f)));
+    n := !n lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !n)
+
+(* Fast unchecked decode: data was validated at load time. *)
+let get_varint (b : Bvec.t) pos =
+  let x = ref 0 and shift = ref 0 and p = ref pos in
+  let continue_ = ref true in
+  while !continue_ do
+    let byte = Bvec.unsafe_u8 b !p in
+    incr p;
+    x := !x lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if byte < 0x80 then continue_ := false
+  done;
+  (!x, !p)
+
+(* Careful decode for validation: bounds-checked, rejects overlong and
+   overflowing encodings instead of wrapping. *)
+let checked_varint (b : Bvec.t) pos ~limit =
+  let rec go x shift p =
+    if p >= limit then Error "varint truncated"
+    else if shift > 62 then Error "varint overflow"
+    else
+      let byte = Bvec.get_u8 b p in
+      let x = x lor ((byte land 0x7f) lsl shift) in
+      if byte < 0x80 then Ok (x, p + 1) else go x (shift + 7) (p + 1)
+  in
+  go 0 0 pos
+
+(* -- encoding --------------------------------------------------------- *)
+
+(* Bitmap payload: 8 bytes per 64-slot word over [first, last].  Chosen iff
+   it cannot be larger than the varint form, whose is-never-smaller lower
+   bound is one byte per slot. *)
+let bitmap_words ~first ~last = ((last - first) / 64) + 1
+
+let encode buf ~get ~lo ~hi =
+  let n = hi - lo in
+  put_varint buf n;
+  if n > 0 then begin
+    let first = get lo and last = get (hi - 1) in
+    let nwords = bitmap_words ~first ~last in
+    if 8 * nwords <= n then begin
+      Buffer.add_char buf (Char.chr tag_bitmap);
+      put_varint buf first;
+      put_varint buf nwords;
+      let words = Array.make nwords 0L in
+      for i = lo to hi - 1 do
+        let d = get i - first in
+        words.(d / 64)
+          <- Int64.logor words.(d / 64) (Int64.shift_left 1L (d land 63))
+      done;
+      let w8 = Bytes.create 8 in
+      Array.iter
+        (fun w ->
+           Bytes.set_int64_le w8 0 w;
+           Buffer.add_bytes buf w8)
+        words
+    end
+    else begin
+      Buffer.add_char buf (Char.chr tag_varint);
+      put_varint buf first;
+      let prev = ref first in
+      for i = lo + 1 to hi - 1 do
+        let s = get i in
+        put_varint buf (s - !prev - 1);
+        prev := s
+      done
+    end
+  end
+
+let encode_array buf a =
+  encode buf ~get:(Array.get a) ~lo:0 ~hi:(Array.length a)
+
+(* -- decoding --------------------------------------------------------- *)
+
+let count b ~pos = fst (get_varint b pos)
+
+(* Iterate one word of bitmap as two 32-bit halves — no Int64 allocation
+   per bit test once flambda-less OCaml unboxes the locals. *)
+let iter_word f base w =
+  let lo = Int64.to_int (Int64.logand w 0xFFFFFFFFL) in
+  let hi = Int64.to_int (Int64.shift_right_logical w 32) in
+  let half off bits =
+    let bits = ref bits and j = ref 0 in
+    while !bits <> 0 do
+      if !bits land 1 <> 0 then f (base + off + !j);
+      bits := !bits lsr 1;
+      incr j
+    done
+  in
+  half 0 lo;
+  half 32 hi
+
+let get_word_le (b : Bvec.t) pos =
+  let u8 i = Int64.of_int (Bvec.unsafe_u8 b (pos + i)) in
+  let ( ||| ) = Int64.logor and ( <<< ) = Int64.shift_left in
+  u8 0 ||| (u8 1 <<< 8) ||| (u8 2 <<< 16) ||| (u8 3 <<< 24)
+  ||| (u8 4 <<< 32) ||| (u8 5 <<< 40) ||| (u8 6 <<< 48) ||| (u8 7 <<< 56)
+
+let iter b ~pos f =
+  let n, p = get_varint b pos in
+  if n > 0 then begin
+    let tag = Bvec.unsafe_u8 b p in
+    let p = p + 1 in
+    if tag = tag_bitmap then begin
+      let first, p = get_varint b p in
+      let nwords, p = get_varint b p in
+      for w = 0 to nwords - 1 do
+        let word = get_word_le b (p + (8 * w)) in
+        if word <> 0L then iter_word f (first + (64 * w)) word
+      done
+    end
+    else begin
+      let first, p = get_varint b p in
+      f first;
+      let prev = ref first and p = ref p in
+      for _ = 2 to n do
+        let d, p' = get_varint b !p in
+        p := p';
+        let s = !prev + d + 1 in
+        f s;
+        prev := s
+      done
+    end
+  end
+
+(* -- validation ------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let validate b ~pos ~limit ~max_slot =
+  let* n, p = checked_varint b pos ~limit in
+  if n < 0 then Error "negative count"
+  else if n = 0 then
+    if p = limit then Ok (0, p) else Error "trailing bytes after empty run"
+  else if p >= limit then Error "missing tag"
+  else
+    let tag = Bvec.get_u8 b p in
+    let p = p + 1 in
+    let* endp =
+      if tag = tag_bitmap then
+        let* first, p = checked_varint b p ~limit in
+        let* nwords, p = checked_varint b p ~limit in
+        if nwords <= 0 || nwords > (max_slot / 64) + 1 then
+          Error "bitmap word count out of range"
+        else if p + (8 * nwords) > limit then Error "bitmap truncated"
+        else begin
+          (* population must match the declared count; every set bit must
+             be a valid slot; the first and last words must actually carry
+             the run's endpoints *)
+          let popcount = ref 0 and ok = ref true in
+          for w = 0 to nwords - 1 do
+            let word = get_word_le b (p + (8 * w)) in
+            if word <> 0L then
+              iter_word
+                (fun s ->
+                   incr popcount;
+                   if s < first || s > max_slot then ok := false)
+                (first + (64 * w))
+                word
+          done;
+          if not !ok then Error "bitmap slot out of range"
+          else if !popcount <> n then Error "bitmap population mismatch"
+          else if
+            Int64.logand (get_word_le b p) 1L <> 1L
+            || Int64.equal (get_word_le b (p + (8 * (nwords - 1)))) 0L
+          then Error "bitmap not anchored"
+          else Ok (p + (8 * nwords))
+        end
+      else if tag = tag_varint then begin
+        let* first, p = checked_varint b p ~limit in
+        if first < 0 || first > max_slot then Error "first slot out of range"
+        else
+          let rec deltas prev p k =
+            if k = 0 then Ok p
+            else
+              let* d, p = checked_varint b p ~limit in
+              let s = prev + d + 1 in
+              if s > max_slot then Error "slot out of range"
+              else deltas s p (k - 1)
+          in
+          deltas first p (n - 1)
+      end
+      else Error (Printf.sprintf "unknown run tag %d" tag)
+    in
+    if endp = limit then Ok (n, endp) else Error "trailing bytes after run"

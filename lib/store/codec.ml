@@ -13,7 +13,13 @@ let error_to_string = function
   | Corrupt what -> Printf.sprintf "corrupt snapshot: %s" what
 
 let magic = "BDIXSNAP"
-let format_version = 1
+
+(* v1: flat postings slots, heap line texts.  v2: Postcodec-compressed
+   postings runs and off-heap line texts.  The container layout is identical
+   across versions — only section payloads differ — so one reader serves
+   both; [Snapshot.load] dispatches on {!version}. *)
+let format_version = 2
+let min_format_version = 1
 let header_len = 32
 let checksum_offset = 24
 
@@ -78,7 +84,9 @@ let add_blob w ~id s = add w id s
 
 let align8 n = (n + 7) land lnot 7
 
-let write_file w ~path =
+let write_file ?(version = format_version) w ~path =
+  if version < min_format_version || version > format_version then
+    invalid_arg "Codec.write_file: unsupported version";
   let sections = List.rev w.sections in
   let n = List.length sections in
   let dir_len = n * 24 in
@@ -95,7 +103,7 @@ let write_file w ~path =
   let total = align8 !off in
   let b = Bytes.make total '\000' in
   Bytes.blit_string magic 0 b 0 8;
-  Bytes.set_int32_le b 8 (Int32.of_int format_version);
+  Bytes.set_int32_le b 8 (Int32.of_int version);
   Bytes.set_int32_le b 12 (Int32.of_int n);
   Bytes.set_int64_le b 16 (Int64.of_int total);
   List.iteri
@@ -129,6 +137,7 @@ type char_map = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.A
 type reader = {
   fd : Unix.file_descr;
   r_size : int;
+  r_version : int;
   words : word_map;
       (* whole file mapped as native 64-bit words: checksum + blob copies *)
   chars : char_map;
@@ -202,7 +211,8 @@ let read_file ~path =
         if not magic_ok then fail Bad_magic
         else
           let version = le32 chars 8 in
-          if version <> format_version then fail (Bad_version version)
+          if version < min_format_version || version > format_version then
+            fail (Bad_version version)
           else if Int64.to_int (le64 chars 16) <> size then fail Truncated
           else if
             not
@@ -236,12 +246,15 @@ let read_file ~path =
               done;
               match !bad with
               | Some e -> fail e
-              | None -> Ok { fd; r_size = size; words; chars; dir }
+              | None ->
+                Ok { fd; r_size = size; r_version = version; words; chars;
+                     dir }
             end
           end
     end
 
 let size r = r.r_size
+let version r = r.r_version
 
 let section r id =
   match Hashtbl.find_opt r.dir id with
@@ -259,6 +272,13 @@ let map_ivec r ~id =
         Bigarray.c_layout false [| n |]
     in
     Ok (Bigarray.array1_of_genarray g)
+
+(* No-copy byte view of a section: a sub of the file's private char mapping.
+   Like [map_ivec] views, it stays valid after [close] and writes are
+   copy-on-write. *)
+let map_bytes r ~id =
+  let* s = section r id in
+  Ok (Bigarray.Array1.sub r.chars s.s_off s.s_len)
 
 (* Copy a word at a time out of the mapping (offsets are 8-aligned by the
    directory check); the sub-word tail goes byte-wise. *)

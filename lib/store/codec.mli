@@ -37,6 +37,15 @@ val magic : string
 (** 8 bytes. *)
 
 val format_version : int
+(** Current (newest) version written by default.  v1 stored flat postings
+    slot vectors and heap line texts; v2 stores {!Bytesearch.Postcodec}
+    compressed postings runs and off-heap line texts.  The container layout
+    is version-independent; readers accept any version in
+    [[min_format_version, format_version]] and {!Snapshot.load} dispatches
+    on {!version}. *)
+
+val min_format_version : int
+(** Oldest version still readable. *)
 
 val header_len : int
 (** 32. *)
@@ -65,8 +74,11 @@ val add_ints : writer -> id:int -> int array -> unit
 val add_blob : writer -> id:int -> string -> unit
 
 (** Write the container to [path] (atomically: a temp file renamed over the
-    target) and return its size in bytes. *)
-val write_file : writer -> path:string -> int
+    target) and return its size in bytes.  [version] (default
+    {!format_version}) stamps the header — the legacy-format save path
+    passes 1; anything outside the readable range raises
+    [Invalid_argument]. *)
+val write_file : ?version:int -> writer -> path:string -> int
 
 (* -- Reading --------------------------------------------------------- *)
 
@@ -79,6 +91,10 @@ val read_file : path:string -> (reader, error) result
 (** Total file size in bytes. *)
 val size : reader -> int
 
+(** The format version the file declares (within the readable range, or
+    {!read_file} would have failed with [Bad_version]). *)
+val version : reader -> int
+
 (** Map section [id] as an off-heap int vector (private mapping — writes
     are copy-on-write, never hitting the file).  Fails with [Corrupt] when
     the section is missing or its byte length is not a multiple of 8. *)
@@ -86,6 +102,10 @@ val map_ivec : reader -> id:int -> (Ivec.t, error) result
 
 (** Read section [id] as a string. *)
 val read_blob : reader -> id:int -> (string, error) result
+
+(** Map section [id] as an off-heap byte vector — a no-copy view into the
+    file's private (copy-on-write) mapping, valid after {!close}. *)
+val map_bytes : reader -> id:int -> (Bvec.t, error) result
 
 (** Close the fd.  Existing mappings stay valid. *)
 val close : reader -> unit

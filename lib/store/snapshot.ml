@@ -1,12 +1,18 @@
 module Engine = Bytesearch.Engine
 module Packed = Engine.Packed
+module Postcodec = Bytesearch.Postcodec
 
 let ( let* ) = Result.bind
 
 (* Section ids.  Per-line owner/stmt sections are deliberately absent: the
    arena already records owner and statement index for every instruction
    line, and header lines have neither, so load reconstructs line metadata
-   from the arena columns. *)
+   from the arena columns.
+
+   The ids are version-independent; the payload of [sec_slots c] is not:
+   v1 stores the flat slot vector ([sec_offsets c] holds slot indices),
+   v2 stores Postcodec-compressed runs ([sec_offsets c] holds byte
+   offsets into the coded blob). *)
 let sec_meta = 1
 let sec_sym_offsets = 2
 let sec_sym_blob = 3
@@ -31,6 +37,7 @@ let m_save_bytes = Obs.Metrics.counter "store.save.bytes"
 let m_load_files = Obs.Metrics.counter "store.load.files"
 let m_load_bytes = Obs.Metrics.counter "store.load.bytes_mapped"
 let m_load_remapped = Obs.Metrics.counter "store.load.remapped"
+let m_load_prefaulted = Obs.Metrics.counter "store.load.prefaulted"
 
 let default_path ~dir ~app_id =
   let sane =
@@ -83,22 +90,58 @@ let load_strings r ~off_id ~blob_id ~count ~what =
              String.sub blob lo (Ivec.get offs (i + 1) - lo)))
   end
 
+(* The same (offsets, blob) pair mapped off-heap instead of materialised —
+   the v2 line-text load path.  [Textstore.create] re-checks the offset
+   geometry and raises; translate to the typed error. *)
+let map_textstore r ~off_id ~blob_id ~count ~what =
+  let* offs = Codec.map_ivec r ~id:off_id in
+  let* blob = Codec.map_bytes r ~id:blob_id in
+  if Ivec.length offs <> count + 1 then
+    Error (Codec.Corrupt (Printf.sprintf "%s: offsets length mismatch" what))
+  else
+    match Dex.Textstore.create ~blob ~offs with
+    | store -> Ok store
+    | exception Invalid_argument m ->
+      Error (Codec.Corrupt (Printf.sprintf "%s: %s" what m))
+
 (* -- Save ------------------------------------------------------------- *)
 
-let save ~path engine =
+(* One category's postings as v2 sections: keys unchanged, offsets become
+   byte offsets into the coded blob, each key's run compressed by
+   {!Postcodec}.  Encoding goes through the packed cursor API, so it works
+   identically for [Flat] (in-process) and [Coded] (snapshot-loaded)
+   bodies, and the byte choice is a pure function of each run — save ->
+   load -> save is byte-identical. *)
+let coded_sections (p : Packed.t) =
+  let nk = Packed.n_keys p in
+  let offsets = Ivec.create (nk + 1) in
+  let buf = Buffer.create 4096 in
+  let run = ref [||] in
+  for k = 0 to nk - 1 do
+    let n = Packed.count p k in
+    if Array.length !run < n then run := Array.make (max n 64) 0;
+    let a = !run and i = ref 0 in
+    Packed.iter_key p k (fun slot -> a.(!i) <- slot; incr i);
+    Ivec.set offsets k (Buffer.length buf);
+    Postcodec.encode buf ~get:(Array.get a) ~lo:0 ~hi:n
+  done;
+  Ivec.set offsets nk (Buffer.length buf);
+  (offsets, Buffer.contents buf)
+
+let save ?(format_version = Codec.format_version) ~path engine =
   let span0 = Obs.Span.start () in
   let dex = Engine.dexfile engine in
   let packed = Engine.export_packed engine in
   let arena = dex.Dex.Dexfile.arena in
-  let lines = dex.Dex.Dexfile.lines in
+  let n_lines = Dex.Dexfile.line_count dex in
   let syms = Sym.dump () in
   let w = Codec.writer () in
   Codec.add_ints w ~id:sec_meta
-    [| Array.length lines; Dex.Arena.length arena;
+    [| n_lines; Dex.Arena.length arena;
        Array.length arena.Dex.Arena.owners; Array.length syms |];
   add_strings w ~off_id:sec_sym_offsets ~blob_id:sec_sym_blob syms;
   add_strings w ~off_id:sec_line_offsets ~blob_id:sec_line_blob
-    (Array.map (fun l -> l.Dex.Disasm.text) lines);
+    (Array.init n_lines (Dex.Dexfile.line_text dex));
   add_strings w ~off_id:sec_owner_offsets ~blob_id:sec_owner_blob
     (Array.map Ir.Jsig.meth_to_string arena.Dex.Arena.owners);
   add_strings w ~off_id:sec_cls_offsets ~blob_id:sec_cls_blob
@@ -111,57 +154,108 @@ let save ~path engine =
   Array.iteri
     (fun c (p : Packed.t) ->
        Codec.add_ivec w ~id:(sec_keys c) p.Packed.keys;
-       Codec.add_ivec w ~id:(sec_offsets c) p.Packed.offsets;
-       Codec.add_ivec w ~id:(sec_slots c) p.Packed.slots)
+       if format_version >= 2 then begin
+         let offsets, blob = coded_sections p in
+         Codec.add_ivec w ~id:(sec_offsets c) offsets;
+         Codec.add_blob w ~id:(sec_slots c) blob
+       end
+       else begin
+         let p = Packed.to_flat p in
+         match p.Packed.body with
+         | Packed.Flat slots ->
+           Codec.add_ivec w ~id:(sec_offsets c) p.Packed.offsets;
+           Codec.add_ivec w ~id:(sec_slots c) slots
+         | Packed.Coded _ -> assert false  (* to_flat *)
+       end)
     packed;
-  let bytes = Codec.write_file w ~path in
+  let bytes = Codec.write_file ~version:format_version w ~path in
   Obs.Metrics.incr m_save_files;
   Obs.Metrics.add m_save_bytes bytes;
   Obs.Span.emit ~cat:"store" ~name:"store:save"
     ~attrs:
       [ ("path", Obs.Span.Str path); ("bytes", Obs.Span.Int bytes);
+        ("version", Obs.Span.Int format_version);
         ("syms", Obs.Span.Int (Array.length syms)) ]
     span0;
   bytes
 
 (* -- Load ------------------------------------------------------------- *)
 
-(* Validate one category's CSR geometry against the snapshot's own symbol
-   and slot counts (symbol ids here are still snapshot ids). *)
-let check_packed ~n_syms ~n_slots c (p : Packed.t) =
-  let nk = Ivec.length p.Packed.keys in
+(* Validate one v1 category's CSR geometry against the snapshot's own
+   symbol and slot counts (symbol ids here are still snapshot ids). *)
+let check_packed_flat ~n_syms ~n_slots c ~keys ~offsets ~slots =
+  let nk = Ivec.length keys in
   let bad what =
     Error (Codec.Corrupt (Printf.sprintf "postings %d: %s" c what))
   in
-  if Ivec.length p.Packed.offsets <> nk + 1 then bad "offsets length"
-  else if Ivec.get p.Packed.offsets 0 <> 0 then bad "offsets start"
-  else if Ivec.get p.Packed.offsets nk <> Ivec.length p.Packed.slots then
-    bad "offsets end"
+  if Ivec.length offsets <> nk + 1 then bad "offsets length"
+  else if Ivec.get offsets 0 <> 0 then bad "offsets start"
+  else if Ivec.get offsets nk <> Ivec.length slots then bad "offsets end"
   else begin
     let ok = ref true in
     for k = 0 to nk - 1 do
-      let key = Ivec.get p.Packed.keys k in
+      let key = Ivec.get keys k in
       if key < 0 || key >= n_syms then ok := false;
-      if k > 0 && Ivec.get p.Packed.keys (k - 1) >= key then ok := false;
-      if Ivec.get p.Packed.offsets (k + 1) < Ivec.get p.Packed.offsets k then
-        ok := false
+      if k > 0 && Ivec.get keys (k - 1) >= key then ok := false;
+      if Ivec.get offsets (k + 1) < Ivec.get offsets k then ok := false
     done;
     if not !ok then bad "keys/offsets not ascending or out of range"
     else begin
       let ok = ref true in
-      for i = 0 to Ivec.length p.Packed.slots - 1 do
-        let s = Ivec.get p.Packed.slots i in
+      for i = 0 to Ivec.length slots - 1 do
+        let s = Ivec.get slots i in
         if s < 0 || s >= n_slots then ok := false
       done;
       if !ok then Ok () else bad "slot out of range"
     end
   end
 
+(* Validate one v2 category: same key geometry, byte offsets partitioning
+   the coded blob exactly, and every coded run well-formed with slots in
+   range.  Every byte the engine's unchecked cursors will later read is
+   checked here — and the walk doubles as a sequential touch of the run
+   bytes, so it prefaults the postings as a side effect. *)
+let check_packed_coded ~n_syms ~n_slots c ~keys ~offsets ~(coded : Bvec.t) =
+  let nk = Ivec.length keys in
+  let bad what =
+    Error (Codec.Corrupt (Printf.sprintf "postings %d: %s" c what))
+  in
+  if Ivec.length offsets <> nk + 1 then bad "offsets length"
+  else if nk > 0 && Ivec.get offsets 0 <> 0 then bad "offsets start"
+  else if Ivec.get offsets nk <> Bvec.length coded then bad "offsets end"
+  else begin
+    let ok = ref true in
+    for k = 0 to nk - 1 do
+      let key = Ivec.get keys k in
+      if key < 0 || key >= n_syms then ok := false;
+      if k > 0 && Ivec.get keys (k - 1) >= key then ok := false;
+      if Ivec.get offsets (k + 1) < Ivec.get offsets k then ok := false
+    done;
+    if not !ok then bad "keys/offsets not ascending or out of range"
+    else begin
+      let rec runs k =
+        if k = nk then Ok ()
+        else
+          match
+            Postcodec.validate coded ~pos:(Ivec.get offsets k)
+              ~limit:(Ivec.get offsets (k + 1)) ~max_slot:(n_slots - 1)
+          with
+          | Ok _ -> runs (k + 1)
+          | Error m -> bad (Printf.sprintf "run %d: %s" k m)
+      in
+      runs 0
+    end
+  end
+
 (* Rebuild one category's postings with live symbol ids: re-key each entry
    through [live_of_snap], then re-sort key order (slot lists are unchanged
-   and stay ascending).  Fresh ivecs — the mapped originals are dropped. *)
+   and stay ascending).  Fresh flat ivecs — the mapped originals are
+   dropped, and a remapped engine pays v1-shaped memory for its postings
+   regardless of snapshot version (remaps are the rare skewed-symbol-table
+   path). *)
 let remap_packed live_of_snap (p : Packed.t) =
-  let nk = Ivec.length p.Packed.keys in
+  let p = Packed.to_flat p in
+  let nk = Packed.n_keys p in
   let newkey =
     Array.init nk (fun k -> live_of_snap.(Ivec.get p.Packed.keys k))
   in
@@ -169,21 +263,18 @@ let remap_packed live_of_snap (p : Packed.t) =
   Array.sort (fun a b -> compare newkey.(a) newkey.(b)) order;
   let keys = Ivec.create nk in
   let offsets = Ivec.create (nk + 1) in
-  let slots = Ivec.create (Ivec.length p.Packed.slots) in
+  let slots = Ivec.create (Packed.n_slots p) in
   let pos = ref 0 in
   Ivec.set offsets 0 0;
   Array.iteri
     (fun i k ->
        Ivec.set keys i newkey.(k);
-       let lo = Ivec.get p.Packed.offsets k in
-       let hi = Ivec.get p.Packed.offsets (k + 1) in
-       for j = lo to hi - 1 do
-         Ivec.set slots !pos (Ivec.get p.Packed.slots j);
-         incr pos
-       done;
+       Packed.iter_key p k (fun slot ->
+           Ivec.set slots !pos slot;
+           incr pos);
        Ivec.set offsets (i + 1) !pos)
     order;
-  { Packed.keys; offsets; slots }
+  { Packed.keys; offsets; body = Packed.Flat slots }
 
 let rec result_each f = function
   | [] -> Ok ()
@@ -191,9 +282,38 @@ let rec result_each f = function
     let* () = f x in
     result_each f tl
 
-let load ~path ~program =
+(* Touch every page of the mapped hot sections up front — arena columns,
+   postings, line texts — so first queries fault nothing in.  OCaml's Unix
+   has no madvise; a sequential one-touch-per-page walk gets the same
+   readahead behaviour.  Runs after validation (which already walked the
+   coded runs), so the engine is usable either way; the knob only moves
+   page-fault cost from first queries to load. *)
+let prefault_engine ~(arena : Dex.Arena.t) ~(packed : Packed.t array)
+    ~(texts : Dex.Textstore.t option) =
+  let acc = ref 0 in
+  let iv v = acc := !acc lxor Ivec.prefault v in
+  iv arena.Dex.Arena.line_idx;
+  iv arena.Dex.Arena.stmt_idx;
+  iv arena.Dex.Arena.owner_id;
+  iv arena.Dex.Arena.cat;
+  iv arena.Dex.Arena.sym;
+  Array.iter
+    (fun (p : Packed.t) ->
+       iv p.Packed.keys;
+       iv p.Packed.offsets;
+       match p.Packed.body with
+       | Packed.Flat slots -> iv slots
+       | Packed.Coded b -> acc := !acc lxor Bvec.prefault b)
+    packed;
+  (match texts with
+   | Some store -> acc := !acc lxor Dex.Textstore.prefault store
+   | None -> ());
+  Sys.opaque_identity !acc
+
+let load ?(prefault = false) ~path program =
   let span0 = Obs.Span.start () in
   let* r = Codec.read_file ~path in
+  let version = Codec.version r in
   let finish res =
     Codec.close r;
     (match res with
@@ -204,6 +324,8 @@ let load ~path ~program =
          ~attrs:
            [ ("path", Obs.Span.Str path);
              ("bytes", Obs.Span.Int (Codec.size r));
+             ("version", Obs.Span.Int version);
+             ("prefault", Obs.Span.Bool prefault);
              ("mode", Obs.Span.Str (Engine.index_mode engine)) ]
          span0
      | Error _ -> ());
@@ -224,9 +346,22 @@ let load ~path ~program =
            load_strings r ~off_id:sec_sym_offsets ~blob_id:sec_sym_blob
              ~count:n_syms ~what:"symbol table"
          in
-         let* texts =
-           load_strings r ~off_id:sec_line_offsets ~blob_id:sec_line_blob
-             ~count:n_lines ~what:"line texts"
+         (* v1 materialises one heap string per line; v2 leaves the texts
+            in the mapped blob and lines lazily materialise through
+            [Dexfile.line_text]. *)
+         let* texts_heap, texts_store =
+           if version >= 2 then
+             let* store =
+               map_textstore r ~off_id:sec_line_offsets
+                 ~blob_id:sec_line_blob ~count:n_lines ~what:"line texts"
+             in
+             Ok ([||], Some store)
+           else
+             let* a =
+               load_strings r ~off_id:sec_line_offsets
+                 ~blob_id:sec_line_blob ~count:n_lines ~what:"line texts"
+             in
+             Ok (a, None)
          in
          let* owner_strs =
            load_strings r ~off_id:sec_owner_offsets ~blob_id:sec_owner_blob
@@ -278,9 +413,22 @@ let load ~path ~program =
              else
                let* keys = Codec.map_ivec r ~id:(sec_keys c) in
                let* offsets = Codec.map_ivec r ~id:(sec_offsets c) in
-               let* slots = Codec.map_ivec r ~id:(sec_slots c) in
-               let p = { Packed.keys; offsets; slots } in
-               let* () = check_packed ~n_syms ~n_slots c p in
+               let* p =
+                 if version >= 2 then
+                   let* coded = Codec.map_bytes r ~id:(sec_slots c) in
+                   let* () =
+                     check_packed_coded ~n_syms ~n_slots c ~keys ~offsets
+                       ~coded
+                   in
+                   Ok { Packed.keys; offsets; body = Packed.Coded coded }
+                 else
+                   let* slots = Codec.map_ivec r ~id:(sec_slots c) in
+                   let* () =
+                     check_packed_flat ~n_syms ~n_slots c ~keys ~offsets
+                       ~slots
+                   in
+                   Ok { Packed.keys; offsets; body = Packed.Flat slots }
+               in
                go (c + 1) (p :: acc)
            in
            go 0 []
@@ -317,16 +465,21 @@ let load ~path ~program =
            owner_of_line.(li) <- Ivec.get owner_id i;
            stmt_of_line.(li) <- Ivec.get stmt_idx i
          done;
+         let text_of_line =
+           match texts_store with
+           | Some _ -> fun _ -> Dex.Textstore.pending
+           | None -> fun li -> texts_heap.(li)
+         in
          let lines =
            Array.init n_lines (fun li ->
                let oi = owner_of_line.(li) in
                if oi < 0 then
-                 { Dex.Disasm.text = texts.(li); owner = None;
+                 { Dex.Disasm.text = text_of_line li; owner = None;
                    owner_cls = None; stmt_idx = None;
                    key = Dex.Disasm.K_none; tokens = None }
                else
                  let si = stmt_of_line.(li) in
-                 { Dex.Disasm.text = texts.(li);
+                 { Dex.Disasm.text = text_of_line li;
                    owner = Some owners.(oi);
                    owner_cls = Some owner_cls.(oi);
                    stmt_idx = (if si >= 0 then Some si else None);
@@ -336,6 +489,14 @@ let load ~path ~program =
            { Dex.Arena.line_idx; stmt_idx; owner_id; cat; sym; owners;
              owner_cls }
          in
-         let dex = { Dex.Dexfile.lines; arena; program } in
+         if prefault then begin
+           Obs.Metrics.incr m_load_prefaulted;
+           ignore (prefault_engine ~arena ~packed ~texts:texts_store)
+         end;
+         let dex =
+           match texts_store with
+           | Some store -> Dex.Dexfile.of_store lines arena program store
+           | None -> { Dex.Dexfile.lines; arena; program; texts = None }
+         in
          Ok (Engine.create_packed dex packed)
      end)

@@ -28,15 +28,31 @@ val default_path : dir:string -> app_id:string -> string
 
 (** Serialize [engine]'s symbol table, dexfile lines, arena and all seven
     postings categories (building any not yet built) to [path], atomically.
-    Returns the file size in bytes. *)
-val save : path:string -> Bytesearch.Engine.t -> int
+    Returns the file size in bytes.
 
-(** Map the snapshot at [path] back into a ready engine over [program]
-    (which supplies the analysis-side IR; the snapshot supplies everything
-    search-side).  Validates structure fully before use — a damaged file
-    yields a typed {!Codec.error}, never a crash or a silently wrong
-    engine. *)
+    [format_version] (default {!Codec.format_version}, i.e. v2) selects the
+    payload encoding: v2 compresses each postings run with
+    {!Bytesearch.Postcodec} (varint deltas / bitmap words — several times
+    smaller on disk and decoded on demand after load); passing [1] writes
+    the legacy flat-slot layout, kept so version-skew tests (and downgrade
+    paths) can produce v1 files.  Save -> load -> save is byte-identical at
+    either version. *)
+val save : ?format_version:int -> path:string -> Bytesearch.Engine.t -> int
+
+(** [load ?prefault ~path program] maps the snapshot at [path] back into a
+    ready engine over [program] (which supplies the analysis-side IR; the
+    snapshot supplies everything search-side).  Both v1 and v2 files load; v2 postings stay compressed
+    (the engine decodes runs on demand) and v2 line texts stay in the
+    mapped blob (materialised lazily per returned hit).  Validates
+    structure fully before use — every coded run is walked and
+    range-checked — so a damaged file yields a typed {!Codec.error}, never
+    a crash or a silently wrong engine.
+
+    [prefault] (default false) touches every page of the mapped hot
+    sections — arena columns, postings, line texts — before returning,
+    moving page-fault cost from the first queries into the load. *)
 val load :
+  ?prefault:bool ->
   path:string ->
-  program:Ir.Program.t ->
+  Ir.Program.t ->
   (Bytesearch.Engine.t, Codec.error) result

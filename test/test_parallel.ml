@@ -201,7 +201,7 @@ let test_mode_equivalence () =
   @@ fun () ->
   ignore (Store.Snapshot.save ~path:snap_path eager_seq);
   let load_snapshot () =
-    match Store.Snapshot.load ~path:snap_path ~program:app.G.program with
+    match Store.Snapshot.load ~path:snap_path app.G.program with
     | Ok e -> e
     | Error e -> Alcotest.failf "snapshot load: %s" (Store.Codec.error_to_string e)
   in

@@ -59,7 +59,7 @@ let error_t =
        | a, b -> a = b)
 
 let check_load_error ~app ~path name expect =
-  match Store.Snapshot.load ~path ~program:app.G.program with
+  match Store.Snapshot.load ~path app.G.program with
   | Ok _ -> Alcotest.failf "%s: load unexpectedly succeeded" name
   | Error e -> Alcotest.check error_t name expect e
 
@@ -117,7 +117,7 @@ let test_rejects_corruption () =
     [ "line"; "slot"; "owner"; "symbol" ];
   (* restore and prove the fixture itself still loads *)
   write_all path original;
-  match Store.Snapshot.load ~path ~program:app.G.program with
+  match Store.Snapshot.load ~path app.G.program with
   | Ok e ->
     Alcotest.(check string) "restored file loads" "snapshot" (E.index_mode e)
   | Error e ->
@@ -126,7 +126,7 @@ let test_rejects_corruption () =
 let test_roundtrip_identical () =
   with_snapshot @@ fun ~app ~path ->
   let engine =
-    match Store.Snapshot.load ~path ~program:app.G.program with
+    match Store.Snapshot.load ~path app.G.program with
     | Ok e -> e
     | Error e -> Alcotest.failf "load: %s" (Store.Codec.error_to_string e)
   in
@@ -150,7 +150,7 @@ let test_warm_analyze_equals_cold () =
   with_snapshot @@ fun ~app ~path ->
   let cold = Driver.analyze ~dex:app.G.dex ~manifest:app.G.manifest () in
   let engine =
-    match Store.Snapshot.load ~path ~program:app.G.program with
+    match Store.Snapshot.load ~path app.G.program with
     | Ok e -> e
     | Error e -> Alcotest.failf "load: %s" (Store.Codec.error_to_string e)
   in
@@ -161,11 +161,180 @@ let test_warm_analyze_equals_cold () =
     (List.map report_fingerprint cold.Driver.reports)
     (List.map report_fingerprint warm.Driver.reports)
 
+(* -- v2 specifics: coded postings, off-heap texts, prefault ----------- *)
+
+(* A v1 (legacy flat-postings) file still loads, and its engine answers
+   exactly like the v2 one. *)
+let test_v1_version_skew () =
+  with_snapshot @@ fun ~app ~path ->
+  let v2_bytes = (Unix.stat path).Unix.st_size in
+  let path1 = Filename.temp_file "backdroid_store_v1" ".bdix" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path1 with Sys_error _ -> ())
+  @@ fun () ->
+  let engine = E.create ~eager:true app.G.dex in
+  let v1_bytes = Store.Snapshot.save ~format_version:1 ~path:path1 engine in
+  Alcotest.(check bool) "v2 file is smaller than v1" true
+    (v2_bytes < v1_bytes);
+  let load p =
+    match Store.Snapshot.load ~path:p app.G.program with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "load: %s" (Store.Codec.error_to_string e)
+  in
+  let e1 = load path1 and e2 = load path in
+  Alcotest.(check string) "v1 loads as snapshot engine" "snapshot"
+    (E.index_mode e1);
+  let q = Bytesearch.Query.raw "invoke-static" in
+  let fp e =
+    List.map (fun (h : E.hit) -> Printf.sprintf "%d:%s" h.line_no h.text)
+      (E.run e q)
+  in
+  Alcotest.(check (list string)) "v1 hits == v2 hits" (fp e2) (fp e1);
+  (* v1 round-trips at its own version *)
+  let path1b = Filename.temp_file "backdroid_store_v1b" ".bdix" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path1b with Sys_error _ -> ())
+  @@ fun () ->
+  ignore (Store.Snapshot.save ~format_version:1 ~path:path1b e1);
+  Alcotest.(check bool) "v1 save -> load -> save is byte-identical" true
+    (read_all path1 = read_all path1b)
+
+(* Garbage inside a v2 coded-postings section must come back as [Corrupt]
+   (the per-run validation), never a crash or a wrong engine. *)
+let test_corrupt_coded_run () =
+  with_snapshot @@ fun ~app ~path ->
+  let original = read_all path in
+  let b = Bytes.of_string original in
+  let n = Int32.to_int (Bytes.get_int32_le b 12) in
+  (* find the directory entry for category 0's coded runs (id 22) *)
+  let sec_off = ref (-1) and sec_len = ref 0 in
+  for i = 0 to n - 1 do
+    let e = Store.Codec.header_len + (i * 24) in
+    if Int64.to_int (Bytes.get_int64_le b e) = 22 then begin
+      sec_off := Int64.to_int (Bytes.get_int64_le b (e + 8));
+      sec_len := Int64.to_int (Bytes.get_int64_le b (e + 16))
+    end
+  done;
+  Alcotest.(check bool) "fixture has coded postings bytes" true
+    (!sec_off > 0 && !sec_len >= 8);
+  (* 0xff... decodes as an overlong/overflowing varint count *)
+  for i = 0 to 7 do
+    Bytes.set b (!sec_off + i) '\xff'
+  done;
+  write_all path (Bytes.to_string (reseal b));
+  check_load_error ~app ~path "corrupt coded run" (Store.Codec.Corrupt "")
+
+let test_prefault_load () =
+  with_snapshot @@ fun ~app ~path ->
+  let load ?prefault () =
+    match Store.Snapshot.load ?prefault ~path app.G.program with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "load: %s" (Store.Codec.error_to_string e)
+  in
+  let cold = load () and hot = load ~prefault:true () in
+  let q = Bytesearch.Query.raw "invoke-static" in
+  let fp e =
+    List.map (fun (h : E.hit) -> Printf.sprintf "%d:%s" h.line_no h.text)
+      (E.run e q)
+  in
+  Alcotest.(check bool) "prefaulted engine finds hits" true (fp hot <> []);
+  Alcotest.(check (list string)) "prefault changes nothing but timing"
+    (fp cold) (fp hot)
+
 let test_default_path () =
   let p = Store.Snapshot.default_path ~dir:"/tmp" ~app_id:"com.a/b c" in
   Alcotest.(check string) "sanitized and versioned"
     (Printf.sprintf "/tmp/com.a_b_c.v%d.bdix" Store.Codec.format_version)
     p
+
+(* -- Postcodec wire-format properties --------------------------------- *)
+
+module PC = Bytesearch.Postcodec
+
+(* Strictly ascending slot lists spanning the codec's shapes: empty,
+   singleton, dense runs (bitmap territory), sparse and max-gap runs
+   (varint territory), and mixes that straddle the 8*nwords <= n
+   threshold. *)
+let gen_slots =
+  QCheck.Gen.(
+    let gaps_to_slots start gaps =
+      List.rev
+        (snd
+           (List.fold_left
+              (fun (prev, acc) g -> (prev + g, (prev + g) :: acc))
+              (start, [ start ]) gaps))
+    in
+    oneof
+      [ return [];
+        map (fun s -> [ s ]) (int_bound 1_000_000);
+        (* dense: consecutive or near-consecutive *)
+        (let* start = int_bound 10_000 in
+         let* n = int_range 1 400 in
+         let* gaps = list_size (return (n - 1)) (int_range 1 2) in
+         return (gaps_to_slots start gaps));
+        (* sparse *)
+        (let* start = int_bound 10_000 in
+         let* n = int_range 1 100 in
+         let* gaps = list_size (return (n - 1)) (int_range 1 5_000) in
+         return (gaps_to_slots start gaps));
+        (* max-gap: multi-byte varint deltas *)
+        (let* start = int_bound 100 in
+         let* n = int_range 1 10 in
+         let* gaps = list_size (return (n - 1)) (int_range 1 (1 lsl 40)) in
+         return (gaps_to_slots start gaps));
+        (* mixed densities around the bitmap threshold *)
+        (let* start = int_bound 1_000 in
+         let* n = int_range 1 200 in
+         let* gaps =
+           list_size (return (n - 1)) (oneofl [ 1; 1; 1; 2; 63; 64; 65; 900 ])
+         in
+         return (gaps_to_slots start gaps)) ])
+
+let print_slots l = String.concat "," (List.map string_of_int l)
+
+let codec_roundtrip =
+  QCheck.Test.make ~name:"postcodec encode/validate/iter round-trip"
+    ~count:500
+    (QCheck.make ~print:print_slots gen_slots)
+    (fun slots ->
+       let buf = Buffer.create 64 in
+       PC.encode_array buf (Array.of_list slots);
+       let bytes = Buffer.contents buf in
+       let b = Bvec.of_string bytes in
+       let max_slot = List.fold_left max 0 slots in
+       (match
+          PC.validate b ~pos:0 ~limit:(String.length bytes) ~max_slot
+        with
+        | Error m -> QCheck.Test.fail_reportf "validate rejected: %s" m
+        | Ok (n, endp) ->
+          if n <> List.length slots then
+            QCheck.Test.fail_reportf "validated count %d <> %d" n
+              (List.length slots);
+          if endp <> String.length bytes then
+            QCheck.Test.fail_reportf "validate stopped at %d of %d" endp
+              (String.length bytes));
+       if PC.count b ~pos:0 <> List.length slots then
+         QCheck.Test.fail_report "O(1) count mismatch";
+       let decoded = ref [] in
+       PC.iter b ~pos:0 (fun s -> decoded := s :: !decoded);
+       if List.rev !decoded <> slots then
+         QCheck.Test.fail_reportf "decode mismatch: got %s"
+           (print_slots (List.rev !decoded));
+       (* determinism: re-encoding the decode is byte-identical *)
+       let buf2 = Buffer.create 64 in
+       PC.encode_array buf2 (Array.of_list (List.rev !decoded));
+       if Buffer.contents buf2 <> bytes then
+         QCheck.Test.fail_report "re-encode not byte-identical";
+       (* a truncated run never validates *)
+       (match slots with
+        | [] -> ()
+        | _ ->
+          (match
+             PC.validate b ~pos:0 ~limit:(String.length bytes - 1) ~max_slot
+           with
+           | Ok _ -> QCheck.Test.fail_report "truncated run validated"
+           | Error _ -> ()));
+       true)
 
 let cases =
   [ Alcotest.test_case "corrupted snapshots fail as typed errors" `Quick
@@ -174,6 +343,13 @@ let cases =
       test_roundtrip_identical;
     Alcotest.test_case "warm analyze == cold analyze" `Quick
       test_warm_analyze_equals_cold;
-    Alcotest.test_case "default snapshot path" `Quick test_default_path ]
+    Alcotest.test_case "v1 files still load, smaller v2" `Quick
+      test_v1_version_skew;
+    Alcotest.test_case "corrupt v2 coded run is typed" `Quick
+      test_corrupt_coded_run;
+    Alcotest.test_case "prefault load is equivalent" `Quick
+      test_prefault_load;
+    Alcotest.test_case "default snapshot path" `Quick test_default_path;
+    QCheck_alcotest.to_alcotest codec_roundtrip ]
 
 let suites = [ "store.snapshot", cases ]
