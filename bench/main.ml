@@ -734,6 +734,59 @@ let run_search_core ?obs ?snapshot ?(quantiles = false) ~app ~json_path () =
   Obs.Io.write_string json_path json;
   Printf.printf "  wrote %s\n" json_path
 
+(* ------------------------------------------------------------------ *)
+(* Multi-rule smoke: run the full extended rule set over an app planting
+   the three newer families plus a crypto flow.  Each family must fire on
+   its insecure plant — an end-to-end check that the rule engine, the
+   generator scenarios and the per-sink-group fan-out stay wired up. *)
+
+let run_multirule_smoke () =
+  print_endline "\n== multi-rule analysis (extended rule set) ==";
+  let plant shape sink = { G.shape; sink; insecure = true } in
+  let app =
+    G.generate
+      { G.default_config with
+        G.seed = 11;
+        name = "com.bench.rules";
+        filler_classes = 40;
+        plants =
+          [ plant Appgen.Shape.Direct Framework.Sinks.cipher;
+            plant Appgen.Shape.Webview_misuse Framework.Sinks.webview_js;
+            plant Appgen.Shape.Sql_injection Framework.Sinks.sql_query;
+            plant Appgen.Shape.Intent_redirect Framework.Sinks.intent_redirect
+          ] }
+  in
+  let cfg =
+    { Backdroid.Driver.default_config with
+      Backdroid.Driver.rules = Rules.Builtin.extended }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Backdroid.Driver.analyze ~cfg ~dex:app.G.dex ~manifest:app.G.manifest ()
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let insecure_families =
+    List.filter_map
+      (fun (rep : Backdroid.Driver.sink_report) ->
+         if rep.Backdroid.Driver.verdict = Backdroid.Detectors.Insecure then
+           Some rep.Backdroid.Driver.rule.Rules.Rule.name
+         else None)
+      r.Backdroid.Driver.reports
+  in
+  List.iter
+    (fun f ->
+       if not (List.mem f insecure_families) then begin
+         Printf.eprintf "multi-rule: family %s did not fire\n" f;
+         exit 1
+       end)
+    [ "ecb-crypto"; "webview-js"; "webview-bridge"; "sql-injection";
+      "intent-redirect" ];
+  Printf.printf "  %d reports (%d insecure) across %d rules in %.3fs\n"
+    (List.length r.Backdroid.Driver.reports)
+    (List.length insecure_families)
+    (List.length Rules.Builtin.extended)
+    dt
+
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
@@ -787,6 +840,7 @@ let () =
     end;
     run_search_core ~obs ~snapshot ~quantiles ~app:(Lazy.force small)
       ~json_path:"BENCH_search.json" ();
+    run_multirule_smoke ();
     let opts =
       { Evalharness.Experiments.default_opts with
         Evalharness.Experiments.scale = 0.15;

@@ -23,15 +23,24 @@ let shape_conv =
   in
   Arg.conv (parse, fun ppf sh -> Fmt.string ppf (Shape.to_string sh))
 
+let sink_names =
+  [ "cipher", Sinks.cipher; "ssl", Sinks.ssl_factory; "https", Sinks.https_conn;
+    "sms", Sinks.sms; "server-socket", Sinks.server_socket;
+    "local-socket", Sinks.local_socket; "webview-js", Sinks.webview_js;
+    "webview-bridge", Sinks.webview_bridge; "sql", Sinks.sql_query;
+    "intent-redirect", Sinks.intent_redirect ]
+
 let sink_conv =
-  let parse = function
-    | "cipher" -> Ok Sinks.cipher
-    | "ssl" -> Ok Sinks.ssl_factory
-    | "https" -> Ok Sinks.https_conn
-    | s -> Error (`Msg (Printf.sprintf "unknown sink %S (cipher|ssl|https)" s))
+  let parse s =
+    match List.assoc_opt s sink_names with
+    | Some sink -> Ok sink
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown sink %S (one of: %s)" s
+              (String.concat ", " (List.map fst sink_names))))
   in
-  Arg.conv
-    (parse, fun ppf (s : Sinks.t) -> Fmt.string ppf (Sinks.kind_to_string s.kind))
+  Arg.conv (parse, fun ppf (s : Sinks.t) -> Fmt.string ppf s.name)
 
 let seed_t =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
@@ -106,7 +115,7 @@ let generate_cmd =
     List.iter
       (fun (p : Appgen.Templates.planted) ->
          Printf.printf "  planted %s sink (%s) insecure=%b reachable=%b in %s\n"
-           (Sinks.kind_to_string p.sink.Sinks.kind)
+           p.sink.Sinks.name
            (Shape.to_string p.shape) p.insecure p.reachable p.sink_class)
       app.G.planted;
     if dump_dex then print_string (Dex.Dexfile.to_string app.G.dex)
@@ -231,10 +240,30 @@ let analyze_cmd =
              validation, so the first queries never stall on page faults.  \
              Results are identical either way.")
   in
+  let rules_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "rules" ] ~docv:"FILE"
+          ~doc:
+            "Load the detection-rule set from $(docv) (s-expression rule \
+             syntax; see the README) instead of the built-in paper rules.")
+  in
   let run seed size_mb plants insecure dump_ssg subclass_aware eager_index jobs
-      verbose trace_file time_limit_ms save_index load_index prefault profile
-      metrics =
+      verbose trace_file time_limit_ms save_index load_index prefault
+      rules_file profile metrics =
     setup_logs verbose;
+    let rules =
+      match rules_file with
+      | None -> Backdroid.Driver.default_config.Backdroid.Driver.rules
+      | Some path ->
+        (match Rules.Parse.load path with
+         | Ok rules ->
+           Printf.printf "rules: %d loaded from %s\n" (List.length rules) path;
+           rules
+         | Error e ->
+           Printf.eprintf "error: %s\n" (Rules.Parse.error_to_string e);
+           exit 1)
+    in
     let recorder = setup_obs ~profile in
     let app =
       make_app ~build_dex:(load_index = None) ~seed ~size_mb ~plants ~insecure
@@ -268,7 +297,10 @@ let analyze_cmd =
           | Some e -> e
           | None -> Bytesearch.Engine.create app.G.dex
         in
-        let bytes = Store.Snapshot.save ~path e in
+        let bytes =
+          Store.Snapshot.save ~ruleset_hash:(Rules.Rule.hash_list rules) ~path
+            e
+        in
         Printf.printf "index: saved %s (%d bytes)\n" path bytes;
         Some e
     in
@@ -279,7 +311,8 @@ let analyze_cmd =
     in
     let cfg =
       { Backdroid.Driver.default_config with
-        Backdroid.Driver.subclass_aware_initial_search = subclass_aware;
+        Backdroid.Driver.rules;
+        subclass_aware_initial_search = subclass_aware;
         eager_index;
         jobs;
         budget =
@@ -302,7 +335,7 @@ let analyze_cmd =
       (fun (rep : Backdroid.Driver.sink_report) ->
          Printf.printf "  [%s] %s at %s:%d reachable=%b fact=%s%s\n"
            (Backdroid.Detectors.verdict_to_string rep.verdict)
-           (Sinks.kind_to_string rep.sink.Sinks.kind)
+           rep.sink.Sinks.name
            (Ir.Jsig.meth_to_string rep.meth)
            rep.site rep.reachable
            (Backdroid.Facts.to_string rep.fact)
@@ -338,8 +371,8 @@ let analyze_cmd =
     Term.(
       const run $ seed_t $ size_t $ shapes_t $ insecure_t $ dump_ssg
       $ subclass_aware $ eager_index_t $ jobs_t $ verbose_t $ trace_t
-      $ time_limit_t $ save_index_t $ load_index_t $ prefault_t $ profile_t
-      $ metrics_t)
+      $ time_limit_t $ save_index_t $ load_index_t $ prefault_t $ rules_t
+      $ profile_t $ metrics_t)
 
 (* --- compare --- *)
 
@@ -367,6 +400,55 @@ let compare_cmd =
   in
   Cmd.v (Cmd.info "compare" ~doc:"Run BackDroid and the baseline side by side")
     Term.(const run $ seed_t $ size_t $ shapes_t $ insecure_t $ timeout_t)
+
+(* --- rules --- *)
+
+let rules_cmd =
+  let set_t =
+    Arg.(
+      value
+      & opt (enum [ ("primary", `Primary); ("catalog", `Catalog);
+                    ("extended", `Extended) ])
+          `Extended
+      & info [ "set" ] ~docv:"SET"
+          ~doc:
+            "Which built-in rule set to print: $(b,primary) (the paper's \
+             two misuse classes), $(b,catalog) (plus the auxiliary \
+             report-only sinks) or $(b,extended) (plus the WebView / SQL / \
+             intent-redirection families).")
+  in
+  let check_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "check" ] ~docv:"FILE"
+          ~doc:
+            "Validate the rule file at $(docv) instead of printing a \
+             built-in set; exits non-zero with a positioned diagnostic on \
+             the first error.")
+  in
+  let run set check =
+    match check with
+    | Some path ->
+      (match Rules.Parse.load path with
+       | Ok rules ->
+         Printf.printf "%s: %d rule(s) ok (hash %x)\n" path (List.length rules)
+           (Rules.Rule.hash_list rules)
+       | Error e ->
+         Printf.eprintf "error: %s\n" (Rules.Parse.error_to_string e);
+         exit 1)
+    | None ->
+      let rules =
+        match set with
+        | `Primary -> Rules.Builtin.primary
+        | `Catalog -> Rules.Builtin.catalog
+        | `Extended -> Rules.Builtin.extended
+      in
+      print_string (Rules.Rule.list_to_source rules)
+  in
+  Cmd.v
+    (Cmd.info "rules"
+       ~doc:"Print the built-in detection rules (or validate a rule file)")
+    Term.(const run $ set_t $ check_t)
 
 (* --- experiments --- *)
 
@@ -419,4 +501,5 @@ let () =
              ~doc:
                "Targeted inter-procedural analysis of (synthetic) Android apps \
                 via on-the-fly bytecode search")
-          [ generate_cmd; analyze_cmd; compare_cmd; experiments_cmd ]))
+          [ generate_cmd; analyze_cmd; compare_cmd; rules_cmd;
+            experiments_cmd ]))

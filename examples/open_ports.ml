@@ -27,14 +27,14 @@ let () =
             { G.shape = Shape.Dead_code; sink = Sinks.server_socket;
               insecure = true } ] }
   in
-  let cfg = { Driver.default_config with Driver.sinks = Sinks.catalog } in
+  let cfg = { Driver.default_config with Driver.rules = Rules.Builtin.catalog } in
   let r = Driver.analyze ~cfg ~dex:app.G.dex ~manifest:app.G.manifest () in
   Printf.printf "%-16s %-10s %-40s %s\n" "sink" "reachable" "containing method"
     "resolved parameter";
   List.iter
     (fun (rep : Driver.sink_report) ->
        Printf.printf "%-16s %-10b %-40s %s\n"
-         (Sinks.kind_to_string rep.sink.Sinks.kind)
+         rep.sink.Sinks.name
          rep.reachable
          (rep.meth.Ir.Jsig.cls ^ "." ^ rep.meth.Ir.Jsig.name)
          (Backdroid.Facts.to_string rep.fact))

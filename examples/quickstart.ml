@@ -152,7 +152,7 @@ let () =
   List.iter
     (fun (rep : Backdroid.Driver.sink_report) ->
        Printf.printf "sink %s at %s:%d\n"
-         (Sinks.kind_to_string rep.sink.Sinks.kind)
+         rep.sink.Sinks.name
          (Jsig.meth_to_string rep.meth) rep.site;
        Printf.printf "  reachable : %b\n" rep.reachable;
        Printf.printf "  dataflow  : %s\n" (Backdroid.Facts.to_string rep.fact);

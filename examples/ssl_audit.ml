@@ -73,7 +73,7 @@ let () =
   List.iter
     (fun (rep : Driver.sink_report) ->
        Printf.printf "%-12s fact=%-45s verdict=%s\n"
-         (Sinks.kind_to_string rep.sink.Sinks.kind)
+         rep.sink.Sinks.name
          (Backdroid.Facts.to_string rep.fact)
          (Backdroid.Detectors.verdict_to_string rep.verdict))
     r.Driver.reports

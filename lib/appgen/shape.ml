@@ -40,13 +40,24 @@ type t =
   | Builder_spec
       (** the cipher transformation string is assembled with a StringBuilder
           — resolved only through the API models of Sec. V-B *)
+  | Webview_misuse
+      (** a WebView configured insecurely (setJavaScriptEnabled(true) plus a
+          JavaScript bridge) or safely (JS disabled, no bridge) *)
+  | Sql_injection
+      (** rawQuery over a string read from the launching Intent of an
+          exported component (insecure) or a constant query (safe) *)
+  | Intent_redirect
+      (** an exported activity forwarding its launching Intent verbatim to
+          startActivity (insecure) or launching a fixed in-app Intent
+          (safe) *)
 
 let all =
   [ Direct; Static_chain; Child_class; Super_class; Interface_dispatch;
     Callback; Async_thread; Async_executor; Async_task; Static_init;
     Clinit_field; Icc_explicit; Icc_implicit; Lifecycle_field; Dead_code;
     Unregistered_component; Skipped_lib; Subclassed_sink; Recursive_chain;
-    Shared_util; Reflective_sink; Builder_spec ]
+    Shared_util; Reflective_sink; Builder_spec; Webview_misuse; Sql_injection;
+    Intent_redirect ]
 
 let to_string = function
   | Direct -> "direct"
@@ -71,6 +82,9 @@ let to_string = function
   | Shared_util -> "shared-util"
   | Reflective_sink -> "reflective-sink"
   | Builder_spec -> "builder-spec"
+  | Webview_misuse -> "webview-misuse"
+  | Sql_injection -> "sql-injection"
+  | Intent_redirect -> "intent-redirect"
 
 (** Is a flow of this shape actually reachable from a registered entry
     point?  (Ground truth for detection scoring.) *)
@@ -80,4 +94,5 @@ let reachable = function
   | Callback | Async_thread | Async_executor | Async_task | Static_init
   | Clinit_field | Icc_explicit | Icc_implicit | Lifecycle_field
   | Skipped_lib | Subclassed_sink | Recursive_chain | Shared_util
-  | Reflective_sink | Builder_spec -> true
+  | Reflective_sink | Builder_spec | Webview_misuse | Sql_injection
+  | Intent_redirect -> true

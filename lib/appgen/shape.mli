@@ -25,9 +25,10 @@ type t =
   | Shared_util
   | Reflective_sink
   | Builder_spec
+  | Webview_misuse
+  | Sql_injection
+  | Intent_redirect
 
-(** the cipher transformation string is assembled with a StringBuilder
-          — resolved only through the API models of Sec. V-B *)
 val all : t list
 val to_string : t -> string
 

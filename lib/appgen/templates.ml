@@ -64,19 +64,18 @@ let make_activity ?(extra_methods = fun _cls -> []) ?(register = true) ctx
     classes (e.g. a trust-all verifier); returns the value's local, the extra
     classes and the ground-truth spec string. *)
 let spec_value ctx mb (sink : Sinks.t) ~insecure =
-  match sink.kind with
-  | Sinks.Crypto_cipher ->
+  let is api = Jsig.meth_equal sink.msig api in
+  if is Api.cipher_get_instance then
     let s = if insecure then "AES/ECB/PKCS5Padding" else "AES/GCM/NoPadding" in
     B.const_str mb s, [], s
-  | Sinks.Ssl_hostname
-    when Jsig.meth_equal sink.msig Api.ssl_set_hostname_verifier ->
+  else if is Api.ssl_set_hostname_verifier then
     if insecure then
       B.sget mb Api.allow_all_hostname_verifier, [], "ALLOW_ALL_HOSTNAME_VERIFIER"
     else
       ( B.new_obj mb "org.apache.http.conn.ssl.StrictHostnameVerifier"
           ~ctor_params:[] ~args:[],
         [], "StrictHostnameVerifier" )
-  | Sinks.Ssl_hostname ->
+  else if is Api.https_set_hostname_verifier then begin
     (* javax.net.ssl.HttpsURLConnection variant: pass an app-defined verifier
        whose [verify] returns a constant. *)
     let vcls =
@@ -92,15 +91,33 @@ let spec_value ctx mb (sink : Sinks.t) ~insecure =
         ~methods:[ plain_ctor ~cls:vcls ~super:"java.lang.Object"; verify ]
     in
     B.new_obj mb vcls ~ctor_params:[] ~args:[], [ klass ], vcls
-  | Sinks.Sms_send ->
+  end
+  else if is Api.sms_send_text_message then
     let s = if insecure then "premium-text" else "hello" in
     B.const_str mb s, [], s
-  | Sinks.Server_socket ->
+  else if is Api.server_socket_init then
     let port = if insecure then 8080 else 8443 in
     B.const_int mb port, [], string_of_int port
-  | Sinks.Local_socket ->
+  else if is Api.local_server_socket_init then
     let s = if insecure then "open-socket" else "private-socket" in
     B.const_str mb s, [], s
+  else if is Api.webview_set_javascript_enabled then
+    let b = if insecure then 1 else 0 in
+    B.const_int mb b, [], string_of_int b
+  else if is Api.webview_add_javascript_interface then
+    (* the backtracked argument is the bridge name string *)
+    let s = if insecure then "bridge" else "inert" in
+    B.const_str mb s, [], s
+  else if is Api.sqlite_raw_query then
+    let s = "SELECT * FROM items" in
+    B.const_str mb s, [], s
+  else if is Api.context_start_activity then
+    ( B.new_obj mb "android.content.Intent" ~ctor_params:[] ~args:[],
+      [], "android.content.Intent" )
+  else
+    invalid_arg
+      (Printf.sprintf "Templates.spec_value: no value template for sink %s"
+         sink.Sinks.name)
 
 (** IR type of the value a sink-bound chain passes along. *)
 let chain_ty (sink : Sinks.t) = List.nth sink.msig.Jsig.params sink.param_index
@@ -108,11 +125,10 @@ let chain_ty (sink : Sinks.t) = List.nth sink.msig.Jsig.params sink.param_index
 (** Emit the sink API call itself, consuming [value]. *)
 let emit_sink mb (sink : Sinks.t) ~value =
   let v = Value.Local value in
-  match sink.kind with
-  | Sinks.Crypto_cipher ->
+  let is api = Jsig.meth_equal sink.msig api in
+  if is Api.cipher_get_instance then
     ignore (B.invoke_ret mb ~kind:Expr.Static ~callee:sink.msig ~args:[ v ] ())
-  | Sinks.Ssl_hostname
-    when Jsig.meth_equal sink.msig Api.ssl_set_hostname_verifier ->
+  else if is Api.ssl_set_hostname_verifier then begin
     let f =
       B.invoke_ret mb ~kind:Expr.Static
         ~callee:
@@ -121,25 +137,56 @@ let emit_sink mb (sink : Sinks.t) ~value =
         ~args:[] ()
     in
     B.call_virtual mb ~base:f ~callee:sink.msig ~args:[ v ]
-  | Sinks.Ssl_hostname ->
+  end
+  else if is Api.https_set_hostname_verifier then begin
     let conn =
       B.new_obj mb "javax.net.ssl.HttpsURLConnection" ~ctor_params:[] ~args:[]
     in
     B.call_virtual mb ~base:conn ~callee:sink.msig ~args:[ v ]
-  | Sinks.Sms_send ->
+  end
+  else if is Api.sms_send_text_message then begin
     let mgr =
       B.invoke_ret mb ~kind:Expr.Static ~callee:Api.sms_get_default ~args:[] ()
     in
     let null = Value.Const Value.Null in
     B.call_virtual mb ~base:mgr ~callee:sink.msig ~args:[ null; null; v; null; null ]
-  | Sinks.Server_socket ->
+  end
+  else if is Api.server_socket_init then
     ignore
       (B.new_obj mb "java.net.ServerSocket" ~ctor_params:[ Types.Int ]
          ~args:[ v ])
-  | Sinks.Local_socket ->
+  else if is Api.local_server_socket_init then
     ignore
       (B.new_obj mb "android.net.LocalServerSocket" ~ctor_params:[ Types.string_ ]
          ~args:[ v ])
+  else if is Api.webview_set_javascript_enabled then begin
+    let w = B.new_obj mb "android.webkit.WebView" ~ctor_params:[] ~args:[] in
+    B.call_virtual mb ~base:w ~callee:sink.msig ~args:[ v ]
+  end
+  else if is Api.webview_add_javascript_interface then begin
+    let w = B.new_obj mb "android.webkit.WebView" ~ctor_params:[] ~args:[] in
+    let o = B.new_obj mb "java.lang.Object" ~ctor_params:[] ~args:[] in
+    B.call_virtual mb ~base:w ~callee:sink.msig ~args:[ Value.Local o; v ]
+  end
+  else if is Api.sqlite_raw_query then begin
+    let db =
+      B.new_obj mb "android.database.sqlite.SQLiteDatabase" ~ctor_params:[]
+        ~args:[]
+    in
+    ignore
+      (B.invoke_ret mb ~base:db ~kind:Expr.Virtual ~callee:sink.msig
+         ~args:[ v; Value.Const Value.Null ] ())
+  end
+  else if is Api.context_start_activity then begin
+    let recv =
+      B.new_obj mb "android.app.Activity" ~ctor_params:[] ~args:[]
+    in
+    B.call_virtual mb ~base:recv ~callee:sink.msig ~args:[ v ]
+  end
+  else
+    invalid_arg
+      (Printf.sprintf "Templates.emit_sink: no call template for sink %s"
+         sink.Sinks.name)
 
 (** A chain of [n] public-static hop methods [step0 .. step(n-1)] in class
     [cls]; each passes its parameter to the next, the last runs [last].
@@ -1058,6 +1105,113 @@ let plant_builder_spec ctx ~sink ~insecure =
       mk_planted ctx Shape.Builder_spec sink ~insecure
         ~spec:(String.concat "" spec_parts) ~sink_class:chain_cls }
 
+(** WebView configuration: the insecure variant enables JavaScript
+    (setJavaScriptEnabled(1)) and installs a JavaScript bridge
+    (addJavascriptInterface); the safe variant disables JavaScript and adds
+    no bridge at all — the bridge rule is presence-based, so its sink must
+    not even appear in the safe bytecode. *)
+let plant_webview_misuse ctx ~sink ~insecure =
+  ignore sink;
+  let act, comps =
+    make_activity ctx ~simple:"WvMainActivity"
+      ~on_create:(fun mb ->
+        let w = B.new_obj mb "android.webkit.WebView" ~ctor_params:[] ~args:[] in
+        let b = B.const_int mb (if insecure then 1 else 0) in
+        B.call_virtual mb ~base:w ~callee:Api.webview_set_javascript_enabled
+          ~args:[ Value.Local b ];
+        if insecure then begin
+          let o = B.new_obj mb "java.lang.Object" ~ctor_params:[] ~args:[] in
+          let name = B.const_str mb "bridge" in
+          B.call_virtual mb ~base:w ~callee:Api.webview_add_javascript_interface
+            ~args:[ Value.Local o; Value.Local name ]
+        end)
+      ()
+  in
+  { classes = [ act ];
+    components = comps;
+    planted =
+      mk_planted ctx Shape.Webview_misuse Sinks.webview_js ~insecure
+        ~spec:(if insecure then "1" else "0")
+        ~sink_class:(ctx.ns ^ ".WvMainActivity") }
+
+(** SQL injection: an exported activity runs [rawQuery] over a string read
+    from its launching Intent (insecure — any outside app controls it) or
+    over a constant query (safe).  The exported component has no in-app
+    senders, so resolution relies on the exported-ICC fallback. *)
+let plant_sql_injection ctx ~sink ~insecure =
+  ignore sink;
+  let act_cls = ctx.ns ^ ".QueryActivity" in
+  let act, _ =
+    make_activity ctx ~simple:"QueryActivity" ~register:false
+      ~on_create:(fun mb ->
+        let q =
+          if insecure then begin
+            let intent =
+              B.invoke_ret mb ~base:(B.this mb) ~kind:Expr.Virtual
+                ~callee:Api.activity_get_intent ~args:[] ()
+            in
+            let key = B.const_str mb "q" in
+            B.invoke_ret mb ~base:intent ~kind:Expr.Virtual
+              ~callee:Api.intent_get_string_extra ~args:[ Value.Local key ] ()
+          end
+          else B.const_str mb "SELECT * FROM items"
+        in
+        let db =
+          B.new_obj mb "android.database.sqlite.SQLiteDatabase" ~ctor_params:[]
+            ~args:[]
+        in
+        ignore
+          (B.invoke_ret mb ~base:db ~kind:Expr.Virtual
+             ~callee:Api.sqlite_raw_query
+             ~args:[ Value.Local q; Value.Const Value.Null ] ()))
+      ()
+  in
+  { classes = [ act ];
+    components = [ Component.make ~exported:true ~kind:Component.Activity act_cls ];
+    planted =
+      mk_planted ctx Shape.Sql_injection Sinks.sql_query ~insecure
+        ~spec:(if insecure then "intent:q" else "SELECT * FROM items")
+        ~sink_class:act_cls }
+
+(** Intent redirection: an exported proxy activity forwards its launching
+    Intent verbatim to [startActivity] (insecure — a classic redirection
+    proxy) or launches a fixed explicit in-app Intent (safe). *)
+let plant_intent_redirect ctx ~sink ~insecure =
+  ignore sink;
+  let proxy_cls = ctx.ns ^ ".ProxyActivity" in
+  let target_cls = ctx.ns ^ ".TargetActivity" in
+  let target, _ =
+    make_activity ctx ~simple:"TargetActivity" ~register:false
+      ~on_create:(fun mb -> ignore (B.const_int mb 0))
+      ()
+  in
+  let proxy, _ =
+    make_activity ctx ~simple:"ProxyActivity" ~register:false
+      ~on_create:(fun mb ->
+        let intent =
+          if insecure then
+            B.invoke_ret mb ~base:(B.this mb) ~kind:Expr.Virtual
+              ~callee:Api.activity_get_intent ~args:[] ()
+          else begin
+            let cls_c = B.const_class mb target_cls in
+            B.new_obj mb "android.content.Intent"
+              ~ctor_params:[ Api.context_t; Types.Object "java.lang.Class" ]
+              ~args:[ Value.Local (B.this mb); Value.Local cls_c ]
+          end
+        in
+        B.invoke mb ~base:(B.this mb) ~kind:Expr.Virtual
+          ~callee:Api.context_start_activity ~args:[ Value.Local intent ] ())
+      ()
+  in
+  { classes = [ proxy; target ];
+    components =
+      [ Component.make ~exported:true ~kind:Component.Activity proxy_cls;
+        Component.make ~kind:Component.Activity target_cls ];
+    planted =
+      mk_planted ctx Shape.Intent_redirect Sinks.intent_redirect ~insecure
+        ~spec:(if insecure then "launching-intent" else target_cls)
+        ~sink_class:proxy_cls }
+
 (* ------------------------------------------------------------------ *)
 
 (** Plant one sink flow of the given shape. *)
@@ -1090,3 +1244,6 @@ let plant ctx shape ~sink ~insecure =
     { classes; components; planted = List.hd planted }
   | Reflective_sink -> plant_reflective ctx ~sink ~insecure
   | Builder_spec -> plant_builder_spec ctx ~sink ~insecure
+  | Webview_misuse -> plant_webview_misuse ctx ~sink ~insecure
+  | Sql_injection -> plant_sql_injection ctx ~sink ~insecure
+  | Intent_redirect -> plant_intent_redirect ctx ~sink ~insecure

@@ -68,6 +68,9 @@ type ctx = {
   program : Program.t;
   manifest : Manifest.App_manifest.t;
   cfg : config;
+  sink_index : Sinks.index;
+      (** signature-keyed view of [cfg.sinks], built once per run — the
+          direct sink probe fires on every interpreted invocation *)
   statics : (string, Facts.t) Hashtbl.t;
   memo : (string, Facts.t) Hashtbl.t;    (** (meth, args-context) -> return *)
   in_progress : (string, unit) Hashtbl.t;
@@ -231,7 +234,7 @@ and eval_invoke ctx ~depth ~env ~meth ~site (iv : Expr.invoke) =
      hierarchy (an invocation via an app subclass of the sink class still
      reaches the framework method) *)
   let sink_match =
-    match Sinks.find_by_msig ctx.cfg.sinks iv.callee with
+    match Sinks.find ctx.sink_index iv.callee with
     | Some s -> Some s
     | None ->
       List.find_opt
@@ -386,6 +389,7 @@ let analyze ?(cfg = default_config) ~program ~manifest () =
     let cg = Callgraph.build ~cfg:cg_cfg program manifest in
     let ctx =
       { program; manifest; cfg = { cfg with deadline = cfg.deadline };
+        sink_index = Sinks.index cfg.sinks;
         statics = Hashtbl.create 64; memo = Hashtbl.create 1024;
         in_progress = Hashtbl.create 64; ctx_count = Hashtbl.create 256;
         findings = []; contexts = 0; steps = 0 }

@@ -37,7 +37,10 @@ let value_fact env = function
     Facts.Unknown
 
 (** One linear pass over a single body: constants, arithmetic, points-to and
-    the modelled APIs — but no calls are entered and parameters are opaque. *)
+    the modelled APIs — but no calls are entered and parameters are opaque.
+    [sinks] is a prebuilt {!Sinks.index}: the probe below runs once per
+    invocation in the app, so it must be the O(1) hashtable lookup, not a
+    linear scan of the sink list. *)
 let eval_body_local program sinks (meth : Jsig.meth) body =
   let env : (string, Facts.t) Hashtbl.t = Hashtbl.create 16 in
   let findings = ref [] in
@@ -46,7 +49,7 @@ let eval_body_local program sinks (meth : Jsig.meth) body =
        (* sink check first, so the arguments are pre-assignment facts *)
        (match Stmt.invoke stmt with
         | Some iv ->
-          (match Sinks.find_by_msig sinks iv.Expr.callee with
+          (match Sinks.find sinks iv.Expr.callee with
            | Some sink ->
              let fact =
                Option.value ~default:Facts.Unknown
@@ -99,6 +102,7 @@ let eval_body_local program sinks (meth : Jsig.meth) body =
 
 (** Scan every app method once; no reachability, no inter-procedural flow. *)
 let analyze ?(sinks = Sinks.primary) (program : Program.t) =
+  let sinks = Sinks.index sinks in
   Program.fold_classes program
     (fun c acc ->
        if c.Jclass.is_system then acc

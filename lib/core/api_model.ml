@@ -84,6 +84,10 @@ let eval (callee : Jsig.meth) (recv : Facts.t option) (args : Facts.t list) =
     | Some Facts.Framework_input, _ -> Some Facts.Framework_input
     | _, _ -> Some Facts.Unknown
   end
+  else if Jsig.meth_equal callee Api.activity_get_intent then
+    (* the launching Intent of an entry component: framework-provided data
+       unless an in-app ICC edge already bound a concrete Intent object *)
+    Some Facts.Framework_input
   else if Jsig.meth_equal callee Api.intent_set_action then begin
     (match recv, args with
      | Some (Facts.New_obj o), [ v ] ->

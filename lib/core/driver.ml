@@ -6,7 +6,13 @@
        sink call;
     4. forward constant / points-to propagation over each SSG produces the
        complete dataflow representation of the sink parameters, which the
-       detectors turn into verdicts.
+       rule predicates turn into verdicts.
+
+    Detection is driven by a declarative rule set ({!Rules.Rule.t}).  Rules
+    are grouped by shared sink signature before the initial search, so a
+    multi-rule run pays one bytecode search and one slicing/SSG backtracking
+    pass per distinct sink spec and fans the verdicts out per rule — the
+    slicer pass count scales with sink groups, not with rule count.
 
     The driver owns the cross-sink caches (search-command cache inside the
     engine; sink-API-call reachability cache) and the loop-detection
@@ -16,7 +22,9 @@ open Ir
 module Sinks = Framework.Sinks
 
 type config = {
-  sinks : Sinks.t list;
+  rules : Rules.Rule.t list;
+      (** the active detection rules; default {!Rules.Builtin.primary}
+          (the paper's ECB + SSL misuse classes) *)
   subclass_aware_initial_search : bool;
       (** also search sink invocations through app subclasses of the sink
           class — the fix for the two FNs of Sec. VI-C (off by default to
@@ -47,7 +55,7 @@ type config = {
 }
 
 let default_config =
-  { sinks = Sinks.primary;
+  { rules = Rules.Builtin.primary;
     subclass_aware_initial_search = false;
     resolve_reflection = false;
     indexed_search = true;
@@ -58,6 +66,7 @@ let default_config =
     forward = Forward.default_config }
 
 type sink_report = {
+  rule : Rules.Rule.t;      (** the rule this verdict belongs to *)
   sink : Sinks.t;
   meth : Jsig.meth;         (** method containing the sink call *)
   site : int;
@@ -72,6 +81,8 @@ type sink_report = {
 
 type stats = {
   sink_calls : int;
+      (** distinct sink call sites — one backtracking pass each, however
+          many rules share the site's sink spec *)
   searches_total : int;
   searches_cached : int;
   search_cache_rate : float;
@@ -98,21 +109,65 @@ let insecure_reports r =
     r.reports
 
 (** Merge all per-sink SSGs of a result into the per-app SSG (Sec. V-A's
-    future-work structure). *)
+    future-work structure).  A shared SSG (one slice, several rules) is
+    folded once. *)
 let per_app_ssg r =
-  Perapp_ssg.merge (List.filter_map (fun rep -> rep.ssg) r.reports)
+  let seen = Hashtbl.create 16 in
+  let ssgs =
+    List.filter_map
+      (fun rep ->
+         match rep.ssg with
+         | Some ssg when not (Hashtbl.mem seen (Obj.repr ssg)) ->
+           Hashtbl.replace seen (Obj.repr ssg) ();
+           Some ssg
+         | Some _ | None -> None)
+      r.reports
+  in
+  Perapp_ssg.merge ssgs
 
 (* ------------------------------------------------------------------ *)
 
-(** Step 2: initial bytecode search for the sink API invocations.  With
-    [subclass_aware_initial_search], invocations through app subclasses of
-    the sink class are found as well (each resolves to the same framework
+(* One shared backtracking unit: a distinct sink spec (signature +
+   argument-of-interest) plus every rule that targets it.  Built once per
+   config; order follows first rule mention, so the default set searches in
+   the same order the hard-coded sink list used to. *)
+type sink_group = {
+  sg_sink : Sinks.t;
+  sg_rules : Rules.Rule.t list;
+}
+
+let sink_groups rules =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Rules.Rule.t) ->
+       List.iter
+         (fun (s : Sinks.t) ->
+            let key = (Sym.id (Jsig.meth_sym s.Sinks.msig), s.Sinks.param_index) in
+            match Hashtbl.find_opt tbl key with
+            | Some (_, cell) -> cell := r :: !cell
+            | None ->
+              let cell = ref [ r ] in
+              Hashtbl.replace tbl key (s, cell);
+              order := key :: !order)
+         r.Rules.Rule.sinks)
+    rules;
+  List.rev_map
+    (fun key ->
+       let s, cell = Hashtbl.find tbl key in
+       { sg_sink = s; sg_rules = List.rev !cell })
+    !order
+
+(** Step 2: initial bytecode search for the sink API invocations of every
+    rule's sink specs — one search per distinct spec, shared across rules.
+    With [subclass_aware_initial_search], invocations through app subclasses
+    of the sink class are found as well (each resolves to the same framework
     method, like the DefaultSSLSocketFactory case of Sec. VI-C). *)
-let initial_sink_search ~cfg engine =
+let initial_group_search ~cfg engine =
   let program = Bytesearch.Engine.program engine in
   let occ = ref [] in
   let seen = Hashtbl.create 16 in
-  let search (sink : Sinks.t) (msig : Jsig.meth) =
+  let search (sg : sink_group) (msig : Jsig.meth) =
     let hits =
       Bytesearch.Engine.run engine
         (Bytesearch.Query.invocation_sym (Sigformat.to_dex_meth_sym msig))
@@ -124,24 +179,31 @@ let initial_sink_search ~cfg engine =
            let key = (Sym.id (Jsig.meth_sym h.owner), idx) in
            if not (Hashtbl.mem seen key) then begin
              Hashtbl.replace seen key ();
-             occ := (sink, h.owner, idx) :: !occ
+             occ := (sg, h.owner, idx) :: !occ
            end
          | None -> ())
       hits
   in
   List.iter
-    (fun (sink : Sinks.t) ->
-       search sink sink.msig;
+    (fun (sg : sink_group) ->
+       let sink = sg.sg_sink in
+       search sg sink.Sinks.msig;
        if cfg.subclass_aware_initial_search then
          List.iter
            (fun sub ->
               match Program.find_class program sub with
               | Some c when not c.Jclass.is_system ->
-                search sink { sink.msig with Jsig.cls = sub }
+                search sg { sink.Sinks.msig with Jsig.cls = sub }
               | Some _ | None -> ())
-           (Program.subclasses_transitive program sink.msig.Jsig.cls))
-    cfg.sinks;
+           (Program.subclasses_transitive program sink.Sinks.msig.Jsig.cls))
+    (sink_groups cfg.rules);
   List.rev !occ
+
+(** Sink-centric view of {!initial_group_search} (one entry per distinct
+    sink call site). *)
+let initial_sink_search ~cfg engine =
+  List.map (fun (sg, meth, idx) -> (sg.sg_sink, meth, idx))
+    (initial_group_search ~cfg engine)
 
 (* The unit of per-sink parallelism: all sink call sites sharing one
    containing method.  The sink-API-call cache of Sec. IV-F is keyed by the
@@ -150,7 +212,8 @@ let initial_sink_search ~cfg engine =
    are likewise group-local, and the merged statistics are identical no
    matter how the groups are scheduled. *)
 type group_out = {
-  g_reports : (int * sink_report) list;   (* original occurrence index *)
+  g_reports : ((int * int) * sink_report) list;
+      (* (occurrence index, rule index): reports sort occurrence-major *)
   g_loops : Loopdetect.stats;
   g_sink_lookups : int;
   g_sink_hits : int;
@@ -194,22 +257,33 @@ let analyze_group ~cfg ~engine ~manifest group =
   let ssg_nodes = ref 0 and ssg_edges = ref 0 in
   let partial = ref 0 in
   let reports =
-    List.map
-      (fun (i, ((sink : Sinks.t), meth, site)) ->
+    List.concat_map
+      (fun (i, ((sg : sink_group), meth, site)) ->
+         let sink = sg.sg_sink in
+         (* one verdict per rule sharing this sink spec *)
+         let fan_out ~reachable ~fact ~ssg ~outcome =
+           List.mapi
+             (fun j rule ->
+                let verdict =
+                  if reachable then Detectors.classify_rule program rule fact
+                  else Detectors.Unresolved
+                in
+                ( (i, j),
+                  { rule; sink; meth; site; reachable; fact; verdict; ssg;
+                    outcome } ))
+             sg.sg_rules
+         in
          incr sink_cache_lookups;
          match !known_reachable with
          | Some false ->
            (* Sec. IV-F: this method is known unreachable; skip re-analysis *)
            incr sink_cache_hits;
-           ( i,
-             { sink; meth; site; reachable = false; fact = Facts.Unknown;
-               verdict = Detectors.Unresolved; ssg = None;
-               outcome = Context.Complete } )
+           fan_out ~reachable:false ~fact:Facts.Unknown ~ssg:None
+             ~outcome:Context.Complete
          | Some true | None ->
            if !known_reachable <> None then incr sink_cache_hits;
            Log.info (fun m ->
-               m "backtracking %s sink at %s:%d"
-                 (Sinks.kind_to_string sink.Sinks.kind)
+               m "backtracking %s sink at %s:%d" sink.Sinks.name
                  (Jsig.meth_to_string meth) site);
            let ssg, outcome =
              Slicer.slice ~shared ~budget:cfg.budget ~sink ~sink_meth:meth
@@ -230,18 +304,11 @@ let analyze_group ~cfg ~engine ~manifest group =
              if ssg.Ssg.reachable then Forward.run ~cfg:cfg.forward program ssg
              else Facts.Unknown
            in
-           let verdict =
-             if ssg.Ssg.reachable then Detectors.classify program sink fact
-             else Detectors.Unresolved
-           in
            Log.info (fun m ->
-               m "sink at %s:%d: reachable=%b fact=%s verdict=%s"
+               m "sink at %s:%d: reachable=%b fact=%s (%d rule(s))"
                  (Jsig.meth_to_string meth) site ssg.Ssg.reachable
-                 (Facts.to_string fact)
-                 (Detectors.verdict_to_string verdict));
-           ( i,
-             { sink; meth; site; reachable = ssg.Ssg.reachable; fact; verdict;
-               ssg = Some ssg; outcome } ))
+                 (Facts.to_string fact) (List.length sg.sg_rules));
+           fan_out ~reachable:ssg.Ssg.reachable ~fact ~ssg:(Some ssg) ~outcome)
       group
   in
   { g_reports = reports; g_loops = shared.Context.loops;
@@ -254,7 +321,10 @@ let analyze_group ~cfg ~engine ~manifest group =
     premade engine (a snapshot warm start); its dexfile takes the place of
     [dex] — unless the reflection transform rewrites call sites, which
     invalidates any prebuilt index, so the engine is discarded (with a
-    warning) and the rewritten program is indexed cold. *)
+    warning) and the rewritten program is indexed cold.  A premade engine
+    last used under a {e different} rule set has its query cache flushed
+    (with a warning) before this run's searches — cached search state never
+    crosses rule sets silently. *)
 let analyze ?(cfg = default_config) ?pool ?engine ~(dex : Dex.Dexfile.t)
     ~(manifest : Manifest.App_manifest.t) () =
   let run pool =
@@ -292,9 +362,17 @@ let analyze ?(cfg = default_config) ?pool ?engine ~(dex : Dex.Dexfile.t)
             Bytesearch.Engine.create ~indexed:cfg.indexed_search
               ~eager:cfg.eager_index ~pool dex)
     in
+    (match
+       Bytesearch.Engine.note_ruleset engine (Rules.Rule.hash_list cfg.rules)
+     with
+     | `Changed ->
+       Log.warn (fun m ->
+           m "rule set changed since this engine was last used; flushed the \
+              search cache")
+     | `First | `Same -> ());
     let occurrences =
       Obs.Span.with_span ~cat:"app" ~name:"initial-search" (fun () ->
-          initial_sink_search ~cfg engine)
+          initial_group_search ~cfg engine)
     in
     let groups = Array.of_list (group_by_method occurrences) in
     let outs =
@@ -317,7 +395,8 @@ let analyze ?(cfg = default_config) ?pool ?engine ~(dex : Dex.Dexfile.t)
     let reports =
       Array.to_list outs
       |> List.concat_map (fun g -> g.g_reports)
-      |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+      |> List.sort (fun (a, _) (b, _) ->
+             compare (a : int * int) b)
       |> List.map snd
     in
     let stats =

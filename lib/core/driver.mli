@@ -6,7 +6,11 @@
        sink call;
     4. forward constant / points-to propagation over each SSG produces the
        complete dataflow representation of the sink parameters, which the
-       detectors turn into verdicts.
+       rule predicates turn into verdicts.
+
+    Detection is driven by a declarative rule set ({!Rules.Rule.t}): rules
+    sharing a sink signature share one bytecode search and one backtracking
+    pass, and the verdicts fan out per rule.
 
     The driver owns the cross-sink caches (search-command cache inside the
     engine; sink-API-call reachability cache) and the loop-detection
@@ -14,7 +18,9 @@
 
 module Sinks = Framework.Sinks
 type config = {
-  sinks : Sinks.t list;
+  rules : Rules.Rule.t list;
+      (** the active detection rules; default {!Rules.Builtin.primary}
+          (the paper's ECB + SSL misuse classes) *)
   subclass_aware_initial_search : bool;
   resolve_reflection : bool;
   indexed_search : bool;
@@ -36,6 +42,7 @@ type config = {
 }
 val default_config : config
 type sink_report = {
+  rule : Rules.Rule.t;      (** the rule this verdict belongs to *)
   sink : Sinks.t;
   meth : Ir.Jsig.meth;
   site : int;
@@ -43,12 +50,16 @@ type sink_report = {
   fact : Facts.t;
   verdict : Detectors.verdict;
   ssg : Ssg.t option;
+      (** absent when served from the sink cache; rules sharing a sink spec
+          share the same SSG value *)
   outcome : Context.outcome;
       (** [Partial _] when the slice exhausted its budget ([Complete] for
           cache-served reports: no slicing ran) *)
 }
 type stats = {
   sink_calls : int;
+      (** distinct sink call sites — one backtracking pass each, however
+          many rules share the site's sink spec *)
   searches_total : int;
   searches_cached : int;
   search_cache_rate : float;
@@ -69,10 +80,13 @@ type result = { reports : sink_report list; stats : stats; }
 val insecure_reports : result -> sink_report list
 
 (** Merge all per-sink SSGs of a result into the per-app SSG (Sec. V-A's
-    future-work structure). *)
+    future-work structure).  A shared SSG (one slice, several rules) is
+    folded once. *)
 val per_app_ssg : result -> Perapp_ssg.t
 
-(** Step 2: initial bytecode search for the sink API invocations.  With
+(** Step 2: initial bytecode search for the sink API invocations of the
+    rule set's distinct sink specs — one search per spec, shared across
+    rules; one entry per distinct sink call site.  With
     [subclass_aware_initial_search], invocations through app subclasses of
     the sink class are found as well (each resolves to the same framework
     method, like the DefaultSSLSocketFactory case of Sec. VI-C). *)
@@ -86,8 +100,10 @@ val initial_sink_search :
     snapshot warm start): its dexfile replaces [dex] and no index is built —
     unless [cfg.resolve_reflection] actually rewrites call sites, which
     invalidates any prebuilt index, so the engine is discarded (with a
-    logged warning) and the rewritten program is indexed cold.  Warm and
-    cold runs produce identical results. *)
+    logged warning) and the rewritten program is indexed cold.  A premade
+    engine last used under a different rule set has its query cache flushed
+    (with a warning) first.  Warm and cold runs produce identical
+    results. *)
 val analyze :
   ?cfg:config ->
   ?pool:Parallel.Pool.t ->

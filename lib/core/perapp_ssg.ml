@@ -88,7 +88,7 @@ let pp ppf t =
   List.iter
     (fun ((sink : Sinks.t), m, site) ->
        Fmt.pf ppf "  sink %s at %s:%d@."
-         (Sinks.kind_to_string sink.Sinks.kind)
+         sink.Sinks.name
          (Jsig.meth_to_string m) site)
     t.sinks;
   List.iter

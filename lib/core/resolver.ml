@@ -143,6 +143,23 @@ let icc_records ctx (m : Jsig.meth) =
                { intent_local = site.intent_local; from = site.site - 1 } })
       (Icc_search.callers ctx.Context.engine ~component)
 
+(* ICC boundary with residual Intent data.  In-app senders continue the
+   dataflow; a registered component with {e no} in-app senders is still a
+   valid flow endpoint when the manifest exports it — the launching Intent
+   then comes from outside the app (the intent-redirection threat model), so
+   the path both reaches an entry point and completes there.  Unregistered
+   (or unexported, sender-less) components stay dead, exactly as before. *)
+let icc_resolution ctx (m : Jsig.meth) =
+  match icc_records ctx m with
+  | [] ->
+    (match
+       Manifest.App_manifest.find_component ctx.Context.manifest m.Jsig.cls
+     with
+     | Some c when c.Manifest.Component.exported ->
+       resolution Icc ~entry:true ~complete:true []
+     | Some _ | None -> resolution Icc [])
+  | records -> resolution Icc records
+
 (** Lifecycle handler carrying residual state (dataflow mode): an entry
     handler completes the flow when the residuals are framework-provided,
     otherwise the earlier handlers of the same component continue it. *)
@@ -247,7 +264,7 @@ let callers ?demand ctx (m : Jsig.meth) =
     if d.has_intent && Lifecycle_search.is_lifecycle_handler program m then
       (* ICC boundary: the residual data lives in the launching Intent *)
       traced ctx Icc (Sym.to_string (Sigformat.to_dex_class_sym m.Jsig.cls)) (fun () ->
-          resolution Icc (icc_records ctx m))
+          icc_resolution ctx m)
     else if Lifecycle_search.is_lifecycle_handler program m then
       traced ctx Lifecycle (Sym.to_string (Jsig.meth_sym m)) (fun () ->
           lifecycle_resolution ctx d m)

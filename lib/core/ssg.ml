@@ -111,7 +111,7 @@ let continuations_of t m =
 (** Fig. 6-style textual dump of the SSG. *)
 let pp ppf t =
   Fmt.pf ppf "SSG for sink %s at %s:%d (reachable=%b)@."
-    (Framework.Sinks.kind_to_string t.sink.Framework.Sinks.kind)
+    t.sink.Framework.Sinks.name
     (Jsig.meth_to_string t.sink_meth) t.sink_site t.reachable;
   let by_meth = Hashtbl.create 8 in
   List.iter

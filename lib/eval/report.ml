@@ -1,19 +1,36 @@
 (** Machine-readable exports of the experiment measurements: one CSV row per
     (app, tool) measurement, so the tables and figures can be re-plotted
-    outside the harness. *)
+    outside the harness.
+
+    Besides the aggregate [insecure] count, every row carries one
+    [insecure_<family>] column per built-in rule family (fixed
+    {!Rules.Builtin.family_names} order), so per-rule detection can be
+    plotted without re-running the corpus. *)
+
+let base_header =
+  [ "app"; "tool"; "seconds"; "timed_out"; "errored"; "sink_calls";
+    "size_stmts"; "size_mb"; "insecure"; "search_cache_rate";
+    "sink_cache_rate"; "loops"; "cross_backward_loops"; "partial_sinks";
+    "parallelism" ]
 
 let csv_header =
-  "app,tool,seconds,timed_out,errored,sink_calls,size_stmts,size_mb,insecure,\
-   search_cache_rate,sink_cache_rate,loops,cross_backward_loops,\
-   partial_sinks,parallelism"
+  String.concat ","
+    (base_header
+     @ List.map (fun f -> "insecure_" ^ f) Rules.Builtin.family_names)
 
 let csv_row (m : Runner.measurement) =
-  Printf.sprintf "%s,%s,%.6f,%b,%b,%d,%d,%.2f,%d,%.4f,%.4f,%d,%d,%d,%d"
+  Printf.sprintf "%s,%s,%.6f,%b,%b,%d,%d,%.2f,%d,%.4f,%.4f,%d,%d,%d,%d%s"
     m.app
     (Runner.tool_name m.tool)
     m.seconds m.timed_out m.errored m.sink_calls m.size_stmts m.size_mb
     m.insecure m.search_cache_rate m.sink_cache_rate m.loops
     m.cross_backward_loops m.partial_sinks m.parallelism
+    (String.concat ""
+       (List.map
+          (fun f ->
+             Printf.sprintf ",%d"
+               (Option.value ~default:0 (List.assoc_opt f m.insecure_by_rule)))
+          Rules.Builtin.family_names))
 
 (** Write all measurements of a corpus run to [path]. *)
 let write_csv path (ms : Runner.measurement list) =
@@ -27,12 +44,18 @@ let write_csv path (ms : Runner.measurement list) =
     ms;
   close_out oc
 
-(** Parse one row back (used by the round-trip test). *)
+(** Parse one row back (used by the round-trip test).  Rows from before the
+    per-rule columns existed still parse, with an empty per-rule tally. *)
 let parse_row line =
   match String.split_on_char ',' line with
-  | [ app; tool; seconds; timed_out; errored; sink_calls; size_stmts; size_mb;
-      insecure; search_cache_rate; sink_cache_rate; loops; cross;
-      partial_sinks; parallelism ] ->
+  | app :: tool :: seconds :: timed_out :: errored :: sink_calls :: size_stmts
+    :: size_mb :: insecure :: search_cache_rate :: sink_cache_rate :: loops
+    :: cross :: partial_sinks :: parallelism :: per_rule ->
+    let rec zip fs vs =
+      match (fs, vs) with
+      | f :: fs, v :: vs -> (f, int_of_string v) :: zip fs vs
+      | _ -> []
+    in
     Some
       { Runner.app;
         tool =
@@ -47,6 +70,10 @@ let parse_row line =
         size_stmts = int_of_string size_stmts;
         size_mb = float_of_string size_mb;
         insecure = int_of_string insecure;
+        insecure_by_rule =
+          List.filter
+            (fun (_, n) -> n > 0)
+            (zip Rules.Builtin.family_names per_rule);
         search_cache_rate = float_of_string search_cache_rate;
         sink_cache_rate = float_of_string sink_cache_rate;
         loops = int_of_string loops;

@@ -1,6 +1,8 @@
 (** Machine-readable exports of the experiment measurements: one CSV row per
     (app, tool) measurement, so the tables and figures can be re-plotted
-    outside the harness. *)
+    outside the harness.  Every row carries one [insecure_<family>] column
+    per built-in rule family ({!Rules.Builtin.family_names} order) after the
+    aggregate fields. *)
 
 val csv_header : string
 

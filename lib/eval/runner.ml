@@ -21,6 +21,10 @@ type measurement = {
   size_stmts : int;
   size_mb : float;
   insecure : int;          (** insecure findings (0 on timeout/error) *)
+  insecure_by_rule : (string * int) list;
+      (** insecure findings per rule family, normalised to the fixed
+          {!Rules.Builtin.family_names} order with zero-count families
+          dropped (the per-rule CSV columns) *)
   search_cache_rate : float;  (** BackDroid only *)
   sink_cache_rate : float;    (** BackDroid only *)
   loops : int;                (** BackDroid only: dead loops detected *)
@@ -29,6 +33,23 @@ type measurement = {
       (** BackDroid only: sink slices that exhausted their budget *)
   parallelism : int;       (** worker-pool size the measurement ran under *)
 }
+
+(* Tally [names] into per-family counts, in the fixed family-column order;
+   names outside the built-in families (custom rule files) have no column
+   and are dropped. *)
+let count_by_family names =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+       Hashtbl.replace tbl n
+         (1 + Option.value ~default:0 (Hashtbl.find_opt tbl n)))
+    names;
+  List.filter_map
+    (fun f ->
+       match Hashtbl.find_opt tbl f with
+       | Some n -> Some (f, n)
+       | None -> None)
+    Rules.Builtin.family_names
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -54,6 +75,12 @@ let run_backdroid ?(cfg = Backdroid.Driver.default_config) ?engine
       size_stmts = app.G.size_stmts;
       size_mb = mb_of app;
       insecure = List.length (Backdroid.Driver.insecure_reports r);
+      insecure_by_rule =
+        count_by_family
+          (List.map
+             (fun (rep : Backdroid.Driver.sink_report) ->
+                rep.Backdroid.Driver.rule.Rules.Rule.name)
+             (Backdroid.Driver.insecure_reports r));
       search_cache_rate = s.Backdroid.Driver.search_cache_rate;
       sink_cache_rate =
         Stats.fraction s.Backdroid.Driver.sink_cache_hits
@@ -92,6 +119,14 @@ let run_amandroid ?(cfg = Baseline.Amandroid.default_config) ~timeout_s
       insecure =
         List.length
           (Baseline.Amandroid.insecure_findings r.Baseline.Amandroid.outcome);
+      insecure_by_rule =
+        count_by_family
+          (List.map
+             (fun (f : Baseline.Amandroid.finding) ->
+                match Rules.Builtin.rule_for_sink f.Baseline.Amandroid.sink with
+                | Some rule -> rule.Rules.Rule.name
+                | None -> f.Baseline.Amandroid.sink.Framework.Sinks.name)
+             (Baseline.Amandroid.insecure_findings r.Baseline.Amandroid.outcome));
       search_cache_rate = 0.0;
       sink_cache_rate = 0.0;
       loops = 0;
@@ -122,6 +157,7 @@ let run_flowdroid_cg ?(cfg = Baseline.Flowdroid_cg.default_config) ~timeout_s
     size_stmts = app.G.size_stmts;
     size_mb = mb_of app;
     insecure = 0;
+    insecure_by_rule = [];
     search_cache_rate = 0.0;
     sink_cache_rate = 0.0;
     loops = 0;

@@ -15,6 +15,9 @@ type measurement = {
   size_stmts : int;
   size_mb : float;
   insecure : int;
+  insecure_by_rule : (string * int) list;
+      (** per rule family, in {!Rules.Builtin.family_names} order,
+          zero-count families dropped *)
   search_cache_rate : float;
   sink_cache_rate : float;
   loops : int;

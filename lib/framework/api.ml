@@ -24,6 +24,9 @@ let sms_manager_t = Types.Object "android.telephony.SmsManager"
 let pending_intent_t = Types.Object "android.app.PendingIntent"
 let ibinder_t = Types.Object "android.os.IBinder"
 let string_builder_t = Types.Object "java.lang.StringBuilder"
+let webview_t = Types.Object "android.webkit.WebView"
+let sqlite_db_t = Types.Object "android.database.sqlite.SQLiteDatabase"
+let cursor_t = Types.Object "android.database.Cursor"
 
 let m = Jsig.meth
 
@@ -103,6 +106,20 @@ let server_socket_init =
 let local_server_socket_init =
   m ~cls:"android.net.LocalServerSocket" ~name:"<init>" ~params:[ str ]
     ~ret:Types.Void
+let webview_init =
+  m ~cls:"android.webkit.WebView" ~name:"<init>" ~params:[] ~ret:Types.Void
+let webview_set_javascript_enabled =
+  m ~cls:"android.webkit.WebView" ~name:"setJavaScriptEnabled"
+    ~params:[ Types.Boolean ] ~ret:Types.Void
+let webview_add_javascript_interface =
+  m ~cls:"android.webkit.WebView" ~name:"addJavascriptInterface"
+    ~params:[ obj; str ] ~ret:Types.Void
+let sqlite_db_init =
+  m ~cls:"android.database.sqlite.SQLiteDatabase" ~name:"<init>" ~params:[]
+    ~ret:Types.Void
+let sqlite_raw_query =
+  m ~cls:"android.database.sqlite.SQLiteDatabase" ~name:"rawQuery"
+    ~params:[ str; Types.Array str ] ~ret:cursor_t
 
 (* --- misc helpers --- *)
 let string_builder_init =

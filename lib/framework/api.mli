@@ -22,6 +22,9 @@ val sms_manager_t : Ir.Types.t
 val pending_intent_t : Ir.Types.t
 val ibinder_t : Ir.Types.t
 val string_builder_t : Ir.Types.t
+val webview_t : Ir.Types.t
+val sqlite_db_t : Ir.Types.t
+val cursor_t : Ir.Types.t
 val m :
   cls:string ->
   name:string -> params:Ir.Types.t list -> ret:Ir.Types.t -> Ir.Jsig.meth
@@ -53,6 +56,11 @@ val sms_send_text_message : Ir.Jsig.meth
 val sms_get_default : Ir.Jsig.meth
 val server_socket_init : Ir.Jsig.meth
 val local_server_socket_init : Ir.Jsig.meth
+val webview_init : Ir.Jsig.meth
+val webview_set_javascript_enabled : Ir.Jsig.meth
+val webview_add_javascript_interface : Ir.Jsig.meth
+val sqlite_db_init : Ir.Jsig.meth
+val sqlite_raw_query : Ir.Jsig.meth
 val string_builder_init : Ir.Jsig.meth
 val string_builder_append : Ir.Jsig.meth
 val string_builder_to_string : Ir.Jsig.meth

@@ -1,28 +1,42 @@
 (** The security-sensitive sink API catalog.
 
-    The paper's evaluation targets three sink APIs (crypto + 2× SSL); the
-    catalog also carries the "uncommon" sinks mentioned in Sec. VI-D so
-    downstream users can vet other sink-based problems. *)
+    A sink is pure data — display name, target signature, and the index of
+    the argument the slicer backtracks.  Detection rules (the [Rules]
+    library) reference these values or construct their own. *)
 
-type kind =
-    Crypto_cipher
-  | Ssl_hostname
-  | Sms_send
-  | Server_socket
-  | Local_socket
-type t = { kind : kind; msig : Ir.Jsig.meth; param_index : int; }
-val kind_to_string : kind -> string
+type t = {
+  name : string;           (** stable display label, e.g. ["crypto-cipher"] *)
+  msig : Ir.Jsig.meth;
+  param_index : int;
+      (** index of the security-relevant parameter (receiver excluded) *)
+}
+
 val cipher : t
 val ssl_factory : t
 val https_conn : t
 val sms : t
 val server_socket : t
 val local_socket : t
+val webview_js : t
+val webview_bridge : t
+val sql_query : t
+val intent_redirect : t
 
 (** The three sink APIs of the paper's evaluation (Sec. VI-A). *)
 val primary : t list
+
 val catalog : t list
-val find_by_msig : t list -> Ir.Jsig.meth -> t option
+
+(** [catalog] plus the WebView / SQL-injection / intent-redirection sinks. *)
+val extended : t list
+
+(** Sym-keyed signature lookup, built once per sink set; {!find} is one
+    integer hash per probe (the old [find_by_msig] walked the list with
+    structural signature comparisons on every disassembled call site). *)
+type index
+
+val index : t list -> index
+val find : index -> Ir.Jsig.meth -> t option
 
 (** An ECB (or mode-less) transformation string is the insecure crypto
     configuration the detectors flag. *)

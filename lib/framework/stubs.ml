@@ -186,4 +186,19 @@ let classes () =
       ~methods:
         [ nm ~cls:"android.net.LocalServerSocket" ~name:"<init>"
             ~params:[ string_ ] ~ret:Void () ];
+    system_class "android.webkit.WebView"
+      ~methods:
+        [ nm ~cls:"android.webkit.WebView" ~name:"<init>" ~params:[] ~ret:Void ();
+          nm ~cls:"android.webkit.WebView" ~name:"setJavaScriptEnabled"
+            ~params:[ Boolean ] ~ret:Void ();
+          nm ~cls:"android.webkit.WebView" ~name:"addJavascriptInterface"
+            ~params:[ object_; string_ ] ~ret:Void () ];
+    system_class "android.database.Cursor" ~is_interface:true;
+    system_class "android.database.sqlite.SQLiteDatabase"
+      ~methods:
+        [ nm ~cls:"android.database.sqlite.SQLiteDatabase" ~name:"<init>"
+            ~params:[] ~ret:Void ();
+          nm ~cls:"android.database.sqlite.SQLiteDatabase" ~name:"rawQuery"
+            ~params:[ string_; Array string_ ]
+            ~ret:(Object "android.database.Cursor") () ];
   ]

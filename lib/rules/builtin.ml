@@ -1,0 +1,115 @@
+(** The compiled-in rule sets.
+
+    [primary] reproduces the paper's two misuse classes exactly — the
+    predicates below are the data rendering of the match arms the old
+    [Detectors.classify] hard-coded, so the default configuration reports
+    byte-identically to the pre-rule-engine pipeline.  [catalog] adds the
+    auxiliary report-only sinks, [extended] the three newer families
+    (WebView JS misuse, SQL-injection argument backtracking,
+    exported-component intent redirection). *)
+
+module Sinks = Framework.Sinks
+open Rule
+
+let ecb_crypto =
+  { name = "ecb-crypto";
+    description = "Cipher.getInstance with an ECB or mode-less transformation";
+    sinks = [ Sinks.cipher ];
+    insecure_when =
+      All [ Fact_is Const_str;
+            Any [ Str_contains "ECB"; Not (Str_contains "/") ] ];
+    secure_when = Fact_is Const_str }
+
+let ssl_hostname =
+  { name = "ssl-hostname";
+    description = "setHostnameVerifier with an allow-all verifier";
+    sinks = [ Sinks.ssl_factory; Sinks.https_conn ];
+    insecure_when =
+      Any [ Field_is { cls = "org.apache.http.conn.ssl.SSLSocketFactory";
+                       name = "ALLOW_ALL_HOSTNAME_VERIFIER" };
+            Class_in [ "org.apache.http.conn.ssl.AllowAllHostnameVerifier" ];
+            Verifier_returns { name = "verify"; value = 1 } ];
+    secure_when =
+      Any [ Class_in [ "org.apache.http.conn.ssl.StrictHostnameVerifier";
+                       "org.apache.http.conn.ssl.BrowserCompatHostnameVerifier" ];
+            All [ Verifier_resolves { name = "verify" };
+                  Not (Verifier_returns { name = "verify"; value = 1 }) ] ] }
+
+(* Report-only auxiliary sinks (Sec. VI-D): any resolved constant argument
+   counts as vetted, nothing is flagged insecure. *)
+let aux_rule name description sink =
+  { name; description; sinks = [ sink ];
+    insecure_when = False;
+    secure_when = Any [ Fact_is Const_str; Fact_is Const_int ] }
+
+let sms_send =
+  aux_rule "sms-send" "SmsManager.sendTextMessage destination vetting"
+    Sinks.sms
+
+let server_socket =
+  aux_rule "server-socket" "ServerSocket open-port vetting" Sinks.server_socket
+
+let local_socket =
+  aux_rule "local-socket" "LocalServerSocket open-socket vetting"
+    Sinks.local_socket
+
+let webview_js =
+  { name = "webview-js";
+    description = "WebView.setJavaScriptEnabled(true)";
+    sinks = [ Sinks.webview_js ];
+    insecure_when = Int_eq 1;
+    secure_when = Fact_is Const_int }
+
+let webview_bridge =
+  { name = "webview-bridge";
+    description =
+      "WebView.addJavascriptInterface exposes a Java bridge to page scripts \
+       (presence-based: any reachable call is flagged)";
+    sinks = [ Sinks.webview_bridge ];
+    insecure_when = True;
+    secure_when = False }
+
+let sql_injection =
+  { name = "sql-injection";
+    description =
+      "SQLiteDatabase.rawQuery with an externally influenced query string";
+    sinks = [ Sinks.sql_query ];
+    insecure_when = Any [ Fact_is Framework_input; Fact_is Symbolic ];
+    secure_when = Fact_is Const_str }
+
+let intent_redirect =
+  { name = "intent-redirect";
+    description =
+      "startActivity forwarding an externally supplied Intent \
+       (exported-component intent redirection)";
+    sinks = [ Sinks.intent_redirect ];
+    insecure_when = Fact_is Framework_input;
+    secure_when = Fact_is New_obj }
+
+(** The paper's rule set (Sec. VI-A) — the default configuration. *)
+let primary = [ ecb_crypto; ssl_hostname ]
+
+(** [primary] plus the auxiliary report-only sinks. *)
+let catalog = [ ecb_crypto; ssl_hostname; sms_send; server_socket; local_socket ]
+
+(** Every compiled-in rule family. *)
+let extended =
+  catalog @ [ webview_js; webview_bridge; sql_injection; intent_redirect ]
+
+(** Fixed rule-family order of the per-rule eval CSV columns. *)
+let family_names = List.map (fun r -> r.Rule.name) extended
+
+(** The built-in rule covering [sink], if any — the compatibility shim the
+    baselines use to map a sink occurrence to its verdict logic. *)
+let rule_for_sink =
+  let idx = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+       List.iter
+         (fun (s : Sinks.t) ->
+            let key = Sym.id (Ir.Jsig.meth_sym s.Sinks.msig) in
+            if not (Hashtbl.mem idx key) then Hashtbl.add idx key r)
+         r.Rule.sinks)
+    extended;
+  fun (sink : Sinks.t) ->
+    Hashtbl.find_opt idx (Sym.id (Ir.Jsig.meth_sym sink.Sinks.msig))

@@ -1,0 +1,276 @@
+(** Rule-file loading: s-expression text → validated {!Rule.t} list, with a
+    typed error channel.
+
+    Errors are positioned ([Syntax] from the reader, [Invalid] from
+    validation, carrying the rule name and field when known) so the CLI can
+    print actionable diagnostics instead of an exception trace. *)
+
+type error =
+  | Syntax of Sexp.error
+  | Invalid of {
+      pos : Sexp.pos;
+      rule : string option;   (** rule being parsed, once its name is known *)
+      field : string;         (** offending field or form *)
+      msg : string;
+    }
+
+let error_to_string = function
+  | Syntax e -> "rule syntax error: " ^ Sexp.error_to_string e
+  | Invalid { pos; rule; field; msg } ->
+    Printf.sprintf "invalid rule%s: line %d, column %d: %s: %s"
+      (match rule with Some r -> " '" ^ r ^ "'" | None -> "")
+      pos.Sexp.line pos.Sexp.col field msg
+
+exception Fail of error
+
+let invalid ?rule ~pos ~field msg = raise (Fail (Invalid { pos; rule; field; msg }))
+
+(* ------------------------------------------------------------------ *)
+(* Form helpers *)
+
+let atom ?rule ~field = function
+  | Sexp.Atom (_, s) -> s
+  | Sexp.List (pos, _) ->
+    invalid ?rule ~pos ~field "expected an atom, got a list"
+
+let int_atom ?rule ~field form =
+  let s = atom ?rule ~field form in
+  match int_of_string_opt s with
+  | Some n -> n
+  | None ->
+    invalid ?rule ~pos:(Sexp.pos_of form) ~field
+      (Printf.sprintf "expected an integer, got %S" s)
+
+(* A keyed sub-form [(key item...)]; returns the key and its items. *)
+let keyed ?rule ~field = function
+  | Sexp.List (pos, Sexp.Atom (_, key) :: items) -> pos, key, items
+  | Sexp.List (pos, _) ->
+    invalid ?rule ~pos ~field "expected a (keyword ...) form"
+  | Sexp.Atom (pos, a) ->
+    invalid ?rule ~pos ~field
+      (Printf.sprintf "expected a (keyword ...) form, got atom %S" a)
+
+(* ------------------------------------------------------------------ *)
+(* Predicates *)
+
+let rec parse_pred ?rule form : Rule.pred =
+  match form with
+  | Sexp.Atom (_, "true") -> Rule.True
+  | Sexp.Atom (_, "false") -> Rule.False
+  | Sexp.Atom (pos, a) ->
+    invalid ?rule ~pos ~field:"predicate"
+      (Printf.sprintf "unknown predicate atom %S (expected true/false)" a)
+  | Sexp.List _ ->
+    let pos, key, items = keyed ?rule ~field:"predicate" form in
+    let one ~field () =
+      match items with
+      | [ x ] -> x
+      | _ ->
+        invalid ?rule ~pos ~field
+          (Printf.sprintf "expected exactly one argument, got %d"
+             (List.length items))
+    in
+    (match key with
+     | "fact-is" ->
+       let s = atom ?rule ~field:"fact-is" (one ~field:"fact-is" ()) in
+       (match Rule.shape_of_string s with
+        | Some sh -> Rule.Fact_is sh
+        | None ->
+          invalid ?rule ~pos ~field:"fact-is"
+            (Printf.sprintf "unknown fact shape %S" s))
+     | "str-contains" ->
+       Rule.Str_contains
+         (atom ?rule ~field:"str-contains" (one ~field:"str-contains" ()))
+     | "str-eq" -> Rule.Str_eq (atom ?rule ~field:"str-eq" (one ~field:"str-eq" ()))
+     | "int-eq" -> Rule.Int_eq (int_atom ?rule ~field:"int-eq" (one ~field:"int-eq" ()))
+     | "field-is" ->
+       (match items with
+        | [ c; n ] ->
+          Rule.Field_is
+            { cls = atom ?rule ~field:"field-is" c;
+              name = atom ?rule ~field:"field-is" n }
+        | _ ->
+          invalid ?rule ~pos ~field:"field-is" "expected (field-is CLASS NAME)")
+     | "class-in" ->
+       if items = [] then
+         invalid ?rule ~pos ~field:"class-in" "expected at least one class";
+       Rule.Class_in (List.map (atom ?rule ~field:"class-in") items)
+     | "verifier-returns" ->
+       (match items with
+        | [ n; v ] ->
+          Rule.Verifier_returns
+            { name = atom ?rule ~field:"verifier-returns" n;
+              value = int_atom ?rule ~field:"verifier-returns" v }
+        | _ ->
+          invalid ?rule ~pos ~field:"verifier-returns"
+            "expected (verifier-returns METHOD INT)")
+     | "verifier-resolves" ->
+       Rule.Verifier_resolves
+         { name =
+             atom ?rule ~field:"verifier-resolves"
+               (one ~field:"verifier-resolves" ()) }
+     | "all" -> Rule.All (List.map (parse_pred ?rule) items)
+     | "any" -> Rule.Any (List.map (parse_pred ?rule) items)
+     | "not" -> Rule.Not (parse_pred ?rule (one ~field:"not" ()))
+     | k ->
+       invalid ?rule ~pos ~field:"predicate"
+         (Printf.sprintf "unknown predicate %S" k))
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+let parse_sink ~rule pos items : Framework.Sinks.t =
+  let cls = ref None and meth = ref None and params = ref None in
+  let ret = ref None and arg = ref None and label = ref None in
+  let set ~field slot v fpos =
+    match !slot with
+    | Some _ -> invalid ~rule ~pos:fpos ~field "duplicate field"
+    | None -> slot := Some v
+  in
+  List.iter
+    (fun item ->
+       let fpos, key, sub = keyed ~rule ~field:"sink" item in
+       let one ~field () =
+         match sub with
+         | [ x ] -> x
+         | _ ->
+           invalid ~rule ~pos:fpos ~field
+             (Printf.sprintf "expected exactly one value, got %d"
+                (List.length sub))
+       in
+       match key with
+       | "class" -> set ~field:"class" cls (atom ~rule ~field:"class" (one ~field:"class" ())) fpos
+       | "method" -> set ~field:"method" meth (atom ~rule ~field:"method" (one ~field:"method" ())) fpos
+       | "params" ->
+         set ~field:"params" params
+           (List.map
+              (fun f -> Ir.Types.of_string (atom ~rule ~field:"params" f))
+              sub)
+           fpos
+       | "return" ->
+         set ~field:"return" ret
+           (Ir.Types.of_string (atom ~rule ~field:"return" (one ~field:"return" ())))
+           fpos
+       | "arg" -> set ~field:"arg" arg (int_atom ~rule ~field:"arg" (one ~field:"arg" ())) fpos
+       | "label" -> set ~field:"label" label (atom ~rule ~field:"label" (one ~field:"label" ())) fpos
+       | k ->
+         invalid ~rule ~pos:fpos ~field:"sink"
+           (Printf.sprintf "unknown sink field %S" k))
+    items;
+  let require ~field = function
+    | Some v -> v
+    | None -> invalid ~rule ~pos ~field "missing required field"
+  in
+  let cls = require ~field:"class" !cls in
+  let meth = require ~field:"method" !meth in
+  let params = Option.value ~default:[] !params in
+  let ret = Option.value ~default:Ir.Types.Void !ret in
+  let arg = require ~field:"arg" !arg in
+  if arg < 0 || arg >= List.length params then
+    invalid ~rule ~pos ~field:"arg"
+      (Printf.sprintf
+         "argument-of-interest %d out of range for %d parameter(s)" arg
+         (List.length params));
+  { Framework.Sinks.name = Option.value ~default:rule !label;
+    msig = Ir.Jsig.meth ~cls ~name:meth ~params ~ret;
+    param_index = arg }
+
+(* ------------------------------------------------------------------ *)
+(* Rules *)
+
+let parse_rule form : Rule.t =
+  let pos, key, items = keyed ~field:"top-level form" form in
+  if key <> "rule" then
+    invalid ~pos ~field:"top-level form"
+      (Printf.sprintf "expected (rule ...), got (%s ...)" key);
+  (* the name field first, so later diagnostics can carry it *)
+  let name =
+    List.find_map
+      (function
+        | Sexp.List (_, [ Sexp.Atom (_, "name"); Sexp.Atom (_, n) ]) -> Some n
+        | _ -> None)
+      items
+  in
+  let name =
+    match name with
+    | Some n when n <> "" -> n
+    | Some _ | None ->
+      invalid ~pos ~field:"name" "every rule needs a non-empty (name ...)"
+  in
+  let rule = name in
+  let description = ref None and insecure = ref None and secure = ref None in
+  let sinks = ref [] in
+  let set ~field slot v fpos =
+    match !slot with
+    | Some _ -> invalid ~rule ~pos:fpos ~field "duplicate field"
+    | None -> slot := Some v
+  in
+  List.iter
+    (fun item ->
+       let fpos, key, sub = keyed ~rule ~field:"rule" item in
+       let one ~field () =
+         match sub with
+         | [ x ] -> x
+         | _ ->
+           invalid ~rule ~pos:fpos ~field
+             (Printf.sprintf "expected exactly one value, got %d"
+                (List.length sub))
+       in
+       match key with
+       | "name" -> ()  (* already consumed *)
+       | "description" ->
+         set ~field:"description" description
+           (atom ~rule ~field:"description" (one ~field:"description" ()))
+           fpos
+       | "sink" -> sinks := parse_sink ~rule fpos sub :: !sinks
+       | "insecure-when" ->
+         set ~field:"insecure-when" insecure
+           (parse_pred ~rule (one ~field:"insecure-when" ())) fpos
+       | "secure-when" ->
+         set ~field:"secure-when" secure
+           (parse_pred ~rule (one ~field:"secure-when" ())) fpos
+       | k ->
+         invalid ~rule ~pos:fpos ~field:"rule"
+           (Printf.sprintf "unknown rule field %S" k))
+    items;
+  if !sinks = [] then
+    invalid ~rule ~pos ~field:"sink" "every rule needs at least one (sink ...)";
+  { Rule.name;
+    description = Option.value ~default:"" !description;
+    sinks = List.rev !sinks;
+    insecure_when = Option.value ~default:Rule.False !insecure;
+    secure_when = Option.value ~default:Rule.False !secure }
+
+(** Parse a rule-set source text. *)
+let rules_of_string src : (Rule.t list, error) result =
+  match Sexp.parse_string src with
+  | Error e -> Error (Syntax e)
+  | Ok forms ->
+    (try
+       let rules = List.map parse_rule forms in
+       (* duplicate rule names would make per-rule reporting ambiguous *)
+       let seen = Hashtbl.create 8 in
+       List.iter
+         (fun (r : Rule.t) ->
+            if Hashtbl.mem seen r.Rule.name then
+              invalid ~rule:r.Rule.name
+                ~pos:{ Sexp.line = 1; col = 1 } ~field:"name"
+                "duplicate rule name";
+            Hashtbl.add seen r.Rule.name ())
+         rules;
+       Ok rules
+     with Fail e -> Error e)
+
+(** Load and validate a rule file. *)
+let load path : (Rule.t list, error) result =
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg ->
+    Error
+      (Invalid
+         { pos = { Sexp.line = 0; col = 0 }; rule = None; field = "file";
+           msg })
+  | src -> rules_of_string src

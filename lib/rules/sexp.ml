@@ -1,0 +1,150 @@
+(** A minimal s-expression reader for the rule files.
+
+    Atoms are bare tokens or double-quoted strings (with backslash escapes
+    for quote, backslash, n, t); [;] starts a line comment.  Every node
+    carries the
+    source position where it began, so validation errors downstream can
+    point at the offending form. *)
+
+type pos = { line : int; col : int }
+
+type t =
+  | Atom of pos * string
+  | List of pos * t list
+
+type error = { pos : pos; msg : string }
+
+let pos_of = function Atom (p, _) | List (p, _) -> p
+
+let error_to_string { pos; msg } =
+  Printf.sprintf "line %d, column %d: %s" pos.line pos.col msg
+
+exception Fail of error
+
+(* Character-level reader state.  Lines and columns are 1-based, as editors
+   render them. *)
+type reader = {
+  src : string;
+  mutable i : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek r = if r.i < String.length r.src then Some r.src.[r.i] else None
+
+let advance r =
+  (match peek r with
+   | Some '\n' ->
+     r.line <- r.line + 1;
+     r.col <- 1
+   | Some _ -> r.col <- r.col + 1
+   | None -> ());
+  r.i <- r.i + 1
+
+let here r = { line = r.line; col = r.col }
+
+let fail r msg = raise (Fail { pos = here r; msg })
+let fail_at pos msg = raise (Fail { pos; msg })
+
+let rec skip_blank r =
+  match peek r with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance r;
+    skip_blank r
+  | Some ';' ->
+    let rec to_eol () =
+      match peek r with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance r;
+        to_eol ()
+    in
+    to_eol ();
+    skip_blank r
+  | Some _ | None -> ()
+
+let is_bare_char = function
+  | ' ' | '\t' | '\r' | '\n' | '(' | ')' | '"' | ';' -> false
+  | _ -> true
+
+let read_quoted r =
+  let start = here r in
+  advance r;  (* opening quote *)
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek r with
+    | None -> fail_at start "unterminated string literal"
+    | Some '"' ->
+      advance r;
+      Buffer.contents b
+    | Some '\\' ->
+      advance r;
+      (match peek r with
+       | Some '"' -> Buffer.add_char b '"'
+       | Some '\\' -> Buffer.add_char b '\\'
+       | Some 'n' -> Buffer.add_char b '\n'
+       | Some 't' -> Buffer.add_char b '\t'
+       | Some c -> fail r (Printf.sprintf "unknown escape '\\%c'" c)
+       | None -> fail_at start "unterminated string literal");
+      advance r;
+      loop ()
+    | Some c ->
+      advance r;
+      Buffer.add_char b c;
+      loop ()
+  in
+  Atom (start, loop ())
+
+let read_bare r =
+  let start = here r in
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek r with
+    | Some c when is_bare_char c ->
+      advance r;
+      Buffer.add_char b c;
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  Atom (start, Buffer.contents b)
+
+let rec read_form r =
+  skip_blank r;
+  match peek r with
+  | None -> fail r "unexpected end of input"
+  | Some '(' ->
+    let start = here r in
+    advance r;
+    let items = ref [] in
+    let rec loop () =
+      skip_blank r;
+      match peek r with
+      | None -> fail_at start "unclosed '('"
+      | Some ')' ->
+        advance r;
+        List (start, List.rev !items)
+      | Some _ ->
+        items := read_form r :: !items;
+        loop ()
+    in
+    loop ()
+  | Some ')' -> fail r "unmatched ')'"
+  | Some '"' -> read_quoted r
+  | Some _ -> read_bare r
+
+(** Parse a whole source text as a sequence of top-level forms. *)
+let parse_string src : (t list, error) result =
+  let r = { src; i = 0; line = 1; col = 1 } in
+  try
+    let forms = ref [] in
+    let rec loop () =
+      skip_blank r;
+      if peek r <> None then begin
+        forms := read_form r :: !forms;
+        loop ()
+      end
+    in
+    loop ();
+    Ok (List.rev !forms)
+  with Fail e -> Error e

@@ -86,6 +86,14 @@ let find_or_add t query compute =
         Query_tbl.replace t.table query hits;
         hits)
 
+(** Drop every cached result (the statistics counters are kept — they
+    describe work actually performed).  Used when the rule set driving the
+    searches changes under a reused engine. *)
+let flush t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () ->
+      Query_tbl.reset t.table)
+
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f

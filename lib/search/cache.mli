@@ -22,6 +22,11 @@ val create : unit -> 'a t
     domain) is a cache hit. *)
 val find_or_add : 'a t -> Query.t -> (unit -> 'a list) -> 'a list
 
+(** Drop every cached result; the statistics counters are kept (they
+    describe work actually performed).  Used when the rule set driving the
+    searches changes under a reused engine. *)
+val flush : 'a t -> unit
+
 (** Fraction of search commands served from cache, in [0, 1]. *)
 val cache_rate : 'a t -> float
 

@@ -153,6 +153,8 @@ type t = {
   tables : postings option Atomic.t array;  (** one slot per category *)
   build_us : float array;  (** per-category build cost, set under the lock *)
   build_lock : Mutex.t;
+  ruleset : int option Atomic.t;
+      (** content hash of the rule set this engine last searched under *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -360,7 +362,8 @@ let create ?(indexed = true) ?(eager = false) ?pool dex =
       loaded = false;
       tables = Array.init n_categories (fun _ -> Atomic.make None);
       build_us = Array.make n_categories 0.0;
-      build_lock = Mutex.create () }
+      build_lock = Mutex.create ();
+      ruleset = Atomic.make None }
   in
   if t.eager then
     for c = 0 to n_categories - 1 do
@@ -383,10 +386,35 @@ let create_packed dex tables =
     loaded = true;
     tables = Array.map (fun p -> Atomic.make (Some p)) tables;
     build_us = Array.make n_categories 0.0;
-    build_lock = Mutex.create () }
+    build_lock = Mutex.create ();
+    ruleset = Atomic.make None }
 
 let program t = t.dex.Dex.Dexfile.program
 let dexfile t = t.dex
+
+(** Stamp the engine with the content hash of the rule set about to drive
+    its searches.  An engine reused under a {e different} rule set gets its
+    query cache flushed — cached search results are query-keyed and so
+    rule-set-independent, but flushing guarantees no state computed under
+    one rule set is ever consulted under another (and keeps the cache-rate
+    statistics honest across [--rules] switches on a shared engine). *)
+let note_ruleset t hash =
+  let rec loop () =
+    match Atomic.get t.ruleset with
+    | None ->
+      if Atomic.compare_and_set t.ruleset None (Some hash) then `First
+      else loop ()
+    | Some prev when prev = hash -> `Same
+    | Some _ as prev ->
+      if Atomic.compare_and_set t.ruleset prev (Some hash) then begin
+        Cache.flush t.cache;
+        `Changed
+      end
+      else loop ()
+  in
+  loop ()
+
+let ruleset_stamp t = Atomic.get t.ruleset
 
 (* ------------------------------------------------------------------ *)
 (* Scan mode                                                           *)

@@ -92,6 +92,15 @@ val program : t -> Ir.Program.t
     lines and arena alongside the packed postings). *)
 val dexfile : t -> Dex.Dexfile.t
 
+(** Stamp the engine with the content hash of the rule set about to drive
+    its searches.  [`First] on a fresh engine, [`Same] when the hash matches
+    the previous stamp, [`Changed] when it differs — in which case the query
+    cache has been flushed, so no search state crosses rule sets. *)
+val note_ruleset : t -> int -> [ `First | `Same | `Changed ]
+
+(** The rule-set hash last stamped on this engine, if any. *)
+val ruleset_stamp : t -> int option
+
 (** Execute a query, consulting the query cache first. *)
 val run : t -> Query.t -> hit list
 

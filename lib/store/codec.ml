@@ -256,6 +256,8 @@ let read_file ~path =
 let size r = r.r_size
 let version r = r.r_version
 
+let mem r ~id = Hashtbl.mem r.dir id
+
 let section r id =
   match Hashtbl.find_opt r.dir id with
   | Some s -> Ok s

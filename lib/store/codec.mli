@@ -95,6 +95,10 @@ val size : reader -> int
     {!read_file} would have failed with [Bad_version]). *)
 val version : reader -> int
 
+(** Does the file contain section [id]?  Probe for optional sections
+    (older files simply lack them). *)
+val mem : reader -> id:int -> bool
+
 (** Map section [id] as an off-heap int vector (private mapping — writes
     are copy-on-write, never hitting the file).  Fails with [Corrupt] when
     the section is missing or its byte length is not a multiple of 8. *)

@@ -27,6 +27,9 @@ let sec_stmt_idx = 14
 let sec_owner_id = 15
 let sec_cat = 16
 let sec_sym = 17
+(* optional: the detection-rule-set content hash the snapshot was saved
+   under (absent in older files) *)
+let sec_ruleset = 18
 let sec_keys c = 20 + (3 * c)
 let sec_offsets c = 21 + (3 * c)
 let sec_slots c = 22 + (3 * c)
@@ -128,8 +131,15 @@ let coded_sections (p : Packed.t) =
   Ivec.set offsets nk (Buffer.length buf);
   (offsets, Buffer.contents buf)
 
-let save ?(format_version = Codec.format_version) ~path engine =
+let save ?(format_version = Codec.format_version) ?ruleset_hash ~path engine =
   let span0 = Obs.Span.start () in
+  (* default to the stamp already on the engine, so save -> load -> save
+     stays byte-identical for stamped files *)
+  let ruleset_hash =
+    match ruleset_hash with
+    | Some _ as h -> h
+    | None -> Engine.ruleset_stamp engine
+  in
   let dex = Engine.dexfile engine in
   let packed = Engine.export_packed engine in
   let arena = dex.Dex.Dexfile.arena in
@@ -139,6 +149,9 @@ let save ?(format_version = Codec.format_version) ~path engine =
   Codec.add_ints w ~id:sec_meta
     [| n_lines; Dex.Arena.length arena;
        Array.length arena.Dex.Arena.owners; Array.length syms |];
+  (match ruleset_hash with
+   | Some h -> Codec.add_ints w ~id:sec_ruleset [| h |]
+   | None -> ());
   add_strings w ~off_id:sec_sym_offsets ~blob_id:sec_sym_blob syms;
   add_strings w ~off_id:sec_line_offsets ~blob_id:sec_line_blob
     (Array.init n_lines (Dex.Dexfile.line_text dex));
@@ -498,5 +511,20 @@ let load ?(prefault = false) ~path program =
            | Some store -> Dex.Dexfile.of_store lines arena program store
            | None -> { Dex.Dexfile.lines; arena; program; texts = None }
          in
-         Ok (Engine.create_packed dex packed)
+         let* ruleset =
+           if not (Codec.mem r ~id:sec_ruleset) then Ok None
+           else
+             let* v = Codec.map_ivec r ~id:sec_ruleset in
+             if Ivec.length v <> 1 then
+               Error (Codec.Corrupt "ruleset section length")
+             else Ok (Some (Ivec.get v 0))
+         in
+         let engine = Engine.create_packed dex packed in
+         (* carry the saved rule-set stamp onto the engine, so an analysis
+            under a different rule set sees `Changed` and warns instead of
+            silently trusting warm state *)
+         (match ruleset with
+          | Some h -> ignore (Engine.note_ruleset engine h)
+          | None -> ());
+         Ok engine
      end)

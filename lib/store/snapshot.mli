@@ -36,8 +36,19 @@ val default_path : dir:string -> app_id:string -> string
     smaller on disk and decoded on demand after load); passing [1] writes
     the legacy flat-slot layout, kept so version-skew tests (and downgrade
     paths) can produce v1 files.  Save -> load -> save is byte-identical at
-    either version. *)
-val save : ?format_version:int -> path:string -> Bytesearch.Engine.t -> int
+    either version.
+
+    [ruleset_hash] (default: the engine's own
+    {!Bytesearch.Engine.ruleset_stamp}, if any) records the detection-rule-set
+    content hash the snapshot was produced under; {!load} stamps it back
+    onto the warm engine so an analysis under a different rule set notices
+    the change instead of silently trusting warm state. *)
+val save :
+  ?format_version:int ->
+  ?ruleset_hash:int ->
+  path:string ->
+  Bytesearch.Engine.t ->
+  int
 
 (** [load ?prefault ~path program] maps the snapshot at [path] back into a
     ready engine over [program] (which supplies the analysis-side IR; the

@@ -6,4 +6,4 @@ let () =
      @ Test_baseline.suites @ Test_core_units.suites @ Test_eval.suites
      @ Test_robustness.suites @ Test_searches_deep.suites
      @ Test_resolver.suites @ Test_misc.suites @ Test_parallel.suites
-     @ Test_obs.suites @ Test_store.suites)
+     @ Test_obs.suites @ Test_store.suites @ Test_rules.suites)

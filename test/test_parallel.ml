@@ -244,7 +244,7 @@ let test_mode_equivalence () =
 
 let report_fingerprint (r : Driver.sink_report) =
   Printf.sprintf "%s@%s:%d reachable=%b fact=%s verdict=%s ssg=%b"
-    (Framework.Sinks.kind_to_string r.sink.Framework.Sinks.kind)
+    r.sink.Framework.Sinks.name
     (Ir.Jsig.meth_to_string r.meth)
     r.site r.reachable
     (Backdroid.Facts.to_string r.fact)

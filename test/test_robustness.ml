@@ -94,7 +94,7 @@ let test_auxiliary_sink_facts () =
           filler_classes = 2;
           plants = [ { G.shape = shape; sink; insecure = true } ] }
     in
-    let cfg = { Driver.default_config with Driver.sinks = Sinks.catalog } in
+    let cfg = { Driver.default_config with Driver.rules = Rules.Builtin.catalog } in
     let r = analyze ~cfg app in
     match
       List.filter (fun (rep : Driver.sink_report) -> rep.reachable)
@@ -102,7 +102,7 @@ let test_auxiliary_sink_facts () =
     with
     | [ rep ] ->
       Alcotest.(check string)
-        (Sinks.kind_to_string sink.Sinks.kind ^ " fact")
+        (sink.Sinks.name ^ " fact")
         expect
         (Backdroid.Facts.to_string rep.fact)
     | l ->
@@ -125,7 +125,7 @@ let test_all_catalog_initial_search () =
       { G.default_config with
         G.seed = 8; name = "com.rob.catalog"; filler_classes = 2; plants }
   in
-  let cfg = { Driver.default_config with Driver.sinks = Sinks.catalog } in
+  let cfg = { Driver.default_config with Driver.rules = Rules.Builtin.catalog } in
   let r = analyze ~cfg app in
   Alcotest.(check int) "six occurrences" 6 r.Driver.stats.Driver.sink_calls
 

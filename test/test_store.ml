@@ -140,7 +140,7 @@ let test_roundtrip_identical () =
 
 let report_fingerprint (r : Driver.sink_report) =
   Printf.sprintf "%s@%s:%d reachable=%b fact=%s verdict=%s"
-    (Framework.Sinks.kind_to_string r.sink.Framework.Sinks.kind)
+    r.sink.Framework.Sinks.name
     (Ir.Jsig.meth_to_string r.meth)
     r.site r.reachable
     (Backdroid.Facts.to_string r.fact)
