@@ -235,10 +235,33 @@ let analyze_cmd =
       value & flag
       & info [ "prefault" ]
           ~doc:
-            "With $(b,--load-index): touch every page of the mapped hot \
-             sections (postings, hit arena, line texts) right after \
-             validation, so the first queries never stall on page faults.  \
-             Results are identical either way.")
+            "With $(b,--load-index): extend the always-on hot-section \
+             prefault (hit arena, postings directories) to every mapped \
+             page — postings bodies and line texts — right after \
+             validation, so even text-scan queries never stall on page \
+             faults.  Results are identical either way.")
+  in
+  let delta_index_t =
+    Arg.(
+      value & opt ~vopt:(Some "auto") (some string) None
+      & info [ "delta-index" ] ~docv:"PATH"
+          ~doc:
+            "Incremental re-analysis: diff the generated app against the \
+             old snapshot at $(docv) (or the auto path, without a value) by \
+             per-class content hash, re-disassemble and re-index only \
+             changed classes, and replay the snapshot's persisted per-sink \
+             results where their slice footprint is untouched.  The output \
+             is identical to a cold run.")
+  in
+  let mutate_pct_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "mutate-pct" ] ~docv:"FRACTION"
+          ~doc:
+            "Mutate this fraction of the app's filler classes after \
+             generation (deterministic; at least one class when positive) — \
+             simulates analysing version N+1 of the same app, e.g. with \
+             $(b,--delta-index).")
   in
   let rules_t =
     Arg.(
@@ -250,8 +273,12 @@ let analyze_cmd =
   in
   let run seed size_mb plants insecure dump_ssg subclass_aware eager_index jobs
       verbose trace_file time_limit_ms save_index load_index prefault
-      rules_file profile metrics =
+      delta_index mutate_pct rules_file profile metrics =
     setup_logs verbose;
+    if load_index <> None && delta_index <> None then begin
+      Printf.eprintf "error: --load-index and --delta-index are exclusive\n";
+      exit 1
+    end;
     let rules =
       match rules_file with
       | None -> Backdroid.Driver.default_config.Backdroid.Driver.rules
@@ -265,9 +292,12 @@ let analyze_cmd =
            exit 1)
     in
     let recorder = setup_obs ~profile in
+    let warm = load_index <> None || delta_index <> None in
+    let app = make_app ~build_dex:(not warm) ~seed ~size_mb ~plants ~insecure () in
     let app =
-      make_app ~build_dex:(load_index = None) ~seed ~size_mb ~plants ~insecure
-        ()
+      if mutate_pct > 0.0 then
+        G.mutate ~build_dex:(not warm) ~pct:mutate_pct app
+      else app
     in
     let index_path = function
       | "auto" -> Store.Snapshot.default_path ~dir:"." ~app_id:app.G.name
@@ -287,22 +317,48 @@ let analyze_cmd =
              (Store.Codec.error_to_string err);
            exit 1)
     in
+    (* incremental: patch the old snapshot against the (possibly mutated)
+       program, and pick up its persisted per-sink results for replay *)
+    let engine, results =
+      match delta_index with
+      | None -> (engine, None)
+      | Some p ->
+        let path = index_path p in
+        (match Store.Snapshot.delta ~path app.G.program with
+         | Ok (e, rep) ->
+           Printf.printf "index: delta-patched %s\n" path;
+           Printf.printf "delta: %s\n"
+             (Store.Snapshot.delta_report_to_string rep);
+           let results =
+             match Store.Snapshot.load_results ~path with
+             | Ok [||] -> None
+             | Ok strs ->
+               (match Backdroid.Resultcache.of_strings strs with
+                | Ok rc ->
+                  Printf.printf "delta: %d persisted sink result(s)\n"
+                    (Backdroid.Resultcache.length rc);
+                  Some rc
+                | Error m ->
+                  Printf.eprintf
+                    "warning: ignoring malformed result cache: %s\n" m;
+                  None)
+             | Error _ -> None
+           in
+           (Some e, results)
+         | Error err ->
+           Printf.eprintf "error: cannot delta-load index %s: %s\n" path
+             (Store.Codec.error_to_string err);
+           exit 1)
+    in
     let engine =
       match save_index with
       | None -> engine
-      | Some p ->
-        let path = index_path p in
-        let e =
-          match engine with
-          | Some e -> e
-          | None -> Bytesearch.Engine.create app.G.dex
-        in
-        let bytes =
-          Store.Snapshot.save ~ruleset_hash:(Rules.Rule.hash_list rules) ~path
-            e
-        in
-        Printf.printf "index: saved %s (%d bytes)\n" path bytes;
-        Some e
+      | Some _ ->
+        (* resolve the engine now; the save itself runs after the analysis
+           so the snapshot can carry this run's per-sink results *)
+        (match engine with
+         | Some e -> Some e
+         | None -> Some (Bytesearch.Engine.create app.G.dex))
     in
     let ring =
       match trace_file with
@@ -325,10 +381,27 @@ let analyze_cmd =
     in
     let t0 = Unix.gettimeofday () in
     let r =
-      Backdroid.Driver.analyze ~cfg ?engine ~dex:app.G.dex
+      Backdroid.Driver.analyze ~cfg ?engine ?results ~dex:app.G.dex
         ~manifest:app.G.manifest ()
     in
     let dt = Unix.gettimeofday () -. t0 in
+    (match save_index with
+     | None -> ()
+     | Some p ->
+       let path = index_path p in
+       let e = Option.get engine in
+       let results =
+         Backdroid.Resultcache.to_strings
+           (Backdroid.Driver.export_results
+              ~dex:(Bytesearch.Engine.dexfile e) r)
+       in
+       let bytes =
+         Store.Snapshot.save ~ruleset_hash:(Rules.Rule.hash_list rules)
+           ~results ~path e
+       in
+       Printf.printf "index: saved %s (%d bytes, %d cached result(s))\n" path
+         bytes
+         (max 0 (Array.length results - 1)));
     Printf.printf "analyzed %s in %.3fs: %d sink calls\n" app.G.name dt
       r.Backdroid.Driver.stats.Backdroid.Driver.sink_calls;
     List.iter
@@ -351,12 +424,14 @@ let analyze_cmd =
     let s = r.Backdroid.Driver.stats in
     Printf.printf
       "stats: %d searches (%.1f%% cached), %d SSG nodes, %d SSG edges, %d \
-       loops, %d partial sinks, %d/7 index categories built\n"
+       loops, %d partial sinks, %d replayed sinks, %d/7 index categories \
+       built\n"
       s.Backdroid.Driver.searches_total
       (100.0 *. s.Backdroid.Driver.search_cache_rate)
       s.Backdroid.Driver.ssg_nodes s.Backdroid.Driver.ssg_edges
       (Backdroid.Loopdetect.total s.Backdroid.Driver.loops)
       s.Backdroid.Driver.partial_sinks
+      s.Backdroid.Driver.replayed_sinks
       s.Backdroid.Driver.index_categories_built;
     (match trace_file, ring with
      | Some path, Some ring ->
@@ -371,8 +446,8 @@ let analyze_cmd =
     Term.(
       const run $ seed_t $ size_t $ shapes_t $ insecure_t $ dump_ssg
       $ subclass_aware $ eager_index_t $ jobs_t $ verbose_t $ trace_t
-      $ time_limit_t $ save_index_t $ load_index_t $ prefault_t $ rules_t
-      $ profile_t $ metrics_t)
+      $ time_limit_t $ save_index_t $ load_index_t $ prefault_t
+      $ delta_index_t $ mutate_pct_t $ rules_t $ profile_t $ metrics_t)
 
 (* --- compare --- *)
 

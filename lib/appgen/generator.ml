@@ -151,3 +151,75 @@ let generate ?(build_dex = true) (cfg : config) =
     statements per megabyte (see {!Corpus.stmts_per_mb}). *)
 let size_mb ~stmts_per_mb app =
   float_of_int app.size_stmts /. float_of_int stmts_per_mb
+
+(* Append one reachable-by-fallthrough-never constant assignment to a
+   method body: changes the class's IR (and rendered text) without touching
+   any statement index an analysis could have recorded, so planted flows
+   and their cold-analysis reports are unaffected. *)
+let mutate_method tag (m : Ir.Jmethod.t) =
+  match m.Ir.Jmethod.body with
+  | None -> m
+  | Some body ->
+    let l =
+      { Ir.Value.id = Printf.sprintf "$mut%d" tag; ty = Ir.Types.Int }
+    in
+    let extra =
+      Ir.Stmt.Assign (l, Ir.Expr.Imm (Ir.Value.Const (Ir.Value.Int_c tag)))
+    in
+    { m with Ir.Jmethod.body = Some (Array.append body [| extra |]) }
+
+(** [mutate ?seed ?build_dex ~pct app] is the "version update" of [app]: a
+    deterministic fraction [pct] (of the filler classes, at least one for
+    [pct > 0]) get their method bodies edited, everything else — plants,
+    manifest, ground truth — is carried over unchanged, and the program and
+    dexfile are rebuilt from scratch.  A cold analysis of the result is
+    therefore the oracle an incremental (delta) re-analysis must
+    reproduce. *)
+let mutate ?(seed = 0) ?(build_dex = true) ~pct app =
+  let pkg = package_of_name app.config.name in
+  let filler_prefix = pkg ^ ".filler.C" in
+  let classes =
+    List.rev (Ir.Program.fold_classes app.program (fun c acc -> c :: acc) [])
+  in
+  let fillers, _ =
+    List.partition
+      (fun (c : Ir.Jclass.t) ->
+         String.starts_with ~prefix:filler_prefix c.Ir.Jclass.name)
+      classes
+  in
+  let n_fillers = List.length fillers in
+  let n_mutate =
+    if pct <= 0.0 || n_fillers = 0 then 0
+    else
+      min n_fillers
+        (max 1 (int_of_float ((pct *. float_of_int n_fillers) +. 0.5)))
+  in
+  let rng = Rng.create (app.config.seed + (31 * seed) + 1) in
+  let victim = Hashtbl.create (max 4 n_mutate) in
+  let filler_names =
+    Array.of_list
+      (List.sort String.compare
+         (List.map (fun (c : Ir.Jclass.t) -> c.Ir.Jclass.name) fillers))
+  in
+  while Hashtbl.length victim < n_mutate do
+    Hashtbl.replace victim filler_names.(Rng.int rng n_fillers) ()
+  done;
+  let tag = ref 0 in
+  let classes' =
+    List.map
+      (fun (c : Ir.Jclass.t) ->
+         if Hashtbl.mem victim c.Ir.Jclass.name then begin
+           incr tag;
+           { c with
+             Ir.Jclass.methods =
+               List.map (mutate_method !tag) c.Ir.Jclass.methods }
+         end
+         else c)
+      classes
+  in
+  let program = Ir.Program.of_classes classes' in
+  let dex =
+    if not build_dex then Dex.Dexfile.empty program
+    else Dex.Dexfile.of_program program
+  in
+  { app with program; dex; size_stmts = Ir.Program.code_size program }

@@ -42,3 +42,15 @@ val generate : ?build_dex:bool -> config -> app
 (** Approximate on-disk size in "MB" for reporting, from our calibration of
     statements per megabyte (see {!Corpus.stmts_per_mb}). *)
 val size_mb : stmts_per_mb:int -> app -> float
+
+(** [mutate ?seed ?build_dex ~pct app] is the "v2" of [app] for
+    incremental-re-analysis experiments: a deterministic fraction [pct] of
+    the filler classes (at least one for [pct > 0], chosen by [seed]) get
+    their method bodies edited — an appended constant assignment, so no
+    existing statement index moves — while plants, manifest and ground
+    truth carry over unchanged.  The program and dexfile are rebuilt (the
+    rebuilt dexfile is single-dex even for a multidex [app]);
+    [build_dex:false] leaves {!app.dex} empty, the delta warm-start path.
+    A cold analysis of the result is the oracle a delta re-analysis must
+    reproduce. *)
+val mutate : ?seed:int -> ?build_dex:bool -> pct:float -> app -> app

@@ -20,6 +20,7 @@
 
 open Ir
 module Sinks = Framework.Sinks
+module Classmap = Dex.Classmap
 
 type config = {
   rules : Rules.Rule.t list;
@@ -93,6 +94,9 @@ type stats = {
   ssg_edges : int;
   partial_sinks : int;
       (** sink slices that exhausted their budget (typed [Partial]) *)
+  replayed_sinks : int;
+      (** sink call sites served from a persisted result cache (no slicing
+          ran); 0 unless [analyze] was given [results] *)
   index_categories_built : int;
       (** postings categories the engine built (0-7); lazy mode builds only
           the categories the analysis actually queried *)
@@ -220,6 +224,7 @@ type group_out = {
   g_ssg_nodes : int;
   g_ssg_edges : int;
   g_partial : int;
+  g_replayed : int;
 }
 
 (* Group occurrences by containing method, preserving first-occurrence order
@@ -245,7 +250,7 @@ let m_ssg_edges = Obs.Metrics.counter "driver.ssg_edges"
 let m_sink_cache_lookups = Obs.Metrics.counter "driver.sink_cache.lookups"
 let m_sink_cache_hits = Obs.Metrics.counter "driver.sink_cache.hits"
 
-let analyze_group ~cfg ~engine ~manifest group =
+let analyze_group ~cfg ~engine ~manifest ?replay group =
   Obs.Span.with_span ~cat:"analyze" ~name:"sink-group"
     ~attrs:[ ("sites", Obs.Span.Int (List.length group)) ]
   @@ fun () ->
@@ -256,6 +261,7 @@ let analyze_group ~cfg ~engine ~manifest group =
   let sink_cache_lookups = ref 0 and sink_cache_hits = ref 0 in
   let ssg_nodes = ref 0 and ssg_edges = ref 0 in
   let partial = ref 0 in
+  let replayed = ref 0 in
   let reports =
     List.concat_map
       (fun (i, ((sg : sink_group), meth, site)) ->
@@ -273,6 +279,32 @@ let analyze_group ~cfg ~engine ~manifest group =
                     outcome } ))
              sg.sg_rules
          in
+         (* persisted-result replay: serve the cached fact when the site's
+            whole slice footprint is provably unaffected by the changes
+            since the cache was produced; the verdicts are still computed
+            fresh per rule, so a rule-set change replays correctly *)
+         let replayed_entry =
+           match replay with
+           | None -> None
+           | Some pl ->
+             Resultcache.lookup pl
+               ~sink_msig:(Jsig.meth_to_string sink.Sinks.msig)
+               ~param_index:sink.Sinks.param_index
+               ~meth:(Jsig.meth_to_string meth) ~site
+         in
+         match replayed_entry with
+         | Some e ->
+           incr replayed;
+           (* reachability of this containing method is now known, so
+              later sink sites in the group shortcut exactly as they
+              would after a real slice *)
+           known_reachable := Some e.Resultcache.e_reachable;
+           Log.info (fun m ->
+               m "replaying cached result for %s sink at %s:%d"
+                 sink.Sinks.name (Jsig.meth_to_string meth) site);
+           fan_out ~reachable:e.Resultcache.e_reachable
+             ~fact:e.Resultcache.e_fact ~ssg:None ~outcome:Context.Complete
+         | None ->
          incr sink_cache_lookups;
          match !known_reachable with
          | Some false ->
@@ -314,7 +346,7 @@ let analyze_group ~cfg ~engine ~manifest group =
   { g_reports = reports; g_loops = shared.Context.loops;
     g_sink_lookups = !sink_cache_lookups; g_sink_hits = !sink_cache_hits;
     g_ssg_nodes = !ssg_nodes; g_ssg_edges = !ssg_edges;
-    g_partial = !partial }
+    g_partial = !partial; g_replayed = !replayed }
 
 (** Analyze one app.  [pool] (otherwise created from [cfg.jobs]) drives the
     sharded index build and the per-sink-group fan-out.  [engine] is a
@@ -325,8 +357,8 @@ let analyze_group ~cfg ~engine ~manifest group =
     last used under a {e different} rule set has its query cache flushed
     (with a warning) before this run's searches — cached search state never
     crosses rule sets silently. *)
-let analyze ?(cfg = default_config) ?pool ?engine ~(dex : Dex.Dexfile.t)
-    ~(manifest : Manifest.App_manifest.t) () =
+let analyze ?(cfg = default_config) ?pool ?engine ?results
+    ~(dex : Dex.Dexfile.t) ~(manifest : Manifest.App_manifest.t) () =
   let run pool =
     Obs.Span.with_span ~cat:"app" ~name:"analyze" @@ fun () ->
     let premade = ref engine in
@@ -375,14 +407,25 @@ let analyze ?(cfg = default_config) ?pool ?engine ~(dex : Dex.Dexfile.t)
           initial_group_search ~cfg engine)
     in
     let groups = Array.of_list (group_by_method occurrences) in
+    (* diff the persisted result cache (if any) against this build's
+       classmap once; groups then consult the precomputed plan *)
+    let replay =
+      match results with
+      | None -> None
+      | Some rc ->
+        Some
+          (Resultcache.plan rc
+             ~dex:(Bytesearch.Engine.dexfile engine))
+    in
     let outs =
       Parallel.Pool.parallel_map pool
-        (analyze_group ~cfg ~engine ~manifest) groups
+        (analyze_group ~cfg ~engine ~manifest ?replay) groups
     in
     let loops = Loopdetect.create () in
     let sink_cache_lookups = ref 0 and sink_cache_hits = ref 0 in
     let ssg_nodes = ref 0 and ssg_edges = ref 0 in
     let partial_sinks = ref 0 in
+    let replayed_sinks = ref 0 in
     Array.iter
       (fun g ->
          Loopdetect.add_into ~dst:loops g.g_loops;
@@ -390,7 +433,8 @@ let analyze ?(cfg = default_config) ?pool ?engine ~(dex : Dex.Dexfile.t)
          sink_cache_hits := !sink_cache_hits + g.g_sink_hits;
          ssg_nodes := !ssg_nodes + g.g_ssg_nodes;
          ssg_edges := !ssg_edges + g.g_ssg_edges;
-         partial_sinks := !partial_sinks + g.g_partial)
+         partial_sinks := !partial_sinks + g.g_partial;
+         replayed_sinks := !replayed_sinks + g.g_replayed)
       outs;
     let reports =
       Array.to_list outs
@@ -410,6 +454,7 @@ let analyze ?(cfg = default_config) ?pool ?engine ~(dex : Dex.Dexfile.t)
         ssg_nodes = !ssg_nodes;
         ssg_edges = !ssg_edges;
         partial_sinks = !partial_sinks;
+        replayed_sinks = !replayed_sinks;
         index_categories_built = Bytesearch.Engine.built_categories engine }
     in
     Obs.Metrics.add m_sink_calls stats.sink_calls;
@@ -422,3 +467,85 @@ let analyze ?(cfg = default_config) ?pool ?engine ~(dex : Dex.Dexfile.t)
   match pool with
   | Some pool -> run pool
   | None -> Parallel.Pool.with_pool ~jobs:cfg.jobs run
+
+(* ------------------------------------------------------------------ *)
+
+(* The app classes an SSG slice touched: every method the backtracking
+   visited (nodes, edge endpoints, entries, static track) plus the global
+   static-taint fields' classes.  Restricted to classes in the dexfile's
+   classmap — framework classes don't version with the app. *)
+let ssg_footprint ~(classmap : Dex.Classmap.t) (ssg : Ssg.t) sink_meth =
+  let seen = Hashtbl.create 16 in
+  let add cls =
+    if Classmap.find classmap cls <> None then Hashtbl.replace seen cls ()
+  in
+  let addm (m : Jsig.meth) = add m.Jsig.cls in
+  addm sink_meth;
+  List.iter (fun (n : Ssg.unit_) -> addm n.Ssg.meth) ssg.Ssg.nodes;
+  List.iter
+    (fun (e : Ssg.edge) ->
+       match e with
+       | Ssg.Call { caller; callee; _ } | Ssg.Contained { caller; callee; _ }
+         ->
+         addm caller;
+         addm callee
+       | Ssg.Async { caller; callee; chain; ending; _ } ->
+         addm caller;
+         addm callee;
+         addm ending;
+         List.iter (fun (m, _) -> addm m) chain
+       | Ssg.Icc { caller; handler; _ } ->
+         addm caller;
+         addm handler
+       | Ssg.Lifecycle { pre; handler } ->
+         addm pre;
+         addm handler)
+    ssg.Ssg.edges;
+  List.iter addm ssg.Ssg.entry_methods;
+  List.iter addm ssg.Ssg.static_track;
+  List.iter (fun (f : Jsig.field) -> add f.Jsig.fcls)
+    ssg.Ssg.global_static_taints;
+  Hashtbl.fold (fun c () acc -> c :: acc) seen [] |> List.sort String.compare
+
+(** Persistable per-sink results of [result]: one cache entry per distinct
+    sink call site whose slice ran to completion in this run (replayed or
+    cache-served sites carry no SSG and are skipped — their provenance
+    lives in the cache they came from).  Keyed for {!Resultcache.lookup}
+    and stamped with [dex]'s class-hash table; an empty classmap yields an
+    empty cache (nothing could ever be validated against it). *)
+let export_results ~(dex : Dex.Dexfile.t) result =
+  let classmap = dex.Dex.Dexfile.classmap in
+  if Classmap.length classmap = 0 then Resultcache.empty
+  else begin
+    let classes =
+      Array.init (Classmap.length classmap) (fun i ->
+          (classmap.Dex.Classmap.names.(i),
+           classmap.Dex.Classmap.ir_hash.(i)))
+    in
+    let seen = Hashtbl.create 16 in
+    let entries =
+      List.filter_map
+        (fun r ->
+           match (r.ssg, r.outcome) with
+           | Some ssg, Context.Complete ->
+             let e_sink_msig = Jsig.meth_to_string r.sink.Sinks.msig in
+             let e_meth = Jsig.meth_to_string r.meth in
+             let key =
+               Printf.sprintf "%s|%d|%s|%d" e_sink_msig
+                 r.sink.Sinks.param_index e_meth r.site
+             in
+             if Hashtbl.mem seen key then None
+             else begin
+               Hashtbl.replace seen key ();
+               Some
+                 { Resultcache.e_sink_msig;
+                   e_param_index = r.sink.Sinks.param_index;
+                   e_meth; e_site = r.site; e_reachable = r.reachable;
+                   e_fact = r.fact;
+                   e_footprint = ssg_footprint ~classmap ssg r.meth }
+             end
+           | Some _, Context.Partial _ | None, _ -> None)
+        result.reports
+    in
+    Resultcache.build ~classes entries
+  end

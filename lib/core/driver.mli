@@ -70,6 +70,9 @@ type stats = {
   ssg_edges : int;
   partial_sinks : int;
       (** sink slices that exhausted their budget (typed [Partial]) *)
+  replayed_sinks : int;
+      (** sink call sites served from a persisted result cache (no slicing
+          ran); 0 unless [analyze] was given [results] *)
   index_categories_built : int;
       (** postings categories the engine built (0-7); lazy mode builds only
           the categories the analysis actually queried *)
@@ -103,9 +106,24 @@ val initial_sink_search :
     logged warning) and the rewritten program is indexed cold.  A premade
     engine last used under a different rule set has its query cache flushed
     (with a warning) first.  Warm and cold runs produce identical
-    results. *)
+    results.
+
+    [results] supplies a persisted result cache (typically
+    {!export_results} of a previous version's run, stored in its
+    snapshot): sink call sites whose cached slice footprint is provably
+    unaffected by the changes since then — see {!Resultcache} — replay
+    their cached reachability and fact without re-slicing (counted in
+    [stats.replayed_sinks]; their reports carry [ssg = None]), and
+    verdicts are still computed fresh per rule. *)
 val analyze :
   ?cfg:config ->
   ?pool:Parallel.Pool.t ->
   ?engine:Bytesearch.Engine.t ->
+  ?results:Resultcache.t ->
   dex:Dex.Dexfile.t -> manifest:Manifest.App_manifest.t -> unit -> result
+
+(** Persistable per-sink results of a run: one {!Resultcache.entry} per
+    distinct completely-sliced sink call site, stamped with [dex]'s
+    class-hash table.  Save alongside the snapshot via
+    {!Store.Snapshot.save}'s [results] argument. *)
+val export_results : dex:Dex.Dexfile.t -> result -> Resultcache.t

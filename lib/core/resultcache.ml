@@ -1,0 +1,389 @@
+(** Persisted per-sink analysis results with content-hash invalidation.
+
+    One entry caches the outcome of one sink call site's backtracking +
+    forward propagation: reachability, the propagated sink-argument fact
+    and the slice outcome, keyed by (sink spec, containing method, site)
+    and stamped with the {e footprint} — the set of app classes the SSG
+    slice touched.  Verdicts are {e not} cached: they are a pure function
+    of (rule, fact) via {!Detectors.classify_rule}, so a cached fact
+    replays correctly under a changed rule set.
+
+    The cache also records the app-wide class-hash table (name ->
+    {!Ir.Irhash}) current when it was produced.  Against a new build, an
+    entry is replayable iff
+    - every footprint class still exists with an unchanged IR hash, and
+    - no changed or added class references a footprint class (by callee,
+      field or class-descriptor operand) — a class the slice never visited
+      can only alter the slice by introducing such a reference, since
+      every caller/writer the backward search found was visited and is
+      therefore in the footprint.
+
+    Entries with [Partial] outcomes are never cached: budget exhaustion
+    can be wall-clock dependent, so replaying one could disagree with a
+    cold re-run under a different deadline. *)
+
+module Classmap = Dex.Classmap
+
+type entry = {
+  e_sink_msig : string;   (** [Jsig.meth_to_string] of the sink signature *)
+  e_param_index : int;
+  e_meth : string;        (** containing method, [Jsig.meth_to_string] *)
+  e_site : int;
+  e_reachable : bool;
+  e_fact : Facts.t;
+  e_footprint : string list;  (** app classes the SSG slice touched *)
+}
+
+type t = {
+  classes : (string * int64) array;  (** app class-hash table at save time *)
+  entries : entry list;
+  by_key : (string, entry) Hashtbl.t;
+  class_hash : (string, int64) Hashtbl.t;
+}
+
+let key ~sink_msig ~param_index ~meth ~site =
+  Printf.sprintf "%s\x00%d\x00%s\x00%d" sink_msig param_index meth site
+
+let build ~classes entries =
+  let by_key = Hashtbl.create (max 16 (List.length entries)) in
+  List.iter
+    (fun e ->
+       Hashtbl.replace by_key
+         (key ~sink_msig:e.e_sink_msig ~param_index:e.e_param_index
+            ~meth:e.e_meth ~site:e.e_site)
+         e)
+    entries;
+  let class_hash = Hashtbl.create (max 16 (Array.length classes)) in
+  Array.iter (fun (n, h) -> Hashtbl.replace class_hash n h) classes;
+  { classes; entries; by_key; class_hash }
+
+let empty = build ~classes:[||] []
+let entries t = t.entries
+let length t = List.length t.entries
+
+(* -- Wire format ------------------------------------------------------ *)
+
+(* Length-prefixed fields in plain strings: ints as [<decimal>;], strings
+   as [<len>:<bytes>].  Facts encode as a tagged recursive term with
+   deterministic member order, so encode is injective on acyclic facts and
+   a round-trip preserves structural equality (which is all
+   [Detectors.classify_rule] inspects). *)
+
+exception Not_cacheable
+exception Decode of string
+
+let add_int buf i =
+  Buffer.add_string buf (string_of_int i);
+  Buffer.add_char buf ';'
+
+let add_str buf s =
+  add_int buf (String.length s);
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+type cursor = { s : string; mutable pos : int }
+
+let take_char cur =
+  if cur.pos >= String.length cur.s then raise (Decode "truncated");
+  let c = cur.s.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  c
+
+let take_int cur =
+  let start = cur.pos in
+  let neg = cur.pos < String.length cur.s && cur.s.[cur.pos] = '-' in
+  if neg then cur.pos <- cur.pos + 1;
+  let v = ref 0 in
+  let digits = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match take_char cur with
+    | '0' .. '9' as c ->
+      v := (!v * 10) + (Char.code c - Char.code '0');
+      incr digits
+    | ';' -> continue := false
+    | _ -> raise (Decode ("bad int at " ^ string_of_int start))
+  done;
+  if !digits = 0 then raise (Decode "empty int");
+  if neg then - !v else !v
+
+let take_str cur =
+  let n = take_int cur in
+  if n < 0 then raise (Decode "negative string length");
+  (match take_char cur with
+   | ':' -> ()
+   | _ -> raise (Decode "missing ':'"));
+  if cur.pos + n > String.length cur.s then raise (Decode "string overrun");
+  let s = String.sub cur.s cur.pos n in
+  cur.pos <- cur.pos + n;
+  s
+
+let rec encode_fact ~seen buf (f : Facts.t) =
+  match f with
+  | Facts.Const_str s ->
+    Buffer.add_char buf 'C';
+    add_str buf s
+  | Facts.Const_int i ->
+    Buffer.add_char buf 'I';
+    add_int buf i
+  | Facts.New_obj o ->
+    if List.memq (Obj.repr o) seen then raise Not_cacheable;
+    let seen = Obj.repr o :: seen in
+    Buffer.add_char buf 'O';
+    add_str buf o.Facts.cls;
+    let members =
+      List.sort (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) o.Facts.members [])
+    in
+    add_int buf (List.length members);
+    List.iter
+      (fun (k, v) ->
+         add_str buf k;
+         encode_fact ~seen buf v)
+      members
+  | Facts.Arr a ->
+    if List.memq (Obj.repr a) seen then raise Not_cacheable;
+    let seen = Obj.repr a :: seen in
+    Buffer.add_char buf 'A';
+    add_str buf (Ir.Types.to_string a.Facts.elem);
+    let cells =
+      List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) a.Facts.cells [])
+    in
+    add_int buf (List.length cells);
+    List.iter
+      (fun (k, v) ->
+         add_int buf k;
+         encode_fact ~seen buf v)
+      cells
+  | Facts.Static_ref fld ->
+    Buffer.add_char buf 'S';
+    add_str buf fld.Ir.Jsig.fcls;
+    add_str buf fld.Ir.Jsig.fname;
+    add_str buf (Ir.Types.to_string fld.Ir.Jsig.fty)
+  | Facts.Framework_input -> Buffer.add_char buf 'F'
+  | Facts.Sym s ->
+    Buffer.add_char buf 'Y';
+    add_str buf s
+  | Facts.Unknown -> Buffer.add_char buf 'U'
+
+let rec decode_fact cur : Facts.t =
+  match take_char cur with
+  | 'C' -> Facts.Const_str (take_str cur)
+  | 'I' -> Facts.Const_int (take_int cur)
+  | 'O' ->
+    let cls = take_str cur in
+    let n = take_int cur in
+    let members = Hashtbl.create (max 4 n) in
+    for _ = 1 to n do
+      let k = take_str cur in
+      Hashtbl.replace members k (decode_fact cur)
+    done;
+    Facts.New_obj { Facts.cls; members }
+  | 'A' ->
+    let elem =
+      try Ir.Types.of_string (take_str cur)
+      with _ -> raise (Decode "bad array element type")
+    in
+    let n = take_int cur in
+    let cells = Hashtbl.create (max 4 n) in
+    for _ = 1 to n do
+      let k = take_int cur in
+      Hashtbl.replace cells k (decode_fact cur)
+    done;
+    Facts.Arr { Facts.elem; cells }
+  | 'S' ->
+    let fcls = take_str cur in
+    let fname = take_str cur in
+    let fty =
+      try Ir.Types.of_string (take_str cur)
+      with _ -> raise (Decode "bad field type")
+    in
+    Facts.Static_ref (Ir.Jsig.field ~cls:fcls ~name:fname ~ty:fty)
+  | 'F' -> Facts.Framework_input
+  | 'Y' -> Facts.Sym (take_str cur)
+  | 'U' -> Facts.Unknown
+  | c -> raise (Decode (Printf.sprintf "bad fact tag %C" c))
+
+(* A fact is cacheable iff encoding terminates (no points-to cycle) and
+   decoding its encoding re-encodes identically — then replayed verdicts
+   are a pure function of the persisted bytes. *)
+let fact_to_string_opt f =
+  match
+    let buf = Buffer.create 64 in
+    encode_fact ~seen:[] buf f;
+    Buffer.contents buf
+  with
+  | s ->
+    (match
+       let check = Buffer.create (String.length s) in
+       encode_fact ~seen:[] check (decode_fact { s; pos = 0 });
+       Buffer.contents check
+     with
+     | s' when String.equal s s' -> Some s
+     | _ | (exception Not_cacheable) | (exception Decode _) -> None)
+  | exception Not_cacheable -> None
+
+let encode_entry e =
+  match fact_to_string_opt e.e_fact with
+  | None -> None
+  | Some fact ->
+    let buf = Buffer.create 128 in
+    Buffer.add_char buf 'E';
+    add_str buf e.e_sink_msig;
+    add_int buf e.e_param_index;
+    add_str buf e.e_meth;
+    add_int buf e.e_site;
+    add_int buf (if e.e_reachable then 1 else 0);
+    Buffer.add_string buf fact;
+    add_int buf (List.length e.e_footprint);
+    List.iter (add_str buf) e.e_footprint;
+    Some (Buffer.contents buf)
+
+let decode_entry s =
+  let cur = { s; pos = 0 } in
+  (match take_char cur with
+   | 'E' -> ()
+   | c -> raise (Decode (Printf.sprintf "bad entry tag %C" c)));
+  let e_sink_msig = take_str cur in
+  let e_param_index = take_int cur in
+  let e_meth = take_str cur in
+  let e_site = take_int cur in
+  let e_reachable = take_int cur <> 0 in
+  let e_fact = decode_fact cur in
+  let n = take_int cur in
+  let footprint = ref [] in
+  for _ = 1 to n do
+    footprint := take_str cur :: !footprint
+  done;
+  if cur.pos <> String.length s then raise (Decode "trailing bytes");
+  { e_sink_msig; e_param_index; e_meth; e_site; e_reachable; e_fact;
+    e_footprint = List.rev !footprint }
+
+let encode_header classes =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf 'H';
+  add_int buf (Array.length classes);
+  Array.iter
+    (fun (n, h) ->
+       add_str buf n;
+       add_str buf (Printf.sprintf "%016Lx" h))
+    classes;
+  Buffer.contents buf
+
+let decode_header s =
+  let cur = { s; pos = 0 } in
+  (match take_char cur with
+   | 'H' -> ()
+   | c -> raise (Decode (Printf.sprintf "bad header tag %C" c)));
+  let n = take_int cur in
+  if n < 0 then raise (Decode "negative class count");
+  Array.init n (fun _ ->
+      let name = take_str cur in
+      let hex = take_str cur in
+      match Int64.of_string_opt ("0x" ^ hex) with
+      | Some h -> (name, h)
+      | None -> raise (Decode "bad class hash"))
+
+let to_strings t =
+  Array.of_list
+    (encode_header t.classes
+     :: List.filter_map encode_entry t.entries)
+
+let of_strings a =
+  if Array.length a = 0 then Ok empty
+  else
+    match
+      let classes = decode_header a.(0) in
+      let entries =
+        List.init (Array.length a - 1) (fun i -> decode_entry a.(i + 1))
+      in
+      build ~classes entries
+    with
+    | t -> Ok t
+    | exception Decode m -> Error m
+
+(* -- Replay planning --------------------------------------------------- *)
+
+type plan = {
+  p_cache : t;
+  p_valid : (string, bool) Hashtbl.t;  (* footprint class -> replayable *)
+}
+
+(* Operand class of an arena slot, by category: callee class of an
+   invocation, field class of a field op, the descriptor itself for
+   new-instance / const-class.  Malformed operands (impossible for
+   disassembler output) resolve to no class. *)
+let slot_operand_class ~cat ~sym_id =
+  if sym_id < 0 then None
+  else
+    let s = Sym.to_string (Sym.unsafe_of_id sym_id) in
+    try
+      if cat = Dex.Arena.cat_invoke then
+        Some (Sigformat.of_dex_meth s).Ir.Jsig.cls
+      else if cat = Dex.Arena.cat_field || cat = Dex.Arena.cat_static_field
+      then Some (Sigformat.of_dex_field s).Ir.Jsig.fcls
+      else if cat = Dex.Arena.cat_new_instance
+              || cat = Dex.Arena.cat_const_class
+      then Some (Sigformat.of_dex_class s)
+      else None
+    with _ -> None
+
+let plan t ~(dex : Dex.Dexfile.t) =
+  let cm = dex.Dex.Dexfile.classmap in
+  let arena = dex.Dex.Dexfile.arena in
+  let p_valid = Hashtbl.create 64 in
+  if Classmap.length cm = 0 || Array.length t.classes = 0 then
+    { p_cache = t; p_valid }
+  else begin
+    (* classes of the new build that changed or were added, and the app
+       classes their operands reference *)
+    let touched = Hashtbl.create 64 in
+    for i = 0 to Classmap.length cm - 1 do
+      let name = cm.Classmap.names.(i) in
+      let changed =
+        match Hashtbl.find_opt t.class_hash name with
+        | Some h -> not (Int64.equal h cm.Classmap.ir_hash.(i))
+        | None -> true
+      in
+      if changed then
+        for slot = cm.Classmap.slot_lo.(i) to cm.Classmap.slot_hi.(i) - 1 do
+          match
+            slot_operand_class
+              ~cat:(Ivec.get arena.Dex.Arena.cat slot)
+              ~sym_id:(Ivec.get arena.Dex.Arena.sym slot)
+          with
+          | Some cls -> Hashtbl.replace touched cls ()
+          | None -> ()
+        done
+    done;
+    (* a footprint class is replay-safe iff it exists unchanged in the new
+       build and no changed/added class references it *)
+    Hashtbl.iter
+      (fun name h ->
+         let ok =
+           (match Classmap.ir_hash_of cm name with
+            | Some h' -> Int64.equal h h'
+            | None -> false)
+           && not (Hashtbl.mem touched name)
+         in
+         Hashtbl.replace p_valid name ok)
+      t.class_hash;
+    { p_cache = t; p_valid }
+  end
+
+let lookup pl ~sink_msig ~param_index ~meth ~site =
+  match
+    Hashtbl.find_opt pl.p_cache.by_key
+      (key ~sink_msig ~param_index ~meth ~site)
+  with
+  | Some e
+    when e.e_footprint <> []
+         && List.for_all
+              (fun c ->
+                 match Hashtbl.find_opt pl.p_valid c with
+                 | Some ok -> ok
+                 | None -> false)
+              e.e_footprint ->
+    Some e
+  | Some _ | None -> None

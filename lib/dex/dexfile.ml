@@ -1,12 +1,14 @@
 (** A disassembled (and, if multidex, merged) dex file: the flat array of
     plaintext lines that the bytecode search engine scans, each line tagged
     with its enclosing method, plus the compact hit {!Arena} the engine's
-    per-category postings index into. *)
+    per-category postings index into and the per-class {!Classmap} the delta
+    snapshot path diffs against. *)
 
 type t = {
   lines : Disasm.line array;
   arena : Arena.t;
   program : Ir.Program.t;
+  classmap : Classmap.t;
   texts : Textstore.t option;
       (** off-heap line texts of a snapshot-loaded dexfile; [None] when the
           lines were disassembled in-process and carry their own strings *)
@@ -18,19 +20,24 @@ let of_lines lines program =
       ~attrs:[ ("lines", Obs.Span.Int (Array.length lines)) ]
       (fun () -> Arena.of_lines lines)
   in
-  { lines; arena; program; texts = None }
+  let classmap =
+    Obs.Span.with_span ~cat:"dex" ~name:"classmap" (fun () ->
+        Classmap.of_lines lines arena program)
+  in
+  { lines; arena; program; classmap; texts = None }
 
 (** A dexfile whose line texts live in an off-heap {!Textstore} (a snapshot
     load).  Line records start at {!Textstore.pending} and materialise
     lazily through {!line_text}. *)
-let of_store lines arena program texts =
-  { lines; arena; program; texts = Some texts }
+let of_store ?(classmap = Classmap.empty) lines arena program texts =
+  { lines; arena; program; classmap; texts = Some texts }
 
 (** A dexfile with no plaintext: the placeholder a warm start installs
     before a snapshot load supplies the real lines and arena, so app
     generation can skip disassembly entirely. *)
 let empty p =
-  { lines = [||]; arena = Arena.of_lines [||]; program = p; texts = None }
+  { lines = [||]; arena = Arena.of_lines [||]; program = p;
+    classmap = Classmap.empty; texts = None }
 
 let of_program p =
   let lines =

@@ -7,6 +7,9 @@ type t = {
   lines : Disasm.line array;
   arena : Arena.t;
   program : Ir.Program.t;
+  classmap : Classmap.t;
+      (** per-class line/slot ranges and content hashes; {!Classmap.empty}
+          for the warm-start placeholder *)
   texts : Textstore.t option;
       (** off-heap line texts of a snapshot-loaded dexfile; [None] when the
           lines were disassembled in-process and carry their own strings.
@@ -21,6 +24,7 @@ val of_program : Ir.Program.t -> t
     {!Textstore.pending} as their text; {!line_text} materialises and
     caches real strings on demand. *)
 val of_store :
+  ?classmap:Classmap.t ->
   Disasm.line array -> Arena.t -> Ir.Program.t -> Textstore.t -> t
 
 (** A dexfile with no plaintext lines and an empty arena.  Warm starts use

@@ -18,6 +18,8 @@ let create ~blob ~offs =
     invalid_arg "Textstore.create: offsets inconsistent with blob";
   { blob; offs }
 
+let blob t = t.blob
+let offsets t = t.offs
 let count t = Ivec.length t.offs - 1
 let start t i = Ivec.unsafe_get t.offs i
 let length_at t i = Ivec.unsafe_get t.offs (i + 1) - Ivec.unsafe_get t.offs i

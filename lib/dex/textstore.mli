@@ -24,6 +24,12 @@ val create : blob:Bvec.t -> offs:Ivec.t -> t
 (** Number of lines. *)
 val count : t -> int
 
+(** The raw backing views — the delta-patch path splices per-class byte
+    ranges of an old store into a new blob with these. *)
+
+val blob : t -> Bvec.t
+val offsets : t -> Ivec.t
+
 (** Byte length of line [i]. *)
 val length_at : t -> int -> int
 

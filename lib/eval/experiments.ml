@@ -70,27 +70,65 @@ let run_corpus ?(progress = fun _ -> ()) opts =
      snapshot is saved on first encounter and mapped back on the next —
      generation then skips disassembly ([build_dex:false]) and analysis runs
      on the snapshot engine.  Snapshots are per-app files, so pool domains
-     never contend for one; a damaged file rebuilds cold with a warning. *)
+     never contend for one; a damaged file rebuilds cold with a warning.
+
+     A snapshot whose per-class content hashes no longer match the current
+     build (the app changed between runs — a "version update") is not thrown
+     away: it is delta-patched against the new program — only changed
+     classes are re-disassembled and re-indexed — and re-saved. *)
+  let snapshot_fresh engine program =
+    let cm = (Bytesearch.Engine.dexfile engine).Dex.Dexfile.classmap in
+    Dex.Classmap.length cm > 0
+    &&
+    let n = ref 0 in
+    Ir.Program.fold_classes program
+      (fun (c : Ir.Jclass.t) ok ->
+         if c.Ir.Jclass.is_system then ok
+         else begin
+           incr n;
+           ok
+           && Dex.Classmap.ir_hash_of cm c.Ir.Jclass.name
+              = Some (Ir.Irhash.jclass c)
+         end)
+      true
+    && !n = Dex.Classmap.length cm
+  in
   let prepare (cfg : G.config) =
     match opts.snapshot_dir with
     | None -> (G.generate cfg, None)
     | Some dir ->
       let path = Store.Snapshot.default_path ~dir ~app_id:cfg.G.name in
-      if Sys.file_exists path then begin
-        let app = G.generate ~build_dex:false cfg in
-        match Store.Snapshot.load ~path app.G.program with
-        | Ok engine -> (app, Some engine)
-        | Error e ->
-          Printf.eprintf "warning: snapshot %s: %s; rebuilding cold\n%!" path
-            (Store.Codec.error_to_string e);
-          (G.generate cfg, None)
-      end
-      else begin
+      let cold () =
         let app = G.generate cfg in
         let engine = Bytesearch.Engine.create app.G.dex in
         ignore (Store.Snapshot.save ~path engine);
         (app, Some engine)
+      in
+      let cold_after path e =
+        Printf.eprintf "warning: snapshot %s: %s; rebuilding cold\n%!" path
+          (Store.Codec.error_to_string e);
+        cold ()
+      in
+      if Sys.file_exists path then begin
+        let app = G.generate ~build_dex:false cfg in
+        match Store.Snapshot.load ~path app.G.program with
+        | Ok engine when snapshot_fresh engine app.G.program ->
+          (app, Some engine)
+        | Ok stale -> begin
+            (* the stale engine is already resident — patch it in memory
+               rather than re-reading the file *)
+            match Store.Snapshot.delta_of_engine stale app.G.program with
+            | Ok (engine, rep) ->
+              ignore (Store.Snapshot.save ~path engine);
+              Printf.eprintf "note: snapshot %s was stale; delta-patched: %s\n%!"
+                path
+                (Store.Snapshot.delta_report_to_string rep);
+              (app, Some engine)
+            | Error e -> cold_after path e
+          end
+        | Error e -> cold_after path e
       end
+      else cold ()
   in
   let run_one (i, (cfg : G.config)) =
     Obs.Span.with_pid (i + 1) @@ fun () ->

@@ -5,7 +5,10 @@
     Besides the aggregate [insecure] count, every row carries one
     [insecure_<family>] column per built-in rule family (fixed
     {!Rules.Builtin.family_names} order), so per-rule detection can be
-    plotted without re-running the corpus. *)
+    plotted without re-running the corpus, plus a trailing [incremental]
+    flag — whether the engine was delta-patched from an older snapshot
+    rather than built from scratch.  Rows written before a trailing column
+    existed still parse (with the column at its zero value). *)
 
 let base_header =
   [ "app"; "tool"; "seconds"; "timed_out"; "errored"; "sink_calls";
@@ -16,7 +19,8 @@ let base_header =
 let csv_header =
   String.concat ","
     (base_header
-     @ List.map (fun f -> "insecure_" ^ f) Rules.Builtin.family_names)
+     @ List.map (fun f -> "insecure_" ^ f) Rules.Builtin.family_names
+     @ [ "incremental" ])
 
 let csv_row (m : Runner.measurement) =
   Printf.sprintf "%s,%s,%.6f,%b,%b,%d,%d,%.2f,%d,%.4f,%.4f,%d,%d,%d,%d%s"
@@ -30,7 +34,8 @@ let csv_row (m : Runner.measurement) =
           (fun f ->
              Printf.sprintf ",%d"
                (Option.value ~default:0 (List.assoc_opt f m.insecure_by_rule)))
-          Rules.Builtin.family_names))
+          Rules.Builtin.family_names)
+     ^ Printf.sprintf ",%b" m.incremental)
 
 (** Write all measurements of a corpus run to [path]. *)
 let write_csv path (ms : Runner.measurement list) =
@@ -45,12 +50,21 @@ let write_csv path (ms : Runner.measurement list) =
   close_out oc
 
 (** Parse one row back (used by the round-trip test).  Rows from before the
-    per-rule columns existed still parse, with an empty per-rule tally. *)
+    per-rule columns existed still parse, with an empty per-rule tally, and
+    rows from before the trailing [incremental] column parse as
+    non-incremental. *)
 let parse_row line =
   match String.split_on_char ',' line with
   | app :: tool :: seconds :: timed_out :: errored :: sink_calls :: size_stmts
     :: size_mb :: insecure :: search_cache_rate :: sink_cache_rate :: loops
-    :: cross :: partial_sinks :: parallelism :: per_rule ->
+    :: cross :: partial_sinks :: parallelism :: tail ->
+    let n_fam = List.length Rules.Builtin.family_names in
+    let per_rule, incremental =
+      if List.length tail > n_fam then
+        ( List.filteri (fun i _ -> i < n_fam) tail,
+          bool_of_string (List.nth tail n_fam) )
+      else (tail, false)
+    in
     let rec zip fs vs =
       match (fs, vs) with
       | f :: fs, v :: vs -> (f, int_of_string v) :: zip fs vs
@@ -79,5 +93,6 @@ let parse_row line =
         loops = int_of_string loops;
         cross_backward_loops = int_of_string cross;
         partial_sinks = int_of_string partial_sinks;
-        parallelism = int_of_string parallelism }
+        parallelism = int_of_string parallelism;
+        incremental }
   | _ -> None

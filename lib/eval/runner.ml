@@ -32,6 +32,9 @@ type measurement = {
   partial_sinks : int;
       (** BackDroid only: sink slices that exhausted their budget *)
   parallelism : int;       (** worker-pool size the measurement ran under *)
+  incremental : bool;
+      (** BackDroid only: the engine was delta-patched from an older
+          snapshot instead of built from scratch *)
 }
 
 (* Tally [names] into per-family counts, in the fixed family-column order;
@@ -90,7 +93,11 @@ let run_backdroid ?(cfg = Backdroid.Driver.default_config) ?engine
         Backdroid.Loopdetect.get s.Backdroid.Driver.loops
           Backdroid.Loopdetect.Cross_backward;
       partial_sinks = s.Backdroid.Driver.partial_sinks;
-      parallelism = cfg.Backdroid.Driver.jobs },
+      parallelism = cfg.Backdroid.Driver.jobs;
+      incremental =
+        (match engine with
+         | Some e -> Bytesearch.Engine.index_mode e = "delta"
+         | None -> false) },
     r )
 
 let run_amandroid ?(cfg = Baseline.Amandroid.default_config) ~timeout_s
@@ -132,7 +139,8 @@ let run_amandroid ?(cfg = Baseline.Amandroid.default_config) ~timeout_s
       loops = 0;
       cross_backward_loops = 0;
       partial_sinks = 0;
-      parallelism = 1 },
+      parallelism = 1;
+      incremental = false },
     r )
 
 let run_flowdroid_cg ?(cfg = Baseline.Flowdroid_cg.default_config) ~timeout_s
@@ -163,4 +171,5 @@ let run_flowdroid_cg ?(cfg = Baseline.Flowdroid_cg.default_config) ~timeout_s
     loops = 0;
     cross_backward_loops = 0;
     partial_sinks = 0;
-    parallelism = 1 }
+    parallelism = 1;
+    incremental = false }

@@ -25,6 +25,10 @@ type measurement = {
   partial_sinks : int;
       (** BackDroid only: sink slices that exhausted their budget *)
   parallelism : int;    (** worker-pool size the measurement ran under *)
+  incremental : bool;
+      (** BackDroid only: the engine was delta-patched from an older
+          snapshot ({!Store.Snapshot.delta}) instead of built from
+          scratch *)
 }
 val time : (unit -> 'a) -> 'a * float
 val mb_of : G.app -> float

@@ -1,0 +1,27 @@
+(** Structural content hash over the IR.
+
+    [jclass c] is an FNV-1a-64 fold over the full structure of [c] — name,
+    hierarchy links, flags, fields, and every method signature, access set
+    and body statement.  The walk feeds only constructor tags, strings and
+    small ints, so the hash is stable across processes (no [Sym] ids, no
+    physical identity) and allocation-free.
+
+    Disassembly is a deterministic function of this structure, so equal
+    hashes mean equal rendered dex lines; the delta snapshot path uses this
+    to find the classes of a new build that need re-disassembly without
+    rendering the unchanged ones.
+
+    [jclass] memoizes by physical identity (weakly, thread-safe): the IR is
+    immutable and a version update shares the unchanged class objects with
+    its predecessor, so re-hashing a mostly-unchanged program costs only
+    the changed classes. *)
+
+val jclass : Jclass.t -> int64
+
+(** The raw fold, exposed so other layers (e.g. the dex-side per-class text
+    hash) can chain the same FNV-1a-64 stream over their own data. *)
+
+val offset_basis : int64
+
+(** [string h s] folds [s] (length-prefixed) into [h]. *)
+val string : int64 -> string -> int64

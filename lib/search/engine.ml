@@ -149,7 +149,9 @@ type t = {
   pool : Parallel.Pool.t option;  (** used only by eager create-time builds *)
   indexed : bool;
   eager : bool;
-  loaded : bool;                  (** postings installed by a snapshot load *)
+  load_mode : string option;
+      (** postings installed wholesale (a snapshot load or delta patch):
+          the label {!index_mode} reports; [None] = built in-process *)
   tables : postings option Atomic.t array;  (** one slot per category *)
   build_us : float array;  (** per-category build cost, set under the lock *)
   build_lock : Mutex.t;
@@ -359,7 +361,7 @@ let ensure_category ?pool t c =
 let create ?(indexed = true) ?(eager = false) ?pool dex =
   let t =
     { dex; cache = Cache.create (); pool; indexed; eager = indexed && eager;
-      loaded = false;
+      load_mode = None;
       tables = Array.init n_categories (fun _ -> Atomic.make None);
       build_us = Array.make n_categories 0.0;
       build_lock = Mutex.create ();
@@ -376,14 +378,15 @@ let create ?(indexed = true) ?(eager = false) ?pool dex =
 let export_packed t =
   Array.init n_categories (fun c -> ensure_category ?pool:t.pool t c)
 
-(** An engine whose postings were installed wholesale (a snapshot load)
-    rather than built from the arena.  Queries behave exactly as in indexed
-    mode; {!index_mode} reports ["snapshot"]. *)
-let create_packed dex tables =
+(** An engine whose postings were installed wholesale (a snapshot load or a
+    delta patch) rather than built from the arena.  Queries behave exactly
+    as in indexed mode; {!index_mode} reports [mode] (default
+    ["snapshot"]; the delta path passes ["delta"]). *)
+let create_packed ?(mode = "snapshot") dex tables =
   if Array.length tables <> n_categories then
     invalid_arg "Engine.create_packed: expected one table per category";
   { dex; cache = Cache.create (); pool = None; indexed = true; eager = false;
-    loaded = true;
+    load_mode = Some mode;
     tables = Array.map (fun p -> Atomic.make (Some p)) tables;
     build_us = Array.make n_categories 0.0;
     build_lock = Mutex.create ();
@@ -697,9 +700,10 @@ let run_conj t = function
 
 let index_mode t =
   if not t.indexed then "scan"
-  else if t.loaded then "snapshot"
-  else if t.eager then "eager"
-  else "lazy"
+  else
+    match t.load_mode with
+    | Some m -> m
+    | None -> if t.eager then "eager" else "lazy"
 
 let built_categories t =
   Array.fold_left

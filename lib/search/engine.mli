@@ -80,9 +80,10 @@ val create :
 val export_packed : t -> Packed.t array
 
 (** An indexed engine whose postings are installed wholesale — the snapshot
-    load path.  The array must hold one table per category, in category
-    order.  {!index_mode} reports ["snapshot"]. *)
-val create_packed : Dex.Dexfile.t -> Packed.t array -> t
+    load and delta-patch paths.  The array must hold one table per category,
+    in category order.  {!index_mode} reports [mode] (default
+    ["snapshot"]; {!Store.Snapshot}'s delta path passes ["delta"]). *)
+val create_packed : ?mode:string -> Dex.Dexfile.t -> Packed.t array -> t
 
 (** The program the engine's dexfile was disassembled from — the "program
     analysis space" paired with this "bytecode search space". *)
@@ -119,7 +120,7 @@ val run_uncached : t -> Query.t -> hit list
     [run t q]. *)
 val run_conj : t -> Query.t list -> hit list
 
-(** ["scan"], ["lazy"], ["eager"] or ["snapshot"]. *)
+(** ["scan"], ["lazy"], ["eager"], ["snapshot"] or ["delta"]. *)
 val index_mode : t -> string
 
 (** Number of postings categories built so far (0-7).  Lazy engines build

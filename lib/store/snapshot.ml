@@ -1,6 +1,7 @@
 module Engine = Bytesearch.Engine
 module Packed = Engine.Packed
 module Postcodec = Bytesearch.Postcodec
+module Classmap = Dex.Classmap
 
 let ( let* ) = Result.bind
 
@@ -35,12 +36,27 @@ let sec_offsets c = 21 + (3 * c)
 let sec_slots c = 22 + (3 * c)
 let n_categories = 7
 
+(* Optional (absent in pre-delta files): the per-class map — names,
+   line/slot ranges and the two content hashes — that the delta path diffs
+   a new build against, and the persisted per-sink analysis results the
+   driver's replay path consults.  Ids sit above the postings range
+   [20, 20 + 3*7). *)
+let sec_cm_name_offsets = 41
+let sec_cm_name_blob = 42
+let sec_cm_ranges = 43
+let sec_cm_hashes = 44
+let sec_results_offsets = 45
+let sec_results_blob = 46
+
 let m_save_files = Obs.Metrics.counter "store.save.files"
 let m_save_bytes = Obs.Metrics.counter "store.save.bytes"
 let m_load_files = Obs.Metrics.counter "store.load.files"
 let m_load_bytes = Obs.Metrics.counter "store.load.bytes_mapped"
 let m_load_remapped = Obs.Metrics.counter "store.load.remapped"
 let m_load_prefaulted = Obs.Metrics.counter "store.load.prefaulted"
+let m_delta_loads = Obs.Metrics.counter "store.delta.loads"
+let m_delta_reused = Obs.Metrics.counter "store.delta.classes_reused"
+let m_delta_rendered = Obs.Metrics.counter "store.delta.classes_rendered"
 
 let default_path ~dir ~app_id =
   let sane =
@@ -93,6 +109,15 @@ let load_strings r ~off_id ~blob_id ~count ~what =
              String.sub blob lo (Ivec.get offs (i + 1) - lo)))
   end
 
+(* The same pair with the count derived from the offsets section — for
+   optional sections whose cardinality is not in the meta record. *)
+let load_strings_counted r ~off_id ~blob_id ~what =
+  let* offs = Codec.map_ivec r ~id:off_id in
+  let count = Ivec.length offs - 1 in
+  if count < 0 then
+    Error (Codec.Corrupt (Printf.sprintf "%s: empty offsets" what))
+  else load_strings r ~off_id ~blob_id ~count ~what
+
 (* The same (offsets, blob) pair mapped off-heap instead of materialised —
    the v2 line-text load path.  [Textstore.create] re-checks the offset
    geometry and raises; translate to the typed error. *)
@@ -103,9 +128,76 @@ let map_textstore r ~off_id ~blob_id ~count ~what =
     Error (Codec.Corrupt (Printf.sprintf "%s: offsets length mismatch" what))
   else
     match Dex.Textstore.create ~blob ~offs with
-    | store -> Ok store
+    | store -> Ok (store, blob, offs)
     | exception Invalid_argument m ->
       Error (Codec.Corrupt (Printf.sprintf "%s: %s" what m))
+
+(* -- Per-class map sections ------------------------------------------- *)
+
+let add_classmap w (cm : Classmap.t) =
+  let n = Classmap.length cm in
+  if n > 0 then begin
+    add_strings w ~off_id:sec_cm_name_offsets ~blob_id:sec_cm_name_blob
+      cm.Classmap.names;
+    let ranges = Array.make (4 * n) 0 in
+    for i = 0 to n - 1 do
+      ranges.((4 * i) + 0) <- cm.Classmap.line_lo.(i);
+      ranges.((4 * i) + 1) <- cm.Classmap.line_hi.(i);
+      ranges.((4 * i) + 2) <- cm.Classmap.slot_lo.(i);
+      ranges.((4 * i) + 3) <- cm.Classmap.slot_hi.(i)
+    done;
+    Codec.add_ints w ~id:sec_cm_ranges ranges;
+    let b = Bytes.create (16 * n) in
+    for i = 0 to n - 1 do
+      Bytes.set_int64_le b (16 * i) cm.Classmap.text_hash.(i);
+      Bytes.set_int64_le b ((16 * i) + 8) cm.Classmap.ir_hash.(i)
+    done;
+    Codec.add_blob w ~id:sec_cm_hashes (Bytes.unsafe_to_string b)
+  end
+
+let load_classmap r ~n_lines ~n_slots =
+  if not (Codec.mem r ~id:sec_cm_name_offsets) then Ok Classmap.empty
+  else
+    let* names =
+      load_strings_counted r ~off_id:sec_cm_name_offsets
+        ~blob_id:sec_cm_name_blob ~what:"classmap names"
+    in
+    let n = Array.length names in
+    let* ranges = Codec.map_ivec r ~id:sec_cm_ranges in
+    let* hashes = Codec.read_blob r ~id:sec_cm_hashes in
+    if Ivec.length ranges <> 4 * n then
+      Error (Codec.Corrupt "classmap: ranges length mismatch")
+    else if String.length hashes <> 16 * n then
+      Error (Codec.Corrupt "classmap: hashes length mismatch")
+    else begin
+      let line_lo = Array.make n 0 and line_hi = Array.make n 0 in
+      let slot_lo = Array.make n 0 and slot_hi = Array.make n 0 in
+      let text_hash = Array.make n 0L and ir_hash = Array.make n 0L in
+      let ok = ref true in
+      let hb = Bytes.unsafe_of_string hashes in
+      for i = 0 to n - 1 do
+        let llo = Ivec.get ranges ((4 * i) + 0) in
+        let lhi = Ivec.get ranges ((4 * i) + 1) in
+        let slo = Ivec.get ranges ((4 * i) + 2) in
+        let shi = Ivec.get ranges ((4 * i) + 3) in
+        if llo < 0 || llo > lhi || lhi > n_lines then ok := false;
+        if slo < 0 || slo > shi || shi > n_slots then ok := false;
+        (* class runs are disjoint and in line/slot order *)
+        if i > 0 && (llo < line_hi.(i - 1) || slo < slot_hi.(i - 1)) then
+          ok := false;
+        line_lo.(i) <- llo;
+        line_hi.(i) <- lhi;
+        slot_lo.(i) <- slo;
+        slot_hi.(i) <- shi;
+        text_hash.(i) <- Bytes.get_int64_le hb (16 * i);
+        ir_hash.(i) <- Bytes.get_int64_le hb ((16 * i) + 8)
+      done;
+      if not !ok then Error (Codec.Corrupt "classmap: ranges out of order")
+      else
+        Ok
+          (Classmap.v ~names ~line_lo ~line_hi ~slot_lo ~slot_hi ~text_hash
+             ~ir_hash)
+    end
 
 (* -- Save ------------------------------------------------------------- *)
 
@@ -131,7 +223,8 @@ let coded_sections (p : Packed.t) =
   Ivec.set offsets nk (Buffer.length buf);
   (offsets, Buffer.contents buf)
 
-let save ?(format_version = Codec.format_version) ?ruleset_hash ~path engine =
+let save ?(format_version = Codec.format_version) ?ruleset_hash
+    ?(results = [||]) ~path engine =
   let span0 = Obs.Span.start () in
   (* default to the stamp already on the engine, so save -> load -> save
      stays byte-identical for stamped files *)
@@ -164,6 +257,10 @@ let save ?(format_version = Codec.format_version) ?ruleset_hash ~path engine =
   Codec.add_ivec w ~id:sec_owner_id arena.Dex.Arena.owner_id;
   Codec.add_ivec w ~id:sec_cat arena.Dex.Arena.cat;
   Codec.add_ivec w ~id:sec_sym arena.Dex.Arena.sym;
+  add_classmap w dex.Dex.Dexfile.classmap;
+  if Array.length results > 0 then
+    add_strings w ~off_id:sec_results_offsets ~blob_id:sec_results_blob
+      results;
   Array.iteri
     (fun c (p : Packed.t) ->
        Codec.add_ivec w ~id:(sec_keys c) p.Packed.keys;
@@ -192,7 +289,7 @@ let save ?(format_version = Codec.format_version) ?ruleset_hash ~path engine =
     span0;
   bytes
 
-(* -- Load ------------------------------------------------------------- *)
+(* -- Parse ------------------------------------------------------------ *)
 
 (* Validate one v1 category's CSR geometry against the snapshot's own
    symbol and slot counts (symbol ids here are still snapshot ids). *)
@@ -260,6 +357,159 @@ let check_packed_coded ~n_syms ~n_slots c ~keys ~offsets ~(coded : Bvec.t) =
     end
   end
 
+let rec result_each f = function
+  | [] -> Ok ()
+  | x :: tl ->
+    let* () = f x in
+    let* r = result_each f tl in
+    Ok r
+
+(* Everything a snapshot file holds, mapped and structurally validated but
+   not yet re-interned or assembled into an engine — shared by the warm
+   load path and the delta path.  Symbol ids in [arena_sym] and
+   [packed_snap] keys are still snapshot ids. *)
+type parsed = {
+  p_version : int;
+  p_n_lines : int;
+  p_n_slots : int;
+  p_syms : string array;
+  p_texts :
+    [ `Heap of string array | `Store of Dex.Textstore.t * Bvec.t * Ivec.t ];
+  p_owners : Ir.Jsig.meth array;
+  p_owner_cls : string array;
+  p_line_idx : Ivec.t;
+  p_stmt_idx : Ivec.t;
+  p_owner_id : Ivec.t;
+  p_cat : Ivec.t;
+  p_sym : Ivec.t;
+  p_packed : Packed.t array;
+  p_ruleset : int option;
+  p_classmap : Classmap.t;
+}
+
+let parse r =
+  let version = Codec.version r in
+  let* meta = Codec.map_ivec r ~id:sec_meta in
+  if Ivec.length meta <> 4 then Error (Codec.Corrupt "meta length")
+  else begin
+    let n_lines = Ivec.get meta 0 in
+    let n_slots = Ivec.get meta 1 in
+    let n_owners = Ivec.get meta 2 in
+    let n_syms = Ivec.get meta 3 in
+    if n_lines < 0 || n_slots < 0 || n_owners < 0 || n_syms < 0 then
+      Error (Codec.Corrupt "negative count in meta")
+    else
+      let* syms =
+        load_strings r ~off_id:sec_sym_offsets ~blob_id:sec_sym_blob
+          ~count:n_syms ~what:"symbol table"
+      in
+      (* v1 materialises one heap string per line; v2 leaves the texts
+         in the mapped blob and lines lazily materialise through
+         [Dexfile.line_text]. *)
+      let* texts =
+        if version >= 2 then
+          let* store, blob, offs =
+            map_textstore r ~off_id:sec_line_offsets
+              ~blob_id:sec_line_blob ~count:n_lines ~what:"line texts"
+          in
+          Ok (`Store (store, blob, offs))
+        else
+          let* a =
+            load_strings r ~off_id:sec_line_offsets
+              ~blob_id:sec_line_blob ~count:n_lines ~what:"line texts"
+          in
+          Ok (`Heap a)
+      in
+      let* owner_strs =
+        load_strings r ~off_id:sec_owner_offsets ~blob_id:sec_owner_blob
+          ~count:n_owners ~what:"owners"
+      in
+      let* owner_cls =
+        load_strings r ~off_id:sec_cls_offsets ~blob_id:sec_cls_blob
+          ~count:n_owners ~what:"owner classes"
+      in
+      let* owners =
+        try Ok (Array.map Ir.Jsig.meth_of_string owner_strs)
+        with Invalid_argument m -> Error (Codec.Corrupt m)
+      in
+      let* line_idx = Codec.map_ivec r ~id:sec_line_idx in
+      let* stmt_idx = Codec.map_ivec r ~id:sec_stmt_idx in
+      let* owner_id = Codec.map_ivec r ~id:sec_owner_id in
+      let* cat = Codec.map_ivec r ~id:sec_cat in
+      let* sym = Codec.map_ivec r ~id:sec_sym in
+      let* () =
+        result_each
+          (fun (v, what) ->
+             if Ivec.length v = n_slots then Ok ()
+             else
+               Error
+                 (Codec.Corrupt
+                    (Printf.sprintf "arena %s: length mismatch" what)))
+          [ (line_idx, "line_idx"); (stmt_idx, "stmt_idx");
+            (owner_id, "owner_id"); (cat, "cat"); (sym, "sym") ]
+      in
+      let* () =
+        (* range-check the arena before anything dereferences it *)
+        let ok = ref true in
+        for i = 0 to n_slots - 1 do
+          let li = Ivec.get line_idx i in
+          let oi = Ivec.get owner_id i in
+          let c = Ivec.get cat i in
+          let s = Ivec.get sym i in
+          if li < 0 || li >= n_lines then ok := false;
+          if oi < 0 || oi >= n_owners then ok := false;
+          if c < -1 || c >= n_categories - 1 then ok := false;
+          if s < -1 || s >= n_syms then ok := false
+        done;
+        if !ok then Ok ()
+        else Error (Codec.Corrupt "arena column value out of range")
+      in
+      let* packed_snap =
+        let rec go c acc =
+          if c = n_categories then Ok (Array.of_list (List.rev acc))
+          else
+            let* keys = Codec.map_ivec r ~id:(sec_keys c) in
+            let* offsets = Codec.map_ivec r ~id:(sec_offsets c) in
+            let* p =
+              if version >= 2 then
+                let* coded = Codec.map_bytes r ~id:(sec_slots c) in
+                let* () =
+                  check_packed_coded ~n_syms ~n_slots c ~keys ~offsets
+                    ~coded
+                in
+                Ok { Packed.keys; offsets; body = Packed.Coded coded }
+              else
+                let* slots = Codec.map_ivec r ~id:(sec_slots c) in
+                let* () =
+                  check_packed_flat ~n_syms ~n_slots c ~keys ~offsets
+                    ~slots
+                in
+                Ok { Packed.keys; offsets; body = Packed.Flat slots }
+            in
+            go (c + 1) (p :: acc)
+        in
+        go 0 []
+      in
+      let* ruleset =
+        if not (Codec.mem r ~id:sec_ruleset) then Ok None
+        else
+          let* v = Codec.map_ivec r ~id:sec_ruleset in
+          if Ivec.length v <> 1 then
+            Error (Codec.Corrupt "ruleset section length")
+          else Ok (Some (Ivec.get v 0))
+      in
+      let* classmap = load_classmap r ~n_lines ~n_slots in
+      Ok
+        { p_version = version; p_n_lines = n_lines; p_n_slots = n_slots;
+          p_syms = syms; p_texts = texts; p_owners = owners;
+          p_owner_cls = owner_cls; p_line_idx = line_idx;
+          p_stmt_idx = stmt_idx; p_owner_id = owner_id; p_cat = cat;
+          p_sym = sym; p_packed = packed_snap; p_ruleset = ruleset;
+          p_classmap = classmap }
+  end
+
+(* -- Load ------------------------------------------------------------- *)
+
 (* Rebuild one category's postings with live symbol ids: re-key each entry
    through [live_of_snap], then re-sort key order (slot lists are unchanged
    and stay ascending).  Fresh flat ivecs — the mapped originals are
@@ -289,20 +539,11 @@ let remap_packed live_of_snap (p : Packed.t) =
     order;
   { Packed.keys; offsets; body = Packed.Flat slots }
 
-let rec result_each f = function
-  | [] -> Ok ()
-  | x :: tl ->
-    let* () = f x in
-    result_each f tl
-
-(* Touch every page of the mapped hot sections up front — arena columns,
-   postings, line texts — so first queries fault nothing in.  OCaml's Unix
-   has no madvise; a sequential one-touch-per-page walk gets the same
-   readahead behaviour.  Runs after validation (which already walked the
-   coded runs), so the engine is usable either way; the knob only moves
-   page-fault cost from first queries to load. *)
-let prefault_engine ~(arena : Dex.Arena.t) ~(packed : Packed.t array)
-    ~(texts : Dex.Textstore.t option) =
+(* Touch the small always-hot mapped sections — every arena column plus the
+   postings directory (keys and offsets) of each category — so the first
+   queries fault nothing in on the planner path.  A few pages per section;
+   cheap enough to do unconditionally on load. *)
+let prefault_hot ~(arena : Dex.Arena.t) ~(packed : Packed.t array) =
   let acc = ref 0 in
   let iv v = acc := !acc lxor Ivec.prefault v in
   iv arena.Dex.Arena.line_idx;
@@ -313,9 +554,24 @@ let prefault_engine ~(arena : Dex.Arena.t) ~(packed : Packed.t array)
   Array.iter
     (fun (p : Packed.t) ->
        iv p.Packed.keys;
-       iv p.Packed.offsets;
+       iv p.Packed.offsets)
+    packed;
+  Sys.opaque_identity !acc
+
+(* Touch every page of every mapped section up front — the hot sections
+   plus the postings bodies and the line-text blob — so even the residual
+   text-scan path faults nothing in.  OCaml's Unix has no madvise; a
+   sequential one-touch-per-page walk gets the same readahead behaviour.
+   Runs after validation (which already walked the coded runs), so the
+   engine is usable either way; the knob only moves page-fault cost from
+   first queries to load. *)
+let prefault_engine ~(arena : Dex.Arena.t) ~(packed : Packed.t array)
+    ~(texts : Dex.Textstore.t option) =
+  let acc = ref (prefault_hot ~arena ~packed) in
+  Array.iter
+    (fun (p : Packed.t) ->
        match p.Packed.body with
-       | Packed.Flat slots -> iv slots
+       | Packed.Flat slots -> acc := !acc lxor Ivec.prefault slots
        | Packed.Coded b -> acc := !acc lxor Bvec.prefault b)
     packed;
   (match texts with
@@ -345,186 +601,568 @@ let load ?(prefault = false) ~path program =
     res
   in
   finish
-    (let* meta = Codec.map_ivec r ~id:sec_meta in
-     if Ivec.length meta <> 4 then Error (Codec.Corrupt "meta length")
-     else begin
-       let n_lines = Ivec.get meta 0 in
-       let n_slots = Ivec.get meta 1 in
-       let n_owners = Ivec.get meta 2 in
-       let n_syms = Ivec.get meta 3 in
-       if n_lines < 0 || n_slots < 0 || n_owners < 0 || n_syms < 0 then
-         Error (Codec.Corrupt "negative count in meta")
-       else
-         let* syms =
-           load_strings r ~off_id:sec_sym_offsets ~blob_id:sec_sym_blob
-             ~count:n_syms ~what:"symbol table"
-         in
-         (* v1 materialises one heap string per line; v2 leaves the texts
-            in the mapped blob and lines lazily materialise through
-            [Dexfile.line_text]. *)
-         let* texts_heap, texts_store =
-           if version >= 2 then
-             let* store =
-               map_textstore r ~off_id:sec_line_offsets
-                 ~blob_id:sec_line_blob ~count:n_lines ~what:"line texts"
-             in
-             Ok ([||], Some store)
+    (let* p = parse r in
+     let n_lines = p.p_n_lines and n_slots = p.p_n_slots in
+     let texts_store =
+       match p.p_texts with `Store (s, _, _) -> Some s | `Heap _ -> None
+     in
+     (* Re-intern the snapshot's symbol table; ids are stable when the
+        live table evolved identically (the common warm start). *)
+     let live_of_snap =
+       Array.map (fun s -> Sym.id (Sym.intern s)) p.p_syms
+     in
+     let identity =
+       let ok = ref true in
+       Array.iteri (fun i l -> if i <> l then ok := false) live_of_snap;
+       !ok
+     in
+     let packed =
+       if identity then p.p_packed
+       else Array.map (remap_packed live_of_snap) p.p_packed
+     in
+     if not identity then begin
+       (* private (copy-on-write) mapping: rewriting in place never
+          touches the file *)
+       Obs.Metrics.incr m_load_remapped;
+       for i = 0 to n_slots - 1 do
+         let s = Ivec.get p.p_sym i in
+         if s >= 0 then Ivec.set p.p_sym i live_of_snap.(s)
+       done
+     end;
+     (* scatter arena rows to per-line metadata first so each line
+        record is allocated exactly once *)
+     let owner_of_line = Array.make n_lines (-1) in
+     let stmt_of_line = Array.make n_lines (-1) in
+     for i = 0 to n_slots - 1 do
+       let li = Ivec.get p.p_line_idx i in
+       owner_of_line.(li) <- Ivec.get p.p_owner_id i;
+       stmt_of_line.(li) <- Ivec.get p.p_stmt_idx i
+     done;
+     let text_of_line =
+       match p.p_texts with
+       | `Store _ -> fun _ -> Dex.Textstore.pending
+       | `Heap a -> fun li -> a.(li)
+     in
+     let lines =
+       Array.init n_lines (fun li ->
+           let oi = owner_of_line.(li) in
+           if oi < 0 then
+             { Dex.Disasm.text = text_of_line li; owner = None;
+               owner_cls = None; stmt_idx = None;
+               key = Dex.Disasm.K_none; tokens = None }
            else
-             let* a =
-               load_strings r ~off_id:sec_line_offsets
-                 ~blob_id:sec_line_blob ~count:n_lines ~what:"line texts"
-             in
-             Ok (a, None)
-         in
-         let* owner_strs =
-           load_strings r ~off_id:sec_owner_offsets ~blob_id:sec_owner_blob
-             ~count:n_owners ~what:"owners"
-         in
-         let* owner_cls =
-           load_strings r ~off_id:sec_cls_offsets ~blob_id:sec_cls_blob
-             ~count:n_owners ~what:"owner classes"
-         in
-         let* owners =
-           try Ok (Array.map Ir.Jsig.meth_of_string owner_strs)
-           with Invalid_argument m -> Error (Codec.Corrupt m)
-         in
-         let* line_idx = Codec.map_ivec r ~id:sec_line_idx in
-         let* stmt_idx = Codec.map_ivec r ~id:sec_stmt_idx in
-         let* owner_id = Codec.map_ivec r ~id:sec_owner_id in
-         let* cat = Codec.map_ivec r ~id:sec_cat in
-         let* sym = Codec.map_ivec r ~id:sec_sym in
-         let* () =
-           result_each
-             (fun (v, what) ->
-                if Ivec.length v = n_slots then Ok ()
-                else
-                  Error
-                    (Codec.Corrupt
-                       (Printf.sprintf "arena %s: length mismatch" what)))
-             [ (line_idx, "line_idx"); (stmt_idx, "stmt_idx");
-               (owner_id, "owner_id"); (cat, "cat"); (sym, "sym") ]
-         in
-         let* () =
-           (* range-check the arena before anything dereferences it *)
-           let ok = ref true in
-           for i = 0 to n_slots - 1 do
-             let li = Ivec.get line_idx i in
-             let oi = Ivec.get owner_id i in
-             let c = Ivec.get cat i in
-             let s = Ivec.get sym i in
-             if li < 0 || li >= n_lines then ok := false;
-             if oi < 0 || oi >= n_owners then ok := false;
-             if c < -1 || c >= n_categories - 1 then ok := false;
-             if s < -1 || s >= n_syms then ok := false
-           done;
-           if !ok then Ok ()
-           else Error (Codec.Corrupt "arena column value out of range")
-         in
-         let* packed_snap =
-           let rec go c acc =
-             if c = n_categories then Ok (Array.of_list (List.rev acc))
-             else
-               let* keys = Codec.map_ivec r ~id:(sec_keys c) in
-               let* offsets = Codec.map_ivec r ~id:(sec_offsets c) in
-               let* p =
-                 if version >= 2 then
-                   let* coded = Codec.map_bytes r ~id:(sec_slots c) in
-                   let* () =
-                     check_packed_coded ~n_syms ~n_slots c ~keys ~offsets
-                       ~coded
-                   in
-                   Ok { Packed.keys; offsets; body = Packed.Coded coded }
-                 else
-                   let* slots = Codec.map_ivec r ~id:(sec_slots c) in
-                   let* () =
-                     check_packed_flat ~n_syms ~n_slots c ~keys ~offsets
-                       ~slots
-                   in
-                   Ok { Packed.keys; offsets; body = Packed.Flat slots }
-               in
-               go (c + 1) (p :: acc)
+             let si = stmt_of_line.(li) in
+             { Dex.Disasm.text = text_of_line li;
+               owner = Some p.p_owners.(oi);
+               owner_cls = Some p.p_owner_cls.(oi);
+               stmt_idx = (if si >= 0 then Some si else None);
+               key = Dex.Disasm.K_none; tokens = None })
+     in
+     let arena =
+       { Dex.Arena.line_idx = p.p_line_idx; stmt_idx = p.p_stmt_idx;
+         owner_id = p.p_owner_id; cat = p.p_cat; sym = p.p_sym;
+         owners = p.p_owners; owner_cls = p.p_owner_cls }
+     in
+     (* the hot sections (arena columns + postings directories) are
+        always prefaulted — they are small and every query planner pass
+        touches them; [prefault] extends the walk to the postings bodies
+        and the text blob *)
+     if prefault then begin
+       Obs.Metrics.incr m_load_prefaulted;
+       ignore (prefault_engine ~arena ~packed ~texts:texts_store)
+     end
+     else ignore (prefault_hot ~arena ~packed);
+     let dex =
+       match texts_store with
+       | Some store ->
+         Dex.Dexfile.of_store ~classmap:p.p_classmap lines arena program
+           store
+       | None ->
+         { Dex.Dexfile.lines; arena; program; classmap = p.p_classmap;
+           texts = None }
+     in
+     let engine = Engine.create_packed dex packed in
+     (* carry the saved rule-set stamp onto the engine, so an analysis
+        under a different rule set sees `Changed` and warns instead of
+        silently trusting warm state *)
+     (match p.p_ruleset with
+      | Some h -> ignore (Engine.note_ruleset engine h)
+      | None -> ());
+     Ok engine)
+
+(* -- Persisted analysis results --------------------------------------- *)
+
+let load_results ~path =
+  let* r = Codec.read_file ~path in
+  let finish res =
+    Codec.close r;
+    res
+  in
+  finish
+    (if not (Codec.mem r ~id:sec_results_offsets) then Ok [||]
+     else
+       load_strings_counted r ~off_id:sec_results_offsets
+         ~blob_id:sec_results_blob ~what:"results")
+
+(* -- Delta ------------------------------------------------------------ *)
+
+type delta_report = {
+  d_total : int;
+  d_unchanged : int;
+  d_changed : int;
+  d_added : int;
+  d_removed : int;
+  d_lines_reused : int;
+  d_lines_rendered : int;
+  d_patched_postings_bytes : int;
+  d_rebuilt_postings_bytes : int;
+}
+
+let delta_report_to_string d =
+  Printf.sprintf
+    "classes %d (unchanged %d, changed %d, added %d, removed %d), lines \
+     reused %d / rendered %d, postings patched %d B / rebuilt %d B"
+    d.d_total d.d_unchanged d.d_changed d.d_added d.d_removed
+    d.d_lines_reused d.d_lines_rendered d.d_patched_postings_bytes
+    d.d_rebuilt_postings_bytes
+
+(* Merge two ascending slot runs (carried-over old slots and freshly built
+   ones).  The old run is ascending because the old->new slot map is
+   monotone whenever both builds lay classes out in the same relative
+   order; a final sortedness check covers the exotic layouts (multidex
+   partition order) by falling back to a sort. *)
+let merge_runs a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: a', y :: b' ->
+      if x <= y then go (x :: acc) a' b else go (y :: acc) b' a
+  in
+  let merged = go [] a b in
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | x :: (y :: _ as tl) -> x < y && sorted tl
+  in
+  if sorted merged then merged else List.sort_uniq compare merged
+
+(* What delta decided about one class of the new build, in new line
+   order. *)
+type plan_entry =
+  | P_reuse of int  (* old classmap index; lines/slots/postings carried *)
+  | P_render of Dex.Disasm.line array  (* changed or added: fresh lines *)
+
+(* Patch a resident engine into an engine for [program].  This is the
+   maintained-index scenario — an app-store service holding the previous
+   version's index in memory, or the corpus cache that just loaded and
+   freshness-checked a snapshot — and the core of the delta path: it works
+   purely on live structures, so there is no file parse, no symbol
+   re-interning (a live engine's ids are by definition the live ones), and
+   the unchanged classes' line records are shared by reference with the
+   old engine instead of being rebuilt.  Nothing in a line record depends
+   on its position, and the only mutable field ([text]) lazily
+   materialises to the same bytes through either version's store, so
+   sharing is safe and leaves the old engine untouched. *)
+let delta_of_engine old_engine program =
+  let span0 = Obs.Span.start () in
+  let dex_old = Engine.dexfile old_engine in
+  let cm_old = dex_old.Dex.Dexfile.classmap in
+  if
+    Classmap.length cm_old = 0
+    && Array.length dex_old.Dex.Dexfile.lines > 0
+  then
+    Error
+      (Codec.Corrupt
+         "engine has no class map (pre-delta snapshot or warm placeholder)")
+  else begin
+    let old_lines = dex_old.Dex.Dexfile.lines in
+    let oa = dex_old.Dex.Dexfile.arena in
+    let old_packed = Engine.export_packed old_engine in
+    let old_n_slots = Ivec.length oa.Dex.Arena.line_idx in
+    (* The new build's class list, in the canonical disassembly order
+       (non-system classes sorted by name, as [Disasm.program_lines]
+       emits them). *)
+    let classes =
+      Ir.Program.fold_classes program (fun c acc -> c :: acc) []
+      |> List.filter (fun (c : Ir.Jclass.t) -> not c.Ir.Jclass.is_system)
+      |> List.sort (fun (a : Ir.Jclass.t) b ->
+             String.compare a.Ir.Jclass.name b.Ir.Jclass.name)
+    in
+    let n_unchanged = ref 0
+    and n_changed = ref 0
+    and n_added = ref 0 in
+    let plan =
+      List.map
+        (fun (c : Ir.Jclass.t) ->
+           let ih = Ir.Irhash.jclass c in
+           match Classmap.find cm_old c.Ir.Jclass.name with
+           | Some oi when cm_old.Classmap.ir_hash.(oi) = ih ->
+             incr n_unchanged;
+             (c, ih, P_reuse oi)
+           | Some _ ->
+             incr n_changed;
+             (c, ih, P_render (Array.of_list (Dex.Disasm.class_lines c)))
+           | None ->
+             incr n_added;
+             (c, ih, P_render (Array.of_list (Dex.Disasm.class_lines c))))
+        classes
+    in
+    let n_classes = List.length plan in
+    let n_removed = Classmap.length cm_old - !n_unchanged - !n_changed in
+    (* sizes *)
+    let n_lines = ref 0 and n_slots = ref 0 in
+    let reused_lines = ref 0 and rendered_lines = ref 0 in
+    List.iter
+      (fun (_, _, pe) ->
+         match pe with
+         | P_reuse oi ->
+           let nl =
+             cm_old.Classmap.line_hi.(oi) - cm_old.Classmap.line_lo.(oi)
            in
-           go 0 []
-         in
-         (* Re-intern the snapshot's symbol table; ids are stable when the
-            live table evolved identically (the common warm start). *)
-         let live_of_snap =
-           Array.map (fun s -> Sym.id (Sym.intern s)) syms
-         in
-         let identity =
-           let ok = ref true in
-           Array.iteri (fun i l -> if i <> l then ok := false) live_of_snap;
-           !ok
-         in
-         let packed =
-           if identity then packed_snap
-           else Array.map (remap_packed live_of_snap) packed_snap
-         in
-         if not identity then begin
-           (* private (copy-on-write) mapping: rewriting in place never
-              touches the file *)
-           Obs.Metrics.incr m_load_remapped;
-           for i = 0 to n_slots - 1 do
-             let s = Ivec.get sym i in
-             if s >= 0 then Ivec.set sym i live_of_snap.(s)
-           done
-         end;
-         (* scatter arena rows to per-line metadata first so each line
-            record is allocated exactly once *)
-         let owner_of_line = Array.make n_lines (-1) in
-         let stmt_of_line = Array.make n_lines (-1) in
-         for i = 0 to n_slots - 1 do
-           let li = Ivec.get line_idx i in
-           owner_of_line.(li) <- Ivec.get owner_id i;
-           stmt_of_line.(li) <- Ivec.get stmt_idx i
-         done;
-         let text_of_line =
-           match texts_store with
-           | Some _ -> fun _ -> Dex.Textstore.pending
-           | None -> fun li -> texts_heap.(li)
-         in
-         let lines =
-           Array.init n_lines (fun li ->
-               let oi = owner_of_line.(li) in
-               if oi < 0 then
-                 { Dex.Disasm.text = text_of_line li; owner = None;
-                   owner_cls = None; stmt_idx = None;
-                   key = Dex.Disasm.K_none; tokens = None }
-               else
-                 let si = stmt_of_line.(li) in
-                 { Dex.Disasm.text = text_of_line li;
-                   owner = Some owners.(oi);
-                   owner_cls = Some owner_cls.(oi);
-                   stmt_idx = (if si >= 0 then Some si else None);
-                   key = Dex.Disasm.K_none; tokens = None })
-         in
-         let arena =
-           { Dex.Arena.line_idx; stmt_idx; owner_id; cat; sym; owners;
-             owner_cls }
-         in
-         if prefault then begin
-           Obs.Metrics.incr m_load_prefaulted;
-           ignore (prefault_engine ~arena ~packed ~texts:texts_store)
-         end;
-         let dex =
-           match texts_store with
-           | Some store -> Dex.Dexfile.of_store lines arena program store
-           | None -> { Dex.Dexfile.lines; arena; program; texts = None }
-         in
-         let* ruleset =
-           if not (Codec.mem r ~id:sec_ruleset) then Ok None
-           else
-             let* v = Codec.map_ivec r ~id:sec_ruleset in
-             if Ivec.length v <> 1 then
-               Error (Codec.Corrupt "ruleset section length")
-             else Ok (Some (Ivec.get v 0))
-         in
-         let engine = Engine.create_packed dex packed in
-         (* carry the saved rule-set stamp onto the engine, so an analysis
-            under a different rule set sees `Changed` and warns instead of
-            silently trusting warm state *)
-         (match ruleset with
-          | Some h -> ignore (Engine.note_ruleset engine h)
-          | None -> ());
-         Ok engine
-     end)
+           reused_lines := !reused_lines + nl;
+           n_lines := !n_lines + nl;
+           n_slots :=
+             !n_slots
+             + (cm_old.Classmap.slot_hi.(oi) - cm_old.Classmap.slot_lo.(oi))
+         | P_render lines ->
+           rendered_lines := !rendered_lines + Array.length lines;
+           n_lines := !n_lines + Array.length lines;
+           Array.iter
+             (fun (l : Dex.Disasm.line) ->
+                if l.Dex.Disasm.owner <> None then incr n_slots)
+             lines)
+      plan;
+    let n_lines = !n_lines and n_slots = !n_slots in
+    (* the new text geometry, present iff the old dexfile is store-backed:
+       reused classes contribute their old blob byte ranges wholesale,
+       rendered classes their fresh strings *)
+    let old_store =
+      match dex_old.Dex.Dexfile.texts with
+      | Some store ->
+        Some (Dex.Textstore.blob store, Dex.Textstore.offsets store)
+      | None -> None
+    in
+    let blob_bytes = ref 0 in
+    (match old_store with
+     | None -> ()
+     | Some (_, old_offs) ->
+       List.iter
+         (fun (_, _, pe) ->
+            match pe with
+            | P_reuse oi ->
+              blob_bytes :=
+                !blob_bytes
+                + (Ivec.get old_offs cm_old.Classmap.line_hi.(oi)
+                   - Ivec.get old_offs cm_old.Classmap.line_lo.(oi))
+            | P_render lines ->
+              Array.iter
+                (fun (l : Dex.Disasm.line) ->
+                   blob_bytes := !blob_bytes + String.length l.Dex.Disasm.text)
+                lines)
+         plan);
+    let new_blob =
+      match old_store with
+      | Some _ -> Some (Bvec.create !blob_bytes, Ivec.create (n_lines + 1))
+      | None -> None
+    in
+    (* splice: lines, arena columns, text blob, classmap — one pass in new
+       class order *)
+    let dummy = Dex.Disasm.header "" None in
+    let lines = Array.make (max 1 n_lines) dummy in
+    let line_idx = Ivec.create n_slots in
+    let stmt_idx = Ivec.create n_slots in
+    let owner_id = Ivec.create n_slots in
+    let cat = Ivec.create n_slots in
+    let sym = Ivec.create n_slots in
+    let slot_map = Array.make (max 1 old_n_slots) (-1) in
+    (* The old owner table is carried wholesale: reused slots keep their
+       owner ids verbatim (no re-interning), and only the methods of
+       re-rendered classes go through a table — seeded with the old ids
+       of exactly those classes, so a re-rendered class reuses its old
+       owner ids where the signature persists.  Owners of removed classes
+       (or removed methods) linger as unreferenced entries; they are
+       reclaimed by the next full save-from-cold. *)
+    let rendered_cls = Hashtbl.create 16 in
+    List.iter
+      (fun ((c : Ir.Jclass.t), _, pe) ->
+         match pe with
+         | P_render _ -> Hashtbl.replace rendered_cls c.Ir.Jclass.name ()
+         | P_reuse _ -> ())
+      plan;
+    let owner_tbl : int Ir.Jsig.Meth_tbl.t = Ir.Jsig.Meth_tbl.create 64 in
+    Array.iteri
+      (fun i m ->
+         if Hashtbl.mem rendered_cls oa.Dex.Arena.owner_cls.(i) then
+           Ir.Jsig.Meth_tbl.replace owner_tbl m i)
+      oa.Dex.Arena.owners;
+    let n_old_owners = Array.length oa.Dex.Arena.owners in
+    let owners_tail = ref []
+    and owner_cls_tail = ref []
+    and n_owners = ref n_old_owners in
+    let intern_owner meth cls =
+      match Ir.Jsig.Meth_tbl.find_opt owner_tbl meth with
+      | Some id -> id
+      | None ->
+        let id = !n_owners in
+        incr n_owners;
+        Ir.Jsig.Meth_tbl.add owner_tbl meth id;
+        owners_tail := meth :: !owners_tail;
+        owner_cls_tail := cls :: !owner_cls_tail;
+        id
+    in
+    let cm_names = Array.make (max 1 n_classes) "" in
+    let cm_line_lo = Array.make (max 1 n_classes) 0 in
+    let cm_line_hi = Array.make (max 1 n_classes) 0 in
+    let cm_slot_lo = Array.make (max 1 n_classes) 0 in
+    let cm_slot_hi = Array.make (max 1 n_classes) 0 in
+    let cm_text = Array.make (max 1 n_classes) 0L in
+    let cm_ir = Array.make (max 1 n_classes) 0L in
+    (* slot ranges of rendered classes, for the fresh postings pass *)
+    let fresh_ranges = ref [] in
+    let lpos = ref 0 and spos = ref 0 and bpos = ref 0 and ci = ref 0 in
+    List.iter
+      (fun ((c : Ir.Jclass.t), ih, pe) ->
+         let line_base = !lpos and slot_base = !spos in
+         (match pe with
+          | P_reuse oi ->
+            let llo = cm_old.Classmap.line_lo.(oi)
+            and lhi = cm_old.Classmap.line_hi.(oi)
+            and slo = cm_old.Classmap.slot_lo.(oi)
+            and shi = cm_old.Classmap.slot_hi.(oi) in
+            let nl = lhi - llo and nsl = shi - slo in
+            (* share the unchanged class's line records *)
+            Array.blit old_lines llo lines line_base nl;
+            (match (new_blob, old_store) with
+             | Some (blob, offs), Some (old_blob, old_offs) ->
+               let o_lo = Ivec.get old_offs llo in
+               let o_hi = Ivec.get old_offs lhi in
+               let len = o_hi - o_lo in
+               if len > 0 then
+                 Bigarray.Array1.blit
+                   (Bigarray.Array1.sub old_blob o_lo len)
+                   (Bigarray.Array1.sub blob !bpos len);
+               let doff = !bpos - o_lo in
+               for li = llo to lhi - 1 do
+                 Ivec.set offs (line_base + li - llo)
+                   (Ivec.get old_offs li + doff)
+               done;
+               bpos := !bpos + len
+             | _ -> ());
+            (* arena columns: whole-class bulk copies; only [line_idx]
+               needs a per-slot rebase *)
+            if nsl > 0 then begin
+              Bigarray.Array1.blit
+                (Bigarray.Array1.sub oa.Dex.Arena.stmt_idx slo nsl)
+                (Bigarray.Array1.sub stmt_idx !spos nsl);
+              Bigarray.Array1.blit
+                (Bigarray.Array1.sub oa.Dex.Arena.cat slo nsl)
+                (Bigarray.Array1.sub cat !spos nsl);
+              Bigarray.Array1.blit
+                (Bigarray.Array1.sub oa.Dex.Arena.owner_id slo nsl)
+                (Bigarray.Array1.sub owner_id !spos nsl);
+              Bigarray.Array1.blit
+                (Bigarray.Array1.sub oa.Dex.Arena.sym slo nsl)
+                (Bigarray.Array1.sub sym !spos nsl);
+              let dline = line_base - llo in
+              for j = 0 to nsl - 1 do
+                Ivec.set line_idx (!spos + j)
+                  (Ivec.get oa.Dex.Arena.line_idx (slo + j) + dline);
+                slot_map.(slo + j) <- !spos + j
+              done
+            end;
+            spos := !spos + nsl;
+            cm_text.(!ci) <- cm_old.Classmap.text_hash.(oi);
+            lpos := line_base + nl
+          | P_render cls_lines ->
+            Array.iteri
+              (fun j (l : Dex.Disasm.line) ->
+                 lines.(line_base + j) <- l;
+                 (match new_blob with
+                  | Some (blob, offs) ->
+                    Ivec.set offs (line_base + j) !bpos;
+                    let s = l.Dex.Disasm.text in
+                    for k = 0 to String.length s - 1 do
+                      Bigarray.Array1.set blob (!bpos + k)
+                        (String.unsafe_get s k)
+                    done;
+                    bpos := !bpos + String.length s
+                  | None -> ());
+                 match l.Dex.Disasm.owner with
+                 | None -> ()
+                 | Some owner ->
+                   let ns = !spos in
+                   incr spos;
+                   Ivec.set line_idx ns (line_base + j);
+                   Ivec.set stmt_idx ns
+                     (Option.value ~default:(-1) l.Dex.Disasm.stmt_idx);
+                   let cc, sy = Dex.Arena.key_code l.Dex.Disasm.key in
+                   Ivec.set cat ns cc;
+                   Ivec.set sym ns sy;
+                   Ivec.set owner_id ns
+                     (intern_owner owner
+                        (Option.value ~default:"" l.Dex.Disasm.owner_cls)))
+              cls_lines;
+            lpos := line_base + Array.length cls_lines;
+            if !spos > slot_base then
+              fresh_ranges := (slot_base, !spos) :: !fresh_ranges;
+            cm_text.(!ci) <-
+              Classmap.text_hash_of_lines lines line_base !lpos);
+         cm_names.(!ci) <- c.Ir.Jclass.name;
+         cm_line_lo.(!ci) <- line_base;
+         cm_line_hi.(!ci) <- !lpos;
+         cm_slot_lo.(!ci) <- slot_base;
+         cm_slot_hi.(!ci) <- !spos;
+         cm_ir.(!ci) <- ih;
+         incr ci)
+      plan;
+    (match new_blob with
+     | Some (_, offs) -> Ivec.set offs n_lines !bpos
+     | None -> ());
+    let fresh_ranges = List.rev !fresh_ranges in
+    let arena =
+      { Dex.Arena.line_idx; stmt_idx; owner_id; cat; sym;
+        owners =
+          Array.append oa.Dex.Arena.owners
+            (Array.of_list (List.rev !owners_tail));
+        owner_cls =
+          Array.append oa.Dex.Arena.owner_cls
+            (Array.of_list (List.rev !owner_cls_tail)) }
+    in
+    (* postings: per category, carry surviving old CSR rows through the
+       slot map (the old engine's keys are already live symbol ids) and
+       add the rendered classes' fresh entries *)
+    let patched_bytes = ref 0 and rebuilt_bytes = ref 0 in
+    let patch_category c =
+      let tbl : (int, int list ref * int list ref) Hashtbl.t =
+        Hashtbl.create 1024
+      in
+      let bucket k =
+        match Hashtbl.find_opt tbl k with
+        | Some b -> b
+        | None ->
+          let b = (ref [], ref []) in
+          Hashtbl.add tbl k b;
+          b
+      in
+      let old_p = old_packed.(c) in
+      let nk = Packed.n_keys old_p in
+      for ki = 0 to nk - 1 do
+        let k = Ivec.get old_p.Packed.keys ki in
+        let carried, _ = bucket k in
+        Packed.iter_key old_p ki (fun os ->
+            let ns = slot_map.(os) in
+            if ns >= 0 then begin
+              carried := ns :: !carried;
+              incr patched_bytes
+            end)
+      done;
+      let add_fresh k ns =
+        let _, fresh = bucket k in
+        fresh := ns :: !fresh;
+        incr rebuilt_bytes
+      in
+      List.iter
+        (fun (lo, hi) ->
+           for ns = lo to hi - 1 do
+             if c = 6 then begin
+               (* class tokens: every distinct class-descriptor token of
+                  the slot's line (rendered lines carry them) *)
+               let li = Ivec.get line_idx ns in
+               match lines.(li).Dex.Disasm.tokens with
+               | Some toks ->
+                 Array.iter (fun tok -> add_fresh (Sym.id tok) ns) toks
+               | None ->
+                 Array.iter
+                   (fun tok -> add_fresh (Sym.id tok) ns)
+                   (Dex.Tokens.of_string lines.(li).Dex.Disasm.text)
+             end
+             else begin
+               let cc = Ivec.get cat ns in
+               let member =
+                 if c = 4 then
+                   cc = Dex.Arena.cat_field || cc = Dex.Arena.cat_static_field
+                 else if c = 5 then cc = Dex.Arena.cat_static_field
+                 else cc = c
+               in
+               if member then add_fresh (Ivec.get sym ns) ns
+             end
+           done)
+        fresh_ranges;
+      (* finalize: ascending keys, each key's run ascending *)
+      let keys_l =
+        List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+      in
+      let runs =
+        List.map
+          (fun k ->
+             let carried, fresh = Hashtbl.find tbl k in
+             (k, merge_runs (List.rev !carried) (List.rev !fresh)))
+          keys_l
+      in
+      let runs = List.filter (fun (_, run) -> run <> []) runs in
+      let nk = List.length runs in
+      let total = List.fold_left (fun n (_, r) -> n + List.length r) 0 runs in
+      let keys_v = Ivec.create nk in
+      let offsets = Ivec.create (nk + 1) in
+      let slots = Ivec.create total in
+      let pos = ref 0 in
+      Ivec.set offsets 0 0;
+      List.iteri
+        (fun i (k, run) ->
+           Ivec.set keys_v i k;
+           List.iter
+             (fun s ->
+                Ivec.set slots !pos s;
+                incr pos)
+             run;
+           Ivec.set offsets (i + 1) !pos)
+        runs;
+      { Packed.keys = keys_v; offsets; body = Packed.Flat slots }
+    in
+    let packed = Array.init n_categories patch_category in
+    let classmap =
+      Classmap.v ~names:cm_names ~line_lo:cm_line_lo ~line_hi:cm_line_hi
+        ~slot_lo:cm_slot_lo ~slot_hi:cm_slot_hi ~text_hash:cm_text
+        ~ir_hash:cm_ir
+    in
+    let dex =
+      match new_blob with
+      | Some (blob, offs) ->
+        (match Dex.Textstore.create ~blob ~offs with
+         | store -> Dex.Dexfile.of_store ~classmap lines arena program store
+         | exception Invalid_argument m ->
+           (* impossible by construction; surface loudly if not *)
+           invalid_arg ("Snapshot.delta: " ^ m))
+      | None -> { Dex.Dexfile.lines; arena; program; classmap; texts = None }
+    in
+    let engine = Engine.create_packed ~mode:"delta" dex packed in
+    (* carry the rule-set stamp, so an analysis under a different rule set
+       sees `Changed` and warns instead of silently trusting warm state *)
+    (match Engine.ruleset_stamp old_engine with
+     | Some h -> ignore (Engine.note_ruleset engine h)
+     | None -> ());
+    let report =
+      { d_total = n_classes; d_unchanged = !n_unchanged;
+        d_changed = !n_changed; d_added = !n_added; d_removed = n_removed;
+        d_lines_reused = !reused_lines; d_lines_rendered = !rendered_lines;
+        d_patched_postings_bytes = 8 * !patched_bytes;
+        d_rebuilt_postings_bytes = 8 * !rebuilt_bytes }
+    in
+    Obs.Metrics.incr m_delta_loads;
+    Obs.Metrics.add m_delta_reused !n_unchanged;
+    Obs.Metrics.add m_delta_rendered (!n_changed + !n_added);
+    Obs.Span.emit ~cat:"store" ~name:"store:delta"
+      ~attrs:
+        [ ("classes", Obs.Span.Int n_classes);
+          ("reused", Obs.Span.Int !n_unchanged);
+          ("rendered", Obs.Span.Int (!n_changed + !n_added)) ]
+      span0;
+    Ok (engine, report)
+  end
+
+(* The file-based entry: load the old snapshot (full structural validation,
+   symbol re-interning and key remapping happen there) and patch the
+   resident engine it yields.  One splice implementation serves both the
+   CLI `--delta-index` flow and the maintained-index flow. *)
+let delta ~path program =
+  let* old_engine = load ~path program in
+  delta_of_engine old_engine program

@@ -2,7 +2,9 @@
 
     A snapshot captures everything the preprocessing phase computes from a
     program — the interned symbol table, the disassembled plaintext lines,
-    the hit {!Dex.Arena} and all seven per-category search postings — in one
+    the hit {!Dex.Arena}, all seven per-category search postings, the
+    per-class {!Dex.Classmap} (line/slot ranges plus text and IR content
+    hashes) and, optionally, persisted per-sink analysis results — in one
     {!Codec} container, so a warm start maps it back instead of
     disassembling and indexing again.  Int-array payloads load as mmapped
     {!Ivec.t}s: they live off the OCaml heap, so the warm path also carries
@@ -26,9 +28,9 @@
     version check. *)
 val default_path : dir:string -> app_id:string -> string
 
-(** Serialize [engine]'s symbol table, dexfile lines, arena and all seven
-    postings categories (building any not yet built) to [path], atomically.
-    Returns the file size in bytes.
+(** Serialize [engine]'s symbol table, dexfile lines, arena, classmap and
+    all seven postings categories (building any not yet built) to [path],
+    atomically.  Returns the file size in bytes.
 
     [format_version] (default {!Codec.format_version}, i.e. v2) selects the
     payload encoding: v2 compresses each postings run with
@@ -42,28 +44,96 @@ val default_path : dir:string -> app_id:string -> string
     {!Bytesearch.Engine.ruleset_stamp}, if any) records the detection-rule-set
     content hash the snapshot was produced under; {!load} stamps it back
     onto the warm engine so an analysis under a different rule set notices
-    the change instead of silently trusting warm state. *)
+    the change instead of silently trusting warm state.
+
+    [results] (default empty) is an opaque array of persisted analysis
+    results — one serialized entry per cached per-sink verdict (see
+    [Backdroid.Resultcache]; the store does not interpret the strings).
+    Read back with {!load_results}. *)
 val save :
   ?format_version:int ->
   ?ruleset_hash:int ->
+  ?results:string array ->
   path:string ->
   Bytesearch.Engine.t ->
   int
 
 (** [load ?prefault ~path program] maps the snapshot at [path] back into a
     ready engine over [program] (which supplies the analysis-side IR; the
-    snapshot supplies everything search-side).  Both v1 and v2 files load; v2 postings stay compressed
-    (the engine decodes runs on demand) and v2 line texts stay in the
-    mapped blob (materialised lazily per returned hit).  Validates
-    structure fully before use — every coded run is walked and
-    range-checked — so a damaged file yields a typed {!Codec.error}, never
-    a crash or a silently wrong engine.
+    snapshot supplies everything search-side).  Both v1 and v2 files load;
+    v2 postings stay compressed (the engine decodes runs on demand) and v2
+    line texts stay in the mapped blob (materialised lazily per returned
+    hit).  Validates structure fully before use — every coded run is walked
+    and range-checked — so a damaged file yields a typed {!Codec.error},
+    never a crash or a silently wrong engine.
 
-    [prefault] (default false) touches every page of the mapped hot
-    sections — arena columns, postings, line texts — before returning,
-    moving page-fault cost from the first queries into the load. *)
+    The hot sections — the five arena columns and every category's postings
+    directory (keys and offsets) — are always prefaulted: they are a few
+    pages each and every query touches them, so paying their page faults at
+    load time makes the first warm queries as fast as steady state.
+    [prefault] (default false) extends the walk to the remaining bulk —
+    postings bodies and the line-text blob — front-loading even the
+    residual text-scan cost. *)
 val load :
   ?prefault:bool ->
   path:string ->
   Ir.Program.t ->
   (Bytesearch.Engine.t, Codec.error) result
+
+(** The persisted analysis results of the snapshot at [path] (the [results]
+    passed to {!save}), or [[||]] if the file predates result persistence
+    or none were saved.  Cheap: maps only the two result sections, not the
+    engine state. *)
+val load_results : path:string -> (string array, Codec.error) result
+
+(** What {!delta} did: per-class reuse/re-render counts and the postings
+    bytes carried over versus rebuilt. *)
+type delta_report = {
+  d_total : int;        (** classes in the new build *)
+  d_unchanged : int;    (** classes spliced from the old snapshot *)
+  d_changed : int;      (** classes present in both but re-rendered *)
+  d_added : int;        (** classes only in the new build *)
+  d_removed : int;      (** old-snapshot classes absent from the new build *)
+  d_lines_reused : int;
+  d_lines_rendered : int;
+  d_patched_postings_bytes : int;
+      (** bytes of postings entries carried over from the old snapshot *)
+  d_rebuilt_postings_bytes : int;
+      (** bytes of postings entries rebuilt for re-rendered classes *)
+}
+
+val delta_report_to_string : delta_report -> string
+
+(** [delta_of_engine old program] patches a {e resident} engine — the
+    previous app version's index, still in memory — into an engine for
+    [program]: classes whose structural {!Ir.Irhash} matches the old
+    engine's classmap entry keep their line records (shared by reference),
+    text bytes, arena rows and postings entries; only changed or added
+    classes are rendered and indexed, and the affected postings CSR rows
+    are patched.  No file I/O, no parsing, no symbol re-interning — this
+    is the maintained-index fast path an app store uses when version N+1
+    of an app arrives while version N's index is warm, and what the corpus
+    cache uses to upgrade a stale snapshot it has already loaded.  The old
+    engine is left untouched and remains usable.
+
+    The resulting engine answers every query identically to a cold build
+    of [program] (the property tests assert this), and
+    {!Bytesearch.Engine.index_mode} reports ["delta"].
+
+    Fails with a typed {!Codec.error} when the old engine has no class map
+    (a pre-delta snapshot or a warm-start placeholder) — callers fall back
+    to a cold build. *)
+val delta_of_engine :
+  Bytesearch.Engine.t ->
+  Ir.Program.t ->
+  (Bytesearch.Engine.t * delta_report, Codec.error) result
+
+(** [delta ~path program] is {!load} followed by {!delta_of_engine}: build
+    an engine for [program] incrementally against the old snapshot at
+    [path].  The load performs the full structural validation and symbol
+    re-interning, so a damaged or pre-classmap snapshot fails with a typed
+    {!Codec.error} — callers fall back to a cold build. *)
+val delta :
+  path:string ->
+  Ir.Program.t ->
+  (Bytesearch.Engine.t * delta_report, Codec.error) result

@@ -77,8 +77,35 @@ let test_csv_roundtrip () =
   | Some m' ->
     Alcotest.(check string) "app" m.Runner.app m'.Runner.app;
     Alcotest.(check int) "sinks" m.Runner.sink_calls m'.Runner.sink_calls;
-    Alcotest.(check bool) "tool" true (m.Runner.tool = m'.Runner.tool)
+    Alcotest.(check bool) "tool" true (m.Runner.tool = m'.Runner.tool);
+    Alcotest.(check bool) "incremental" m.Runner.incremental
+      m'.Runner.incremental
   | None -> Alcotest.fail "row failed to parse"
+
+(* Rows from before the trailing [incremental] column — and before the
+   per-rule columns — must still parse, with the missing columns at their
+   zero values. *)
+let test_csv_old_rows () =
+  let base =
+    "com.old.app,BackDroid,0.123456,false,false,2,100,0.10,1,0.5000,0.0000,0,0,0,1"
+  in
+  let pr7 =
+    base
+    ^ String.concat ""
+        (List.map (fun _ -> ",0") Rules.Builtin.family_names)
+  in
+  let check_row label row expect_incremental =
+    match Evalharness.Report.parse_row row with
+    | Some m ->
+      Alcotest.(check int) (label ^ " sinks") 2 m.Runner.sink_calls;
+      Alcotest.(check bool)
+        (label ^ " incremental")
+        expect_incremental m.Runner.incremental
+    | None -> Alcotest.fail (label ^ " failed to parse")
+  in
+  check_row "pre-family row" base false;
+  check_row "pre-incremental row" pr7 false;
+  check_row "current row" (pr7 ^ ",true") true
 
 let test_csv_write () =
   let m, _ = Runner.run_backdroid (tiny_app ()) in
@@ -105,6 +132,7 @@ let cases =
     Alcotest.test_case "amandroid timeout cap" `Quick test_run_amandroid_timeout_cap;
     Alcotest.test_case "run flowdroid-cg" `Quick test_run_flowdroid;
     Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv old-row compat" `Quick test_csv_old_rows;
     Alcotest.test_case "csv write" `Quick test_csv_write ]
 
 let suites = [ "eval.unit", cases ]

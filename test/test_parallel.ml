@@ -206,6 +206,27 @@ let test_mode_equivalence () =
     | Error e -> Alcotest.failf "snapshot load: %s" (Store.Codec.error_to_string e)
   in
   let snap_seq = load_snapshot () in
+  (* the fifth mode: an index delta-patched from an older app version.
+     Snapshot a mutated variant (the "v1" build), then patch it toward
+     [app] so changed classes genuinely re-render while the rest splice. *)
+  let old_app = Appgen.Generator.mutate ~pct:0.3 app in
+  let old_engine = E.create ~eager:true old_app.G.dex in
+  let delta_path = Filename.temp_file "backdroid_modeequiv_v1" ".bdix" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove delta_path with Sys_error _ -> ())
+  @@ fun () ->
+  ignore (Store.Snapshot.save ~path:delta_path old_engine);
+  let delta_file =
+    match Store.Snapshot.delta ~path:delta_path app.G.program with
+    | Ok (e, _) -> e
+    | Error e -> Alcotest.failf "delta: %s" (Store.Codec.error_to_string e)
+  in
+  let delta_resident =
+    match Store.Snapshot.delta_of_engine old_engine app.G.program with
+    | Ok (e, _) -> e
+    | Error e ->
+      Alcotest.failf "delta_of_engine: %s" (Store.Codec.error_to_string e)
+  in
   Pool.with_pool ~jobs:test_jobs (fun pool ->
       let lazy_pool = E.create ~pool app.G.dex in
       let eager_pool = E.create ~eager:true ~pool app.G.dex in
@@ -213,6 +234,8 @@ let test_mode_equivalence () =
       let engines =
         [ ("lazy/jobs=1", lazy_seq); ("eager/jobs=1", eager_seq);
           ("snapshot/jobs=1", snap_seq);
+          ("delta-file/jobs=1", delta_file);
+          ("delta-resident/jobs=1", delta_resident);
           ("lazy/jobs=4", lazy_pool); ("eager/jobs=4", eager_pool);
           ("snapshot/jobs=4", snap_pool) ]
       in
@@ -237,7 +260,11 @@ let test_mode_equivalence () =
       Alcotest.(check int) "lazy built every queried category" 7
         (E.built_categories lazy_pool);
       Alcotest.(check int) "snapshot loaded every category" 7
-        (E.built_categories snap_pool))
+        (E.built_categories snap_pool);
+      Alcotest.(check int) "delta carried every category" 7
+        (E.built_categories delta_file);
+      Alcotest.(check string) "delta engine reports its mode" "delta"
+        (E.index_mode delta_resident))
 
 (* ------------------------------------------------------------------ *)
 (* Determinism: Driver.analyze                                         *)
@@ -331,7 +358,8 @@ let cases =
     Alcotest.test_case "nested batches" `Quick test_nested_map;
     Alcotest.test_case "sharded index == sequential index" `Quick
       test_sharded_index;
-    Alcotest.test_case "scan == lazy == eager == snapshot at jobs=1 and jobs=4"
+    Alcotest.test_case
+      "scan == lazy == eager == snapshot == delta at jobs=1 and jobs=4"
       `Quick test_mode_equivalence;
     Alcotest.test_case "driver: jobs=1 == jobs=4" `Quick
       test_driver_determinism;

@@ -302,6 +302,66 @@ let test_snapshot_unstamped () =
          Alcotest.(check bool) "no stamp section, no stamp" true
            (Bytesearch.Engine.ruleset_stamp warm = None))
 
+(* End to end: the corpus warm-cache scenario where the rule set changed
+   between runs.  Run 1 analyzes under rule set A and saves the snapshot
+   (stamped A, as the corpus cache does).  Run 2 warm-loads it but analyzes
+   under rule set B: the stamp mismatch must be noticed — a warning is
+   logged and the engine's query cache flushed — and the warm reports must
+   be identical to a cold analysis under B. *)
+let test_warm_cache_ruleset_change () =
+  let app =
+    make_app ~seed:46 ~filler:4
+      [ (Shape.Direct, Sinks.cipher, true);
+        (Shape.Static_chain, Sinks.sms, false) ]
+  in
+  let rules_a = Builtin.primary and rules_b = Builtin.extended in
+  let path = Filename.temp_file "bdrules_warm" ".bdix" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (* run 1: cold under A; save stamps the snapshot with the engine's own
+     rule-set hash, which analyze just set to A's *)
+  let e0 = Bytesearch.Engine.create ~eager:true app.G.dex in
+  let _ =
+    Driver.analyze ~cfg:(with_rules rules_a) ~engine:e0 ~dex:app.G.dex
+      ~manifest:app.G.manifest ()
+  in
+  ignore (Store.Snapshot.save ~path e0);
+  (* run 2: warm load, then analyze under B *)
+  let warm =
+    match Store.Snapshot.load ~path app.G.program with
+    | Ok e -> e
+    | Error e -> Alcotest.fail (Store.Codec.error_to_string e)
+  in
+  Alcotest.(check bool) "warm engine carries A's stamp" true
+    (Bytesearch.Engine.ruleset_stamp warm = Some (Rule.hash_list rules_a));
+  let warned = ref false in
+  let prev_reporter = Logs.reporter () in
+  let prev_level = Logs.Src.level Backdroid.Log.src in
+  Logs.Src.set_level Backdroid.Log.src (Some Logs.Warning);
+  Logs.set_reporter
+    { Logs.report =
+        (fun _src level ~over k _msgf ->
+           if level = Logs.Warning then warned := true;
+           over ();
+           k ()) };
+  let warm_r =
+    Fun.protect
+      ~finally:(fun () ->
+        Logs.set_reporter prev_reporter;
+        Logs.Src.set_level Backdroid.Log.src prev_level)
+      (fun () ->
+         Driver.analyze ~cfg:(with_rules rules_b) ~engine:warm ~dex:app.G.dex
+           ~manifest:app.G.manifest ())
+  in
+  Alcotest.(check bool) "stamp mismatch logged a warning" true !warned;
+  Alcotest.(check bool) "engine re-stamped with B" true
+    (Bytesearch.Engine.ruleset_stamp warm = Some (Rule.hash_list rules_b));
+  let cold_r = analyze ~cfg:(with_rules rules_b) app in
+  Alcotest.(check bool) "fixture is non-trivial" true (keys cold_r <> []);
+  Alcotest.(check bool) "warm reports under B == cold reports under B" true
+    (keys warm_r = keys cold_r)
+
 (* ------------------------------------------------------------------ *)
 
 let cases =
@@ -344,6 +404,8 @@ let cases =
     Alcotest.test_case "snapshot carries the rule-set stamp" `Quick
       test_snapshot_stamp;
     Alcotest.test_case "unstamped snapshot stays unstamped" `Quick
-      test_snapshot_unstamped ]
+      test_snapshot_unstamped;
+    Alcotest.test_case "warm cache under a changed rule set" `Quick
+      test_warm_cache_ruleset_change ]
 
 let suites = [ ("rules.engine", cases) ]

@@ -247,6 +247,168 @@ let test_default_path () =
     (Printf.sprintf "/tmp/com.a_b_c.v%d.bdix" Store.Codec.format_version)
     p
 
+(* -- Delta: incremental re-analysis across app versions --------------- *)
+
+(* The delta acceptance property: patching v1's index into v2 — whether
+   from the snapshot file or from the still-resident engine — must answer
+   analysis byte-identically to a from-scratch build of v2. *)
+let test_delta_equals_cold () =
+  with_snapshot @@ fun ~app ~path ->
+  (* v1's analysis, persisted alongside the index like the corpus does *)
+  let r1 = Driver.analyze ~dex:app.G.dex ~manifest:app.G.manifest () in
+  let results_s =
+    Backdroid.Resultcache.to_strings (Driver.export_results ~dex:app.G.dex r1)
+  in
+  let e1 =
+    match Store.Snapshot.load ~path app.G.program with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "load: %s" (Store.Codec.error_to_string e)
+  in
+  ignore (Store.Snapshot.save ~results:results_s ~path e1);
+  let v2 = G.mutate ~pct:0.25 app in
+  let cold = Driver.analyze ~dex:v2.G.dex ~manifest:v2.G.manifest () in
+  let cold_fp = List.map report_fingerprint cold.Driver.reports in
+  Alcotest.(check bool) "fixture has sink calls" true
+    (cold.Driver.stats.Driver.sink_calls > 0);
+  (* file-based: load the v1 snapshot and patch it *)
+  let e_file, rep =
+    match Store.Snapshot.delta ~path v2.G.program with
+    | Ok x -> x
+    | Error e -> Alcotest.failf "delta: %s" (Store.Codec.error_to_string e)
+  in
+  Alcotest.(check string) "delta engine mode" "delta" (E.index_mode e_file);
+  Alcotest.(check bool) "mutation re-rendered some classes" true
+    (rep.Store.Snapshot.d_changed + rep.Store.Snapshot.d_added > 0);
+  Alcotest.(check bool) "unchanged classes were spliced" true
+    (rep.Store.Snapshot.d_unchanged > 0);
+  let warm =
+    Driver.analyze ~engine:e_file ~dex:(E.dexfile e_file)
+      ~manifest:v2.G.manifest ()
+  in
+  Alcotest.(check (list string)) "file delta report == cold report" cold_fp
+    (List.map report_fingerprint warm.Driver.reports);
+  (* resident: patch the live v1 engine and replay v1's persisted verdicts *)
+  let e_res, _ =
+    match Store.Snapshot.delta_of_engine e1 v2.G.program with
+    | Ok x -> x
+    | Error e ->
+      Alcotest.failf "delta_of_engine: %s" (Store.Codec.error_to_string e)
+  in
+  let results =
+    match
+      Backdroid.Resultcache.of_strings (Store.Snapshot.load_results ~path
+                                        |> Result.get_ok)
+    with
+    | Ok rc -> rc
+    | Error m -> Alcotest.failf "results round-trip: %s" m
+  in
+  let warm2 =
+    Driver.analyze ~results ~engine:e_res ~dex:(E.dexfile e_res)
+      ~manifest:v2.G.manifest ()
+  in
+  Alcotest.(check (list string)) "resident delta + replay == cold report"
+    cold_fp
+    (List.map report_fingerprint warm2.Driver.reports);
+  Alcotest.(check bool) "sinks in unchanged classes were replayed" true
+    (warm2.Driver.stats.Driver.replayed_sinks > 0);
+  (* the old engine is untouched and still answers for v1 *)
+  let still =
+    Driver.analyze ~engine:e1 ~dex:app.G.dex ~manifest:app.G.manifest ()
+  in
+  Alcotest.(check (list string)) "old engine still answers for v1"
+    (List.map report_fingerprint r1.Driver.reports)
+    (List.map report_fingerprint still.Driver.reports)
+
+(* A delta-built engine is a first-class engine: saving it produces a
+   snapshot that loads and round-trips byte-identically. *)
+let test_delta_engine_roundtrip () =
+  with_snapshot @@ fun ~app ~path ->
+  let v2 = G.mutate ~pct:0.25 app in
+  let engine =
+    match Store.Snapshot.delta ~path v2.G.program with
+    | Ok (e, _) -> e
+    | Error e -> Alcotest.failf "delta: %s" (Store.Codec.error_to_string e)
+  in
+  let path2 = Filename.temp_file "backdroid_delta2" ".bdix" in
+  let path3 = Filename.temp_file "backdroid_delta3" ".bdix" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path2; path3 ])
+  @@ fun () ->
+  ignore (Store.Snapshot.save ~path:path2 engine);
+  let loaded =
+    match Store.Snapshot.load ~path:path2 v2.G.program with
+    | Ok e -> e
+    | Error e ->
+      Alcotest.failf "load of delta save: %s" (Store.Codec.error_to_string e)
+  in
+  ignore (Store.Snapshot.save ~path:path3 loaded);
+  Alcotest.(check bool) "delta save -> load -> save is byte-identical" true
+    (read_all path2 = read_all path3);
+  let warm =
+    Driver.analyze ~engine:loaded ~dex:(E.dexfile loaded)
+      ~manifest:v2.G.manifest ()
+  in
+  let cold = Driver.analyze ~dex:v2.G.dex ~manifest:v2.G.manifest () in
+  Alcotest.(check (list string)) "reloaded delta engine == cold"
+    (List.map report_fingerprint cold.Driver.reports)
+    (List.map report_fingerprint warm.Driver.reports)
+
+(* An engine with no class map (pre-delta snapshot, or a cold engine built
+   before classmaps existed) cannot be delta-patched: typed error, so
+   callers fall back to a cold build. *)
+let test_delta_requires_classmap () =
+  let app = fixture_app () in
+  let stripped =
+    { app.G.dex with Dex.Dexfile.classmap = Dex.Classmap.empty }
+  in
+  let engine = E.create ~eager:true stripped in
+  match Store.Snapshot.delta_of_engine engine app.G.program with
+  | Ok _ -> Alcotest.fail "delta on a classmap-less engine succeeded"
+  | Error (Store.Codec.Corrupt _) -> ()
+  | Error e ->
+    Alcotest.failf "expected Corrupt, got %s" (Store.Codec.error_to_string e)
+
+(* Property: over random (seed, pct) — including pct=0 (pure reuse) and
+   pct=1 (everything re-rendered) — incremental always equals from-scratch. *)
+let delta_equiv =
+  let gen = QCheck.Gen.(pair (int_range 1 60) (oneofl [ 0.0; 0.1; 0.4; 1.0 ])) in
+  let print (s, p) = Printf.sprintf "seed=%d pct=%.2f" s p in
+  QCheck.Test.make ~name:"delta == from-scratch analysis" ~count:8
+    (QCheck.make ~print gen)
+    (fun (seed, pct) ->
+       let app = fixture_app ~seed ~filler:5 () in
+       let path = Filename.temp_file "backdroid_deltaq" ".bdix" in
+       Fun.protect
+         ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+       @@ fun () ->
+       let e1 = E.create ~eager:true app.G.dex in
+       ignore (Store.Snapshot.save ~path e1);
+       let v2 = G.mutate ~seed ~pct app in
+       let cold = Driver.analyze ~dex:v2.G.dex ~manifest:v2.G.manifest () in
+       let cold_fp = List.map report_fingerprint cold.Driver.reports in
+       let check what engine =
+         let r =
+           Driver.analyze ~engine ~dex:(E.dexfile engine)
+             ~manifest:v2.G.manifest ()
+         in
+         if List.map report_fingerprint r.Driver.reports <> cold_fp then
+           QCheck.Test.fail_reportf "%s diverged from cold (%s)" what
+             (print (seed, pct))
+       in
+       (match Store.Snapshot.delta ~path v2.G.program with
+        | Ok (e, _) -> check "file delta" e
+        | Error e ->
+          QCheck.Test.fail_reportf "delta: %s"
+            (Store.Codec.error_to_string e));
+       (match Store.Snapshot.delta_of_engine e1 v2.G.program with
+        | Ok (e, _) -> check "resident delta" e
+        | Error e ->
+          QCheck.Test.fail_reportf "delta_of_engine: %s"
+            (Store.Codec.error_to_string e));
+       true)
+
 (* -- Postcodec wire-format properties --------------------------------- *)
 
 module PC = Bytesearch.Postcodec
@@ -350,6 +512,13 @@ let cases =
     Alcotest.test_case "prefault load is equivalent" `Quick
       test_prefault_load;
     Alcotest.test_case "default snapshot path" `Quick test_default_path;
+    Alcotest.test_case "delta patch == from-scratch (file + resident)" `Quick
+      test_delta_equals_cold;
+    Alcotest.test_case "delta engine saves and round-trips" `Quick
+      test_delta_engine_roundtrip;
+    Alcotest.test_case "delta without a class map is a typed error" `Quick
+      test_delta_requires_classmap;
+    QCheck_alcotest.to_alcotest delta_equiv;
     QCheck_alcotest.to_alcotest codec_roundtrip ]
 
 let suites = [ "store.snapshot", cases ]
