@@ -143,6 +143,38 @@ let metrics_t =
            (default: a table on stdout); with $(docv), write it as JSON \
            instead.")
 
+let metrics_format_t =
+  Arg.(
+    value
+    & opt (enum [ ("json", `Json); ("openmetrics", `Openmetrics) ]) `Json
+    & info [ "metrics-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Serialization for $(b,--metrics) $(i,FILE): $(b,json) (default) \
+           or $(b,openmetrics) — the Prometheus/OpenMetrics text \
+           exposition, counters as counter families and histograms as \
+           summaries with p50/p90/p99 quantiles.")
+
+let flight_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "flight" ] ~docv:"FILE"
+        ~doc:
+          "Dump the always-on flight recorder (the last few thousand \
+           span/metric/trace events, per-domain ring buffers) as \
+           structured JSON to $(docv) after the run.  Without this flag \
+           the recorder still runs, and anomalies — partial slices, \
+           deadline hits, snapshot warnings, crashes — auto-dump it to \
+           $(b,backdroid.flight.json); anomaly-free runs write nothing.")
+
+let explain_t =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print each sink report's provenance ledger under its verdict: \
+           resolver strategies taken with caller counts, searches issued \
+           per category, budget spent vs cap, SSG size and wall time.")
+
 (* Install the span recorder when [--profile] asks for one; metrics record
    by default (they are integer bumps on per-domain shards). *)
 let setup_obs ~profile =
@@ -153,12 +185,43 @@ let setup_obs ~profile =
     Obs.Span.Recorder.install rec_;
     Some rec_
 
-let finish_obs ~profile ~metrics ~app_name recorder =
+(* The driver's end-of-run counter samples live in the flight ring; surface
+   them on the profile timeline as Chrome 'C' events. *)
+let flight_counters () =
+  List.concat_map
+    (fun (e : Obs.Flight.event) ->
+       match e.ev_kind with
+       | "counter" ->
+         (* single-sample counter events ({!Obs.Flight.counter_sample}) *)
+         (match List.assoc_opt "value" e.ev_attrs with
+          | Some (Obs.Span.Float v) ->
+            [ { Obs.Chrome.c_ts_us = e.ev_ts_us; c_pid = e.ev_pid;
+                c_name = e.ev_name; c_value = v } ]
+          | _ -> [])
+       | "counters" ->
+         (* batched per-run stats (Driver emits one event with every
+            driver.* series as an integer attribute) *)
+         List.filter_map
+           (fun (name, v) ->
+              match v with
+              | Obs.Span.Int n ->
+                Some
+                  { Obs.Chrome.c_ts_us = e.ev_ts_us; c_pid = e.ev_pid;
+                    c_name = name; c_value = float_of_int n }
+              | _ -> None)
+           e.ev_attrs
+       | _ -> [])
+    (Obs.Flight.events ())
+
+let finish_obs ~profile ~metrics ~metrics_format ~app_name recorder =
   (match profile, recorder with
    | Some path, Some rec_ ->
      Obs.Span.set_sink None;
      let spans = Obs.Span.Recorder.spans rec_ in
-     let n = Obs.Chrome.write ~pid_names:[ (0, app_name) ] path spans in
+     let n =
+       Obs.Chrome.write ~pid_names:[ (0, app_name) ]
+         ~counters:(flight_counters ()) path spans
+     in
      Printf.printf "profile: %d spans (%d events) -> %s%s\n"
        (List.length spans) n path
        (let d = Obs.Span.Recorder.dropped rec_ in
@@ -168,10 +231,17 @@ let finish_obs ~profile ~metrics ~app_name recorder =
   match metrics with
   | None -> ()
   | Some "-" ->
-    print_string "metrics:\n";
-    print_string (Obs.Metrics.render_table (Obs.Metrics.snapshot ()))
+    (match metrics_format with
+     | `Json ->
+       print_string "metrics:\n";
+       print_string (Obs.Metrics.render_table (Obs.Metrics.snapshot ()))
+     | `Openmetrics ->
+       print_string (Obs.Export.openmetrics (Obs.Metrics.snapshot ())))
   | Some path ->
-    Obs.Metrics.write_json path (Obs.Metrics.snapshot ());
+    (match metrics_format with
+     | `Json -> Obs.Metrics.write_json path (Obs.Metrics.snapshot ())
+     | `Openmetrics ->
+       Obs.Io.write_string path (Obs.Export.openmetrics (Obs.Metrics.snapshot ())));
     Printf.printf "metrics -> %s\n" path
 
 (* --- analyze --- *)
@@ -273,8 +343,15 @@ let analyze_cmd =
   in
   let run seed size_mb plants insecure dump_ssg subclass_aware eager_index jobs
       verbose trace_file time_limit_ms save_index load_index prefault
-      delta_index mutate_pct rules_file profile metrics =
+      delta_index mutate_pct rules_file profile metrics metrics_format flight
+      explain =
     setup_logs verbose;
+    (* flight recorder: always recording; anomalies (and crashes, via the
+       handler) auto-dump to the armed path.  Anomaly-free runs without
+       --flight never touch the file. *)
+    Obs.Flight.install_crash_handler ();
+    Obs.Flight.arm_auto_dump
+      (Option.value flight ~default:"backdroid.flight.json");
     if load_index <> None && delta_index <> None then begin
       Printf.eprintf "error: --load-index and --delta-index are exclusive\n";
       exit 1
@@ -416,6 +493,7 @@ let analyze_cmd =
             | Backdroid.Context.Complete -> ""
             | Backdroid.Context.Partial _ ->
               " [" ^ Backdroid.Context.outcome_to_string rep.outcome ^ "]");
+         if explain then print_string (Backdroid.Provenance.render rep.prov);
          if dump_ssg then
            match rep.ssg with
            | Some ssg -> Fmt.pr "%a" Backdroid.Ssg.pp ssg
@@ -440,14 +518,20 @@ let analyze_cmd =
          (Backdroid.Trace.Ring.recorded ring)
          path
      | _ -> ());
-    finish_obs ~profile ~metrics ~app_name:app.G.name recorder
+    (match flight with
+     | None -> ()
+     | Some path ->
+       Obs.Flight.write ~note:"on-demand" path;
+       Printf.printf "flight: %d events -> %s\n" (Obs.Flight.length ()) path);
+    finish_obs ~profile ~metrics ~metrics_format ~app_name:app.G.name recorder
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Run BackDroid on a generated app")
     Term.(
       const run $ seed_t $ size_t $ shapes_t $ insecure_t $ dump_ssg
       $ subclass_aware $ eager_index_t $ jobs_t $ verbose_t $ trace_t
       $ time_limit_t $ save_index_t $ load_index_t $ prefault_t
-      $ delta_index_t $ mutate_pct_t $ rules_t $ profile_t $ metrics_t)
+      $ delta_index_t $ mutate_pct_t $ rules_t $ profile_t $ metrics_t
+      $ metrics_format_t $ flight_t $ explain_t)
 
 (* --- compare --- *)
 

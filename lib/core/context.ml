@@ -74,6 +74,13 @@ type t = {
   started_at : float;
   mutable work_count : int;
   mutable exhausted : exhaustion list;  (* most recent first, deduplicated *)
+  (* provenance accumulators: per-strategy resolution/caller counts (slots
+     in [Resolver.strategy_index] order — 5 strategies; Context cannot name
+     Resolver without a cycle) and the creating domain's query-issue
+     counters, deltaed at slice end *)
+  prov_resolutions : int array;
+  prov_callers : int array;
+  prov_searches0 : Bytesearch.Cache.local_counts;
 }
 
 let create ?(budget = default_budget) (sh : shared) ~ssg =
@@ -81,7 +88,9 @@ let create ?(budget = default_budget) (sh : shared) ~ssg =
     loops = sh.loops; reach_cache = sh.reach_cache;
     reach_total = sh.reach_total; reach_cached = sh.reach_cached;
     trace = sh.trace; budget; ssg; started_at = Unix.gettimeofday ();
-    work_count = 0; exhausted = [] }
+    work_count = 0; exhausted = [];
+    prov_resolutions = Array.make 5 0; prov_callers = Array.make 5 0;
+    prov_searches0 = Bytesearch.Cache.local_counts () }
 
 let exhaust ctx kind =
   if not (List.mem kind ctx.exhausted) then

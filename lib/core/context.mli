@@ -61,6 +61,12 @@ type t = {
   started_at : float;
   mutable work_count : int;
   mutable exhausted : exhaustion list;
+  (* provenance accumulators (see {!Provenance}): per-strategy resolution
+     and caller counts in [Resolver.strategy_index] order, plus the
+     creating domain's query-issue counters at slice start *)
+  prov_resolutions : int array;
+  prov_callers : int array;
+  prov_searches0 : Bytesearch.Cache.local_counts;
 }
 
 val create : ?budget:budget -> shared -> ssg:Ssg.t -> t

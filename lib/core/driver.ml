@@ -78,6 +78,10 @@ type sink_report = {
   outcome : Context.outcome;
       (** [Partial _] when the slice exhausted its budget ([Complete] for
           cache-served reports: no slicing ran) *)
+  prov : Provenance.t;
+      (** how this verdict was derived: fresh slice (with strategy chain,
+          query counts, budget spent), result-cache replay, or sink-cache
+          shortcut *)
 }
 
 type stats = {
@@ -100,6 +104,12 @@ type stats = {
   index_categories_built : int;
       (** postings categories the engine built (0-7); lazy mode builds only
           the categories the analysis actually queried *)
+  resolutions : int;
+      (** caller resolutions taken by fresh slices (all strategies) *)
+  resolved_callers : int;
+      (** callers those resolutions produced *)
+  work_spent : int;
+      (** work items spent by fresh slices (sum over sinks) *)
 }
 
 type result = {
@@ -225,6 +235,9 @@ type group_out = {
   g_ssg_edges : int;
   g_partial : int;
   g_replayed : int;
+  g_resolutions : int;
+  g_callers : int;
+  g_work : int;
 }
 
 (* Group occurrences by containing method, preserving first-occurrence order
@@ -262,12 +275,14 @@ let analyze_group ~cfg ~engine ~manifest ?replay group =
   let ssg_nodes = ref 0 and ssg_edges = ref 0 in
   let partial = ref 0 in
   let replayed = ref 0 in
+  let resolutions = ref 0 and callers = ref 0 and work = ref 0 in
   let reports =
     List.concat_map
       (fun (i, ((sg : sink_group), meth, site)) ->
          let sink = sg.sg_sink in
-         (* one verdict per rule sharing this sink spec *)
-         let fan_out ~reachable ~fact ~ssg ~outcome =
+         (* one verdict per rule sharing this sink spec; every verdict of
+            the fan-out shares the site's one derivation ledger *)
+         let fan_out ~reachable ~fact ~ssg ~outcome ~prov =
            List.mapi
              (fun j rule ->
                 let verdict =
@@ -276,7 +291,7 @@ let analyze_group ~cfg ~engine ~manifest ?replay group =
                 in
                 ( (i, j),
                   { rule; sink; meth; site; reachable; fact; verdict; ssg;
-                    outcome } ))
+                    outcome; prov } ))
              sg.sg_rules
          in
          (* persisted-result replay: serve the cached fact when the site's
@@ -304,6 +319,7 @@ let analyze_group ~cfg ~engine ~manifest ?replay group =
                  sink.Sinks.name (Jsig.meth_to_string meth) site);
            fan_out ~reachable:e.Resultcache.e_reachable
              ~fact:e.Resultcache.e_fact ~ssg:None ~outcome:Context.Complete
+             ~prov:(Provenance.replayed ~budget:cfg.budget)
          | None ->
          incr sink_cache_lookups;
          match !known_reachable with
@@ -312,15 +328,22 @@ let analyze_group ~cfg ~engine ~manifest ?replay group =
            incr sink_cache_hits;
            fan_out ~reachable:false ~fact:Facts.Unknown ~ssg:None
              ~outcome:Context.Complete
+             ~prov:(Provenance.sink_cache_served ~budget:cfg.budget)
          | Some true | None ->
            if !known_reachable <> None then incr sink_cache_hits;
            Log.info (fun m ->
                m "backtracking %s sink at %s:%d" sink.Sinks.name
                  (Jsig.meth_to_string meth) site);
-           let ssg, outcome =
-             Slicer.slice ~shared ~budget:cfg.budget ~sink ~sink_meth:meth
-               ~sink_site:site ()
+           let ssg, outcome, prov =
+             Slicer.slice_full ~shared ~budget:cfg.budget ~sink
+               ~sink_meth:meth ~sink_site:site ()
            in
+           List.iter
+             (fun (_, r, c) ->
+                resolutions := !resolutions + r;
+                callers := !callers + c)
+             prov.Provenance.p_strategies;
+           work := !work + prov.Provenance.p_work;
            (match outcome with
             | Context.Partial _ ->
               incr partial;
@@ -340,13 +363,15 @@ let analyze_group ~cfg ~engine ~manifest ?replay group =
                m "sink at %s:%d: reachable=%b fact=%s (%d rule(s))"
                  (Jsig.meth_to_string meth) site ssg.Ssg.reachable
                  (Facts.to_string fact) (List.length sg.sg_rules));
-           fan_out ~reachable:ssg.Ssg.reachable ~fact ~ssg:(Some ssg) ~outcome)
+           fan_out ~reachable:ssg.Ssg.reachable ~fact ~ssg:(Some ssg)
+             ~outcome ~prov)
       group
   in
   { g_reports = reports; g_loops = shared.Context.loops;
     g_sink_lookups = !sink_cache_lookups; g_sink_hits = !sink_cache_hits;
     g_ssg_nodes = !ssg_nodes; g_ssg_edges = !ssg_edges;
-    g_partial = !partial; g_replayed = !replayed }
+    g_partial = !partial; g_replayed = !replayed;
+    g_resolutions = !resolutions; g_callers = !callers; g_work = !work }
 
 (** Analyze one app.  [pool] (otherwise created from [cfg.jobs]) drives the
     sharded index build and the per-sink-group fan-out.  [engine] is a
@@ -380,6 +405,9 @@ let analyze ?(cfg = default_config) ?pool ?engine ?results
                  Log.warn (fun m ->
                      m "reflection rewrote %d sites; discarding preloaded \
                         index, rebuilding cold" rewrites);
+                 Obs.Flight.anomaly ~kind:"snapshot"
+                   ~name:"reflection-discarded-index"
+                   ~attrs:[ ("rewrites", Obs.Span.Int rewrites) ] ();
                  premade := None
                | None -> ());
               Dex.Dexfile.of_program program'
@@ -400,7 +428,8 @@ let analyze ?(cfg = default_config) ?pool ?engine ?results
      | `Changed ->
        Log.warn (fun m ->
            m "rule set changed since this engine was last used; flushed the \
-              search cache")
+              search cache");
+       Obs.Flight.anomaly ~kind:"snapshot" ~name:"ruleset-changed" ()
      | `First | `Same -> ());
     let occurrences =
       Obs.Span.with_span ~cat:"app" ~name:"initial-search" (fun () ->
@@ -426,6 +455,8 @@ let analyze ?(cfg = default_config) ?pool ?engine ?results
     let ssg_nodes = ref 0 and ssg_edges = ref 0 in
     let partial_sinks = ref 0 in
     let replayed_sinks = ref 0 in
+    let resolutions = ref 0 and resolved_callers = ref 0 in
+    let work_spent = ref 0 in
     Array.iter
       (fun g ->
          Loopdetect.add_into ~dst:loops g.g_loops;
@@ -434,7 +465,10 @@ let analyze ?(cfg = default_config) ?pool ?engine ?results
          ssg_nodes := !ssg_nodes + g.g_ssg_nodes;
          ssg_edges := !ssg_edges + g.g_ssg_edges;
          partial_sinks := !partial_sinks + g.g_partial;
-         replayed_sinks := !replayed_sinks + g.g_replayed)
+         replayed_sinks := !replayed_sinks + g.g_replayed;
+         resolutions := !resolutions + g.g_resolutions;
+         resolved_callers := !resolved_callers + g.g_callers;
+         work_spent := !work_spent + g.g_work)
       outs;
     let reports =
       Array.to_list outs
@@ -455,13 +489,31 @@ let analyze ?(cfg = default_config) ?pool ?engine ?results
         ssg_edges = !ssg_edges;
         partial_sinks = !partial_sinks;
         replayed_sinks = !replayed_sinks;
-        index_categories_built = Bytesearch.Engine.built_categories engine }
+        index_categories_built = Bytesearch.Engine.built_categories engine;
+        resolutions = !resolutions;
+        resolved_callers = !resolved_callers;
+        work_spent = !work_spent }
     in
     Obs.Metrics.add m_sink_calls stats.sink_calls;
     Obs.Metrics.add m_ssg_nodes stats.ssg_nodes;
     Obs.Metrics.add m_ssg_edges stats.ssg_edges;
     Obs.Metrics.add m_sink_cache_lookups stats.sink_cache_lookups;
     Obs.Metrics.add m_sink_cache_hits stats.sink_cache_hits;
+    (* one batched flight event carrying every driver.* end-of-run counter
+       (a single ring push; the trace exporter explodes the attributes into
+       per-name Chrome 'C' counter tracks) *)
+    Obs.Flight.record ~kind:"counters" ~name:"driver"
+      ~attrs:[ ("driver.sink_calls", Obs.Span.Int stats.sink_calls);
+               ("driver.ssg_nodes", Obs.Span.Int stats.ssg_nodes);
+               ("driver.ssg_edges", Obs.Span.Int stats.ssg_edges);
+               ("driver.sink_cache.lookups",
+                Obs.Span.Int stats.sink_cache_lookups);
+               ("driver.sink_cache.hits", Obs.Span.Int stats.sink_cache_hits);
+               ("driver.partial_sinks", Obs.Span.Int stats.partial_sinks);
+               ("driver.replayed_sinks", Obs.Span.Int stats.replayed_sinks);
+               ("driver.resolutions", Obs.Span.Int stats.resolutions);
+               ("driver.work_spent", Obs.Span.Int stats.work_spent) ]
+      ();
     { reports; stats }
   in
   match pool with

@@ -55,6 +55,10 @@ type sink_report = {
   outcome : Context.outcome;
       (** [Partial _] when the slice exhausted its budget ([Complete] for
           cache-served reports: no slicing ran) *)
+  prov : Provenance.t;
+      (** how this verdict was derived: fresh slice (strategy chain, query
+          counts, budget spent, SSG size, wall-µs), result-cache replay, or
+          sink-cache shortcut; rules sharing a sink spec share the ledger *)
 }
 type stats = {
   sink_calls : int;
@@ -76,6 +80,12 @@ type stats = {
   index_categories_built : int;
       (** postings categories the engine built (0-7); lazy mode builds only
           the categories the analysis actually queried *)
+  resolutions : int;
+      (** caller resolutions taken by fresh slices (all strategies) *)
+  resolved_callers : int;
+      (** callers those resolutions produced *)
+  work_spent : int;
+      (** work items spent by fresh slices (sum over sinks) *)
 }
 type result = { reports : sink_report list; stats : stats; }
 

@@ -28,6 +28,15 @@ let strategy_to_string = function
   | Lifecycle -> "lifecycle"
   | Icc -> "icc"
 
+(** Dense strategy slot, the index into [Context.prov_resolutions] /
+    [Provenance.strategy_names] (same order). *)
+let strategy_index = function
+  | Basic -> 0
+  | Advanced -> 1
+  | Clinit -> 2
+  | Lifecycle -> 3
+  | Icc -> 4
+
 (** Classify [callee].  Order matters: [<clinit>] before everything (it is a
     static method but unsearchable); lifecycle handlers before the
     super/interface test (they override framework declarations yet need the
@@ -210,6 +219,17 @@ let traced ctx strategy query f =
   let cached = Bytesearch.Engine.cached_searches engine - c0 in
   Obs.Metrics.incr (List.assoc strategy m_resolutions);
   Obs.Metrics.add m_callers hits;
+  let idx = strategy_index strategy in
+  ctx.Context.prov_resolutions.(idx) <-
+    ctx.Context.prov_resolutions.(idx) + 1;
+  ctx.Context.prov_callers.(idx) <- ctx.Context.prov_callers.(idx) + hits;
+  (* flight record: the query string is already retained by the search
+     cache, so the ring holds one cons and one tuple per resolution — the
+     full per-resolution numbers live in --trace and the provenance
+     ledger, and re-retaining them here measurably dents the always-on
+     budget *)
+  Obs.Flight.record ~kind:"trace" ~name:(strategy_to_string strategy)
+    ~attrs:[ ("query", Obs.Span.Str query) ] ();
   if Obs.Span.pending span0 then
     Obs.Span.emit ~cat:"resolve" ~name:(strategy_to_string strategy)
       ~attrs:[ ("query", Obs.Span.Str query);

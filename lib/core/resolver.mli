@@ -14,6 +14,10 @@ type strategy = Basic | Advanced | Clinit | Lifecycle | Icc
 
 val strategy_to_string : strategy -> string
 
+(** Dense strategy slot: index into [Context.prov_resolutions] /
+    [Provenance.strategy_names] (same order). *)
+val strategy_index : strategy -> int
+
 (** Classify [callee].  Order matters: [<clinit>] before everything (it is a
     static method but unsearchable); lifecycle handlers before the
     super/interface test (they override framework declarations yet need the

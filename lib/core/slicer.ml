@@ -692,11 +692,12 @@ let m_exhaustions =
              ("budget.exhausted." ^ Context.exhaustion_to_string e)))
     [ Context.Work; Context.Depth; Context.Deadline ]
 
-(** Slice one sink API call occurrence, producing its SSG and the typed
-    budget outcome. *)
-let slice ~(shared : Context.shared) ?budget ~(sink : Sinks.t) ~sink_meth
+(** Slice one sink API call occurrence, producing its SSG, the typed budget
+    outcome and the provenance ledger of the derivation. *)
+let slice_full ~(shared : Context.shared) ?budget ~(sink : Sinks.t) ~sink_meth
     ~sink_site () =
   let span0 = Obs.Span.start () in
+  let wall0 = Unix.gettimeofday () in
   let ssg = Ssg.create ~sink ~sink_meth ~sink_site in
   let ctx = Context.create ?budget shared ~ssg in
   let program = ctx.Context.program in
@@ -730,8 +731,16 @@ let slice ~(shared : Context.shared) ?budget ~(sink : Sinks.t) ~sink_meth
      add_off_path_clinits ctx
    | Some { Jmethod.body = None; _ } | Some _ | None -> ());
   let outcome = Context.outcome ctx in
+  let wall_us = (Unix.gettimeofday () -. wall0) *. 1e6 in
+  let prov = Provenance.fresh_of ctx ~wall_us in
   Obs.Metrics.incr m_slices;
   Obs.Metrics.observe m_work (float_of_int ctx.Context.work_count);
+  let sink_name = Sym.to_string (Jsig.meth_sym sink_meth) in
+  Obs.Flight.record ~kind:"span" ~name:"slice"
+    ~attrs:[ ("sink", Obs.Span.Str sink_name);
+             ("work", Obs.Span.Int ctx.Context.work_count);
+             ("outcome", Obs.Span.Str (Context.outcome_to_string outcome)) ]
+    ();
   (match outcome with
    | Context.Complete -> ()
    | Context.Partial exs ->
@@ -741,11 +750,28 @@ let slice ~(shared : Context.shared) ?budget ~(sink : Sinks.t) ~sink_meth
           match List.assoc_opt e m_exhaustions with
           | Some c -> Obs.Metrics.incr c
           | None -> ())
-       exs);
+       exs;
+     (* a truncated verdict is an anomaly: dump the flight ring so the
+        post-mortem shows what the slice was doing when the budget ran out *)
+     Obs.Flight.anomaly
+       ~kind:(if List.mem Context.Deadline exs then "deadline" else "budget")
+       ~name:"slice-partial"
+       ~attrs:[ ("sink", Obs.Span.Str sink_name);
+                ("work", Obs.Span.Int ctx.Context.work_count);
+                ("outcome", Obs.Span.Str (Context.outcome_to_string outcome)) ]
+       ());
   if Obs.Span.pending span0 then
     Obs.Span.emit ~cat:"slice" ~name:"sink"
-      ~attrs:[ ("sink", Obs.Span.Str (Sym.to_string (Jsig.meth_sym sink_meth)));
+      ~attrs:[ ("sink", Obs.Span.Str sink_name);
                ("work", Obs.Span.Int ctx.Context.work_count);
                ("outcome", Obs.Span.Str (Context.outcome_to_string outcome)) ]
       span0;
+  (ssg, outcome, prov)
+
+(** {!slice_full} without the ledger (compatibility surface for callers
+    that only need the SSG and outcome). *)
+let slice ~shared ?budget ~sink ~sink_meth ~sink_site () =
+  let ssg, outcome, _prov =
+    slice_full ~shared ?budget ~sink ~sink_meth ~sink_site ()
+  in
   (ssg, outcome)

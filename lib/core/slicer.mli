@@ -28,3 +28,14 @@ val slice :
   sink_site:int ->
   unit ->
   Ssg.t * Context.outcome
+
+(** {!slice} plus the {!Provenance} ledger of the derivation (queries per
+    category, strategies taken, budget spent, SSG size, wall-µs). *)
+val slice_full :
+  shared:Context.shared ->
+  ?budget:Context.budget ->
+  sink:Framework.Sinks.t ->
+  sink_meth:Ir.Jsig.meth ->
+  sink_site:int ->
+  unit ->
+  Ssg.t * Context.outcome * Provenance.t

@@ -5,9 +5,11 @@
     Besides the aggregate [insecure] count, every row carries one
     [insecure_<family>] column per built-in rule family (fixed
     {!Rules.Builtin.family_names} order), so per-rule detection can be
-    plotted without re-running the corpus, plus a trailing [incremental]
-    flag — whether the engine was delta-patched from an older snapshot
-    rather than built from scratch.  Rows written before a trailing column
+    plotted without re-running the corpus, plus trailing provenance
+    columns: [incremental] — whether the engine was delta-patched from an
+    older snapshot rather than built from scratch — and the derivation
+    aggregates [resolutions]/[resolved_callers]/[work_spent] summed over
+    the run's per-sink ledgers.  Rows written before a trailing column
     existed still parse (with the column at its zero value). *)
 
 let base_header =
@@ -20,7 +22,7 @@ let csv_header =
   String.concat ","
     (base_header
      @ List.map (fun f -> "insecure_" ^ f) Rules.Builtin.family_names
-     @ [ "incremental" ])
+     @ [ "incremental"; "resolutions"; "resolved_callers"; "work_spent" ])
 
 let csv_row (m : Runner.measurement) =
   Printf.sprintf "%s,%s,%.6f,%b,%b,%d,%d,%.2f,%d,%.4f,%.4f,%d,%d,%d,%d%s"
@@ -35,7 +37,8 @@ let csv_row (m : Runner.measurement) =
              Printf.sprintf ",%d"
                (Option.value ~default:0 (List.assoc_opt f m.insecure_by_rule)))
           Rules.Builtin.family_names)
-     ^ Printf.sprintf ",%b" m.incremental)
+     ^ Printf.sprintf ",%b,%d,%d,%d" m.incremental m.resolutions
+         m.resolved_callers m.work_spent)
 
 (** Write all measurements of a corpus run to [path]. *)
 let write_csv path (ms : Runner.measurement list) =
@@ -51,19 +54,27 @@ let write_csv path (ms : Runner.measurement list) =
 
 (** Parse one row back (used by the round-trip test).  Rows from before the
     per-rule columns existed still parse, with an empty per-rule tally, and
-    rows from before the trailing [incremental] column parse as
-    non-incremental. *)
+    rows from before any of the trailing columns ([incremental], the
+    provenance aggregates) parse with those columns at their zero value. *)
 let parse_row line =
   match String.split_on_char ',' line with
   | app :: tool :: seconds :: timed_out :: errored :: sink_calls :: size_stmts
     :: size_mb :: insecure :: search_cache_rate :: sink_cache_rate :: loops
     :: cross :: partial_sinks :: parallelism :: tail ->
     let n_fam = List.length Rules.Builtin.family_names in
-    let per_rule, incremental =
+    let per_rule, trailing =
       if List.length tail > n_fam then
         ( List.filteri (fun i _ -> i < n_fam) tail,
-          bool_of_string (List.nth tail n_fam) )
-      else (tail, false)
+          List.filteri (fun i _ -> i >= n_fam) tail )
+      else (tail, [])
+    in
+    let incremental =
+      match trailing with b :: _ -> bool_of_string b | [] -> false
+    in
+    let trailing_int i =
+      match List.nth_opt trailing i with
+      | Some v -> int_of_string v
+      | None -> 0
     in
     let rec zip fs vs =
       match (fs, vs) with
@@ -94,5 +105,8 @@ let parse_row line =
         cross_backward_loops = int_of_string cross;
         partial_sinks = int_of_string partial_sinks;
         parallelism = int_of_string parallelism;
-        incremental }
+        incremental;
+        resolutions = trailing_int 1;
+        resolved_callers = trailing_int 2;
+        work_spent = trailing_int 3 }
   | _ -> None

@@ -35,6 +35,12 @@ type measurement = {
   incremental : bool;
       (** BackDroid only: the engine was delta-patched from an older
           snapshot instead of built from scratch *)
+  resolutions : int;
+      (** BackDroid only: caller resolutions taken by fresh slices *)
+  resolved_callers : int;
+      (** BackDroid only: callers those resolutions produced *)
+  work_spent : int;
+      (** BackDroid only: work items spent by fresh slices *)
 }
 
 (* Tally [names] into per-family counts, in the fixed family-column order;
@@ -97,7 +103,10 @@ let run_backdroid ?(cfg = Backdroid.Driver.default_config) ?engine
       incremental =
         (match engine with
          | Some e -> Bytesearch.Engine.index_mode e = "delta"
-         | None -> false) },
+         | None -> false);
+      resolutions = s.Backdroid.Driver.resolutions;
+      resolved_callers = s.Backdroid.Driver.resolved_callers;
+      work_spent = s.Backdroid.Driver.work_spent },
     r )
 
 let run_amandroid ?(cfg = Baseline.Amandroid.default_config) ~timeout_s
@@ -140,7 +149,10 @@ let run_amandroid ?(cfg = Baseline.Amandroid.default_config) ~timeout_s
       cross_backward_loops = 0;
       partial_sinks = 0;
       parallelism = 1;
-      incremental = false },
+      incremental = false;
+      resolutions = 0;
+      resolved_callers = 0;
+      work_spent = 0 },
     r )
 
 let run_flowdroid_cg ?(cfg = Baseline.Flowdroid_cg.default_config) ~timeout_s
@@ -172,4 +184,7 @@ let run_flowdroid_cg ?(cfg = Baseline.Flowdroid_cg.default_config) ~timeout_s
     cross_backward_loops = 0;
     partial_sinks = 0;
     parallelism = 1;
-    incremental = false }
+    incremental = false;
+    resolutions = 0;
+    resolved_callers = 0;
+    work_spent = 0 }

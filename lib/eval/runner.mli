@@ -29,6 +29,13 @@ type measurement = {
       (** BackDroid only: the engine was delta-patched from an older
           snapshot ({!Store.Snapshot.delta}) instead of built from
           scratch *)
+  resolutions : int;
+      (** BackDroid only: caller resolutions taken by fresh slices,
+          summed over the per-sink {!Backdroid.Provenance} ledgers *)
+  resolved_callers : int;
+      (** BackDroid only: callers those resolutions produced *)
+  work_spent : int;
+      (** BackDroid only: budget work units spent by fresh slices *)
 }
 val time : (unit -> 'a) -> 'a * float
 val mb_of : G.app -> float

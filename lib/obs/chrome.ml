@@ -13,13 +13,23 @@
     (pid, tid), and ts is strictly monotonic across the file. *)
 
 type event = {
-  e_ph : char;        (** 'B' or 'E' *)
+  e_ph : char;        (** 'B', 'E' or 'C' (counter sample) *)
   e_ts : int;         (** µs, strictly increasing across the event list *)
   e_pid : int;
   e_tid : int;
   e_cat : string;
   e_name : string;
-  e_args : Span.attr list;  (** on 'B' events only *)
+  e_args : Span.attr list;  (** on 'B' and 'C' events only *)
+}
+
+(** One sample of a named numeric series, rendered as a Chrome counter
+    ('C'-phase) track under its pid — cache hit-rates and sink counts show
+    up as area charts alongside the span timeline. *)
+type counter_sample = {
+  c_ts_us : float;    (** µs since the process origin *)
+  c_pid : int;
+  c_name : string;
+  c_value : float;
 }
 
 (* -- Span list -> well-nested event list ----------------------------- *)
@@ -62,7 +72,7 @@ let thread_tokens spans =
   List.iter close !stack;
   List.rev !out
 
-let events_of_spans spans =
+let events_of_spans ?(counters = []) spans =
   (* group by (pid, tid) *)
   let groups : (int * int, Span.span list ref) Hashtbl.t = Hashtbl.create 8 in
   List.iter
@@ -78,13 +88,33 @@ let events_of_spans spans =
     |> List.sort compare  (* deterministic thread order *)
   in
   (* k-way merge by token time; stable within a thread (streams are already
-     time-ordered), ties across threads resolved by (pid, tid) *)
-  let all =
+     time-ordered), ties across threads resolved by (pid, tid).  Counter
+     samples join the merge as stackless 'C' tokens on tid 0. *)
+  let span_tokens =
     List.concat_map
       (fun ((pid, tid), toks) ->
-         List.map (fun (ts, ph, s) -> (ts, pid, tid, ph, s)) toks)
+         List.map
+           (fun (ts, ph, (s : Span.span)) ->
+              ( ts, pid, tid, ph, s.Span.cat, s.Span.name,
+                if ph = 'B' then s.Span.attrs else [] ))
+           toks)
       streams
-    |> List.stable_sort (fun (ta, pa, ia, _, _) (tb, pb, ib, _, _) ->
+  in
+  let counter_tokens =
+    List.map
+      (fun c ->
+         ( c.c_ts_us, c.c_pid, 0, 'C', "counter", c.c_name,
+           [ ("value", Span.Float c.c_value) ] ))
+      (List.sort
+         (fun a b ->
+            match Float.compare a.c_ts_us b.c_ts_us with
+            | 0 -> compare (a.c_pid, a.c_name) (b.c_pid, b.c_name)
+            | r -> r)
+         counters)
+  in
+  let all =
+    span_tokens @ counter_tokens
+    |> List.stable_sort (fun (ta, pa, ia, _, _, _, _) (tb, pb, ib, _, _, _, _) ->
         match Float.compare ta tb with
         | 0 -> compare (pa, ia) (pb, ib)
         | c -> c)
@@ -93,13 +123,12 @@ let events_of_spans spans =
      the order just established, and per-thread order is a subsequence *)
   let last = ref min_int in
   List.map
-    (fun (ts, pid, tid, ph, (s : Span.span)) ->
+    (fun (ts, pid, tid, ph, cat, name, args) ->
        let t = int_of_float (Jsonf.clamp ts) in
        let t = if t <= !last then !last + 1 else t in
        last := t;
-       { e_ph = ph; e_ts = t; e_pid = pid; e_tid = tid; e_cat = s.Span.cat;
-         e_name = s.Span.name;
-         e_args = (if ph = 'B' then s.Span.attrs else []) })
+       { e_ph = ph; e_ts = t; e_pid = pid; e_tid = tid; e_cat = cat;
+         e_name = name; e_args = args })
     all
 
 (* -- Rendering ------------------------------------------------------- *)
@@ -167,8 +196,8 @@ let render ?(pid_names = []) events =
   Buffer.add_string b "\n]\n";
   Buffer.contents b
 
-let write ?pid_names path spans =
-  let events = events_of_spans spans in
+let write ?pid_names ?counters path spans =
+  let events = events_of_spans ?counters spans in
   Io.write_string path (render ?pid_names events);
   List.length events
 
@@ -176,7 +205,8 @@ let write ?pid_names path spans =
 
 (** Check the exporter's invariants: strictly increasing ts across the
     list, and per (pid, tid) every 'E' closes the most recent open 'B' of
-    the same name with no 'B' left open at the end. *)
+    the same name with no 'B' left open at the end.  'C' counter samples
+    have no stack effect. *)
 let validate events =
   let stacks : (int * int, (string * string) list ref) Hashtbl.t =
     Hashtbl.create 8
@@ -217,6 +247,7 @@ let validate events =
              err "E %S does not close open B %S (pid=%d tid=%d)" e.e_name
                open_name e.e_pid e.e_tid
            | [] -> err "E %S with no open B (pid=%d tid=%d)" e.e_name e.e_pid e.e_tid)
+        | 'C' -> go e.e_ts rest
         | c -> err "unexpected ph %C" c
       end
   in
@@ -227,40 +258,10 @@ let validate events =
 (* A deliberately minimal parser for exactly the renderer's own output
    (one object per line, fixed field order, no nested objects except args):
    enough for the bench's round-trip assertion without a JSON dependency.
-   [args] are not reconstructed. *)
+   [args] are not reconstructed.  Field readers live in {!Jsonf}. *)
 
-let field_str line key =
-  let pat = Printf.sprintf "\"%s\":\"" key in
-  let n = String.length line and np = String.length pat in
-  let rec find i =
-    if i + np > n then None
-    else if String.sub line i np = pat then begin
-      let rec close j = if j >= n then j else if line.[j] = '"' && line.[j-1] <> '\\' then j else close (j + 1) in
-      let stop = close (i + np) in
-      Some (Scanf.unescaped (String.sub line (i + np) (stop - i - np)))
-    end
-    else find (i + 1)
-  in
-  find 0
-
-let field_int line key =
-  let pat = Printf.sprintf "\"%s\":" key in
-  let n = String.length line and np = String.length pat in
-  let rec find i =
-    if i + np > n then None
-    else if String.sub line i np = pat then begin
-      let rec stop j =
-        if j < n && (line.[j] = '-' || (line.[j] >= '0' && line.[j] <= '9'))
-        then stop (j + 1)
-        else j
-      in
-      let e = stop (i + np) in
-      if e > i + np then int_of_string_opt (String.sub line (i + np) (e - i - np))
-      else None
-    end
-    else find (i + 1)
-  in
-  find 0
+let field_str = Jsonf.field_str
+let field_int = Jsonf.field_int
 
 (** Parse the renderer's own output back into events ('M' metadata lines
     are skipped; [args] are dropped).  Returns [Error] on malformed input. *)
@@ -274,7 +275,7 @@ let parse s =
       else begin
         match field_str line "ph" with
         | Some "M" -> go acc rest
-        | Some (("B" | "E") as ph) ->
+        | Some (("B" | "E" | "C") as ph) ->
           (match
              ( field_str line "name", field_str line "cat",
                field_int line "ts", field_int line "pid",

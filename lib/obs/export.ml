@@ -1,0 +1,182 @@
+(** OpenMetrics/Prometheus text exposition of a {!Metrics} snapshot, so a
+    resident analysis service can be scraped without a JSON shim.
+
+    Counters render as OpenMetrics [counter] families (one [_total] sample);
+    histograms render as [summary] families — p50/p90/p99 [quantile] samples
+    (via {!Metrics.quantile}) plus [_sum]/[_count] — because the registry's
+    log2 buckets are not the cumulative [le] buckets Prometheus histograms
+    require, and quantiles are what the dashboards want anyway.  Dots and
+    other characters outside the exposition charset are folded to ['_'] and
+    every family gets a [backdroid_] prefix.
+
+    {!validate} is a strict checker for the exposition grammar subset this
+    module emits (promtool-style), used by the CI format gate and the unit
+    tests — it rejects interleaved families, samples before their [# TYPE],
+    bad metric names, unparseable values, and a missing [# EOF]. *)
+
+(* -- Name handling ---------------------------------------------------- *)
+
+let name_char_ok ~first c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_' || c = ':'
+  || ((not first) && c >= '0' && c <= '9')
+
+let name_ok s =
+  s <> ""
+  && name_char_ok ~first:true s.[0]
+  && String.for_all (name_char_ok ~first:false) s
+
+(** Fold a registry name ("search.cache.hits") into the exposition charset
+    and prefix it ("backdroid_search_cache_hits"). *)
+let sanitize ?(prefix = "backdroid_") name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+       if not (name_char_ok ~first:false c) then Bytes.set b i '_')
+    b;
+  prefix ^ Bytes.to_string b
+
+(* -- Rendering --------------------------------------------------------- *)
+
+let quantiles = [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ]
+
+let number v =
+  (* OpenMetrics wants a plain decimal; one decimal matches the µs-scale
+     resolution of everything the registry holds *)
+  Jsonf.number ~dec:1 v
+
+let openmetrics ?prefix (snap : Metrics.snapshot) =
+  let b = Buffer.create 2048 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  List.iter
+    (fun (name, v) ->
+       let n = sanitize ?prefix name in
+       bpf "# TYPE %s counter\n" n;
+       bpf "%s_total %d\n" n v)
+    snap.Metrics.counters;
+  List.iter
+    (fun (name, h) ->
+       let n = sanitize ?prefix name in
+       bpf "# TYPE %s summary\n" n;
+       List.iter
+         (fun (label, q) ->
+            bpf "%s{quantile=\"%s\"} %s\n" n label
+              (number (Metrics.quantile h q)))
+         quantiles;
+       bpf "%s_sum %s\n" n (number h.Metrics.h_sum);
+       bpf "%s_count %d\n" n h.Metrics.h_count)
+    snap.Metrics.histograms;
+  bpf "# EOF\n";
+  Buffer.contents b
+
+(* -- Validation -------------------------------------------------------- *)
+
+type family = { f_name : string; f_kind : string }
+
+let split_sample line =
+  (* "<name>[{labels}] <value>" -> (name, labels option, value string) *)
+  let n = String.length line in
+  let rec name_end i =
+    if i < n && name_char_ok ~first:false line.[i] then name_end (i + 1)
+    else i
+  in
+  let ne = name_end 0 in
+  if ne = 0 then Error "sample line does not start with a metric name"
+  else begin
+    let name = String.sub line 0 ne in
+    if ne < n && line.[ne] = '{' then begin
+      match String.index_from_opt line ne '}' with
+      | None -> Error "unterminated label set"
+      | Some ce ->
+        if ce + 1 >= n || line.[ce + 1] <> ' ' then
+          Error "missing value after label set"
+        else
+          Ok (name, Some (String.sub line (ne + 1) (ce - ne - 1)),
+              String.sub line (ce + 2) (n - ce - 2))
+    end
+    else if ne < n && line.[ne] = ' ' then
+      Ok (name, None, String.sub line (ne + 1) (n - ne - 1))
+    else Error "missing value"
+  end
+
+let strip_suffix ~suffix s =
+  let ls = String.length suffix and ln = String.length s in
+  if ln > ls && String.sub s (ln - ls) ls = suffix then
+    Some (String.sub s 0 (ln - ls))
+  else None
+
+(** Strictly check [text] against the exposition grammar subset emitted by
+    {!openmetrics}. *)
+let validate text =
+  let err lineno fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m))
+      fmt
+  in
+  let lines = String.split_on_char '\n' text in
+  (* a single trailing "" is the final newline, not an empty line *)
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec go lineno current eof = function
+    | [] -> if eof then Ok () else Error "missing # EOF terminator"
+    | line :: rest ->
+      if eof then err lineno "content after # EOF"
+      else if line = "# EOF" then go (lineno + 1) current true rest
+      else if line = "" then err lineno "empty line"
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind ] ->
+          if not (name_ok name) then err lineno "bad metric name %S" name
+          else if Hashtbl.mem seen name then
+            err lineno "family %S interleaved or repeated" name
+          else if not (List.mem kind [ "counter"; "summary"; "gauge"; "histogram" ])
+          then err lineno "unknown metric type %S" kind
+          else begin
+            Hashtbl.replace seen name ();
+            go (lineno + 1) (Some { f_name = name; f_kind = kind }) eof rest
+          end
+        | _ -> err lineno "malformed # TYPE line"
+      end
+      else if line.[0] = '#' then err lineno "unexpected comment %S" line
+      else begin
+        match split_sample line with
+        | Error m -> err lineno "%s" m
+        | Ok (name, labels, value) ->
+          if not (name_ok name) then err lineno "bad sample name %S" name
+          else if float_of_string_opt value = None then
+            err lineno "unparseable value %S for %S" value name
+          else begin
+            match current with
+            | None -> err lineno "sample %S before any # TYPE" name
+            | Some fam ->
+              let belongs =
+                match fam.f_kind with
+                | "counter" ->
+                  labels = None && name = fam.f_name ^ "_total"
+                | "summary" ->
+                  (name = fam.f_name
+                   && (match labels with
+                       | Some l ->
+                         String.length l > 10
+                         && String.sub l 0 10 = "quantile=\""
+                       | None -> false))
+                  || (labels = None
+                      && (name = fam.f_name ^ "_sum"
+                          || name = fam.f_name ^ "_count"))
+                | _ ->
+                  (* gauge/histogram accepted by name prefix only *)
+                  name = fam.f_name
+                  || strip_suffix ~suffix:"_sum" name = Some fam.f_name
+                  || strip_suffix ~suffix:"_count" name = Some fam.f_name
+                  || strip_suffix ~suffix:"_bucket" name = Some fam.f_name
+              in
+              if belongs then go (lineno + 1) current eof rest
+              else
+                err lineno "sample %S does not belong to %s family %S" name
+                  fam.f_kind fam.f_name
+          end
+      end
+  in
+  go 1 None false lines

@@ -1,0 +1,25 @@
+(** OpenMetrics/Prometheus text exposition of a {!Metrics} snapshot, so a
+    resident analysis service can be scraped without a JSON shim.
+
+    Counters render as OpenMetrics [counter] families (one [_total]
+    sample); histograms render as [summary] families — p50/p90/p99
+    [quantile] samples (via {!Metrics.quantile}) plus [_sum]/[_count] —
+    because the registry's log2 buckets are not the cumulative [le]
+    buckets Prometheus histograms require, and quantiles are what the
+    dashboards want anyway.  Dots and other characters outside the
+    exposition charset are folded to ['_'] and every family gets a
+    [backdroid_] prefix. *)
+
+(** Fold a registry name (["search.cache.hits"]) into the exposition
+    charset and prefix it (["backdroid_search_cache_hits"]). *)
+val sanitize : ?prefix:string -> string -> string
+
+(** Render a snapshot as OpenMetrics text, terminated by [# EOF]. *)
+val openmetrics : ?prefix:string -> Metrics.snapshot -> string
+
+(** Strictly check [text] against the exposition grammar subset emitted
+    by {!openmetrics} (promtool-style), used by the CI format gate and
+    the unit tests — rejects interleaved families, samples before their
+    [# TYPE], bad metric names, unparseable values, and a missing
+    [# EOF].  Errors carry the offending line number. *)
+val validate : string -> (unit, string) result

@@ -41,3 +41,66 @@ let int_field k n = Printf.sprintf "\"%s\":%d" (escape k) n
 (** ["key": x.y], clamped *)
 let num_field ?dec k f =
   Printf.sprintf "\"%s\":%s" (escape k) (number ?dec f)
+
+(* -- Minimal field extraction ----------------------------------------- *)
+
+(* Deliberately small line-oriented readers for exactly the writers above
+   (one object per line, no nested strings containing the pattern): enough
+   for the exporters' round-trip checks without a JSON dependency. *)
+
+(** First ["key":"..."] string value on [line], unescaped. *)
+let field_str line key =
+  let pat = Printf.sprintf "\"%s\":\"" key in
+  let n = String.length line and np = String.length pat in
+  let rec find i =
+    if i + np > n then None
+    else if String.sub line i np = pat then begin
+      let rec close j =
+        if j >= n then j
+        else if line.[j] = '"' && line.[j - 1] <> '\\' then j
+        else close (j + 1)
+      in
+      let stop = close (i + np) in
+      Some (Scanf.unescaped (String.sub line (i + np) (stop - i - np)))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+(** First ["key":123] integer value on [line]. *)
+let field_int line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let n = String.length line and np = String.length pat in
+  let rec find i =
+    if i + np > n then None
+    else if String.sub line i np = pat then begin
+      let rec stop j =
+        if j < n && (line.[j] = '-' || (line.[j] >= '0' && line.[j] <= '9'))
+        then stop (j + 1)
+        else j
+      in
+      let e = stop (i + np) in
+      if e > i + np then int_of_string_opt (String.sub line (i + np) (e - i - np))
+      else None
+    end
+    else find (i + 1)
+  in
+  find 0
+
+(** First ["key":1.5] numeric value on [line]. *)
+let field_float line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let n = String.length line and np = String.length pat in
+  let rec find i =
+    if i + np > n then None
+    else if String.sub line i np = pat then begin
+      let num c = c = '-' || c = '.' || (c >= '0' && c <= '9') in
+      let rec stop j = if j < n && num line.[j] then stop (j + 1) else j in
+      let e = stop (i + np) in
+      if e > i + np then
+        float_of_string_opt (String.sub line (i + np) (e - i - np))
+      else None
+    end
+    else find (i + 1)
+  in
+  find 0

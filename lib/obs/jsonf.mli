@@ -14,3 +14,10 @@ val number : ?dec:int -> float -> string
 val str_field : string -> string -> string
 val int_field : string -> int -> string
 val num_field : ?dec:int -> string -> float -> string
+
+(** Minimal line-oriented field readers for the writers above (used by the
+    exporters' round-trip parsers): first value of ["key":...] on a line. *)
+
+val field_str : string -> string -> string option
+val field_int : string -> string -> int option
+val field_float : string -> string -> float option

@@ -224,6 +224,31 @@ let reset () =
        Array.fill s.sh_max 0 (Array.length s.sh_max) Float.neg_infinity)
     shards
 
+(** Estimate the [q]-quantile (q in [0,1]) of a merged histogram from its
+    log2 buckets: walk to the bucket holding rank [q*count], interpolate
+    linearly inside its [2^(k-1), 2^k) range, and clamp to the observed
+    [min,max] (which tightens the coarse bucket bounds at the extremes). *)
+let quantile h q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int h.h_count in
+    let rec go cum = function
+      | [] -> h.h_max
+      | (k, c) :: rest ->
+        let cum' = cum +. float_of_int c in
+        if cum' >= rank then begin
+          let lo = if k <= 0 then 0.0 else Float.pow 2.0 (float_of_int (k - 1)) in
+          let hi = if k <= 0 then 1.0 else Float.pow 2.0 (float_of_int k) in
+          let frac = if c = 0 then 0.0 else (rank -. cum) /. float_of_int c in
+          let v = lo +. (frac *. (hi -. lo)) in
+          Float.min h.h_max (Float.max h.h_min v)
+        end
+        else go cum' rest
+    in
+    go 0.0 h.h_buckets
+  end
+
 (* -- Rendering ------------------------------------------------------- *)
 
 let bucket_label k =
@@ -269,12 +294,15 @@ let render_json snap =
        in
        Buffer.add_string b
          (Printf.sprintf
-            "\n    \"%s\": {%s, %s, %s, %s, \"buckets\": {%s}}"
+            "\n    \"%s\": {%s, %s, %s, %s, %s, %s, %s, \"buckets\": {%s}}"
             (Jsonf.escape name)
             (Jsonf.int_field "count" h.h_count)
             (Jsonf.num_field "sum" h.h_sum)
             (Jsonf.num_field "min" h.h_min)
             (Jsonf.num_field "max" h.h_max)
+            (Jsonf.num_field "p50" (quantile h 0.5))
+            (Jsonf.num_field "p90" (quantile h 0.9))
+            (Jsonf.num_field "p99" (quantile h 0.99))
             buckets))
     snap.histograms;
   Buffer.add_string b "\n  }\n}\n";

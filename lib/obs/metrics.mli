@@ -49,6 +49,11 @@ val snapshot : unit -> snapshot
 (** Zero every metric in every shard. *)
 val reset : unit -> unit
 
+(** [quantile h q] estimates the [q]-quantile (q in [0,1]) from the log-2
+    buckets: linear interpolation inside the rank's bucket, clamped to the
+    observed [h_min, h_max].  0. for an empty histogram. *)
+val quantile : histo -> float -> float
+
 val bucket_label : int -> string
 val render_table : snapshot -> string
 val render_json : snapshot -> string

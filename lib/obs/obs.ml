@@ -1,28 +1,45 @@
 (** The telemetry layer: hierarchical {!Span}s with a lock-free-per-domain
     default recorder, a sharded deterministic {!Metrics} registry,
-    {!Chrome} trace-event export, a per-phase self-time {!Summary}, and the
-    shared {!Jsonf}/{!Io} helpers every artifact writer goes through.
+    {!Chrome} trace-event export, the always-on {!Flight} recorder over
+    per-domain {!Ring} buffers, the OpenMetrics {!Export} exposition, a
+    per-phase self-time {!Summary}, and the shared {!Jsonf}/{!Io} helpers
+    every artifact writer goes through.
 
     Everything is off-by-default-cheap: with no span sink installed and
     metrics disabled ({!disable}), the instrumentation costs one
     [Atomic.get] per call site — the bench's [--obs-overhead] section
-    measures exactly this margin. *)
+    measures exactly this margin.  The flight recorder is the exception by
+    design: it stays on in production runs, at a cost the same bench holds
+    under the metrics-only budget. *)
 
 module Jsonf = Jsonf
 module Io = Io
 module Span = Span
 module Metrics = Metrics
 module Chrome = Chrome
+module Ring = Ring
+module Flight = Flight
+module Export = Export
 module Summary = Summary
 
-(** Turn all recording off: removes the span sink and disables metrics. *)
+(** Turn all recording off: removes the span sink, disables metrics and
+    stops the flight recorder (benchmark baselines only — production keeps
+    the flight recorder on). *)
 let disable () =
   Span.set_sink None;
-  Metrics.set_enabled false
+  Metrics.set_enabled false;
+  Flight.set_enabled false
 
 (** (Re-)enable metrics recording.  Span recording turns on by installing a
     sink ([Span.Recorder.install]). *)
 let enable_metrics () = Metrics.set_enabled true
 
-(** [true] when nothing records: no span sink and metrics disabled. *)
-let disabled () = (not (Span.enabled ())) && not (Metrics.enabled ())
+(** (Re-)enable the always-on flight recorder (it starts enabled; this
+    undoes {!disable}). *)
+let enable_flight () = Flight.set_enabled true
+
+(** [true] when nothing records: no span sink, metrics disabled, flight
+    recorder off. *)
+let disabled () =
+  (not (Span.enabled ())) && (not (Metrics.enabled ()))
+  && not (Flight.enabled ())

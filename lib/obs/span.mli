@@ -55,6 +55,9 @@ val with_pid : int -> (unit -> 'a) -> 'a
 
 val current_pid : unit -> int
 
+(** The current domain id (the [tid] spans record). *)
+val self_tid : unit -> int
+
 (** The default recorder: one bounded span buffer per recording domain
     (registered once per domain under a mutex, appended to without any
     synchronization), merged at snapshot.  Snapshot after the instrumented

@@ -46,6 +46,48 @@ let create () =
     stats = { total = 0; cached = 0; per_category = Hashtbl.create 8 };
     lock = Mutex.create () }
 
+(* -- Domain-local issue counters -------------------------------------- *)
+
+(* Provenance needs per-slice query counts that are independent of how the
+   pool scheduled OTHER slices: the shared [stats] above cannot provide
+   that (under the mutex, which slice pays the one miss per distinct key is
+   scheduling-dependent), but a slice runs entirely on one domain, so
+   domain-local counters deltaed around it are.  Module-global on purpose:
+   a slice drives exactly one engine at a time, and "queries this domain
+   issued" is the quantity the ledger reports. *)
+
+type local_counts = {
+  lc_total : int;
+  lc_cached : int;         (** scheduling-dependent — excluded from
+                               determinism comparisons *)
+  lc_by_cat : int array;   (** per {!Query.category_index} *)
+}
+
+type local = {
+  mutable l_total : int;
+  mutable l_cached : int;
+  l_by_cat : int array;
+}
+
+let local_key =
+  Domain.DLS.new_key (fun () ->
+      { l_total = 0; l_cached = 0;
+        l_by_cat = Array.make Query.n_categories 0 })
+
+let bump_local cat ~was_cached =
+  let l = Domain.DLS.get local_key in
+  l.l_total <- l.l_total + 1;
+  if was_cached then l.l_cached <- l.l_cached + 1;
+  let i = Query.category_index cat in
+  l.l_by_cat.(i) <- l.l_by_cat.(i) + 1
+
+(** The calling domain's cumulative issue counters (snapshot before/after a
+    slice and subtract). *)
+let local_counts () =
+  let l = Domain.DLS.get local_key in
+  { lc_total = l.l_total; lc_cached = l.l_cached;
+    lc_by_cat = Array.copy l.l_by_cat }
+
 let cat_stat t cat =
   match Hashtbl.find_opt t.stats.per_category cat with
   | Some c -> c
@@ -72,10 +114,12 @@ let find_or_add t query compute =
       match Query_tbl.find_opt t.table query with
       | Some hits ->
         bump t cat ~was_cached:true;
+        bump_local cat ~was_cached:true;
         Obs.Metrics.incr m_hits;
         hits
       | None ->
         bump t cat ~was_cached:false;
+        bump_local cat ~was_cached:false;
         Obs.Metrics.incr m_misses;
         let t0 = Unix.gettimeofday () in
         let hits = compute () in

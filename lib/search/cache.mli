@@ -37,3 +37,16 @@ val category_stats : 'a t -> (Query.category * int * int) list
 (** Per-category accumulated compute cost: µs spent computing this
     category's cache misses (hits cost nothing). *)
 val category_timings : 'a t -> (Query.category * float) list
+
+(** Cumulative queries issued by the {e calling domain}, across every cache
+    instance it touched.  A slice runs entirely on one domain, so deltas of
+    these counters around it are scheduling-independent — except
+    [lc_cached]: which slice pays the one miss per distinct key depends on
+    scheduling, so cached counts are informational only. *)
+type local_counts = {
+  lc_total : int;
+  lc_cached : int;
+  lc_by_cat : int array;   (** per {!Query.category_index} *)
+}
+
+val local_counts : unit -> local_counts

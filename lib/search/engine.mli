@@ -141,6 +141,11 @@ val cache_rate : t -> float
 val total_searches : t -> int
 val cached_searches : t -> int
 
+(** The calling domain's cumulative query-issue counters
+    ({!Cache.local_counts}) — deltas around a slice feed its provenance
+    ledger. *)
+val local_counts : unit -> Cache.local_counts
+
 (** Per-category totals: (category, total searches, cache hits). *)
 val category_stats : t -> (Query.category * int * int) list
 

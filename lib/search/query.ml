@@ -76,6 +76,18 @@ let category_to_string = function
   | Cat_field -> "field"
   | Cat_raw -> "raw"
 
+(** Dense index of a category, for per-category counter arrays. *)
+let category_index = function
+  | Cat_caller -> 0
+  | Cat_class -> 1
+  | Cat_field -> 2
+  | Cat_raw -> 3
+
+let n_categories = 4
+
+(** All categories, in {!category_index} order. *)
+let all_categories = [| Cat_caller; Cat_class; Cat_field; Cat_raw |]
+
 (** Raw command string, e.g. ["grep 'invoke-.*, Lcom/foo;.m:()V'"] — for
     trace output only; not a cache key and never rendered on the hot path. *)
 let to_command = function

@@ -49,6 +49,14 @@ type category = Cat_caller | Cat_class | Cat_field | Cat_raw
 val category : t -> category
 val category_to_string : category -> string
 
+(** Dense index of a category (for per-category counter arrays). *)
+val category_index : category -> int
+
+val n_categories : int
+
+(** All categories, in {!category_index} order. *)
+val all_categories : category array
+
 (** Human-readable grep-style command, e.g.
     ["grep 'invoke-.*, Lcom/foo;.m:()V'"] — for trace output only. *)
 val to_command : t -> string

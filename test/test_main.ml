@@ -6,4 +6,5 @@ let () =
      @ Test_baseline.suites @ Test_core_units.suites @ Test_eval.suites
      @ Test_robustness.suites @ Test_searches_deep.suites
      @ Test_resolver.suites @ Test_misc.suites @ Test_parallel.suites
-     @ Test_obs.suites @ Test_store.suites @ Test_rules.suites)
+     @ Test_obs.suites @ Test_flight.suites @ Test_store.suites
+     @ Test_rules.suites)
