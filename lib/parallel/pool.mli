@@ -34,6 +34,13 @@ val shutdown : t -> unit
     afterwards, also on exception. *)
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 
+(** [async t task] enqueues one fire-and-forget task for the worker
+    domains.  [task] must not raise (wrap and park the outcome in a cell,
+    as the batch combinators do).  When the pool has no workers
+    ([jobs = 1]) or has been shut down, the task runs inline in the
+    calling thread before [async] returns. *)
+val async : t -> (unit -> unit) -> unit
+
 (** Order-preserving parallel map over an array. *)
 val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
 

@@ -1,0 +1,62 @@
+(* Bounded in-flight admission with a queue timeout.  The stdlib has no
+   timed condition wait, so a full gate is polled on a short sleep until
+   the deadline — the poll period (2 ms) is well under any meaningful
+   queue timeout and the sleeping thread releases the runtime lock. *)
+
+type t = {
+  max_inflight : int;
+  queue_timeout_ms : float;
+  mutex : Mutex.t;
+  mutable inflight : int;
+  mutable rejected : int;
+}
+
+let create ~max_inflight ~queue_timeout_ms =
+  { max_inflight = max 1 max_inflight;
+    queue_timeout_ms = max 0.0 queue_timeout_ms;
+    mutex = Mutex.create (); inflight = 0; rejected = 0 }
+
+let try_acquire t =
+  Mutex.lock t.mutex;
+  let ok = t.inflight < t.max_inflight in
+  if ok then t.inflight <- t.inflight + 1;
+  Mutex.unlock t.mutex;
+  ok
+
+let acquire t =
+  if try_acquire t then true
+  else begin
+    let deadline = Unix.gettimeofday () +. (t.queue_timeout_ms /. 1000.0) in
+    let rec wait () =
+      if Unix.gettimeofday () >= deadline then begin
+        Mutex.lock t.mutex;
+        t.rejected <- t.rejected + 1;
+        Mutex.unlock t.mutex;
+        false
+      end
+      else begin
+        Unix.sleepf 0.002;
+        if try_acquire t then true else wait ()
+      end
+    in
+    wait ()
+  end
+
+let release t =
+  Mutex.lock t.mutex;
+  t.inflight <- max 0 (t.inflight - 1);
+  Mutex.unlock t.mutex
+
+let inflight t =
+  Mutex.lock t.mutex;
+  let v = t.inflight in
+  Mutex.unlock t.mutex;
+  v
+
+let rejected t =
+  Mutex.lock t.mutex;
+  let v = t.rejected in
+  Mutex.unlock t.mutex;
+  v
+
+let max_inflight t = t.max_inflight

@@ -1,0 +1,25 @@
+(** Admission control for the daemon: at most [max_inflight] requests
+    execute at once; a request that cannot get a slot within
+    [queue_timeout_ms] is rejected (typed, counted) instead of queueing
+    unboundedly. *)
+
+type t
+
+val create : max_inflight:int -> queue_timeout_ms:float -> t
+
+(** Take a slot if one is free right now. *)
+val try_acquire : t -> bool
+
+(** Take a slot, waiting up to the queue timeout; [false] means the
+    request must be rejected as [Busy]. *)
+val acquire : t -> bool
+
+val release : t -> unit
+
+(** Requests currently holding slots. *)
+val inflight : t -> int
+
+(** Requests rejected on queue timeout since creation. *)
+val rejected : t -> int
+
+val max_inflight : t -> int

@@ -1,0 +1,54 @@
+(* Client side of the daemon protocol: one blocking connection, requests
+   answered in order. *)
+
+type t = { fd : Unix.file_descr }
+
+let connect ?tcp ~socket () =
+  let addr, domain =
+    match tcp with
+    | Some (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> Unix.inet_addr_loopback
+      in
+      (Unix.ADDR_INET (inet, port), Unix.PF_INET)
+    | None -> (Unix.ADDR_UNIX socket, Unix.PF_UNIX)
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | () -> Ok { fd }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Result.Error
+      (Printf.sprintf "cannot connect to %s: %s"
+         (match tcp with
+          | Some (h, p) -> Printf.sprintf "%s:%d" h p
+          | None -> socket)
+         (Unix.error_message e))
+
+(* Retry until the daemon's listener is up — the CI smoke's
+   wait-for-socket. *)
+let connect_retry ?(attempts = 100) ?(delay_s = 0.05) ?tcp ~socket () =
+  let rec go n last =
+    if n <= 0 then Result.Error last
+    else
+      match connect ?tcp ~socket () with
+      | Ok c -> Ok c
+      | Result.Error m ->
+        Unix.sleepf delay_s;
+        go (n - 1) m
+  in
+  go attempts "no attempts"
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let call t req =
+  match Protocol.send_request t.fd req with
+  | () -> Protocol.recv_response t.fd
+  | exception Unix.Unix_error (e, _, _) ->
+    Result.Error (Unix.error_message e)
+
+let with_conn ?tcp ~socket f =
+  match connect ?tcp ~socket () with
+  | Result.Error m -> Result.Error m
+  | Ok c -> Fun.protect ~finally:(fun () -> close c) (fun () -> f c)

@@ -1,0 +1,24 @@
+(** Client side of the daemon protocol: one blocking connection,
+    requests answered in order. *)
+
+type t
+
+val connect :
+  ?tcp:string * int -> socket:string -> unit -> (t, string) result
+
+(** {!connect}, retrying every [delay_s] (default 50 ms) up to [attempts]
+    (default 100) — waits out a daemon that is still binding its
+    socket. *)
+val connect_retry :
+  ?attempts:int -> ?delay_s:float -> ?tcp:string * int -> socket:string ->
+  unit -> (t, string) result
+
+val close : t -> unit
+
+(** Send one request and wait for its response. *)
+val call : t -> Protocol.request -> (Protocol.response, string) result
+
+(** Run [f] over a fresh connection, closing it afterwards. *)
+val with_conn :
+  ?tcp:string * int -> socket:string ->
+  (t -> ('a, string) result) -> ('a, string) result

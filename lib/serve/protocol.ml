@@ -1,0 +1,334 @@
+(* Length-prefixed binary protocol of the resident analysis service.
+
+   Frame:   u32 LE payload length, then the payload.
+   Payload: u8 protocol version, u8 opcode, then opcode-specific fields
+   written with the little writers below (ints as LE u32/i64, floats as
+   IEEE-754 bits, strings as u32 length + bytes, options as a u8 tag).
+
+   Both sides parse defensively: a malformed or oversized frame surfaces
+   as a typed error, never as an exception escaping the connection
+   handler. *)
+
+type reject_reason = Busy | Shutting_down
+
+let reject_to_string = function
+  | Busy -> "busy: admission queue timed out"
+  | Shutting_down -> "shutting down"
+
+type cache_state = Hit | Delta | Miss
+
+let cache_to_string = function
+  | Hit -> "hit"
+  | Delta -> "delta"
+  | Miss -> "miss"
+
+type request =
+  | Analyze of {
+      spec : Appspec.t;
+      snapshot : string option;
+      time_limit_ms : float option;
+    }
+  | Query of {
+      spec : Appspec.t;
+      snapshot : string option;
+      kind : string;
+      operand : string;
+    }
+  | Stats
+  | Shutdown
+
+type response =
+  | Analyzed of { text : string; cache : cache_state; wall_us : float }
+  | Queried of { total : int; lines : string list; wall_us : float }
+  | Stats_json of string
+  | Rejected of reject_reason
+  | Shutdown_ok
+  | Error of string
+
+let version = 1
+
+(* A frame larger than this is a protocol violation, not a big request. *)
+let max_frame = 16 * 1024 * 1024
+
+(* -- payload writer -------------------------------------------------- *)
+
+let w_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let w_u32 b v =
+  w_u8 b v;
+  w_u8 b (v lsr 8);
+  w_u8 b (v lsr 16);
+  w_u8 b (v lsr 24)
+
+let w_i64 b v = Buffer.add_int64_le b v
+let w_f64 b v = w_i64 b (Int64.bits_of_float v)
+
+let w_str b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_opt w b = function
+  | None -> w_u8 b 0
+  | Some v ->
+    w_u8 b 1;
+    w b v
+
+let w_list w b xs =
+  w_u32 b (List.length xs);
+  List.iter (w b) xs
+
+let w_spec b (s : Appspec.t) =
+  w_i64 b (Int64.of_int s.Appspec.seed);
+  w_f64 b s.Appspec.size_mb;
+  w_u8 b (if s.Appspec.insecure then 1 else 0);
+  w_f64 b s.Appspec.mutate_pct;
+  w_list
+    (fun b (sh, sk) ->
+       w_str b sh;
+       w_str b sk)
+    b s.Appspec.plants
+
+(* -- payload reader -------------------------------------------------- *)
+
+exception Bad of string
+
+type cursor = { buf : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.buf then raise (Bad "truncated payload")
+
+let r_u8 c =
+  need c 1;
+  let v = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_u32 c =
+  let a = r_u8 c in
+  let b = r_u8 c in
+  let d = r_u8 c in
+  let e = r_u8 c in
+  a lor (b lsl 8) lor (d lsl 16) lor (e lsl 24)
+
+let r_i64 c =
+  need c 8;
+  let v = String.get_int64_le c.buf c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let r_f64 c = Int64.float_of_bits (r_i64 c)
+
+let r_str c =
+  let n = r_u32 c in
+  if n < 0 || n > max_frame then raise (Bad "oversized string");
+  need c n;
+  let s = String.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let r_opt r c =
+  match r_u8 c with
+  | 0 -> None
+  | 1 -> Some (r c)
+  | _ -> raise (Bad "bad option tag")
+
+let r_list r c =
+  let n = r_u32 c in
+  if n < 0 || n > 65536 then raise (Bad "oversized list");
+  List.init n (fun _ -> r c)
+
+let r_spec c =
+  let seed = Int64.to_int (r_i64 c) in
+  let size_mb = r_f64 c in
+  let insecure = r_u8 c = 1 in
+  let mutate_pct = r_f64 c in
+  let plants =
+    r_list
+      (fun c ->
+         let sh = r_str c in
+         let sk = r_str c in
+         (sh, sk))
+      c
+  in
+  { Appspec.seed; size_mb; plants; insecure; mutate_pct }
+
+(* -- messages -------------------------------------------------------- *)
+
+let encode_request req =
+  let b = Buffer.create 64 in
+  w_u8 b version;
+  (match req with
+   | Analyze { spec; snapshot; time_limit_ms } ->
+     w_u8 b 1;
+     w_spec b spec;
+     w_opt w_str b snapshot;
+     w_opt w_f64 b time_limit_ms
+   | Query { spec; snapshot; kind; operand } ->
+     w_u8 b 2;
+     w_spec b spec;
+     w_opt w_str b snapshot;
+     w_str b kind;
+     w_str b operand
+   | Stats -> w_u8 b 3
+   | Shutdown -> w_u8 b 4);
+  Buffer.contents b
+
+let encode_response resp =
+  let b = Buffer.create 64 in
+  w_u8 b version;
+  (match resp with
+   | Analyzed { text; cache; wall_us } ->
+     w_u8 b 10;
+     w_str b text;
+     w_u8 b (match cache with Hit -> 0 | Delta -> 1 | Miss -> 2);
+     w_f64 b wall_us
+   | Queried { total; lines; wall_us } ->
+     w_u8 b 11;
+     w_u32 b total;
+     w_list w_str b lines;
+     w_f64 b wall_us
+   | Stats_json s ->
+     w_u8 b 12;
+     w_str b s
+   | Rejected r ->
+     w_u8 b 13;
+     w_u8 b (match r with Busy -> 0 | Shutting_down -> 1)
+   | Shutdown_ok -> w_u8 b 14
+   | Error msg ->
+     w_u8 b 15;
+     w_str b msg);
+  Buffer.contents b
+
+let check_version c =
+  let v = r_u8 c in
+  if v <> version then
+    raise (Bad (Printf.sprintf "protocol version %d (want %d)" v version))
+
+let decode_request s =
+  let c = { buf = s; pos = 0 } in
+  try
+    check_version c;
+    let req =
+      match r_u8 c with
+      | 1 ->
+        let spec = r_spec c in
+        let snapshot = r_opt r_str c in
+        let time_limit_ms = r_opt r_f64 c in
+        Analyze { spec; snapshot; time_limit_ms }
+      | 2 ->
+        let spec = r_spec c in
+        let snapshot = r_opt r_str c in
+        let kind = r_str c in
+        let operand = r_str c in
+        Query { spec; snapshot; kind; operand }
+      | 3 -> Stats
+      | 4 -> Shutdown
+      | op -> raise (Bad (Printf.sprintf "unknown request opcode %d" op))
+    in
+    if c.pos <> String.length s then raise (Bad "trailing bytes");
+    Ok req
+  with Bad m -> Result.Error m
+
+let decode_response s =
+  let c = { buf = s; pos = 0 } in
+  try
+    check_version c;
+    let resp =
+      match r_u8 c with
+      | 10 ->
+        let text = r_str c in
+        let cache =
+          match r_u8 c with
+          | 0 -> Hit
+          | 1 -> Delta
+          | 2 -> Miss
+          | t -> raise (Bad (Printf.sprintf "bad cache tag %d" t))
+        in
+        let wall_us = r_f64 c in
+        Analyzed { text; cache; wall_us }
+      | 11 ->
+        let total = r_u32 c in
+        let lines = r_list r_str c in
+        let wall_us = r_f64 c in
+        Queried { total; lines; wall_us }
+      | 12 -> Stats_json (r_str c)
+      | 13 ->
+        (match r_u8 c with
+         | 0 -> Rejected Busy
+         | 1 -> Rejected Shutting_down
+         | t -> raise (Bad (Printf.sprintf "bad reject tag %d" t)))
+      | 14 -> Shutdown_ok
+      | 15 -> Error (r_str c)
+      | op -> raise (Bad (Printf.sprintf "unknown response opcode %d" op))
+    in
+    if c.pos <> String.length s then raise (Bad "trailing bytes");
+    Ok resp
+  with Bad m -> Result.Error m
+
+(* -- framing over fds ------------------------------------------------ *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let n = String.length payload in
+  let hdr = Buffer.create 4 in
+  w_u32 hdr n;
+  let msg = Buffer.contents hdr ^ payload in
+  write_all fd msg 0 (String.length msg)
+
+(* [None] on clean EOF at a frame boundary. *)
+let read_frame fd =
+  let read_exact n =
+    let buf = Bytes.create n in
+    let rec go off =
+      if off = n then Some (Bytes.unsafe_to_string buf)
+      else
+        match Unix.read fd buf off (n - off) with
+        | 0 -> if off = 0 then None else raise (Bad "truncated frame")
+        | k -> go (off + k)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    in
+    go 0
+  in
+  match read_exact 4 with
+  | None -> Ok None
+  | Some hdr ->
+    let c = { buf = hdr; pos = 0 } in
+    let n = r_u32 c in
+    if n < 0 || n > max_frame then
+      Result.Error (Printf.sprintf "frame length %d out of bounds" n)
+    else begin
+      match read_exact n with
+      | Some payload -> Ok (Some payload)
+      | None -> Result.Error "truncated frame"
+      | exception Bad m -> Result.Error m
+    end
+  | exception Bad m -> Result.Error m
+
+let send_request fd req = write_frame fd (encode_request req)
+let send_response fd resp = write_frame fd (encode_response resp)
+
+let recv_request fd =
+  match read_frame fd with
+  | Ok None -> `Eof
+  | Ok (Some payload) ->
+    (match decode_request payload with
+     | Ok req -> `Ok req
+     | Result.Error m -> `Err m)
+  | Result.Error m -> `Err m
+  | exception Unix.Unix_error (e, _, _) -> `Err (Unix.error_message e)
+
+let recv_response fd =
+  match read_frame fd with
+  | Ok None -> Result.Error "connection closed"
+  | Ok (Some payload) -> decode_response payload
+  | Result.Error m -> Result.Error m
+  | exception Unix.Unix_error (e, _, _) ->
+    Result.Error (Unix.error_message e)
